@@ -1,0 +1,90 @@
+// Command nbschema-bench regenerates the paper's evaluation figures
+// (Løland & Hvasshovd, EDBT 2006, Section 6) and prints each as a table.
+//
+// Usage:
+//
+//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|all]
+//	               [-paper] [-rows N] [-sample dur] [-repeats N] [-seed N]
+//
+// By default a laptop-scale variant of every figure runs in a few minutes;
+// -paper selects the paper's 50 000/20 000-record setup (slower, less noisy).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nbschema/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, summary, all")
+		paper   = flag.Bool("paper", false, "use the paper's table sizes (50k/20k records)")
+		rows    = flag.Int("rows", 0, "override row count for the transformed table(s)")
+		sample  = flag.Duration("sample", 0, "override measurement window")
+		repeats = flag.Int("repeats", 0, "measurements per point (median reported)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	p := bench.Default()
+	if *paper {
+		p = bench.Paper()
+	}
+	if *rows > 0 {
+		p.TRows, p.RRows = *rows, *rows
+		p.SRows = *rows * 2 / 5 // keep the paper's 50k:20k proportion
+	}
+	if *sample > 0 {
+		p.BaselineDur, p.SampleDur = *sample, *sample
+	}
+	if *repeats > 0 {
+		p.Repeats = *repeats
+	}
+	p.Seed = *seed
+
+	type experiment struct {
+		name string
+		run  func(bench.Params) (bench.Result, error)
+	}
+	experiments := []experiment{
+		{"4a", bench.Figure4a},
+		{"4b", bench.Figure4b},
+		{"4c", bench.Figure4c},
+		{"4d", bench.Figure4d},
+		{"4a-foj", bench.Figure4aFOJ},
+		{"4c-foj", bench.Figure4cFOJ},
+		{"cc", bench.FigureCC},
+		{"sync", func(p bench.Params) (bench.Result, error) { return bench.SyncLatency(p, 5) }},
+		{"ablation", bench.AblationTriggers},
+	}
+
+	want := strings.ToLower(*fig)
+	ran := 0
+	start := time.Now()
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran++
+		fmt.Printf("running %s ...\n", e.name)
+		t0 := time.Now()
+		r, err := e.run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Format())
+		fmt.Printf("(%s in %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("done: %d experiment(s) in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,73 @@
+// Many-to-many: students and teachers share courses — several students per
+// course and several teachers per course — so the join is many-to-many
+// (paper §4.2). The transformed table is keyed by the pair of source keys,
+// and operations on one student fan out to every row the student
+// contributed to.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"nbschema"
+)
+
+func main() {
+	db := nbschema.Open()
+	check(db.CreateTable("student", []nbschema.Column{
+		{Name: "sid", Type: nbschema.Int},
+		{Name: "sname", Type: nbschema.String, Nullable: true},
+		{Name: "course", Type: nbschema.Int, Nullable: true},
+	}, "sid"))
+	check(db.CreateTable("teacher", []nbschema.Column{
+		{Name: "tid", Type: nbschema.Int},
+		{Name: "course", Type: nbschema.Int, Nullable: true},
+		{Name: "tname", Type: nbschema.String, Nullable: true},
+	}, "tid"))
+
+	tx := db.Begin()
+	check(tx.Insert("student", 1, "Ann", 100))
+	check(tx.Insert("student", 2, "Bob", 100))
+	check(tx.Insert("student", 3, "Cal", 200))
+	check(tx.Insert("student", 4, "Dag", 300)) // no teacher for 300
+	check(tx.Insert("teacher", 10, 100, "Smith"))
+	check(tx.Insert("teacher", 11, 100, "Jones"))
+	check(tx.Insert("teacher", 12, 200, "Berg"))
+	check(tx.Insert("teacher", 13, 400, "Moe")) // no student for 400
+	check(tx.Commit())
+
+	tr, err := db.FullOuterJoin(nbschema.JoinSpec{
+		Target:     "enrollment",
+		Left:       "student",
+		Right:      "teacher",
+		On:         [][2]string{{"course", "course"}},
+		ManyToMany: true, // neither side's join attribute is unique
+	}, nbschema.TransformOptions{KeepSources: true})
+	check(err)
+
+	check(tr.Run(context.Background()))
+
+	fmt.Println("enrollment = student ⟗ teacher on course (many-to-many):")
+	fmt.Printf("  %-4s %-6s %-7s %-4s %-7s\n", "sid", "sname", "course", "tid", "tname")
+	check(db.ScanTable("enrollment", func(row []any) bool {
+		// Columns: sid, sname, course, tid, tname, _r, _s.
+		fmt.Printf("  %-4v %-6v %-7v %-4v %-7v\n", show(row[0]), show(row[1]), show(row[2]), show(row[3]), show(row[4]))
+		return true
+	}))
+	fmt.Println("\nrows with empty sid are teacher-only (course has no student);")
+	fmt.Println("rows with empty tid are student-only — the full outer join keeps both.")
+}
+
+func show(v any) any {
+	if v == nil {
+		return "·"
+	}
+	return v
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

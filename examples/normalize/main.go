@@ -1,0 +1,84 @@
+// Normalize: the paper's Example 1 — a customer table with a functional
+// dependency (postal code → city) is split into customer and place tables.
+// The data contains the paper's inconsistency ("Trnodheim"), so the split
+// runs with the §5.3 consistency checker, which blocks synchronization until
+// an operator fixes the typo, then verifies and repairs the S record.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"nbschema"
+)
+
+func main() {
+	db := nbschema.Open()
+	check(db.CreateTable("customer", []nbschema.Column{
+		{Name: "id", Type: nbschema.Int},
+		{Name: "name", Type: nbschema.String, Nullable: true},
+		{Name: "postal_code", Type: nbschema.Int},
+		{Name: "city", Type: nbschema.String, Nullable: true},
+	}, "id"))
+
+	// The paper's Example 1, typo included.
+	tx := db.Begin()
+	check(tx.Insert("customer", 1, "Peter", 7050, "Trondheim"))
+	check(tx.Insert("customer", 2, "Mark", 5020, "Bergen"))
+	check(tx.Insert("customer", 3, "Gary", 50, "Oslo"))
+	check(tx.Insert("customer", 134, "Jen", 7050, "Trnodheim")) // the typo
+	check(tx.Commit())
+
+	tr, err := db.Split(nbschema.SplitSpec{
+		Source:    "customer",
+		Left:      "customer_base",
+		Right:     "place",
+		SplitOn:   []string{"postal_code"},
+		RightOnly: []string{"city"},
+	}, nbschema.TransformOptions{
+		CheckConsistency: true, // §5.3: data may violate postal_code → city
+		SyncThreshold:    4,
+	})
+	check(err)
+
+	// An operator fixes the typo while the transformation is running; the
+	// consistency checker then verifies postal code 7050 and repairs the
+	// place record.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		tx := db.Begin()
+		if err := tx.Update("customer", []any{134}, []string{"city"}, []any{"Trondheim"}); err != nil {
+			_ = tx.Abort()
+			log.Fatalf("fix: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatalf("fix: %v", err)
+		}
+		fmt.Println("operator: fixed Jen's city (Trnodheim → Trondheim)")
+	}()
+
+	fmt.Println("splitting customer(id, name, postal_code, city)")
+	fmt.Println("  into customer_base(id, name, postal_code) and place(postal_code, city) ...")
+	check(tr.Run(context.Background()))
+
+	m := tr.Metrics()
+	fmt.Printf("\nconsistency checker: %d rounds, %d repairs\n", m.CCRounds, m.CCRepairs)
+	fmt.Println("\nplace (postal_code, city, refcount, consistent):")
+	check(db.ScanTable("place", func(row []any) bool {
+		fmt.Printf("  %v\n", row)
+		return true
+	}))
+	fmt.Println("\ncustomer_base (id, name, postal_code):")
+	check(db.ScanTable("customer_base", func(row []any) bool {
+		fmt.Printf("  %v\n", row)
+		return true
+	}))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module nbschema
+
+go 1.22

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns parameters small enough for unit testing (sub-second per
+// figure) while still exercising every code path.
+func tiny() Params {
+	return Params{
+		TRows: 600, RRows: 600, SRows: 200, SplitValues: 60,
+		Workloads:   []int{50, 100},
+		Calibrated:  2,
+		Repeats:     1,
+		BaselineDur: 40 * time.Millisecond,
+		SampleDur:   40 * time.Millisecond,
+		Priority:    0.5,
+		Priorities:  []float64{0.2, 1.0},
+		Seed:        1,
+		LockTimeout: 150 * time.Millisecond,
+	}
+}
+
+func checkResult(t *testing.T, r Result, wantSeries int) {
+	t.Helper()
+	if len(r.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", r.Figure, len(r.Series), wantSeries)
+	}
+	for _, s := range r.Series {
+		if len(s.Points) == 0 {
+			t.Errorf("%s: series %q empty", r.Figure, s.Name)
+		}
+		for _, pt := range s.Points {
+			if pt.Y < 0 {
+				t.Errorf("%s: series %q has negative point %+v", r.Figure, s.Name, pt)
+			}
+		}
+	}
+	txt := r.Format()
+	if !strings.Contains(txt, r.Figure) {
+		t.Errorf("Format output missing figure name:\n%s", txt)
+	}
+}
+
+func TestFigure4aSmoke(t *testing.T) {
+	r, err := Figure4a(tiny())
+	if err != nil {
+		t.Fatalf("Figure4a: %v", err)
+	}
+	checkResult(t, r, 2)
+}
+
+func TestFigure4bSmoke(t *testing.T) {
+	p := tiny()
+	r, err := Figure4b(p)
+	if err != nil {
+		t.Fatalf("Figure4b: %v", err)
+	}
+	checkResult(t, r, 2)
+}
+
+func TestFigure4cSmoke(t *testing.T) {
+	r, err := Figure4c(tiny())
+	if err != nil {
+		t.Fatalf("Figure4c: %v", err)
+	}
+	checkResult(t, r, 2)
+	if r.Series[0].Name == r.Series[1].Name {
+		t.Error("4c series must be distinct fractions")
+	}
+}
+
+func TestFigure4dSmoke(t *testing.T) {
+	r, err := Figure4d(tiny())
+	if err != nil {
+		t.Fatalf("Figure4d: %v", err)
+	}
+	checkResult(t, r, 2)
+}
+
+func TestFigure4aFOJSmoke(t *testing.T) {
+	r, err := Figure4aFOJ(tiny())
+	if err != nil {
+		t.Fatalf("Figure4aFOJ: %v", err)
+	}
+	checkResult(t, r, 2)
+}
+
+func TestFigure4cFOJSmoke(t *testing.T) {
+	r, err := Figure4cFOJ(tiny())
+	if err != nil {
+		t.Fatalf("Figure4cFOJ: %v", err)
+	}
+	checkResult(t, r, 2)
+}
+
+func TestFigureCCSmoke(t *testing.T) {
+	r, err := FigureCC(tiny())
+	if err != nil {
+		t.Fatalf("FigureCC: %v", err)
+	}
+	checkResult(t, r, 2)
+}
+
+func TestSyncLatencySmoke(t *testing.T) {
+	r, err := SyncLatency(tiny(), 2)
+	if err != nil {
+		t.Fatalf("SyncLatency: %v", err)
+	}
+	checkResult(t, r, 1)
+}
+
+func TestAblationTriggersSmoke(t *testing.T) {
+	r, err := AblationTriggers(tiny())
+	if err != nil {
+		t.Fatalf("AblationTriggers: %v", err)
+	}
+	checkResult(t, r, 2)
+}
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	p = p.withDefaults()
+	if p.TRows == 0 || p.Priority == 0 || len(p.Workloads) == 0 || len(p.Priorities) == 0 {
+		t.Errorf("defaults not filled: %+v", p)
+	}
+	paper := Paper()
+	if paper.TRows != 50000 || paper.RRows != 50000 || paper.SRows != 20000 {
+		t.Errorf("paper sizes wrong: %+v", paper)
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	r := Result{
+		Figure: "X", Title: "t", XLabel: "x",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Y: 0.5}, {X: 2, Y: 0.6}}},
+			{Name: "b", Points: []Point{{X: 1, Y: 1.5}}},
+		},
+		Notes: []string{"hello"},
+	}
+	out := r.Format()
+	for _, want := range []string{"X", "a", "b", "0.5000", "1.5000", "hello", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

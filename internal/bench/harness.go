@@ -1,0 +1,363 @@
+// Package bench regenerates the paper's evaluation (Section 6): every
+// figure gets an experiment that builds the paper's workload, runs the
+// transformation as a background process, and reports relative throughput
+// and response time of user transactions — performance before the change
+// vs. performance during the change, exactly as the paper measures.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/core"
+	"nbschema/internal/engine"
+	"nbschema/internal/value"
+	"nbschema/internal/workload"
+)
+
+// Params sizes an experiment. The zero value selects the paper's setup
+// scaled down to laptop-friendly defaults; use Paper() for the full sizes.
+type Params struct {
+	// TRows is the number of records in the split source (paper: 50 000).
+	TRows int
+	// RRows and SRows size the join sources (paper: 50 000 and 20 000).
+	RRows, SRows int
+	// SplitValues is the number of distinct split-attribute values.
+	SplitValues int
+	// Workloads are the x-axis workload percentages.
+	Workloads []int
+	// Calibrated is the client count that defines 100% workload; 0 means
+	// calibrate by probing.
+	Calibrated int
+	// MaxClients bounds calibration probing.
+	MaxClients int
+	// BaselineDur and SampleDur are the measurement windows.
+	BaselineDur, SampleDur time.Duration
+	// SourceFrac is the fraction of updates aimed at the table(s) under
+	// transformation (paper: 0.2 and 0.8); the rest hit the dummy table.
+	SourceFrac float64
+	// Priority of the background transformation during interference
+	// measurements.
+	Priority float64
+	// Priorities is the x-axis of the Figure 4(d) sweep.
+	Priorities []float64
+	// Think is the per-transaction client think time. The paper's clients
+	// ran on four separate nodes over Ethernet, so each client naturally
+	// paused between transactions; without think time a handful of
+	// closed-loop goroutines saturate a small host and drown the
+	// measurement in scheduler noise.
+	Think time.Duration
+	// Repeats is the number of measurements per point; the median is
+	// reported (interference windows are noisy on small machines).
+	Repeats int
+	// Seed makes workloads deterministic.
+	Seed int64
+	// LockTimeout for the engine.
+	LockTimeout time.Duration
+}
+
+// Default returns laptop-scale parameters (seconds per figure).
+func Default() Params {
+	return Params{
+		TRows: 5000, RRows: 5000, SRows: 2000, SplitValues: 500,
+		Workloads:   []int{50, 60, 70, 80, 90, 100},
+		MaxClients:  16,
+		BaselineDur: 250 * time.Millisecond,
+		SampleDur:   250 * time.Millisecond,
+		SourceFrac:  0.2,
+		Priority:    0.3,
+		Priorities:  []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0},
+		Think:       300 * time.Microsecond,
+		Repeats:     3,
+		Seed:        1,
+		LockTimeout: 250 * time.Millisecond,
+	}
+}
+
+// Paper returns the paper's experiment sizes (50 000 / 20 000 records).
+func Paper() Params {
+	p := Default()
+	p.TRows, p.RRows, p.SRows, p.SplitValues = 50000, 50000, 20000, 2000
+	p.BaselineDur, p.SampleDur = 2*time.Second, 2*time.Second
+	return p
+}
+
+func (p Params) withDefaults() Params {
+	d := Default()
+	if p.TRows <= 0 {
+		p.TRows = d.TRows
+	}
+	if p.RRows <= 0 {
+		p.RRows = d.RRows
+	}
+	if p.SRows <= 0 {
+		p.SRows = d.SRows
+	}
+	if p.SplitValues <= 0 {
+		p.SplitValues = d.SplitValues
+	}
+	if len(p.Workloads) == 0 {
+		p.Workloads = d.Workloads
+	}
+	if p.MaxClients <= 0 {
+		p.MaxClients = d.MaxClients
+	}
+	if p.BaselineDur <= 0 {
+		p.BaselineDur = d.BaselineDur
+	}
+	if p.SampleDur <= 0 {
+		p.SampleDur = d.SampleDur
+	}
+	if p.SourceFrac <= 0 {
+		p.SourceFrac = d.SourceFrac
+	}
+	if p.Priority <= 0 {
+		p.Priority = d.Priority
+	}
+	if len(p.Priorities) == 0 {
+		p.Priorities = d.Priorities
+	}
+	if p.Think <= 0 {
+		p.Think = d.Think
+	}
+	if p.Repeats <= 0 {
+		p.Repeats = d.Repeats
+	}
+	if p.LockTimeout <= 0 {
+		p.LockTimeout = d.LockTimeout
+	}
+	return p
+}
+
+// Point is one x/y pair of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is a regenerated figure.
+type Result struct {
+	Figure string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Format renders the result as an aligned text table.
+func (r Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.Figure, r.Title)
+	xs := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	xList := make([]float64, 0, len(xs))
+	for x := range xs {
+		xList = append(xList, x)
+	}
+	sort.Float64s(xList)
+
+	fmt.Fprintf(&b, "%-14s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%22s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xList {
+		fmt.Fprintf(&b, "%-14.4g", x)
+		for _, s := range r.Series {
+			y, ok := lookupY(s, x)
+			if !ok {
+				fmt.Fprintf(&b, "%22s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%22.4f", y)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func lookupY(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// ---- database construction ----
+
+// splitEnv is a database prepared for split experiments: a source table
+// T(id, payload, grp, info) and a dummy table carrying the rest of the load.
+type splitEnv struct {
+	db *engine.DB
+	p  Params
+}
+
+func intCol(name string) catalog.Column {
+	return catalog.Column{Name: name, Type: value.KindInt, Nullable: true}
+}
+
+func newSplitEnv(p Params) (*splitEnv, error) {
+	db := engine.New(engine.Options{LockTimeout: p.LockTimeout})
+	tDef, err := catalog.NewTableDef("T", []catalog.Column{
+		{Name: "id", Type: value.KindInt},
+		intCol("payload"),
+		{Name: "grp", Type: value.KindInt},
+		intCol("info"),
+	}, []string{"id"})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.CreateTable(tDef); err != nil {
+		return nil, err
+	}
+	if err := fillTable(db, "T", p.TRows, func(i int64) value.Tuple {
+		grp := i % int64(p.SplitValues)
+		return value.Tuple{value.Int(i), value.Int(0), value.Int(grp), value.Int(grp * 10)}
+	}); err != nil {
+		return nil, err
+	}
+	if err := addDummy(db, p.TRows); err != nil {
+		return nil, err
+	}
+	return &splitEnv{db: db, p: p}, nil
+}
+
+func (e *splitEnv) transformation(cfg core.Config) (*core.Transformation, error) {
+	return core.NewSplit(e.db, core.SplitSpec{
+		Source: "T", Left: "T_base", Right: "T_grp",
+		SplitOn: []string{"grp"}, RightOnly: []string{"info"},
+	}, cfg)
+}
+
+func (e *splitEnv) targets(sourceFrac float64) []workload.Target {
+	return []workload.Target{
+		{Table: "T", Fallback: "T_base", Keys: int64(e.p.TRows), Col: "payload", Weight: sourceFrac},
+		{Table: "dummy", Keys: int64(e.p.TRows), Col: "payload", Weight: 1 - sourceFrac},
+	}
+}
+
+// joinEnv is a database prepared for FOJ experiments: R(id, payload, jv),
+// S(jv, info) and the dummy table.
+type joinEnv struct {
+	db *engine.DB
+	p  Params
+}
+
+func newJoinEnv(p Params) (*joinEnv, error) {
+	db := engine.New(engine.Options{LockTimeout: p.LockTimeout})
+	rDef, err := catalog.NewTableDef("R", []catalog.Column{
+		{Name: "id", Type: value.KindInt},
+		intCol("payload"),
+		{Name: "jv", Type: value.KindInt, Nullable: true},
+	}, []string{"id"})
+	if err != nil {
+		return nil, err
+	}
+	sDef, err := catalog.NewTableDef("S", []catalog.Column{
+		{Name: "jv", Type: value.KindInt},
+		intCol("info"),
+	}, []string{"jv"})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.CreateTable(rDef); err != nil {
+		return nil, err
+	}
+	if err := db.CreateTable(sDef); err != nil {
+		return nil, err
+	}
+	if err := fillTable(db, "R", p.RRows, func(i int64) value.Tuple {
+		return value.Tuple{value.Int(i), value.Int(0), value.Int(i % int64(p.SRows*2))}
+	}); err != nil {
+		return nil, err
+	}
+	// R's join values range over twice S's key space, so half of R's
+	// records have no join match (outer-join rows on both sides).
+	if err := fillTable(db, "S", p.SRows, func(i int64) value.Tuple {
+		return value.Tuple{value.Int(i), value.Int(0)}
+	}); err != nil {
+		return nil, err
+	}
+	if err := addDummy(db, p.RRows); err != nil {
+		return nil, err
+	}
+	return &joinEnv{db: db, p: p}, nil
+}
+
+func (e *joinEnv) transformation(cfg core.Config) (*core.Transformation, error) {
+	return core.NewFullOuterJoin(e.db, core.JoinSpec{
+		Target: "RS", Left: "R", Right: "S",
+		On: [][2]string{{"jv", "jv"}},
+	}, cfg)
+}
+
+func (e *joinEnv) targets(sourceFrac float64) []workload.Target {
+	// Split the source share between R and S by their sizes.
+	total := float64(e.p.RRows + e.p.SRows)
+	return []workload.Target{
+		{Table: "R", Keys: int64(e.p.RRows), Col: "payload", Weight: sourceFrac * float64(e.p.RRows) / total},
+		{Table: "S", Keys: int64(e.p.SRows), Col: "info", Weight: sourceFrac * float64(e.p.SRows) / total},
+		{Table: "dummy", Keys: int64(e.p.RRows), Col: "payload", Weight: 1 - sourceFrac},
+	}
+}
+
+func fillTable(db *engine.DB, name string, rows int, mk func(int64) value.Tuple) error {
+	tbl := db.Table(name)
+	if tbl == nil {
+		return fmt.Errorf("bench: no table %s", name)
+	}
+	// Bulk load outside the transaction layer: benchmark setup, not
+	// workload. LSN 0 marks pre-history rows.
+	for i := int64(0); i < int64(rows); i++ {
+		if err := tbl.Insert(mk(i), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func addDummy(db *engine.DB, rows int) error {
+	def, err := catalog.NewTableDef("dummy", []catalog.Column{
+		{Name: "id", Type: value.KindInt},
+		intCol("payload"),
+	}, []string{"id"})
+	if err != nil {
+		return err
+	}
+	if err := db.CreateTable(def); err != nil {
+		return err
+	}
+	return fillTable(db, "dummy", rows, func(i int64) value.Tuple {
+		return value.Tuple{value.Int(i), value.Int(0)}
+	})
+}
+
+// calibrate determines the 100% workload client count on a baseline
+// environment (no transformation running).
+func calibrate(p Params, db *engine.DB, targets []workload.Target) (int, error) {
+	if p.Calibrated > 0 {
+		return p.Calibrated, nil
+	}
+	return workload.Calibrate(workload.Config{
+		DB: db, Targets: targets, Seed: p.Seed, Think: p.Think,
+	}, p.MaxClients, p.BaselineDur/2)
+}

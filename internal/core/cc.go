@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+// ccSourceIndex is the index created on the source table's split attributes
+// so the consistency checker can find all records contributing to one S
+// record without scanning T.
+const ccSourceIndex = "_split_cc"
+
+// ErrInconsistentData reports that the source table contains functional-
+// dependency violations (like Example 1's two cities for one postal code)
+// that the consistency checker could not resolve, so the split cannot
+// synchronize. Fix the data and run the transformation again.
+var ErrInconsistentData = errors.New("core: split source data is inconsistent on the split attributes")
+
+// ccState implements the §5.3 consistency checker for split transformations:
+// S records carry a Consistent/Unknown flag; a background checker picks an
+// Unknown record, brackets a fuzzy read of its contributing T records
+// between "Begin CC" and "CC ok" log records, and the propagator installs
+// the verified image only if nothing touched the record in between.
+//
+// All methods are safe on a nil receiver so the split rules can call them
+// unconditionally.
+type ccState struct {
+	op *splitOp
+
+	mu       sync.Mutex
+	unknown  map[string]value.Tuple // encoded split key → key (U-flagged)
+	pending  map[string]wal.LSN     // CC round awaiting its CC-ok record
+	inFlight bool                   // one outstanding round at a time
+	rounds   int64
+	repairs  int64
+	stuck    int64 // rounds that found genuine disagreement
+}
+
+func newCCState(op *splitOp) *ccState {
+	return &ccState{
+		op:      op,
+		unknown: make(map[string]value.Tuple),
+		pending: make(map[string]wal.LSN),
+	}
+}
+
+// markUnknown records that s^key has unknown consistency (flag U).
+func (cc *ccState) markUnknown(key value.Tuple) {
+	if cc == nil {
+		return
+	}
+	cc.mu.Lock()
+	cc.unknown[key.Encode()] = key.Clone()
+	cc.mu.Unlock()
+}
+
+// forget drops all bookkeeping for s^key (record deleted or proven
+// consistent).
+func (cc *ccState) forget(key value.Tuple) {
+	if cc == nil {
+		return
+	}
+	cc.mu.Lock()
+	delete(cc.unknown, key.Encode())
+	delete(cc.pending, key.Encode())
+	cc.mu.Unlock()
+}
+
+// invalidate cancels any in-flight verification of s^key: the record was
+// changed between the two CC log records.
+func (cc *ccState) invalidate(key value.Tuple) {
+	if cc == nil {
+		return
+	}
+	cc.mu.Lock()
+	delete(cc.pending, key.Encode())
+	cc.mu.Unlock()
+}
+
+// clean reports whether every S record is known consistent — the §5.3
+// precondition for starting synchronization.
+func (cc *ccState) clean() bool {
+	if cc == nil {
+		return true
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.unknown) == 0
+}
+
+// stats returns (rounds, repairs) so far.
+func (cc *ccState) stats() (int64, int64) {
+	if cc == nil {
+		return 0, 0
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.rounds, cc.repairs
+}
+
+// tick runs one checker round: pick an Unknown record, log "Begin CC on v",
+// fuzzily read the contributing T records, and log "CC: v is ok" with the
+// correct image if they agree.
+func (cc *ccState) tick() error {
+	if cc == nil {
+		return nil
+	}
+	cc.mu.Lock()
+	if cc.inFlight || len(cc.unknown) == 0 {
+		cc.mu.Unlock()
+		return nil
+	}
+	var key value.Tuple
+	for _, k := range cc.unknown {
+		key = k
+		break
+	}
+	cc.inFlight = true
+	cc.rounds++
+	cc.mu.Unlock()
+
+	op := cc.op
+	op.db.Log().Append(&wal.Record{
+		Type:  wal.TypeCCBegin,
+		Table: op.spec.Right,
+		Key:   key.Clone(),
+	})
+
+	// Fuzzy read (no transactional locks) of every T record contributing
+	// to s^key.
+	src := op.db.Table(op.spec.Source)
+	rows, _, err := src.LookupIndex(ccSourceIndex, key)
+	if err != nil {
+		cc.mu.Lock()
+		cc.inFlight = false
+		cc.mu.Unlock()
+		return err
+	}
+	var image value.Tuple
+	agree := true
+	for _, t := range rows {
+		p := op.sPayload(t)
+		if image == nil {
+			image = p
+			continue
+		}
+		if !image.Equal(p) {
+			agree = false
+			break
+		}
+	}
+	cc.mu.Lock()
+	cc.inFlight = false
+	if !agree || image == nil {
+		// Genuine disagreement (or no contributors left): the record stays
+		// Unknown; a later user update may repair it.
+		if !agree {
+			cc.stuck++
+		}
+		cc.mu.Unlock()
+		return nil
+	}
+	cc.mu.Unlock()
+
+	op.db.Log().Append(&wal.Record{
+		Type:  wal.TypeCCOK,
+		Table: op.spec.Right,
+		Key:   key.Clone(),
+		Row:   image,
+	})
+	return nil
+}
+
+// handle processes a CC log record reached by the propagator.
+func (cc *ccState) handle(rec *wal.Record) error {
+	if cc == nil {
+		return nil
+	}
+	enc := rec.Key.Encode()
+	switch rec.Type {
+	case wal.TypeCCBegin:
+		cc.mu.Lock()
+		cc.pending[enc] = rec.LSN
+		cc.mu.Unlock()
+		return nil
+	case wal.TypeCCOK:
+		cc.mu.Lock()
+		_, valid := cc.pending[enc]
+		delete(cc.pending, enc)
+		cc.mu.Unlock()
+		if !valid {
+			return nil // something touched s^v between the marks: discard
+		}
+		return cc.install(rec.Key, rec.Row)
+	}
+	return nil
+}
+
+// install writes a verified image into s^v and flags it Consistent. The
+// counter is preserved — the image only fixes the payload.
+func (cc *ccState) install(key value.Tuple, image value.Tuple) error {
+	op := cc.op
+	_, curLSN, err := op.sTbl.Get(key)
+	if err != nil {
+		return nil // deleted meanwhile
+	}
+	// Overwrite the moved columns (the split attributes are the key and by
+	// definition agree) and set the flag.
+	nSplit := len(op.splitT)
+	cols := make([]int, 0, len(op.sFromT)-nSplit+1)
+	vals := make(value.Tuple, 0, cap(cols))
+	for i := nSplit; i < len(op.sFromT); i++ {
+		cols = append(cols, i)
+		vals = append(vals, image[i])
+	}
+	cols = append(cols, op.flagPos)
+	vals = append(vals, value.Bool(true))
+	if _, err := op.sTbl.Update(key, cols, vals, curLSN); err != nil {
+		return err
+	}
+	cc.mu.Lock()
+	delete(cc.unknown, key.Encode())
+	cc.repairs++
+	cc.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nbschema/internal/engine"
+	"nbschema/internal/value"
+)
+
+// chaos runs random transactions against the join sources until stop is
+// closed. Roughly: inserts, deletes, join-attribute moves, payload updates,
+// and deliberate aborts.
+func chaosJoinWorkload(t *testing.T, db *engine.DB, seed int64, pace time.Duration, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		// Closed-loop client with think time: without it a handful of
+		// clients out-generate the single propagator and the transformation
+		// can never synchronize (the §3.3 starvation case, which the stall
+		// tests trigger deliberately with pace 0).
+		if pace > 0 {
+			time.Sleep(pace + time.Duration(rng.Intn(int(pace))))
+		}
+		tx := db.Begin()
+		var err error
+		nOps := 1 + rng.Intn(4)
+		for i := 0; i < nOps && err == nil; i++ {
+			switch rng.Intn(10) {
+			case 0, 1: // insert R
+				err = tx.Insert("R", rRow(rng.Int63n(400), randName(rng), rng.Int63n(40)))
+			case 2: // insert S
+				err = tx.Insert("S", sRowV(rng.Int63n(40), randName(rng)))
+			case 3: // delete R
+				err = tx.Delete("R", value.Tuple{value.Int(rng.Int63n(400))})
+			case 4: // delete S
+				err = tx.Delete("S", value.Tuple{value.Int(rng.Int63n(40))})
+			case 5, 6: // move R join attribute
+				err = tx.Update("R", value.Tuple{value.Int(rng.Int63n(400))},
+					[]string{"c"}, value.Tuple{value.Int(rng.Int63n(40))})
+			case 7: // move S join attribute (re-keys S)
+				err = tx.Update("S", value.Tuple{value.Int(rng.Int63n(40))},
+					[]string{"c"}, value.Tuple{value.Int(rng.Int63n(40))})
+			case 8: // plain R update
+				err = tx.Update("R", value.Tuple{value.Int(rng.Int63n(400))},
+					[]string{"b"}, value.Tuple{value.Str(randName(rng))})
+			case 9: // plain S update
+				err = tx.Update("S", value.Tuple{value.Int(rng.Int63n(40))},
+					[]string{"d"}, value.Tuple{value.Str(randName(rng))})
+			}
+		}
+		// Missing records, duplicates, doomed transactions and lock
+		// conflicts are all expected here; roll back and move on.
+		if err != nil || rng.Intn(8) == 0 {
+			if aerr := tx.Abort(); aerr != nil && !errors.Is(aerr, engine.ErrTxnDone) {
+				t.Errorf("abort: %v", aerr)
+				return
+			}
+			continue
+		}
+		if cerr := tx.Commit(); cerr != nil {
+			if errors.Is(cerr, engine.ErrTxnDoomed) {
+				if aerr := tx.Abort(); aerr != nil && !errors.Is(aerr, engine.ErrTxnDone) {
+					t.Errorf("abort doomed: %v", aerr)
+					return
+				}
+				continue
+			}
+			if !errors.Is(cerr, engine.ErrTxnDone) {
+				t.Errorf("commit: %v", cerr)
+				return
+			}
+		}
+	}
+}
+
+var names = []string{"oslo", "bergen", "molde", "tromso", "trondheim", "bodo", "alta"}
+
+func randName(rng *rand.Rand) string { return names[rng.Intn(len(names))] }
+
+// TestConvergenceUnderConcurrentLoad is the central correctness property of
+// the paper: a transformation running concurrently with arbitrary update
+// traffic converges so that, at completion, T = FOJ(R, S) exactly.
+func TestConvergenceUnderConcurrentLoad(t *testing.T) {
+	for _, strategy := range []SyncStrategy{NonBlockingAbort, NonBlockingCommit, BlockingCommit} {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			db := newJoinDB(t)
+			mustExec(t, db, func(tx *engine.Txn) error {
+				for i := int64(0); i < 150; i++ {
+					if err := tx.Insert("R", rRow(i, "init", i%30)); err != nil {
+						return err
+					}
+				}
+				for i := int64(0); i < 30; i += 2 {
+					if err := tx.Insert("S", sRowV(i, "city")); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+
+			tr, op := newJoinOp(t, db, Config{
+				Strategy:      strategy,
+				KeepSources:   true,
+				Priority:      0.9,
+				Analyzer:      CountAnalyzer(16),
+				MaxIterations: 500, // safety: sync even if the tail stays long
+			})
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go chaosJoinWorkload(t, db, int64(w)+int64(strategy)*100, 150*time.Microsecond, stop, &wg)
+			}
+			// Let the workload churn before and during the transformation.
+			time.Sleep(30 * time.Millisecond)
+			err := tr.Run(context.Background())
+			close(stop)
+			wg.Wait()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+
+			// Quiesce: any surviving old transactions are gone (Run waited);
+			// now the final states must agree exactly.
+			assertConverged(t, op)
+			if tr.Shadow().LockedKeys() != 0 {
+				t.Errorf("shadow locks leaked: %d", tr.Shadow().LockedKeys())
+			}
+		})
+	}
+}
+
+// TestConvergenceLowPriority exercises the throttled background path.
+func TestConvergenceLowPriority(t *testing.T) {
+	db := newJoinDB(t)
+	seedJoin(t, db)
+	tr, op := newJoinOp(t, db, Config{
+		Priority:      0.3,
+		BatchSize:     8,
+		KeepSources:   true,
+		MaxIterations: 500,
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go chaosJoinWorkload(t, db, 7, 150*time.Microsecond, stop, &wg)
+	err := tr.Run(context.Background())
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertConverged(t, op)
+}
+
+// TestStallAbort forces a propagation stall and checks the configured
+// policy fires.
+func TestStallAbort(t *testing.T) {
+	db := newJoinDB(t)
+	seedJoin(t, db)
+	tr, _ := newJoinOp(t, db, Config{
+		Priority:        0.02, // almost no propagation budget
+		Strategy:        NonBlockingAbort,
+		Analyzer:        CountAnalyzer(0), // effectively never satisfied under load
+		StallPolicy:     StallAbort,
+		StallIterations: 2,
+		StallTimeout:    200 * time.Millisecond,
+		BatchSize:       4,
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go chaosJoinWorkload(t, db, int64(w), 0, stop, &wg)
+	}
+	err := tr.Run(context.Background())
+	close(stop)
+	wg.Wait()
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if _, cerr := db.Catalog().Get("T"); cerr == nil {
+		t.Error("target should be dropped after stall abort")
+	}
+}
+
+// TestStallBoostRecovers verifies the boost policy raises priority until the
+// propagator catches up.
+func TestStallBoostRecovers(t *testing.T) {
+	db := newJoinDB(t)
+	// A big enough base that the initial backlog cannot drain within the
+	// stall timeout at 2%% priority.
+	mustExec(t, db, func(tx *engine.Txn) error {
+		for i := int64(0); i < 2000; i++ {
+			if err := tx.Insert("R", rRow(i, "init", i%40)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	tr, op := newJoinOp(t, db, Config{
+		Priority:        0.01,
+		Strategy:        NonBlockingAbort,
+		StallPolicy:     StallBoost,
+		StallIterations: 1,
+		StallTimeout:    10 * time.Millisecond,
+		BatchSize:       4,
+		KeepSources:     true,
+		MaxIterations:   2000,
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go chaosJoinWorkload(t, db, 3, 100*time.Microsecond, stop, &wg)
+	done := make(chan error, 1)
+	go func() { done <- tr.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		close(stop)
+		t.Fatal("boost policy did not let the transformation finish")
+	}
+	if tr.Priority() <= 0.01 {
+		t.Errorf("priority never boosted: %v", tr.Priority())
+	}
+	assertConverged(t, op)
+}

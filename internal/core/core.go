@@ -1,0 +1,530 @@
+// Package core implements the paper's contribution: non-blocking full outer
+// join and split schema transformations, driven by a four-step framework
+// (Section 3):
+//
+//  1. Preparation — create the hidden target tables and their indexes.
+//  2. Initial population — write a fuzzy mark, read the source tables
+//     fuzzily (no transactional locks), apply the operator, insert the
+//     initial image.
+//  3. Log propagation — redo the log onto the targets with idempotent,
+//     operator-specific rules, in cycles bounded by fuzzy marks, at a
+//     configurable low priority, until an analysis step decides the targets
+//     are close enough to synchronize.
+//  4. Synchronization — blocking commit, non-blocking abort, or
+//     non-blocking commit (Section 3.4), with transferred-lock enforcement
+//     per the Fig. 2 compatibility matrix.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbschema/internal/engine"
+	"nbschema/internal/lock"
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+// Phase is the lifecycle phase of a transformation.
+type Phase int32
+
+const (
+	// PhaseIdle means Run has not been called.
+	PhaseIdle Phase = iota
+	// PhasePreparing covers target-table and index creation (§3.1).
+	PhasePreparing
+	// PhasePopulating covers the fuzzy read and initial image insert (§3.2).
+	PhasePopulating
+	// PhasePropagating covers the log-propagation cycles (§3.3).
+	PhasePropagating
+	// PhaseSynchronizing covers the final latched propagation (§3.4).
+	PhaseSynchronizing
+	// PhaseDraining covers post-switchover background propagation while old
+	// transactions finish or roll back (non-blocking strategies).
+	PhaseDraining
+	// PhaseDone means the transformation committed and sources are dropped.
+	PhaseDone
+	// PhaseAborted means the transformation was abandoned and its target
+	// tables deleted.
+	PhaseAborted
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhasePreparing:
+		return "preparing"
+	case PhasePopulating:
+		return "populating"
+	case PhasePropagating:
+		return "propagating"
+	case PhaseSynchronizing:
+		return "synchronizing"
+	case PhaseDraining:
+		return "draining"
+	case PhaseDone:
+		return "done"
+	case PhaseAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("phase(%d)", int32(p))
+	}
+}
+
+// SyncStrategy selects how synchronization completes the transformation.
+type SyncStrategy int
+
+const (
+	// NonBlockingAbort latches the sources for one brief final propagation
+	// and then forces transactions that were active on the source tables to
+	// abort. Nonconflicting new transactions proceed immediately. This is
+	// the strategy the paper's experiments use (sync < 1 ms).
+	NonBlockingAbort SyncStrategy = iota
+	// NonBlockingCommit latches the sources briefly and then lets old
+	// transactions keep running against the source tables, with locks
+	// mirrored between old and new tables until they finish.
+	NonBlockingCommit
+	// BlockingCommit blocks new transactions from the involved tables,
+	// drains transactions holding locks on them, and then performs the
+	// final propagation. Violates the non-blocking requirement; included as
+	// the paper's baseline.
+	BlockingCommit
+)
+
+// String returns the strategy name.
+func (s SyncStrategy) String() string {
+	switch s {
+	case NonBlockingAbort:
+		return "non-blocking-abort"
+	case NonBlockingCommit:
+		return "non-blocking-commit"
+	case BlockingCommit:
+		return "blocking-commit"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// StallPolicy decides what to do when log propagation cannot keep up with
+// log generation ("If more log records are produced than the propagator is
+// able to process, the synchronization is never started. If this is the
+// case, the transformation should either be aborted or get higher
+// priority.", §3.3).
+type StallPolicy int
+
+const (
+	// StallBoost doubles the transformation priority on each detected stall.
+	StallBoost StallPolicy = iota
+	// StallAbort abandons the transformation on a detected stall.
+	StallAbort
+)
+
+// Analysis summarizes one completed propagation iteration for the analyzer.
+type Analysis struct {
+	// Remaining is the number of log records generated during the iteration
+	// that are still unpropagated.
+	Remaining int
+	// Applied is the number of log records processed in the iteration.
+	Applied int
+	// Duration is the wall-clock time of the iteration.
+	Duration time.Duration
+	// Iteration is the 1-based iteration number.
+	Iteration int
+}
+
+// Analyzer decides, after each propagation iteration, whether to start
+// synchronization (§3.3 suggests count-, time- and estimate-based policies).
+type Analyzer func(Analysis) bool
+
+// CountAnalyzer synchronizes when at most threshold log records remain.
+func CountAnalyzer(threshold int) Analyzer {
+	return func(a Analysis) bool { return a.Remaining <= threshold }
+}
+
+// TimeAnalyzer synchronizes when the last iteration completed within limit —
+// the next (latched) iteration is then expected to be at most that long.
+func TimeAnalyzer(limit time.Duration) Analyzer {
+	return func(a Analysis) bool { return a.Duration <= limit }
+}
+
+// EstimateAnalyzer synchronizes when the estimated time to propagate the
+// remaining records (at the last iteration's observed rate) is below limit.
+func EstimateAnalyzer(limit time.Duration) Analyzer {
+	return func(a Analysis) bool {
+		if a.Applied == 0 || a.Duration == 0 {
+			return a.Remaining == 0
+		}
+		perRecord := a.Duration / time.Duration(a.Applied)
+		return time.Duration(a.Remaining)*perRecord <= limit
+	}
+}
+
+// Config tunes a transformation. The zero value is usable: full priority,
+// count-based analysis with a small threshold, non-blocking abort.
+type Config struct {
+	// Priority is the fraction of wall-clock time the background
+	// transformation may consume, in (0, 1]. 0 selects 1.0. Lower values
+	// interfere less with user transactions but lengthen the
+	// transformation (Fig. 4d).
+	Priority float64
+	// Strategy selects the synchronization strategy.
+	Strategy SyncStrategy
+	// Analyzer decides when to stop iterating and synchronize. Nil selects
+	// CountAnalyzer(64).
+	Analyzer Analyzer
+	// MaxIterations bounds propagation cycles (0 = unlimited).
+	MaxIterations int
+	// StallPolicy selects the reaction to a propagation stall.
+	StallPolicy StallPolicy
+	// StallIterations is how many consecutive non-shrinking iterations
+	// count as a stall (0 selects 8).
+	StallIterations int
+	// StallTimeout bounds a single propagation iteration: when exceeded the
+	// stall policy fires immediately, mid-iteration (a starved iteration
+	// may otherwise never reach the between-iterations analysis). 0
+	// disables the in-iteration check.
+	StallTimeout time.Duration
+	// BatchSize is the number of log records (or initial-image rows)
+	// processed per priority-throttle slice (0 selects 64).
+	BatchSize int
+	// FuzzyChunk is the chunk size of fuzzy scans (0 selects 256).
+	FuzzyChunk int
+	// CheckConsistency enables §5.3 handling for split transformations:
+	// C/U flags and the background consistency checker. Ignored by FOJ.
+	CheckConsistency bool
+	// KeepSources leaves the source tables in place (dropping state)
+	// instead of deleting them after the drain completes. Useful for
+	// verification and tests.
+	KeepSources bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Priority <= 0 || c.Priority > 1 {
+		c.Priority = 1
+	}
+	if c.Analyzer == nil {
+		c.Analyzer = CountAnalyzer(64)
+	}
+	if c.StallIterations <= 0 {
+		c.StallIterations = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.FuzzyChunk <= 0 {
+		c.FuzzyChunk = 256
+	}
+	return c
+}
+
+// Metrics reports what a transformation did. Durations are wall clock.
+type Metrics struct {
+	PopulationDuration  time.Duration
+	PropagationDuration time.Duration
+	// SyncLatchDuration is the time the source tables were held under
+	// exclusive latches during the final propagation — the only window in
+	// which user transactions pause (the paper reports < 1 ms).
+	SyncLatchDuration time.Duration
+	DrainDuration     time.Duration
+	TotalDuration     time.Duration
+	Iterations        int
+	RecordsApplied    int64
+	InitialImageRows  int64
+	DoomedTxns        int
+	CCRounds          int64
+	CCRepairs         int64
+}
+
+// Transformation errors.
+var (
+	// ErrStalled reports that propagation could not keep up with log
+	// generation and StallAbort was configured.
+	ErrStalled = errors.New("core: propagation stalled behind log generation")
+	// ErrAborted reports the transformation was cancelled.
+	ErrAborted = errors.New("core: transformation aborted")
+)
+
+// operator is the transformation-specific half of the framework: FOJ and
+// split implement it.
+type operator interface {
+	// Prepare creates the hidden target tables and their indexes.
+	Prepare() error
+	// Populate fuzzily reads the sources and inserts the initial image,
+	// pacing itself through tick.
+	Populate(tick func(int)) (rows int64, err error)
+	// Sources are the tables whose log records drive propagation.
+	Sources() []string
+	// Targets are the created tables, published at synchronization.
+	Targets() []string
+	// Apply redoes one operation log record onto the targets.
+	Apply(rec *wal.Record) error
+	// MirrorKeys maps a locked source record to the target records its
+	// locks transfer to, as (table, encoded key) pairs.
+	MirrorKeys(table string, key value.Tuple) []TargetKey
+	// MaintenanceTick lets the operator run background work between
+	// batches (the split consistency checker).
+	MaintenanceTick() error
+	// ReadyToSync reports whether the operator allows synchronization to
+	// start (the split checker requires all S records consistent, §5.3).
+	ReadyToSync() bool
+	// CCStats returns consistency-checker rounds and repairs (0, 0 when
+	// not applicable).
+	CCStats() (rounds, repairs int64)
+	// Cleanup drops the target tables (transformation abort).
+	Cleanup() error
+}
+
+// TargetKey names one target-table record.
+type TargetKey struct {
+	Table string
+	Key   string // encoded primary key
+}
+
+// Transformation drives one schema transformation end to end.
+type Transformation struct {
+	db     *engine.DB
+	op     operator
+	cfg    Config
+	shadow *lock.ShadowTable
+
+	phase        atomic.Int32
+	priority     atomic.Uint64 // math.Float64bits
+	cancel       atomic.Bool
+	latchTargets atomic.Bool // post-switchover: serialize rule application
+
+	mu      sync.Mutex
+	metrics Metrics
+	cursor  wal.LSN // next log record to propagate
+	// ccPending tracks consistency-checker rounds in flight: checked key →
+	// LSN of the CC-begin record; invalidated when the key is touched.
+	ccPending map[string]wal.LSN
+}
+
+func newTransformation(db *engine.DB, cfg Config) *Transformation {
+	tr := &Transformation{
+		db:        db,
+		cfg:       cfg.withDefaults(),
+		shadow:    lock.NewShadowTable(),
+		ccPending: make(map[string]wal.LSN),
+	}
+	tr.setPriority(tr.cfg.Priority)
+	return tr
+}
+
+// Phase returns the current lifecycle phase.
+func (tr *Transformation) Phase() Phase { return Phase(tr.phase.Load()) }
+
+func (tr *Transformation) setPhase(p Phase) { tr.phase.Store(int32(p)) }
+
+// Priority returns the current propagation priority in (0, 1].
+func (tr *Transformation) Priority() float64 {
+	return float64frombits(tr.priority.Load())
+}
+
+// SetPriority adjusts the propagation priority while running.
+func (tr *Transformation) SetPriority(p float64) {
+	if p <= 0 || p > 1 {
+		p = 1
+	}
+	tr.setPriority(p)
+}
+
+func (tr *Transformation) setPriority(p float64) {
+	tr.priority.Store(float64bits(p))
+}
+
+// Abort requests cancellation: propagation stops and the target tables are
+// deleted ("Aborting the transformation simply means that log propagation is
+// stopped, and that the transformed tables are deleted.", §6).
+func (tr *Transformation) Abort() { tr.cancel.Store(true) }
+
+// Metrics returns a copy of the metrics collected so far.
+func (tr *Transformation) Metrics() Metrics {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.metrics
+}
+
+// Shadow exposes the transferred-lock table (tests, introspection).
+func (tr *Transformation) Shadow() *lock.ShadowTable { return tr.shadow }
+
+// Remaining returns the number of unpropagated log records right now.
+func (tr *Transformation) Remaining() int {
+	tr.mu.Lock()
+	cursor := tr.cursor
+	tr.mu.Unlock()
+	end := tr.db.Log().End()
+	if cursor == 0 || cursor > end {
+		return 0
+	}
+	return int(end - cursor + 1)
+}
+
+// Run executes the transformation end to end. On error the target tables
+// are dropped and the database is left untouched.
+func (tr *Transformation) Run(ctx context.Context) error {
+	start := time.Now()
+	defer func() {
+		rounds, repairs := tr.op.CCStats()
+		tr.mu.Lock()
+		tr.metrics.TotalDuration = time.Since(start)
+		tr.metrics.CCRounds = rounds
+		tr.metrics.CCRepairs = repairs
+		tr.mu.Unlock()
+	}()
+
+	if err := tr.run(ctx); err != nil {
+		tr.setPhase(PhaseAborted)
+		tr.db.ClearHooks()
+		tr.shadow.SetEnforce(false)
+		if cerr := tr.op.Cleanup(); cerr != nil {
+			return errors.Join(err, cerr)
+		}
+		return err
+	}
+	tr.setPhase(PhaseDone)
+	return nil
+}
+
+func (tr *Transformation) run(ctx context.Context) error {
+	// Step 1: preparation.
+	tr.setPhase(PhasePreparing)
+	if err := tr.op.Prepare(); err != nil {
+		return fmt.Errorf("core: prepare: %w", err)
+	}
+	tr.installHooks()
+
+	// Step 2: initial population.
+	tr.setPhase(PhasePopulating)
+	popStart := time.Now()
+	if err := tr.populate(ctx); err != nil {
+		return fmt.Errorf("core: populate: %w", err)
+	}
+	tr.mu.Lock()
+	tr.metrics.PopulationDuration = time.Since(popStart)
+	tr.mu.Unlock()
+
+	// Step 3: log propagation.
+	tr.setPhase(PhasePropagating)
+	propStart := time.Now()
+	if err := tr.propagateLoop(ctx); err != nil {
+		return fmt.Errorf("core: propagate: %w", err)
+	}
+	tr.mu.Lock()
+	tr.metrics.PropagationDuration = time.Since(propStart)
+	tr.mu.Unlock()
+
+	// Step 4: synchronization (+ drain for the non-blocking strategies).
+	tr.setPhase(PhaseSynchronizing)
+	if err := tr.synchronize(ctx); err != nil {
+		return fmt.Errorf("core: synchronize: %w", err)
+	}
+	tr.db.ClearHooks()
+	tr.shadow.SetEnforce(false)
+	return nil
+}
+
+// populate writes the begin fuzzy mark, computes the propagation start
+// position from the active-transaction table, and builds the initial image.
+func (tr *Transformation) populate(ctx context.Context) error {
+	active := tr.db.ActiveTxns()
+	mark := tr.db.Log().Append(&wal.Record{Type: wal.TypeFuzzyMark, Active: active})
+	start := mark
+	for _, a := range active {
+		if a.First < start {
+			start = a.First
+		}
+	}
+	tr.mu.Lock()
+	tr.cursor = start
+	tr.mu.Unlock()
+
+	th := newThrottler(tr)
+	rows, err := tr.op.Populate(func(n int) { th.tick(n) })
+	if err != nil {
+		return err
+	}
+	tr.mu.Lock()
+	tr.metrics.InitialImageRows = rows
+	tr.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return errors.Join(ErrAborted, err)
+	}
+	if tr.cancel.Load() {
+		return ErrAborted
+	}
+	return nil
+}
+
+// installHooks wires transferred-lock enforcement and lock mirroring into
+// the engine.
+func (tr *Transformation) installHooks() {
+	targets := make(map[string]bool)
+	for _, t := range tr.op.Targets() {
+		targets[t] = true
+	}
+	sources := make(map[string]bool)
+	for _, s := range tr.op.Sources() {
+		sources[s] = true
+	}
+	tr.db.SetHooks(engine.Hooks{
+		CheckLock: func(txn wal.TxnID, table string, key value.Tuple, mode lock.Mode) error {
+			if !tr.shadow.Enforcing() {
+				return nil
+			}
+			switch {
+			case targets[table]:
+				// Direct access to a transformed table: check against
+				// transferred locks under the Fig. 2 matrix.
+				return tr.shadow.Check(txn, nsKey(table, key.Encode()), lock.OriginT, mode)
+			case sources[table] && tr.cfg.Strategy == NonBlockingCommit:
+				// Old transaction working on a source table after
+				// synchronization: acquire the corresponding locks in the
+				// transformed tables too ("all locks on source tables have
+				// to be acquired on the corresponding records in the
+				// transformed tables", §3.4).
+				origin := tr.originOf(table)
+				for _, tk := range tr.op.MirrorKeys(table, key) {
+					for holder, hm := range tr.db.Locks().Holders(tk.Table, tk.Key) {
+						if holder == txn {
+							continue
+						}
+						if !lock.TransferCompatible(lock.OriginT, hm, origin, mode) {
+							return fmt.Errorf("%w: direct lock by txn %d on %s",
+								lock.ErrShadowConflict, holder, tk.Table)
+						}
+					}
+					if err := tr.shadow.Check(txn, nsKey(tk.Table, tk.Key), origin, mode); err != nil {
+						return err
+					}
+					tr.shadow.Place(txn, nsKey(tk.Table, tk.Key), origin, mode)
+				}
+			}
+			return nil
+		},
+	})
+}
+
+// originOf maps a source table to its transferred-lock origin: the first
+// source is R, any other is S.
+func (tr *Transformation) originOf(table string) lock.Origin {
+	srcs := tr.op.Sources()
+	if len(srcs) > 0 && srcs[0] == table {
+		return lock.OriginR
+	}
+	return lock.OriginS
+}
+
+// nsKey namespaces a target-record key by its table for the shadow table.
+func nsKey(table, keyEnc string) string { return table + "\x00" + keyEnc }
+
+func float64bits(f float64) uint64 { return math.Float64bits(f) }
+
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

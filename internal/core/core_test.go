@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"nbschema/internal/engine"
+)
+
+func TestPhaseStrings(t *testing.T) {
+	cases := map[Phase]string{
+		PhaseIdle:          "idle",
+		PhasePreparing:     "preparing",
+		PhasePopulating:    "populating",
+		PhasePropagating:   "propagating",
+		PhaseSynchronizing: "synchronizing",
+		PhaseDraining:      "draining",
+		PhaseDone:          "done",
+		PhaseAborted:       "aborted",
+		Phase(42):          "phase(42)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	cases := map[SyncStrategy]string{
+		NonBlockingAbort:  "non-blocking-abort",
+		NonBlockingCommit: "non-blocking-commit",
+		BlockingCommit:    "blocking-commit",
+		SyncStrategy(9):   "strategy(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Strategy.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Priority != 1 || c.BatchSize <= 0 || c.FuzzyChunk <= 0 || c.StallIterations <= 0 {
+		t.Errorf("defaults not filled: %+v", c)
+	}
+	if c.Analyzer == nil {
+		t.Fatal("default analyzer missing")
+	}
+	// Out-of-range priority normalizes.
+	if p := (Config{Priority: 3}).withDefaults().Priority; p != 1 {
+		t.Errorf("priority 3 normalized to %v", p)
+	}
+	if p := (Config{Priority: -1}).withDefaults().Priority; p != 1 {
+		t.Errorf("priority -1 normalized to %v", p)
+	}
+}
+
+func TestAnalyzers(t *testing.T) {
+	count := CountAnalyzer(10)
+	if !count(Analysis{Remaining: 10}) || count(Analysis{Remaining: 11}) {
+		t.Error("CountAnalyzer threshold wrong")
+	}
+
+	tm := TimeAnalyzer(100 * time.Millisecond)
+	if !tm(Analysis{Duration: 50 * time.Millisecond}) || tm(Analysis{Duration: 150 * time.Millisecond}) {
+		t.Error("TimeAnalyzer limit wrong")
+	}
+
+	est := EstimateAnalyzer(100 * time.Millisecond)
+	// 1000 records at 50µs each = 50ms remaining: sync.
+	if !est(Analysis{Remaining: 1000, Applied: 2000, Duration: 100 * time.Millisecond}) {
+		t.Error("estimate below limit should sync")
+	}
+	// 10000 records at 50µs = 500ms: keep iterating.
+	if est(Analysis{Remaining: 10000, Applied: 2000, Duration: 100 * time.Millisecond}) {
+		t.Error("estimate above limit should not sync")
+	}
+	// Degenerate iteration: only sync when nothing remains.
+	if !est(Analysis{Remaining: 0}) || est(Analysis{Remaining: 5}) {
+		t.Error("degenerate estimate wrong")
+	}
+}
+
+func TestTransformationAccessors(t *testing.T) {
+	db := newJoinDB(t)
+	seedJoin(t, db)
+	tr, _ := newJoinOp(t, db, Config{Priority: 0.5})
+	if tr.Phase() != PhaseIdle {
+		t.Errorf("initial phase = %v", tr.Phase())
+	}
+	if tr.Priority() != 0.5 {
+		t.Errorf("priority = %v", tr.Priority())
+	}
+	tr.SetPriority(0.25)
+	if tr.Priority() != 0.25 {
+		t.Errorf("after SetPriority = %v", tr.Priority())
+	}
+	tr.SetPriority(99) // out of range normalizes to full speed
+	if tr.Priority() != 1 {
+		t.Errorf("out-of-range priority = %v", tr.Priority())
+	}
+	if tr.Remaining() != 0 {
+		t.Errorf("Remaining before start = %d", tr.Remaining())
+	}
+	if tr.Shadow() == nil {
+		t.Error("Shadow must not be nil")
+	}
+	m := tr.Metrics()
+	if m.RecordsApplied != 0 || m.Iterations != 0 {
+		t.Errorf("fresh metrics = %+v", m)
+	}
+}
+
+func TestRemainingTracksCursor(t *testing.T) {
+	db := newJoinDB(t)
+	seedJoin(t, db)
+	tr, _ := prepared(t, db, Config{})
+	before := tr.Remaining() // log tail past the fuzzy mark
+	mustExec(t, db, func(tx *engine.Txn) error {
+		return tx.Insert("R", rRow(99, "x", 1))
+	})
+	if tr.Remaining() <= before {
+		t.Errorf("Remaining did not grow: %d -> %d", before, tr.Remaining())
+	}
+	propagateAll(t, tr)
+	if tr.Remaining() != 0 {
+		t.Errorf("Remaining after full propagation = %d", tr.Remaining())
+	}
+}
+
+func TestNsKeyIsInjective(t *testing.T) {
+	if nsKey("a", "b|c") == nsKey("a|b", "c") {
+		t.Error("nsKey must separate table and key unambiguously")
+	}
+}

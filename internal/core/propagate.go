@@ -1,0 +1,277 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"nbschema/internal/lock"
+	"nbschema/internal/wal"
+)
+
+// throttler implements the transformation's priority as a duty cycle: after
+// each slice of work taking w wall-clock time at priority p, it sleeps
+// w·(1−p)/p, so the transformation consumes at most fraction p of one core.
+// Figure 4(d) sweeps exactly this knob.
+type throttler struct {
+	tr       *Transformation
+	sliceAt  time.Time
+	workDone time.Duration
+	pending  int
+	deadline time.Time // in-iteration stall deadline (zero = none)
+}
+
+func newThrottler(tr *Transformation) *throttler {
+	return &throttler{tr: tr, sliceAt: time.Now()}
+}
+
+// armDeadline sets the in-iteration stall deadline from the config.
+func (th *throttler) armDeadline() {
+	if th.tr.cfg.StallTimeout > 0 {
+		th.deadline = time.Now().Add(th.tr.cfg.StallTimeout)
+	}
+}
+
+// checkDeadline fires the stall policy when the iteration overruns: abort
+// returns ErrStalled; boost doubles the priority and re-arms.
+func (th *throttler) checkDeadline() error {
+	if th.deadline.IsZero() || time.Now().Before(th.deadline) {
+		return nil
+	}
+	if th.tr.cfg.StallPolicy == StallAbort {
+		return ErrStalled
+	}
+	th.tr.SetPriority(min(1, th.tr.Priority()*2))
+	th.armDeadline()
+	return nil
+}
+
+// tick records n units of work and sleeps when a batch is complete.
+func (th *throttler) tick(n int) {
+	th.pending += n
+	if th.pending < th.tr.cfg.BatchSize {
+		return
+	}
+	th.pending = 0
+	now := time.Now()
+	work := now.Sub(th.sliceAt)
+	p := th.tr.Priority()
+	if p < 1 && work > 0 {
+		sleep := time.Duration(float64(work) * (1 - p) / p)
+		// Cap single sleeps so priority changes and cancellation are
+		// reacted to promptly even at very low priorities.
+		const maxSleep = 20 * time.Millisecond
+		for sleep > 0 && !th.tr.cancel.Load() {
+			d := min(sleep, maxSleep)
+			time.Sleep(d)
+			sleep -= d
+		}
+	}
+	th.sliceAt = time.Now()
+	th.workDone += work
+}
+
+// propagateLoop runs log-propagation iterations until the analyzer decides
+// to synchronize (§3.3). Each iteration ends with a fuzzy mark; the analysis
+// then either starts another iteration or hands over to synchronization.
+func (tr *Transformation) propagateLoop(ctx context.Context) error {
+	th := newThrottler(tr)
+	stalls := 0
+	ccBlocked := 0
+	prevRemaining := -1
+
+	for iter := 1; ; iter++ {
+		iterStart := time.Now()
+		th.armDeadline()
+		tr.mu.Lock()
+		from := tr.cursor
+		tr.mu.Unlock()
+		end := tr.db.Log().End()
+
+		applied, err := tr.propagateRange(from, end, th)
+		if err != nil {
+			return err
+		}
+		if tr.cancel.Load() {
+			return ErrAborted
+		}
+		if err := ctx.Err(); err != nil {
+			return errors.Join(ErrAborted, err)
+		}
+
+		// Idle cycle: nothing was propagated and nothing new arrived. Ask
+		// the analyzer (it may decide the log is drained enough to
+		// synchronize) and otherwise wait for log activity instead of
+		// spinning on fuzzy marks.
+		if applied == 0 && tr.db.Log().End() == end {
+			a := Analysis{Remaining: 0, Applied: 0, Duration: time.Since(iterStart), Iteration: iter}
+			if tr.cfg.Analyzer(a) && tr.op.ReadyToSync() {
+				return nil
+			}
+			if tr.cfg.MaxIterations > 0 && iter >= tr.cfg.MaxIterations {
+				if !tr.op.ReadyToSync() {
+					return ErrInconsistentData
+				}
+				return nil
+			}
+			if err := tr.op.MaintenanceTick(); err != nil {
+				return err
+			}
+			time.Sleep(500 * time.Microsecond)
+			continue
+		}
+
+		// Cycle boundary: a fuzzy mark ends this propagation cycle and
+		// begins the next (§3.3).
+		mark := tr.db.Log().Append(&wal.Record{Type: wal.TypeFuzzyMark, Active: tr.db.ActiveTxns()})
+		tr.mu.Lock()
+		tr.cursor = end + 1
+		tr.metrics.Iterations = iter
+		tr.mu.Unlock()
+
+		remaining := int(mark - end - 1) // records generated during the iteration
+		if remaining < 0 {
+			remaining = 0
+		}
+		a := Analysis{
+			Remaining: remaining,
+			Applied:   applied,
+			Duration:  time.Since(iterStart),
+			Iteration: iter,
+		}
+		if tr.cfg.Analyzer(a) {
+			if tr.op.ReadyToSync() {
+				return nil
+			}
+			// Synchronization is gated by the consistency checker: give it
+			// extra rounds, and give up if the data is genuinely
+			// inconsistent and nobody repairs it (§5.3).
+			ccBlocked++
+			if err := tr.op.MaintenanceTick(); err != nil {
+				return err
+			}
+			if ccBlocked > max(16, 4*tr.cfg.StallIterations) {
+				return ErrInconsistentData
+			}
+			// The checker is waiting for user repairs; don't spin.
+			time.Sleep(2 * time.Millisecond)
+		} else {
+			ccBlocked = 0
+		}
+		if tr.cfg.MaxIterations > 0 && iter >= tr.cfg.MaxIterations {
+			if !tr.op.ReadyToSync() {
+				return ErrInconsistentData
+			}
+			return nil
+		}
+
+		// Pace near-empty cycles: without this, a trickle of user traffic
+		// makes the loop spin at full speed, appending one fuzzy mark per
+		// handful of records and monopolizing the log latch and the CPU.
+		if applied < tr.cfg.BatchSize {
+			time.Sleep(300 * time.Microsecond)
+		}
+
+		// Stall detection: the propagator is falling behind when the
+		// leftover work stops shrinking iteration over iteration.
+		if prevRemaining >= 0 && remaining >= prevRemaining {
+			stalls++
+		} else {
+			stalls = 0
+		}
+		prevRemaining = remaining
+		if stalls >= tr.cfg.StallIterations {
+			switch tr.cfg.StallPolicy {
+			case StallAbort:
+				return ErrStalled
+			case StallBoost:
+				tr.SetPriority(min(1, tr.Priority()*2))
+				stalls = 0
+			}
+		}
+	}
+}
+
+// propagateRange redoes log records [from, to] onto the target tables.
+func (tr *Transformation) propagateRange(from, to wal.LSN, th *throttler) (int, error) {
+	if from == 0 || from > to {
+		return 0, nil
+	}
+	applied := 0
+	for _, rec := range tr.db.Log().Scan(from, to) {
+		if err := tr.handleRecord(rec); err != nil {
+			return applied, err
+		}
+		applied++
+		if th != nil {
+			th.tick(1)
+			if tr.cancel.Load() {
+				return applied, ErrAborted
+			}
+			if err := th.checkDeadline(); err != nil {
+				return applied, err
+			}
+		}
+		// Give the operator its background slot (consistency checker).
+		if tr.cfg.CheckConsistency && applied%tr.cfg.BatchSize == 0 {
+			if err := tr.op.MaintenanceTick(); err != nil {
+				return applied, err
+			}
+		}
+	}
+	tr.mu.Lock()
+	tr.metrics.RecordsApplied += int64(applied)
+	tr.mu.Unlock()
+	return applied, nil
+}
+
+// handleRecord dispatches one log record during propagation.
+func (tr *Transformation) handleRecord(rec *wal.Record) error {
+	switch rec.Type {
+	case wal.TypeCommit, wal.TypeAbort:
+		// Locks transferred to the new tables are released when the
+		// propagator processes the owner's end-of-transaction record (§4.3).
+		tr.shadow.ReleaseTxn(rec.Txn)
+		return nil
+	case wal.TypeFuzzyMark, wal.TypeBegin:
+		return nil
+	case wal.TypeCCBegin, wal.TypeCCOK:
+		// Consistency-checker bookkeeping records are interpreted by the
+		// operator (split transformations, §5.3).
+		return tr.apply(rec)
+	case wal.TypeInsert, wal.TypeUpdate, wal.TypeDelete, wal.TypeCLR:
+		if !tr.isSource(rec.Table) {
+			return nil
+		}
+		return tr.apply(rec)
+	default:
+		return nil
+	}
+}
+
+// apply redoes one record, serializing against user operations on the new
+// tables once those are public (post-switchover).
+func (tr *Transformation) apply(rec *wal.Record) error {
+	if tr.latchTargets.Load() {
+		return tr.withTargetLatches(func() error { return tr.op.Apply(rec) })
+	}
+	return tr.op.Apply(rec)
+}
+
+func (tr *Transformation) isSource(table string) bool {
+	for _, s := range tr.op.Sources() {
+		if s == table {
+			return true
+		}
+	}
+	return false
+}
+
+// placeShadow records a transferred exclusive lock on a target record on
+// behalf of the transaction that logged the operation being redone.
+func (tr *Transformation) placeShadow(rec *wal.Record, targetTable, keyEnc string) {
+	if rec == nil || rec.Txn == 0 {
+		return
+	}
+	tr.shadow.Place(rec.Txn, nsKey(targetTable, keyEnc), tr.originOf(rec.Table), lock.Exclusive)
+}

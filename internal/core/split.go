@@ -1,0 +1,500 @@
+package core
+
+import (
+	"fmt"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/engine"
+	"nbschema/internal/storage"
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+// SplitSpec describes a vertical split transformation T → R, S (Section 5):
+// the inverse of the full outer join. R keeps every T column except the ones
+// moved to S; the split attributes (a candidate key of the new S, e.g.
+// postal code in the paper's Example 1) stay in R as the foreign key and
+// become S's key.
+type SplitSpec struct {
+	// Source names the table T being split.
+	Source string
+	// Left and Right name the new tables R and S.
+	Left, Right string
+	// SplitOn lists the split attribute columns (stay in R, key S).
+	SplitOn []string
+	// RightOnly lists the columns moved to S (functionally dependent on
+	// SplitOn, e.g. city in Example 1).
+	RightOnly []string
+}
+
+// Hidden bookkeeping columns on the new S table: the reference counter of
+// Gupta et al. the paper adopts (Section 5), and the C/U consistency flag of
+// §5.3 (true = Consistent).
+const (
+	ColCounter = "_cnt"
+	ColFlag    = "_flag"
+)
+
+// splitOp implements the operator interface for vertical split.
+type splitOp struct {
+	tr   *Transformation
+	db   *engine.DB
+	spec SplitSpec
+
+	tDef       *catalog.TableDef
+	rDef, sDef *catalog.TableDef
+	rTbl, sTbl *storage.Table
+
+	splitT  []int // split column positions in T
+	rFromT  []int // R column i ← T position rFromT[i]
+	sFromT  []int // S payload column i ← T position sFromT[i]
+	tToR    []int // T position → R position (-1 if moved to S only)
+	tToS    []int // T position → S position (-1 if not part of S)
+	rSplit  []int // split column positions within R
+	cntPos  int   // counter column position in S
+	flagPos int   // flag column position in S
+
+	cc *ccState // §5.3 consistency checker (nil when disabled)
+}
+
+// NewSplit builds a split transformation. Target tables are created hidden
+// during Run.
+func NewSplit(db *engine.DB, spec SplitSpec, cfg Config) (*Transformation, error) {
+	tr := newTransformation(db, cfg)
+	op := &splitOp{tr: tr, db: db, spec: spec}
+	if err := op.resolve(); err != nil {
+		return nil, err
+	}
+	if cfg.CheckConsistency {
+		op.cc = newCCState(op)
+	}
+	tr.op = op
+	return tr, nil
+}
+
+func (op *splitOp) resolve() error {
+	if op.spec.Left == "" || op.spec.Right == "" {
+		return fmt.Errorf("core: split: empty target name")
+	}
+	if len(op.spec.SplitOn) == 0 {
+		return fmt.Errorf("core: split: no split attributes")
+	}
+	var err error
+	if op.tDef, err = op.db.Catalog().Get(op.spec.Source); err != nil {
+		return fmt.Errorf("core: split: source: %w", err)
+	}
+	if op.splitT, err = op.tDef.ColIndexes(op.spec.SplitOn); err != nil {
+		return err
+	}
+	rightOnly, err := op.tDef.ColIndexes(op.spec.RightOnly)
+	if err != nil {
+		return err
+	}
+	moved := make(map[int]bool, len(rightOnly))
+	for _, c := range rightOnly {
+		moved[c] = true
+	}
+	for _, c := range op.splitT {
+		if moved[c] {
+			return fmt.Errorf("core: split: column %s cannot be both split attribute and moved", op.tDef.Columns[c].Name)
+		}
+	}
+	for _, c := range op.tDef.PrimaryKey {
+		if moved[c] {
+			return fmt.Errorf("core: split: primary key column %s cannot move to %s", op.tDef.Columns[c].Name, op.spec.Right)
+		}
+	}
+
+	// R: all T columns except the moved ones, same primary key.
+	op.tToR = make([]int, len(op.tDef.Columns))
+	op.tToS = make([]int, len(op.tDef.Columns))
+	for i := range op.tToR {
+		op.tToR[i] = -1
+		op.tToS[i] = -1
+	}
+	var rCols []catalog.Column
+	for i, c := range op.tDef.Columns {
+		if moved[i] {
+			continue
+		}
+		op.tToR[i] = len(rCols)
+		op.rFromT = append(op.rFromT, i)
+		rCols = append(rCols, c)
+	}
+	rPkNames := op.tDef.ColNames(op.tDef.PrimaryKey)
+	op.rDef, err = catalog.NewTableDef(op.spec.Left, rCols, rPkNames)
+	if err != nil {
+		return fmt.Errorf("core: split: left: %w", err)
+	}
+	op.rSplit = make([]int, len(op.splitT))
+	for i, c := range op.splitT {
+		op.rSplit[i] = op.tToR[c]
+	}
+
+	// S: split attributes, then the moved columns, then counter and flag.
+	var sCols []catalog.Column
+	for _, c := range op.splitT {
+		op.tToS[c] = len(sCols)
+		op.sFromT = append(op.sFromT, c)
+		sCols = append(sCols, op.tDef.Columns[c])
+	}
+	for _, c := range rightOnly {
+		op.tToS[c] = len(sCols)
+		op.sFromT = append(op.sFromT, c)
+		sCols = append(sCols, op.tDef.Columns[c])
+	}
+	op.cntPos = len(sCols)
+	sCols = append(sCols, catalog.Column{Name: ColCounter, Type: value.KindInt})
+	op.flagPos = len(sCols)
+	sCols = append(sCols, catalog.Column{Name: ColFlag, Type: value.KindBool})
+	op.sDef, err = catalog.NewTableDef(op.spec.Right, sCols, op.spec.SplitOn)
+	if err != nil {
+		return fmt.Errorf("core: split: right: %w", err)
+	}
+	return nil
+}
+
+// Prepare creates both hidden target tables. An index on the source's split
+// attributes is also created so the consistency checker can find the records
+// contributing to one S record without scanning T (§5.3).
+func (op *splitOp) Prepare() error {
+	op.rDef.State = catalog.StateHidden
+	op.sDef.State = catalog.StateHidden
+	if err := op.db.CreateTable(op.rDef); err != nil {
+		return err
+	}
+	if err := op.db.CreateTable(op.sDef); err != nil {
+		return err
+	}
+	op.rTbl = op.db.Table(op.spec.Left)
+	op.sTbl = op.db.Table(op.spec.Right)
+	if op.cc != nil {
+		src := op.db.Table(op.spec.Source)
+		if src == nil {
+			return fmt.Errorf("core: split: source storage missing")
+		}
+		if src.Index(ccSourceIndex) == nil {
+			if _, err := src.CreateIndex(ccSourceIndex, op.splitT, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (op *splitOp) Sources() []string { return []string{op.spec.Source} }
+func (op *splitOp) Targets() []string { return []string{op.spec.Left, op.spec.Right} }
+
+func (op *splitOp) Cleanup() error {
+	for _, t := range op.Targets() {
+		if op.db.Table(t) == nil {
+			continue
+		}
+		if err := op.db.DropTable(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- projections ----
+
+func (op *splitOp) rPart(t value.Tuple) value.Tuple { return t.Project(op.rFromT) }
+
+// sPayload projects the S payload (split attributes + moved columns).
+func (op *splitOp) sPayload(t value.Tuple) value.Tuple { return t.Project(op.sFromT) }
+
+// sRow builds a full S row from a payload.
+func (op *splitOp) sRow(payload value.Tuple, cnt int64, consistent bool) value.Tuple {
+	row := make(value.Tuple, len(op.sDef.Columns))
+	copy(row, payload)
+	row[op.cntPos] = value.Int(cnt)
+	row[op.flagPos] = value.Bool(consistent)
+	return row
+}
+
+func (op *splitOp) splitKeyOfT(t value.Tuple) value.Tuple { return t.Project(op.splitT) }
+func (op *splitOp) splitKeyOfR(r value.Tuple) value.Tuple { return r.Project(op.rSplit) }
+
+// payloadEqual compares the payload halves of two S rows.
+func payloadEqual(a, b value.Tuple, n int) bool {
+	return value.Tuple(a[:n]).Equal(value.Tuple(b[:n]))
+}
+
+// ---- population ----
+
+// Populate fuzzily reads T and inserts the initial images of R and S. Each
+// R record inherits the LSN of the T record it came from — the state
+// identifier the split propagation rules compare against.
+func (op *splitOp) Populate(tick func(int)) (int64, error) {
+	src := op.db.Table(op.spec.Source)
+	if src == nil {
+		return 0, fmt.Errorf("core: split: source storage missing")
+	}
+	var rows int64
+	var insertErr error
+	src.FuzzyScanChunks(op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
+		if insertErr != nil {
+			return
+		}
+		for _, rec := range recs {
+			if err := op.rTbl.Insert(op.rPart(rec.Row), rec.LSN); err != nil {
+				insertErr = err
+				return
+			}
+			if err := op.absorbS(nil, op.sPayload(rec.Row), rec.LSN); err != nil {
+				insertErr = err
+				return
+			}
+			rows++
+		}
+		tick(len(recs))
+	})
+	return rows, insertErr
+}
+
+// absorbS merges one occurrence of an S payload into the S table: counter
+// increment when present (flagging U on value disagreement, §5.3), insert
+// with counter 1 otherwise.
+func (op *splitOp) absorbS(rec *wal.Record, payload value.Tuple, lsn wal.LSN) error {
+	key := payload.Project(rangeInts(len(op.splitT)))
+	op.shadowS(rec, key)
+	existing, curLSN, err := op.sTbl.Get(key)
+	if err != nil {
+		return op.sTbl.Insert(op.sRow(payload, 1, true), lsn)
+	}
+	newCnt := existing[op.cntPos].AsInt() + 1
+	cols := []int{op.cntPos}
+	vals := value.Tuple{value.Int(newCnt)}
+	if op.cc != nil && !payloadEqual(existing, payload, len(op.sFromT)) {
+		// A record not equal to the stored one with the same split value:
+		// the S record's consistency is now unknown (§5.3).
+		cols = append(cols, op.flagPos)
+		vals = append(vals, value.Bool(false))
+		op.cc.markUnknown(key)
+	}
+	_, err = op.sTbl.Update(key, cols, vals, maxLSN(curLSN, lsn))
+	return err
+}
+
+// releaseS decrements the counter of s^v, removing the record when it
+// reaches zero (Section 5: "If the counter of a record reaches zero, the
+// record is removed from S").
+func (op *splitOp) releaseS(rec *wal.Record, key value.Tuple, lsn wal.LSN) error {
+	op.shadowS(rec, key)
+	existing, curLSN, err := op.sTbl.Get(key)
+	if err != nil {
+		return nil // nothing to release; propagation is idempotent
+	}
+	cnt := existing[op.cntPos].AsInt() - 1
+	if cnt <= 0 {
+		op.cc.forget(key)
+		_, err = op.sTbl.Delete(key)
+		return err
+	}
+	_, err = op.sTbl.Update(key, []int{op.cntPos}, value.Tuple{value.Int(cnt)}, maxLSN(curLSN, lsn))
+	return err
+}
+
+func (op *splitOp) shadowR(rec *wal.Record, key value.Tuple) {
+	op.tr.placeShadow(rec, op.spec.Left, key.Encode())
+}
+
+func (op *splitOp) shadowS(rec *wal.Record, key value.Tuple) {
+	op.tr.placeShadow(rec, op.spec.Right, key.Encode())
+	op.cc.invalidate(key)
+}
+
+// ---- log propagation (§5.2, rules 8–11) ----
+
+// Apply redoes one log record onto R and S.
+func (op *splitOp) Apply(rec *wal.Record) error {
+	switch rec.Type {
+	case wal.TypeCCBegin, wal.TypeCCOK:
+		return op.cc.handle(rec)
+	}
+	if rec.Table != op.spec.Source {
+		return nil
+	}
+	switch rec.OpType() {
+	case wal.TypeInsert:
+		return op.rule8Insert(rec)
+	case wal.TypeDelete:
+		return op.rule9Delete(rec)
+	case wal.TypeUpdate:
+		return op.rule10And11Update(rec)
+	default:
+		return nil
+	}
+}
+
+// rule8Insert implements Rule 8 (Insert t^y_x into T).
+func (op *splitOp) rule8Insert(rec *wal.Record) error {
+	y := rec.Key
+	op.shadowR(rec, y)
+	if _, _, err := op.rTbl.Get(y); err == nil {
+		return nil // r^y exists: the log record is already reflected
+	}
+	if err := op.rTbl.Insert(op.rPart(rec.Row), rec.LSN); err != nil {
+		return err
+	}
+	return op.absorbS(rec, op.sPayload(rec.Row), rec.LSN)
+}
+
+// rule9Delete implements Rule 9 (Delete t^y from T).
+func (op *splitOp) rule9Delete(rec *wal.Record) error {
+	y := rec.Key
+	op.shadowR(rec, y)
+	r, lsn, err := op.rTbl.Get(y)
+	if err != nil || lsn > rec.LSN {
+		return nil // missing or newer: ignore
+	}
+	v := op.splitKeyOfR(r)
+	if _, err := op.rTbl.Delete(y); err != nil {
+		return err
+	}
+	return op.releaseS(rec, v, rec.LSN)
+}
+
+// rule10And11Update implements Rule 10 (update the R part) and Rule 11
+// (update the S part). Rule 11 only runs when Rule 10 applied: the LSNs in R
+// uniquely identify which operations are already reflected, and if an
+// operation is reflected in R it is also reflected in S.
+func (op *splitOp) rule10And11Update(rec *wal.Record) error {
+	y := rec.Key
+	op.shadowR(rec, y)
+	r, lsn, err := op.rTbl.Get(y)
+	if err != nil || lsn >= rec.LSN {
+		return nil // missing, newer, or exactly this operation: ignore
+	}
+	vOld := op.splitKeyOfR(r)
+
+	// Rule 10: update the R part. The LSN advances even when the update
+	// touches no R column.
+	var rCols []int
+	var rVals value.Tuple
+	var sCols []int // S payload positions
+	var sVals value.Tuple
+	splitChanged := false
+	for i, c := range rec.Cols {
+		if rp := op.tToR[c]; rp >= 0 {
+			rCols = append(rCols, rp)
+			rVals = append(rVals, rec.New[i])
+		}
+		if sp := op.tToS[c]; sp >= 0 {
+			sCols = append(sCols, sp)
+			sVals = append(sVals, rec.New[i])
+			if sp < len(op.splitT) {
+				splitChanged = true
+			}
+		}
+	}
+	if len(rCols) > 0 {
+		if _, err := op.rTbl.Update(y, rCols, rVals, rec.LSN); err != nil {
+			return err
+		}
+	} else if err := op.rTbl.SetLSN(y, rec.LSN); err != nil {
+		return err
+	}
+
+	// Rule 11: update the S part.
+	if len(sCols) == 0 {
+		return nil
+	}
+	if !splitChanged {
+		op.shadowS(rec, vOld)
+		s, slsn, err := op.sTbl.Get(vOld)
+		if err != nil {
+			return nil // s^vOld not represented (should not happen; idempotence)
+		}
+		if slsn >= rec.LSN {
+			return nil
+		}
+		cols := append([]int(nil), sCols...)
+		vals := sVals.Clone()
+		if op.cc != nil {
+			if s[op.cntPos].AsInt() > 1 {
+				// An update applied to a shared S record may disagree with
+				// the other contributing T records (§5.3).
+				cols = append(cols, op.flagPos)
+				vals = append(vals, value.Bool(false))
+				op.cc.markUnknown(vOld)
+			} else if len(sCols) == len(op.sFromT)-len(op.splitT) {
+				// Counter 1 and all non-key attributes overwritten: the
+				// record is known consistent again.
+				cols = append(cols, op.flagPos)
+				vals = append(vals, value.Bool(true))
+				op.cc.forget(vOld)
+			}
+		}
+		_, err = op.sTbl.Update(vOld, cols, vals, rec.LSN)
+		return err
+	}
+
+	// The split attribute changed: treat as delete of s^vOld followed by
+	// insert of s^vNew, extracting the unlogged attribute values from the
+	// old S record.
+	sOld, _, err := op.sTbl.Get(vOld)
+	if err != nil {
+		// The old S record vanished; reconstruct what we can only if the
+		// update supplies the full payload.
+		if len(sCols) == len(op.sFromT) {
+			sOld = op.sRow(make(value.Tuple, len(op.sFromT)), 0, true)
+		} else {
+			return nil
+		}
+	}
+	payload := make(value.Tuple, len(op.sFromT))
+	copy(payload, sOld[:len(op.sFromT)])
+	for i, sp := range sCols {
+		payload[sp] = sVals[i]
+	}
+	if err := op.releaseS(rec, vOld, rec.LSN); err != nil {
+		return err
+	}
+	return op.absorbS(rec, payload, rec.LSN)
+}
+
+// MirrorKeys maps a locked T record to its R record and, via R, its S record.
+func (op *splitOp) MirrorKeys(table string, key value.Tuple) []TargetKey {
+	if table != op.spec.Source {
+		return nil
+	}
+	out := []TargetKey{{Table: op.spec.Left, Key: key.Encode()}}
+	if r, _, err := op.rTbl.Get(key); err == nil {
+		out = append(out, TargetKey{Table: op.spec.Right, Key: op.splitKeyOfR(r).Encode()})
+	}
+	return out
+}
+
+// MaintenanceTick runs one consistency-checker round (§5.3) when enabled.
+func (op *splitOp) MaintenanceTick() error {
+	if op.cc == nil {
+		return nil
+	}
+	return op.cc.tick()
+}
+
+// ReadyToSync requires every S record to carry a C flag before
+// synchronization starts (§5.3).
+func (op *splitOp) ReadyToSync() bool { return op.cc.clean() }
+
+// CCStats returns the consistency checker's round and repair counts.
+func (op *splitOp) CCStats() (int64, int64) { return op.cc.stats() }
+
+// ---- helpers ----
+
+func maxLSN(a, b wal.LSN) wal.LSN {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func rangeInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+// Package engine implements the transactional database the transformation
+// framework runs inside: strict two-phase record locking, ARIES-style
+// write-ahead logging with compensating log records for undo, table latches,
+// and restart recovery. This is the substrate the paper assumes (Section 1:
+// redo and undo logging, CLRs, LSNs on records; Section 3: latches and
+// record locks).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/lock"
+	"nbschema/internal/storage"
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+// Engine errors.
+var (
+	// ErrTxnDone is returned when operating on a committed or aborted
+	// transaction.
+	ErrTxnDone = errors.New("engine: transaction already finished")
+	// ErrTxnDoomed is returned when a transaction has been marked for
+	// forced abort by a synchronization step; the caller must Abort it.
+	ErrTxnDoomed = errors.New("engine: transaction doomed by schema transformation, abort required")
+	// ErrNoAccess is returned when a transaction may not access a table
+	// because of its lifecycle state (hidden target, dropped source).
+	ErrNoAccess = errors.New("engine: table not accessible")
+)
+
+// Hooks lets an active schema transformation intercept engine activity.
+// All fields are optional.
+type Hooks struct {
+	// CheckLock is consulted after the engine acquires a record lock and
+	// before it applies the operation. Transformations use it to enforce
+	// transferred-lock compatibility on the new table and to mirror locks
+	// between old and new tables during non-blocking commit
+	// synchronization. A non-nil error aborts the operation.
+	CheckLock func(txn wal.TxnID, table string, key value.Tuple, mode lock.Mode) error
+	// OnTxnEnd is called after a transaction commits or aborts and has
+	// released its locks.
+	OnTxnEnd func(txn wal.TxnID)
+}
+
+// Options configures a DB.
+type Options struct {
+	// LockTimeout bounds lock waits (deadlock resolution). Zero selects
+	// lock.DefaultTimeout.
+	LockTimeout time.Duration
+}
+
+// DB is an in-memory transactional database.
+type DB struct {
+	cat   *catalog.Catalog
+	log   *wal.Log
+	locks *lock.Manager
+
+	mu      sync.RWMutex
+	tables  map[string]*storage.Table
+	latches map[string]*lock.Latch
+	dropAt  map[string]wal.LSN // table → LSN of its StateDropping switchover
+
+	txnMu   sync.Mutex
+	nextTxn wal.TxnID
+	active  map[wal.TxnID]*Txn
+
+	hookMu sync.RWMutex
+	hooks  Hooks
+}
+
+// New returns an empty database.
+func New(opts Options) *DB {
+	return &DB{
+		cat:     catalog.New(),
+		log:     wal.NewLog(),
+		locks:   lock.NewManager(opts.LockTimeout),
+		tables:  make(map[string]*storage.Table),
+		latches: make(map[string]*lock.Latch),
+		dropAt:  make(map[string]wal.LSN),
+		active:  make(map[wal.TxnID]*Txn),
+	}
+}
+
+// Catalog returns the schema catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Log returns the write-ahead log.
+func (db *DB) Log() *wal.Log { return db.log }
+
+// Locks returns the record-lock manager.
+func (db *DB) Locks() *lock.Manager { return db.locks }
+
+// SetHooks installs transformation hooks (replacing any previous ones).
+func (db *DB) SetHooks(h Hooks) {
+	db.hookMu.Lock()
+	db.hooks = h
+	db.hookMu.Unlock()
+}
+
+// ClearHooks removes all transformation hooks.
+func (db *DB) ClearHooks() { db.SetHooks(Hooks{}) }
+
+func (db *DB) currentHooks() Hooks {
+	db.hookMu.RLock()
+	defer db.hookMu.RUnlock()
+	return db.hooks
+}
+
+// CreateTable registers a table definition and allocates its storage.
+func (db *DB) CreateTable(def *catalog.TableDef) error {
+	if err := db.cat.Create(def); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.tables[def.Name] = storage.NewTable(def)
+	db.latches[def.Name] = lock.NewLatch()
+	db.mu.Unlock()
+	return nil
+}
+
+// DropTable removes a table, its storage and its latch.
+func (db *DB) DropTable(name string) error {
+	if err := db.cat.Drop(name); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	delete(db.tables, name)
+	delete(db.latches, name)
+	delete(db.dropAt, name)
+	db.mu.Unlock()
+	return nil
+}
+
+// CreateIndex adds an index over the named columns of a table.
+func (db *DB) CreateIndex(table, name string, cols []string, unique bool) error {
+	def, err := db.cat.Get(table)
+	if err != nil {
+		return err
+	}
+	idx, err := def.ColIndexes(cols)
+	if err != nil {
+		return err
+	}
+	tbl := db.Table(table)
+	if tbl == nil {
+		return fmt.Errorf("engine: no storage for table %s", table)
+	}
+	_, err = tbl.CreateIndex(name, idx, unique)
+	return err
+}
+
+// Table returns the storage of a table (nil if absent). Transformations use
+// this for direct, unlogged access to their hidden target tables.
+func (db *DB) Table(name string) *storage.Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// Latch returns the latch of a table (nil if absent).
+func (db *DB) Latch(name string) *lock.Latch {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.latches[name]
+}
+
+// MarkDropping switches a table to the dropping state, recording the
+// switchover LSN: transactions begun at or after it are denied access, while
+// older transactions may finish (non-blocking commit) or roll back
+// (non-blocking abort).
+func (db *DB) MarkDropping(name string, at wal.LSN) error {
+	if err := db.cat.SetState(name, catalog.StateDropping); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.dropAt[name] = at
+	db.mu.Unlock()
+	return nil
+}
+
+// Publish makes a hidden target table user-visible.
+func (db *DB) Publish(name string) error {
+	return db.cat.SetState(name, catalog.StatePublic)
+}
+
+// accessible reports whether txn may operate on the table right now.
+func (db *DB) accessible(def *catalog.TableDef, txn *Txn) error {
+	switch def.State {
+	case catalog.StatePublic:
+		return nil
+	case catalog.StateHidden:
+		return fmt.Errorf("%w: %s is a hidden transformation target", ErrNoAccess, def.Name)
+	case catalog.StateDropping:
+		db.mu.RLock()
+		at := db.dropAt[def.Name]
+		db.mu.RUnlock()
+		if txn != nil && txn.BeginLSN() < at {
+			return nil // an "old" transaction may finish its work
+		}
+		return fmt.Errorf("%w: %s is being dropped by a schema transformation", ErrNoAccess, def.Name)
+	default:
+		return fmt.Errorf("%w: %s in unknown state", ErrNoAccess, def.Name)
+	}
+}
+
+// Begin starts a transaction. Its begin record is logged immediately so the
+// active-transaction table snapshot in fuzzy marks always carries a first
+// LSN for every live transaction.
+func (db *DB) Begin() *Txn {
+	db.txnMu.Lock()
+	db.nextTxn++
+	id := db.nextTxn
+	txn := &Txn{db: db, id: id}
+	db.active[id] = txn
+	db.txnMu.Unlock()
+
+	lsn := db.log.Append(&wal.Record{Txn: id, Type: wal.TypeBegin})
+	txn.begin.Store(uint64(lsn))
+	txn.mu.Lock()
+	txn.lastLSN = lsn
+	txn.mu.Unlock()
+	return txn
+}
+
+// ActiveTxns snapshots the active-transaction table as (ID, first LSN)
+// pairs, the payload of a fuzzy mark (§3.2).
+func (db *DB) ActiveTxns() []wal.ActiveTxn {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	out := make([]wal.ActiveTxn, 0, len(db.active))
+	for id, txn := range db.active {
+		first := txn.BeginLSN()
+		if first == 0 {
+			// Begin raced with the snapshot; be conservative and use the
+			// current end of log (its begin record is at or before it).
+			first = db.log.End()
+		}
+		out = append(out, wal.ActiveTxn{ID: id, First: first})
+	}
+	return out
+}
+
+// ActiveCount returns the number of live transactions.
+func (db *DB) ActiveCount() int {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	return len(db.active)
+}
+
+// TxnByID returns the live transaction with the given id, or nil.
+func (db *DB) TxnByID(id wal.TxnID) *Txn {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	return db.active[id]
+}
+
+// Doom marks a live transaction for forced abort: its next operation fails
+// with ErrTxnDoomed. Non-blocking abort synchronization dooms every
+// transaction still active on the source tables (§3.4).
+func (db *DB) Doom(id wal.TxnID) {
+	if txn := db.TxnByID(id); txn != nil {
+		txn.doom()
+	}
+}
+
+// ForceAbort rolls back a live transaction on the caller's goroutine. It is
+// used by non-blocking abort synchronization. Aborting a transaction that
+// already ended is a no-op.
+func (db *DB) ForceAbort(id wal.TxnID) error {
+	txn := db.TxnByID(id)
+	if txn == nil {
+		return nil
+	}
+	err := txn.Abort()
+	if errors.Is(err, ErrTxnDone) {
+		return nil
+	}
+	return err
+}
+
+func (db *DB) endTxn(id wal.TxnID) {
+	db.txnMu.Lock()
+	delete(db.active, id)
+	db.txnMu.Unlock()
+	db.locks.ReleaseAll(id)
+	if h := db.currentHooks(); h.OnTxnEnd != nil {
+		h.OnTxnEnd(id)
+	}
+}
+
+// resolve returns the definition, storage and latch of a table.
+func (db *DB) resolve(name string) (*catalog.TableDef, *storage.Table, *lock.Latch, error) {
+	def, err := db.cat.Get(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	db.mu.RLock()
+	tbl := db.tables[name]
+	latch := db.latches[name]
+	db.mu.RUnlock()
+	if tbl == nil || latch == nil {
+		return nil, nil, nil, fmt.Errorf("engine: table %s has no storage", name)
+	}
+	return def, tbl, latch, nil
+}
+
+// ReadCommitted returns the current row under key if it exists, taking no
+// transactional locks (a fuzzy single-record read, used by examples and
+// verification).
+func (db *DB) ReadCommitted(table string, key value.Tuple) (value.Tuple, bool) {
+	tbl := db.Table(table)
+	if tbl == nil {
+		return nil, false
+	}
+	row, _, err := tbl.Get(key)
+	if err != nil {
+		return nil, false
+	}
+	return row, true
+}

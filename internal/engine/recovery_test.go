@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+func acctDef(t *testing.T) *catalog.TableDef {
+	t.Helper()
+	def, err := catalog.NewTableDef("acct", []catalog.Column{
+		{Name: "id", Type: value.KindInt},
+		{Name: "owner", Type: value.KindString, Nullable: true},
+		{Name: "balance", Type: value.KindInt, Nullable: true},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+func TestRestartRedoesCommittedWork(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("acct", acct(1, "ann", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("acct", acct(2, "bob", 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("acct", key(1), []string{"balance"}, value.Tuple{value.Int(150)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("acct", key(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Restart([]*catalog.TableDef{acctDef(t)}, db.Log(), Options{})
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	row, ok := db2.ReadCommitted("acct", key(1))
+	if !ok || row[2].AsInt() != 150 {
+		t.Errorf("recovered row = %v, %v", row, ok)
+	}
+	if _, ok := db2.ReadCommitted("acct", key(2)); ok {
+		t.Error("deleted row reappeared after restart")
+	}
+}
+
+func TestRestartUndoesLosers(t *testing.T) {
+	db := newTestDB(t)
+	committed := db.Begin()
+	if err := committed.Insert("acct", acct(1, "ann", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := committed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	loser := db.Begin()
+	if err := loser.Insert("acct", acct(2, "eve", 666)); err != nil {
+		t.Fatal(err)
+	}
+	if err := loser.Update("acct", key(1), []string{"balance"}, value.Tuple{value.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: loser never commits or aborts.
+
+	db2, err := Restart([]*catalog.TableDef{acctDef(t)}, db.Log(), Options{})
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if _, ok := db2.ReadCommitted("acct", key(2)); ok {
+		t.Error("loser's insert survived restart")
+	}
+	row, ok := db2.ReadCommitted("acct", key(1))
+	if !ok || row[2].AsInt() != 100 {
+		t.Errorf("loser's update not undone: %v, %v", row, ok)
+	}
+	// The undo pass must have written CLRs and an abort record.
+	var clrs, aborts int
+	for _, rec := range db2.Log().Scan(1, 0) {
+		switch rec.Type {
+		case wal.TypeCLR:
+			clrs++
+		case wal.TypeAbort:
+			aborts++
+		}
+	}
+	if clrs != 2 || aborts != 1 {
+		t.Errorf("clrs = %d, aborts = %d", clrs, aborts)
+	}
+}
+
+func TestRestartReplaysAbortedTxnsViaCLRs(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("acct", acct(1, "x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Restart([]*catalog.TableDef{acctDef(t)}, db.Log(), Options{})
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if _, ok := db2.ReadCommitted("acct", key(1)); ok {
+		t.Error("aborted insert visible after restart")
+	}
+}
+
+func TestRestartIsUsableAfterwards(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("acct", acct(1, "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Restart([]*catalog.TableDef{acctDef(t)}, db.Log(), Options{LockTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transaction IDs continue after the recovered ones.
+	tx2 := db2.Begin()
+	if tx2.ID() <= tx.ID() {
+		t.Errorf("txn ID %d not after recovered %d", tx2.ID(), tx.ID())
+	}
+	if err := tx2.Insert("acct", acct(2, "b", 2)); err != nil {
+		t.Fatalf("post-restart insert: %v", err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartRekeyingUpdateLoser(t *testing.T) {
+	db := newTestDB(t)
+	setup := db.Begin()
+	if err := setup.Insert("acct", acct(1, "ann", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	loser := db.Begin()
+	if err := loser.Update("acct", key(1), []string{"id"}, value.Tuple{value.Int(9)}); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Restart([]*catalog.TableDef{acctDef(t)}, db.Log(), Options{})
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if _, ok := db2.ReadCommitted("acct", key(9)); ok {
+		t.Error("rekeyed loser row survived")
+	}
+	row, ok := db2.ReadCommitted("acct", key(1))
+	if !ok || row[1].AsString() != "ann" {
+		t.Errorf("original row not restored: %v, %v", row, ok)
+	}
+}
+
+func TestRestartRoundTripThroughCodec(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("acct", acct(1, "ann", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	loser := db.Begin()
+	if err := loser.Update("acct", key(1), []string{"owner"}, value.Tuple{value.Str("eve")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize the log to bytes and back — a full "disk" round trip.
+	var buf strings.Builder
+	if _, err := db.Log().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := wal.ReadLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Restart([]*catalog.TableDef{acctDef(t)}, replayed, Options{})
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	row, ok := db2.ReadCommitted("acct", key(1))
+	if !ok || row[1].AsString() != "ann" {
+		t.Errorf("round-tripped row = %v, %v", row, ok)
+	}
+}
+
+func TestRestartFailsOnUnknownTable(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("acct", acct(1, "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restart(nil, db.Log(), Options{}); err == nil {
+		t.Error("restart without table defs should fail")
+	}
+}

@@ -1,0 +1,409 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nbschema/internal/lock"
+	"nbschema/internal/storage"
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+type txnState uint8
+
+const (
+	txnActive txnState = iota
+	txnCommitted
+	txnAborted
+)
+
+// Txn is a transaction. All methods are safe for use by one goroutine at a
+// time; the engine additionally serializes against ForceAbort internally.
+type Txn struct {
+	db *DB
+	id wal.TxnID
+
+	// begin is the LSN of the begin record, written once by DB.Begin and
+	// read lock-free by fuzzy-mark snapshots and access checks.
+	begin atomic.Uint64
+
+	// doomed is set lock-free by DB.Doom: the synchronization coordinator
+	// dooms transactions while holding table latches that an in-flight
+	// operation of this very transaction may be blocked on, so dooming must
+	// never need t.mu.
+	doomed atomic.Bool
+
+	mu      sync.Mutex
+	state   txnState
+	lastLSN wal.LSN
+	nOps    int
+}
+
+// BeginLSN returns the LSN of the transaction's begin record.
+func (t *Txn) BeginLSN() wal.LSN { return wal.LSN(t.begin.Load()) }
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() wal.TxnID { return t.id }
+
+func (t *Txn) doom() { t.doomed.Store(true) }
+
+// Doomed reports whether the transaction has been marked for forced abort.
+func (t *Txn) Doomed() bool { return t.doomed.Load() }
+
+// checkUsable must be called with t.mu held.
+func (t *Txn) checkUsable() error {
+	if t.state != txnActive {
+		return fmt.Errorf("%w (txn %d)", ErrTxnDone, t.id)
+	}
+	if t.doomed.Load() {
+		return fmt.Errorf("%w (txn %d)", ErrTxnDoomed, t.id)
+	}
+	return nil
+}
+
+// lockAndCheck acquires a record lock and runs the transformation hook.
+func (t *Txn) lockAndCheck(table string, key value.Tuple, mode lock.Mode) error {
+	if err := t.db.locks.Acquire(t.id, table, key.Encode(), mode); err != nil {
+		return err
+	}
+	if h := t.db.currentHooks(); h.CheckLock != nil {
+		if err := h.CheckLock(t.id, table, key, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert adds a row to a table under an exclusive lock, logging before
+// applying.
+func (t *Txn) Insert(table string, row value.Tuple) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	def, tbl, latch, err := t.db.resolve(table)
+	if err != nil {
+		return err
+	}
+	if err := t.db.accessible(def, t); err != nil {
+		return err
+	}
+	if err := def.ValidateRow(row); err != nil {
+		return err
+	}
+	latch.AcquireShared()
+	defer latch.ReleaseShared()
+
+	key := def.KeyOf(row)
+	if err := t.lockAndCheck(table, key, lock.Exclusive); err != nil {
+		return err
+	}
+	if _, _, err := tbl.Get(key); err == nil {
+		return fmt.Errorf("%w: %s in table %s", storage.ErrDuplicateKey, key, table)
+	}
+	if err := tbl.CheckUnique(row, key.Encode()); err != nil {
+		return err
+	}
+	rec := &wal.Record{
+		Txn:   t.id,
+		Type:  wal.TypeInsert,
+		Table: table,
+		Key:   key.Clone(),
+		Row:   row.Clone(),
+		Prev:  t.lastLSN,
+	}
+	lsn := t.db.log.Append(rec)
+	if err := tbl.Insert(row, lsn); err != nil {
+		// The log record is already durable; compensate it immediately so
+		// the log never claims an insert that storage rejected.
+		t.compensate(rec, false)
+		return err
+	}
+	t.lastLSN = lsn
+	t.nOps++
+	return nil
+}
+
+// Update overwrites the named columns of the record under key.
+func (t *Txn) Update(table string, key value.Tuple, cols []string, vals value.Tuple) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	def, tbl, latch, err := t.db.resolve(table)
+	if err != nil {
+		return err
+	}
+	if err := t.db.accessible(def, t); err != nil {
+		return err
+	}
+	colIdx, err := def.ColIndexes(cols)
+	if err != nil {
+		return err
+	}
+	if len(colIdx) != len(vals) {
+		return fmt.Errorf("engine: update arity mismatch: %d cols, %d vals", len(colIdx), len(vals))
+	}
+	latch.AcquireShared()
+	defer latch.ReleaseShared()
+
+	if err := t.lockAndCheck(table, key, lock.Exclusive); err != nil {
+		return err
+	}
+	before, _, err := tbl.Get(key)
+	if err != nil {
+		return err
+	}
+	newRow := before.Clone()
+	for i, c := range colIdx {
+		newRow[c] = vals[i]
+	}
+	if err := def.ValidateRow(newRow); err != nil {
+		return err
+	}
+	// If the primary key changes, the new key must be locked as well, and
+	// the collision must be detected before anything is logged.
+	newKey := def.KeyOf(newRow)
+	if !newKey.Equal(key) {
+		if err := t.lockAndCheck(table, newKey, lock.Exclusive); err != nil {
+			return err
+		}
+		if _, _, err := tbl.Get(newKey); err == nil {
+			return fmt.Errorf("%w: update re-keys %s onto existing %s in table %s",
+				storage.ErrDuplicateKey, key, newKey, table)
+		}
+	}
+	if err := tbl.CheckUnique(newRow, key.Encode()); err != nil {
+		return err
+	}
+	rec := &wal.Record{
+		Txn:   t.id,
+		Type:  wal.TypeUpdate,
+		Table: table,
+		Key:   key.Clone(),
+		Cols:  colIdx,
+		Old:   before.Project(colIdx),
+		New:   vals.Clone(),
+		Prev:  t.lastLSN,
+	}
+	lsn := t.db.log.Append(rec)
+	if _, err := tbl.Update(key, colIdx, vals, lsn); err != nil {
+		t.compensate(rec, false)
+		return err
+	}
+	t.lastLSN = lsn
+	t.nOps++
+	return nil
+}
+
+// Delete removes the record under key.
+func (t *Txn) Delete(table string, key value.Tuple) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	def, tbl, latch, err := t.db.resolve(table)
+	if err != nil {
+		return err
+	}
+	if err := t.db.accessible(def, t); err != nil {
+		return err
+	}
+	latch.AcquireShared()
+	defer latch.ReleaseShared()
+
+	if err := t.lockAndCheck(table, key, lock.Exclusive); err != nil {
+		return err
+	}
+	before, _, err := tbl.Get(key)
+	if err != nil {
+		return err
+	}
+	rec := &wal.Record{
+		Txn:   t.id,
+		Type:  wal.TypeDelete,
+		Table: table,
+		Key:   key.Clone(),
+		Row:   before, // before-image for undo
+		Prev:  t.lastLSN,
+	}
+	lsn := t.db.log.Append(rec)
+	if _, err := tbl.Delete(key); err != nil {
+		t.compensate(rec, false)
+		return err
+	}
+	t.lastLSN = lsn
+	t.nOps++
+	return nil
+}
+
+// Get reads the record under key with a shared lock (strict 2PL: the lock is
+// held until commit or abort).
+func (t *Txn) Get(table string, key value.Tuple) (value.Tuple, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkUsable(); err != nil {
+		return nil, err
+	}
+	def, tbl, latch, err := t.db.resolve(table)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.db.accessible(def, t); err != nil {
+		return nil, err
+	}
+	latch.AcquireShared()
+	defer latch.ReleaseShared()
+
+	if err := t.lockAndCheck(table, key, lock.Shared); err != nil {
+		return nil, err
+	}
+	row, _, err := tbl.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// NumOps returns the number of logged data operations so far.
+func (t *Txn) NumOps() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nOps
+}
+
+// Commit makes the transaction's effects permanent and releases its locks.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.state != txnActive {
+		t.mu.Unlock()
+		return fmt.Errorf("%w (txn %d)", ErrTxnDone, t.id)
+	}
+	if t.doomed.Load() {
+		t.mu.Unlock()
+		return fmt.Errorf("%w (txn %d)", ErrTxnDoomed, t.id)
+	}
+	t.db.log.Append(&wal.Record{Txn: t.id, Type: wal.TypeCommit, Prev: t.lastLSN})
+	t.state = txnCommitted
+	t.mu.Unlock()
+	t.db.endTxn(t.id)
+	return nil
+}
+
+// Abort rolls the transaction back: every logged operation is undone in
+// reverse order, each undo writing a compensating log record, and finally an
+// abort record is logged (ARIES). Aborting a doomed transaction is allowed —
+// it is how forced aborts complete.
+func (t *Txn) Abort() error {
+	t.mu.Lock()
+	if t.state != txnActive {
+		t.mu.Unlock()
+		return fmt.Errorf("%w (txn %d)", ErrTxnDone, t.id)
+	}
+	t.undoAll()
+	t.db.log.Append(&wal.Record{Txn: t.id, Type: wal.TypeAbort, Prev: t.lastLSN})
+	t.state = txnAborted
+	t.mu.Unlock()
+	t.db.endTxn(t.id)
+	return nil
+}
+
+// undoAll walks the undo chain from lastLSN, compensating each operation.
+// Called with t.mu held.
+func (t *Txn) undoAll() {
+	lsn := t.lastLSN
+	for lsn != 0 && lsn != t.BeginLSN() {
+		rec, err := t.db.log.Get(lsn)
+		if err != nil {
+			break
+		}
+		switch rec.Type {
+		case wal.TypeCLR:
+			lsn = rec.UndoNext
+			continue
+		case wal.TypeInsert, wal.TypeUpdate, wal.TypeDelete:
+			t.compensate(rec, true)
+		}
+		lsn = rec.Prev
+	}
+}
+
+// compensate writes the CLR for one operation record and, if the original
+// operation was actually applied to storage, applies the compensation too.
+// A failed operation (applied=false, e.g. a storage-level rejection after
+// logging) is compensated only in the log: the pair of records neutralizes
+// itself for every log consumer. Called with t.mu held.
+func (t *Txn) compensate(rec *wal.Record, applied bool) {
+	clr := &wal.Record{
+		Txn:      t.id,
+		Type:     wal.TypeCLR,
+		Table:    rec.Table,
+		Prev:     t.lastLSN,
+		UndoNext: rec.Prev,
+	}
+	switch rec.Type {
+	case wal.TypeInsert:
+		clr.Redo = wal.TypeDelete
+		clr.Key = rec.Key
+		clr.Row = rec.Row // image being removed
+	case wal.TypeUpdate:
+		clr.Redo = wal.TypeUpdate
+		// A compensating update describes the post-state → pre-state
+		// transition, so it is keyed by the key the record carries AFTER
+		// the original update (they differ when the update re-keyed it).
+		clr.Key = keyAfterUpdate(t.db, rec)
+		clr.Cols = rec.Cols
+		clr.Old = rec.New
+		clr.New = rec.Old // compensation restores the before-image
+	case wal.TypeDelete:
+		clr.Redo = wal.TypeInsert
+		clr.Key = rec.Key
+		clr.Row = rec.Row // reinsert the before-image
+	default:
+		return
+	}
+	lsn := t.db.log.Append(clr)
+	t.lastLSN = lsn
+	if !applied {
+		return
+	}
+
+	_, tbl, latch, err := t.db.resolve(rec.Table)
+	if err != nil {
+		return // table dropped mid-undo; nothing to apply to
+	}
+	latch.AcquireShared()
+	defer latch.ReleaseShared()
+	switch clr.Redo {
+	case wal.TypeDelete:
+		_, _ = tbl.Delete(clr.Key)
+	case wal.TypeUpdate:
+		_, _ = tbl.Update(clr.Key, clr.Cols, clr.New, lsn)
+	case wal.TypeInsert:
+		_ = tbl.Insert(clr.Row, lsn)
+	}
+}
+
+// keyAfterUpdate computes the primary key a record carries after applying
+// an update record: the update's new values substituted into the key
+// columns.
+func keyAfterUpdate(db *DB, rec *wal.Record) value.Tuple {
+	def, err := db.cat.Get(rec.Table)
+	if err != nil {
+		return rec.Key
+	}
+	key := rec.Key.Clone()
+	for i, c := range rec.Cols {
+		for kpos, pk := range def.PrimaryKey {
+			if c == pk {
+				key[kpos] = rec.New[i]
+			}
+		}
+	}
+	return key
+}

@@ -1,0 +1,95 @@
+package lock
+
+import "sync"
+
+// Latch is a table latch. User operations hold it in shared mode for the
+// duration of one operation; the synchronization step of a transformation
+// holds it exclusively during the final log-propagation iteration, briefly
+// pausing ongoing transactions exactly as §3.4 describes.
+//
+// The implementation is writer-preferring: once an exclusive acquisition is
+// pending, new shared acquisitions queue behind it, so the exclusive window
+// cannot be starved by a stream of operations.
+type Latch struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	readers  int
+	writer   bool
+	pendingW int
+}
+
+// NewLatch returns an unlocked latch.
+func NewLatch() *Latch {
+	l := &Latch{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// AcquireShared takes the latch in shared mode.
+func (l *Latch) AcquireShared() {
+	l.mu.Lock()
+	for l.writer || l.pendingW > 0 {
+		l.cond.Wait()
+	}
+	l.readers++
+	l.mu.Unlock()
+}
+
+// ReleaseShared releases one shared holder.
+func (l *Latch) ReleaseShared() {
+	l.mu.Lock()
+	l.readers--
+	if l.readers < 0 {
+		l.mu.Unlock()
+		panic("lock: ReleaseShared without AcquireShared")
+	}
+	if l.readers == 0 {
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// AcquireExclusive takes the latch exclusively, waiting for current shared
+// holders to drain while blocking new ones.
+func (l *Latch) AcquireExclusive() {
+	l.mu.Lock()
+	l.pendingW++
+	for l.writer || l.readers > 0 {
+		l.cond.Wait()
+	}
+	l.pendingW--
+	l.writer = true
+	l.mu.Unlock()
+}
+
+// TryAcquireExclusive takes the latch exclusively only if it is free right
+// now; it reports whether it succeeded.
+func (l *Latch) TryAcquireExclusive() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writer || l.readers > 0 || l.pendingW > 0 {
+		return false
+	}
+	l.writer = true
+	return true
+}
+
+// PendingExclusive reports whether an exclusive acquisition is currently
+// waiting. Intended for tests and progress reporting.
+func (l *Latch) PendingExclusive() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pendingW > 0
+}
+
+// ReleaseExclusive releases the exclusive holder.
+func (l *Latch) ReleaseExclusive() {
+	l.mu.Lock()
+	if !l.writer {
+		l.mu.Unlock()
+		panic("lock: ReleaseExclusive without AcquireExclusive")
+	}
+	l.writer = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}

@@ -1,0 +1,263 @@
+// Package lock implements the concurrency-control primitives the paper
+// assumes: strict two-phase record locks with shared/exclusive modes, table
+// latches used during synchronization, and the special compatibility matrix
+// (Fig. 2) for locks transferred from source tables to the transformed
+// table.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nbschema/internal/wal"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared is a read lock.
+	Shared Mode = iota
+	// Exclusive is a write lock. The paper requires all writes to use
+	// exclusive locks (no delta updates, §4.2).
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// compatible reports classic S/X compatibility.
+func compatible(a, b Mode) bool { return a == Shared && b == Shared }
+
+// ErrTimeout is returned when a lock could not be granted within the
+// manager's timeout. The engine resolves deadlocks by aborting the waiter.
+var ErrTimeout = errors.New("lock: wait timed out (possible deadlock)")
+
+type lockKey struct {
+	table string
+	key   string
+}
+
+type waiter struct {
+	txn   wal.TxnID
+	mode  Mode
+	ready chan struct{} // closed when granted
+}
+
+type entry struct {
+	holders map[wal.TxnID]Mode
+	queue   []*waiter
+}
+
+// Manager is a record-lock manager with FIFO-fair wait queues and
+// timeout-based deadlock resolution.
+type Manager struct {
+	mu      sync.Mutex
+	entries map[lockKey]*entry
+	held    map[wal.TxnID]map[lockKey]struct{}
+	timeout time.Duration
+}
+
+// DefaultTimeout is the lock-wait timeout used when none is configured.
+const DefaultTimeout = 2 * time.Second
+
+// NewManager returns a lock manager with the given wait timeout
+// (DefaultTimeout if zero).
+func NewManager(timeout time.Duration) *Manager {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Manager{
+		entries: make(map[lockKey]*entry),
+		held:    make(map[wal.TxnID]map[lockKey]struct{}),
+		timeout: timeout,
+	}
+}
+
+// Acquire obtains a lock on (table, key) for txn, blocking until granted or
+// until the timeout expires. Re-acquiring a held lock is a no-op; an S→X
+// upgrade is granted immediately when txn is the sole holder and queued
+// otherwise.
+func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
+	k := lockKey{table, key}
+	m.mu.Lock()
+	e := m.entries[k]
+	if e == nil {
+		e = &entry{holders: make(map[wal.TxnID]Mode, 1)}
+		m.entries[k] = e
+	}
+	if cur, ok := e.holders[txn]; ok {
+		if cur == Exclusive || mode == Shared {
+			m.mu.Unlock()
+			return nil // already strong enough
+		}
+		// Upgrade: grant immediately if sole holder.
+		if len(e.holders) == 1 {
+			e.holders[txn] = Exclusive
+			m.mu.Unlock()
+			return nil
+		}
+	} else if m.grantable(e, txn, mode) {
+		m.grant(e, k, txn, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{txn: txn, mode: mode, ready: make(chan struct{})}
+	e.queue = append(e.queue, w)
+	m.mu.Unlock()
+
+	timer := time.NewTimer(m.timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return nil
+	case <-timer.C:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		select {
+		case <-w.ready:
+			// Granted between timer firing and lock acquisition.
+			return nil
+		default:
+		}
+		for i, q := range e.queue {
+			if q == w {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				break
+			}
+		}
+		return fmt.Errorf("%w: txn %d, %s%s", ErrTimeout, txn, table, key)
+	}
+}
+
+// grantable reports whether txn may take mode on e right now. Fairness: a
+// new request must also not jump an already-queued conflicting waiter,
+// except that an upgrade request by an existing holder may.
+func (m *Manager) grantable(e *entry, txn wal.TxnID, mode Mode) bool {
+	for h, hm := range e.holders {
+		if h == txn {
+			continue
+		}
+		if !compatible(hm, mode) {
+			return false
+		}
+	}
+	if _, holder := e.holders[txn]; holder {
+		return true
+	}
+	for _, q := range e.queue {
+		if !compatible(q.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grant(e *entry, k lockKey, txn wal.TxnID, mode Mode) {
+	if cur, ok := e.holders[txn]; !ok || mode == Exclusive && cur == Shared {
+		e.holders[txn] = mode
+	}
+	hs := m.held[txn]
+	if hs == nil {
+		hs = make(map[lockKey]struct{}, 8)
+		m.held[txn] = hs
+	}
+	hs[k] = struct{}{}
+}
+
+// wake grants queued waiters in FIFO order for as long as they are
+// compatible with the holders. Called with m.mu held.
+func (m *Manager) wake(e *entry, k lockKey) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		ok := true
+		for h, hm := range e.holders {
+			if h == w.txn {
+				if hm == Exclusive || w.mode == Shared {
+					break // already satisfied
+				}
+				continue // upgrade: only other holders matter
+			}
+			if !compatible(hm, w.mode) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+		m.grant(e, k, w.txn, w.mode)
+		close(w.ready)
+		e.queue = e.queue[1:]
+	}
+}
+
+// ReleaseAll releases every lock held by txn (strict 2PL release at
+// commit/abort) and wakes eligible waiters.
+func (m *Manager) ReleaseAll(txn wal.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k := range m.held[txn] {
+		e := m.entries[k]
+		if e == nil {
+			continue
+		}
+		delete(e.holders, txn)
+		m.wake(e, k)
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(m.entries, k)
+		}
+	}
+	delete(m.held, txn)
+}
+
+// Holders returns the transactions currently holding (table, key) and their
+// modes. The map is a copy.
+func (m *Manager) Holders(table, key string) map[wal.TxnID]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[lockKey{table, key}]
+	if e == nil {
+		return nil
+	}
+	out := make(map[wal.TxnID]Mode, len(e.holders))
+	for t, md := range e.holders {
+		out[t] = md
+	}
+	return out
+}
+
+// HeldCount returns the number of locks held by txn.
+func (m *Manager) HeldCount(txn wal.TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[txn])
+}
+
+// TxnsOnTable returns the set of transactions holding at least one lock on
+// the given table. Used by blocking-commit synchronization to drain a table.
+func (m *Manager) TxnsOnTable(table string) []wal.TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[wal.TxnID]struct{})
+	for txn, keys := range m.held {
+		for k := range keys {
+			if k.table == table {
+				seen[txn] = struct{}{}
+				break
+			}
+		}
+	}
+	out := make([]wal.TxnID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	return out
+}

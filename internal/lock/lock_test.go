@@ -1,0 +1,232 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nbschema/internal/wal"
+)
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Error("Mode.String wrong")
+	}
+}
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	m := NewManager(0)
+	if err := m.Acquire(1, "t", "k", Exclusive); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if m.HeldCount(1) != 1 {
+		t.Errorf("HeldCount = %d", m.HeldCount(1))
+	}
+	h := m.Holders("t", "k")
+	if len(h) != 1 || h[1] != Exclusive {
+		t.Errorf("Holders = %v", h)
+	}
+	m.ReleaseAll(1)
+	if m.HeldCount(1) != 0 || len(m.Holders("t", "k")) != 0 {
+		t.Error("locks not released")
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := NewManager(0)
+	for txn := wal.TxnID(1); txn <= 3; txn++ {
+		if err := m.Acquire(1, "t", "k", Shared); err != nil {
+			t.Fatalf("shared acquire %d: %v", txn, err)
+		}
+	}
+}
+
+func TestExclusiveBlocksAndTimesOut(t *testing.T) {
+	m := NewManager(50 * time.Millisecond)
+	if err := m.Acquire(1, "t", "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Acquire(2, "t", "k", Exclusive)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+	// Holder can still release cleanly afterwards.
+	m.ReleaseAll(1)
+	if err := m.Acquire(2, "t", "k", Exclusive); err != nil {
+		t.Fatalf("post-release acquire: %v", err)
+	}
+}
+
+func TestWaiterIsWokenOnRelease(t *testing.T) {
+	m := NewManager(time.Second)
+	if err := m.Acquire(1, "t", "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, "t", "k", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woken")
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	m := NewManager(0)
+	if err := m.Acquire(1, "t", "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, "t", "k", Exclusive); err != nil {
+		t.Fatal("reacquire X should succeed")
+	}
+	if err := m.Acquire(1, "t", "k", Shared); err != nil {
+		t.Fatal("S under X should succeed")
+	}
+	if m.HeldCount(1) != 1 {
+		t.Errorf("HeldCount = %d, want 1", m.HeldCount(1))
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := NewManager(0)
+	if err := m.Acquire(1, "t", "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, "t", "k", Exclusive); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	if m.Holders("t", "k")[1] != Exclusive {
+		t.Error("lock not upgraded")
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := NewManager(time.Second)
+	if err := m.Acquire(1, "t", "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "t", "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(1, "t", "k", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("upgrade should wait for txn 2")
+	default:
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatalf("upgrade after release: %v", err)
+	}
+}
+
+func TestUpgradeDeadlockResolvedByTimeout(t *testing.T) {
+	m := NewManager(50 * time.Millisecond)
+	if err := m.Acquire(1, "t", "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "t", "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var timeouts atomic.Int32
+	for _, txn := range []wal.TxnID{1, 2} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if errors.Is(m.Acquire(txn, "t", "k", Exclusive), ErrTimeout) {
+				timeouts.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if timeouts.Load() == 0 {
+		t.Error("upgrade deadlock should time at least one txn out")
+	}
+}
+
+func TestFIFOFairnessWriterNotStarved(t *testing.T) {
+	m := NewManager(2 * time.Second)
+	if err := m.Acquire(1, "t", "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- m.Acquire(2, "t", "k", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	// A later shared request must queue behind the waiting writer.
+	readerDone := make(chan error, 1)
+	go func() { readerDone <- m.Acquire(3, "t", "k", Shared) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-readerDone:
+		t.Fatal("reader jumped the writer queue")
+	default:
+	}
+	m.ReleaseAll(1)
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-readerDone; err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+}
+
+func TestTxnsOnTable(t *testing.T) {
+	m := NewManager(0)
+	if err := m.Acquire(1, "a", "k1", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "a", "k2", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(3, "b", "k1", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := m.TxnsOnTable("a")
+	if len(got) != 2 {
+		t.Errorf("TxnsOnTable(a) = %v", got)
+	}
+	if got := m.TxnsOnTable("c"); len(got) != 0 {
+		t.Errorf("TxnsOnTable(c) = %v", got)
+	}
+}
+
+func TestConcurrentContention(t *testing.T) {
+	m := NewManager(5 * time.Second)
+	const txns = 16
+	var counter int // protected by the lock under test
+	var wg sync.WaitGroup
+	for i := 1; i <= txns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if err := m.Acquire(wal.TxnID(i), "t", "k", Exclusive); err != nil {
+					t.Errorf("txn %d: %v", i, err)
+					return
+				}
+				counter++
+				m.ReleaseAll(wal.TxnID(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != txns*25 {
+		t.Errorf("counter = %d, want %d (mutual exclusion broken)", counter, txns*25)
+	}
+}
+
+func TestReleaseAllUnknownTxn(t *testing.T) {
+	m := NewManager(0)
+	m.ReleaseAll(42) // must not panic
+}

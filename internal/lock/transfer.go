@@ -1,0 +1,205 @@
+package lock
+
+import (
+	"fmt"
+	"sync"
+
+	"nbschema/internal/wal"
+)
+
+// Origin tells where a lock on a transformed-table record came from: carried
+// over from source table R, from source table S, or taken directly on the
+// transformed table T by a post-synchronization transaction.
+type Origin uint8
+
+const (
+	// OriginR marks a lock transferred from the first source table.
+	OriginR Origin = iota
+	// OriginS marks a lock transferred from the second source table.
+	OriginS
+	// OriginT marks a direct lock on the transformed table.
+	OriginT
+)
+
+// String returns "R", "S" or "T".
+func (o Origin) String() string {
+	switch o {
+	case OriginR:
+		return "R"
+	case OriginS:
+		return "S"
+	case OriginT:
+		return "T"
+	default:
+		return fmt.Sprintf("origin(%d)", uint8(o))
+	}
+}
+
+// transferMatrix is the compatibility matrix of Fig. 2, indexed by
+// [origin*2 + mode] with mode 0 = read, 1 = write, in the paper's order
+// R.r, S.r, T.r, R.w, S.w, T.w. Locks transferred from the two source tables
+// never conflict with each other — operations on R and S cannot modify the
+// same attributes of a T record — but direct T locks conflict with
+// transferred writes, and transferred locks conflict with direct writes.
+var transferMatrix = [6][6]bool{
+	//           R.r    S.r    T.r    R.w    S.w    T.w
+	/* R.r */ {true, true, true, true, true, false},
+	/* S.r */ {true, true, true, true, true, false},
+	/* T.r */ {true, true, true, false, false, false},
+	/* R.w */ {true, true, false, true, true, false},
+	/* S.w */ {true, true, false, true, true, false},
+	/* T.w */ {false, false, false, false, false, false},
+}
+
+func matrixIndex(o Origin, m Mode) int {
+	i := int(o)
+	if m == Exclusive {
+		i += 3
+	}
+	return i
+}
+
+// TransferCompatible reports whether a lock held with (heldOrigin, heldMode)
+// on a transformed-table record is compatible with a request for
+// (reqOrigin, reqMode) on the same record, per Fig. 2 of the paper.
+func TransferCompatible(heldOrigin Origin, heldMode Mode, reqOrigin Origin, reqMode Mode) bool {
+	return transferMatrix[matrixIndex(heldOrigin, heldMode)][matrixIndex(reqOrigin, reqMode)]
+}
+
+// ErrShadowConflict is returned when a requested lock conflicts with a
+// transferred lock under the Fig. 2 matrix.
+var ErrShadowConflict = fmt.Errorf("lock: conflict with transferred lock")
+
+type shadowLock struct {
+	origin Origin
+	mode   Mode
+}
+
+// ShadowTable tracks locks that the log propagator maintains on
+// transformed-table records on behalf of source-table transactions
+// ("locks are maintained on records in the transformed tables during the
+// entire transformation", §3.3). The locks are merely recorded during
+// propagation; enforcement is switched on at synchronization, when user
+// transactions can reach both old and new tables.
+type ShadowTable struct {
+	mu      sync.Mutex
+	locks   map[string]map[wal.TxnID]shadowLock // T-record key → owner → lock
+	byTxn   map[wal.TxnID]map[string]struct{}
+	enforce bool
+}
+
+// NewShadowTable returns an empty shadow lock table.
+func NewShadowTable() *ShadowTable {
+	return &ShadowTable{
+		locks: make(map[string]map[wal.TxnID]shadowLock),
+		byTxn: make(map[wal.TxnID]map[string]struct{}),
+	}
+}
+
+// Place records (or upgrades) a transferred lock on the transformed-table
+// record identified by key, owned by txn. The propagator calls this while
+// redoing each logged operation.
+func (s *ShadowTable) Place(txn wal.TxnID, key string, origin Origin, mode Mode) {
+	if txn == 0 {
+		return // system records carry no user locks
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owners := s.locks[key]
+	if owners == nil {
+		owners = make(map[wal.TxnID]shadowLock, 1)
+		s.locks[key] = owners
+	}
+	if cur, ok := owners[txn]; !ok || cur.mode == Shared && mode == Exclusive {
+		owners[txn] = shadowLock{origin: origin, mode: mode}
+	}
+	keys := s.byTxn[txn]
+	if keys == nil {
+		keys = make(map[string]struct{}, 4)
+		s.byTxn[txn] = keys
+	}
+	keys[key] = struct{}{}
+}
+
+// ReleaseTxn drops every transferred lock owned by txn. The propagator calls
+// this when it processes the transaction's commit or abort log record
+// ("locks are released when the propagator encounters a transaction aborted
+// or committed log record", §4.3).
+func (s *ShadowTable) ReleaseTxn(txn wal.TxnID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.byTxn[txn] {
+		owners := s.locks[key]
+		delete(owners, txn)
+		if len(owners) == 0 {
+			delete(s.locks, key)
+		}
+	}
+	delete(s.byTxn, txn)
+}
+
+// SetEnforce switches conflict checking on or off. It is off during
+// propagation (locks "are ignored for now", §3.3) and on from the start of
+// synchronization.
+func (s *ShadowTable) SetEnforce(on bool) {
+	s.mu.Lock()
+	s.enforce = on
+	s.mu.Unlock()
+}
+
+// Enforcing reports whether conflicts are currently being checked.
+func (s *ShadowTable) Enforcing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enforce
+}
+
+// Check reports whether txn may take (origin, mode) on the record identified
+// by key given the transferred locks present. It returns nil when
+// enforcement is off, when there is no conflicting lock, or when every
+// conflicting lock is owned by txn itself.
+func (s *ShadowTable) Check(txn wal.TxnID, key string, origin Origin, mode Mode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.enforce {
+		return nil
+	}
+	for owner, l := range s.locks[key] {
+		if owner == txn {
+			continue
+		}
+		if !TransferCompatible(l.origin, l.mode, origin, mode) {
+			return fmt.Errorf("%w: txn %d holds %s.%s on %q", ErrShadowConflict, owner, l.origin, l.mode, key)
+		}
+	}
+	return nil
+}
+
+// LockedKeys returns the number of transformed-table records currently
+// carrying at least one transferred lock.
+func (s *ShadowTable) LockedKeys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.locks)
+}
+
+// Owners returns the transactions holding transferred locks on key, with
+// their origins and modes. The map is a copy (for tests and introspection).
+func (s *ShadowTable) Owners(key string) map[wal.TxnID]struct {
+	Origin Origin
+	Mode   Mode
+} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[wal.TxnID]struct {
+		Origin Origin
+		Mode   Mode
+	}, len(s.locks[key]))
+	for txn, l := range s.locks[key] {
+		out[txn] = struct {
+			Origin Origin
+			Mode   Mode
+		}{l.origin, l.mode}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFigure2Matrix checks the transferred-lock compatibility matrix cell by
+// cell against Figure 2 of the paper (order R.r, S.r, T.r, R.w, S.w, T.w).
+func TestFigure2Matrix(t *testing.T) {
+	type lk struct {
+		o Origin
+		m Mode
+	}
+	order := []lk{
+		{OriginR, Shared}, {OriginS, Shared}, {OriginT, Shared},
+		{OriginR, Exclusive}, {OriginS, Exclusive}, {OriginT, Exclusive},
+	}
+	want := [6][6]bool{
+		{true, true, true, true, true, false},
+		{true, true, true, true, true, false},
+		{true, true, true, false, false, false},
+		{true, true, false, true, true, false},
+		{true, true, false, true, true, false},
+		{false, false, false, false, false, false},
+	}
+	for i, held := range order {
+		for j, req := range order {
+			got := TransferCompatible(held.o, held.m, req.o, req.m)
+			if got != want[i][j] {
+				t.Errorf("TransferCompatible(%s.%s, %s.%s) = %v, want %v",
+					held.o, held.m, req.o, req.m, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestFigure2MatrixIsSymmetric(t *testing.T) {
+	origins := []Origin{OriginR, OriginS, OriginT}
+	modes := []Mode{Shared, Exclusive}
+	for _, ho := range origins {
+		for _, hm := range modes {
+			for _, ro := range origins {
+				for _, rm := range modes {
+					if TransferCompatible(ho, hm, ro, rm) != TransferCompatible(ro, rm, ho, hm) {
+						t.Errorf("matrix asymmetric at (%s.%s, %s.%s)", ho, hm, ro, rm)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginR.String() != "R" || OriginS.String() != "S" || OriginT.String() != "T" {
+		t.Error("Origin.String wrong")
+	}
+	if Origin(9).String() != "origin(9)" {
+		t.Error("unknown origin string wrong")
+	}
+}
+
+func TestShadowPlaceCheckRelease(t *testing.T) {
+	s := NewShadowTable()
+	s.Place(1, "k", OriginR, Exclusive)
+	if s.LockedKeys() != 1 {
+		t.Errorf("LockedKeys = %d", s.LockedKeys())
+	}
+
+	// Enforcement off: everything passes.
+	if err := s.Check(2, "k", OriginT, Exclusive); err != nil {
+		t.Errorf("check with enforcement off: %v", err)
+	}
+	if s.Enforcing() {
+		t.Error("should not be enforcing yet")
+	}
+
+	s.SetEnforce(true)
+	if !s.Enforcing() {
+		t.Error("should be enforcing")
+	}
+	// Direct T write conflicts with transferred R write.
+	if err := s.Check(2, "k", OriginT, Exclusive); !errors.Is(err, ErrShadowConflict) {
+		t.Errorf("expected shadow conflict, got %v", err)
+	}
+	// But a transferred S write does not (Fig. 2).
+	if err := s.Check(2, "k", OriginS, Exclusive); err != nil {
+		t.Errorf("S.w vs held R.w should be compatible: %v", err)
+	}
+	// The owner itself always passes.
+	if err := s.Check(1, "k", OriginT, Exclusive); err != nil {
+		t.Errorf("owner self-check: %v", err)
+	}
+	// Unrelated key passes.
+	if err := s.Check(2, "other", OriginT, Exclusive); err != nil {
+		t.Errorf("unrelated key: %v", err)
+	}
+
+	s.ReleaseTxn(1)
+	if s.LockedKeys() != 0 {
+		t.Errorf("LockedKeys after release = %d", s.LockedKeys())
+	}
+	if err := s.Check(2, "k", OriginT, Exclusive); err != nil {
+		t.Errorf("check after release: %v", err)
+	}
+}
+
+func TestShadowUpgradeAndSystemTxn(t *testing.T) {
+	s := NewShadowTable()
+	s.SetEnforce(true)
+
+	// System txn 0 never places locks.
+	s.Place(0, "k", OriginR, Exclusive)
+	if s.LockedKeys() != 0 {
+		t.Error("system txn must not place shadow locks")
+	}
+
+	// Shared then exclusive upgrades; exclusive then shared keeps exclusive.
+	s.Place(1, "k", OriginR, Shared)
+	if err := s.Check(2, "k", OriginT, Shared); err != nil {
+		t.Errorf("T.r vs held R.r should pass: %v", err)
+	}
+	s.Place(1, "k", OriginR, Exclusive)
+	if err := s.Check(2, "k", OriginT, Shared); err == nil {
+		t.Error("T.r vs held R.w should conflict")
+	}
+	s.Place(1, "k", OriginR, Shared) // must not downgrade
+	if err := s.Check(2, "k", OriginT, Shared); err == nil {
+		t.Error("shadow lock must not downgrade")
+	}
+
+	owners := s.Owners("k")
+	if len(owners) != 1 || owners[1].Mode != Exclusive || owners[1].Origin != OriginR {
+		t.Errorf("Owners = %v", owners)
+	}
+}
+
+func TestShadowMultipleOwners(t *testing.T) {
+	s := NewShadowTable()
+	s.SetEnforce(true)
+	// One-to-many: an R write and an S write can land on the same T record
+	// without conflicting (Fig. 2), e.g. r updated and its joined s updated.
+	s.Place(1, "k", OriginR, Exclusive)
+	s.Place(2, "k", OriginS, Exclusive)
+	if len(s.Owners("k")) != 2 {
+		t.Fatalf("Owners = %v", s.Owners("k"))
+	}
+	// A third transaction touching T directly conflicts with both.
+	if err := s.Check(3, "k", OriginT, Shared); err == nil {
+		t.Error("direct read should conflict with transferred writes")
+	}
+	s.ReleaseTxn(1)
+	if err := s.Check(3, "k", OriginT, Shared); err == nil {
+		t.Error("still one transferred write left")
+	}
+	s.ReleaseTxn(2)
+	if err := s.Check(3, "k", OriginT, Exclusive); err != nil {
+		t.Errorf("all released: %v", err)
+	}
+}
+
+func TestLatchSharedExclusive(t *testing.T) {
+	l := NewLatch()
+	l.AcquireShared()
+	l.AcquireShared()
+	if l.TryAcquireExclusive() {
+		t.Fatal("exclusive must not be grantable under shared")
+	}
+	l.ReleaseShared()
+	l.ReleaseShared()
+	if !l.TryAcquireExclusive() {
+		t.Fatal("exclusive should be grantable when free")
+	}
+	l.ReleaseExclusive()
+}
+
+func TestLatchWriterBlocksNewReaders(t *testing.T) {
+	l := NewLatch()
+	l.AcquireShared()
+	wDone := make(chan struct{})
+	go func() {
+		l.AcquireExclusive()
+		close(wDone)
+	}()
+	// Wait for the writer to be registered as pending.
+	for !l.PendingExclusive() {
+		time.Sleep(time.Millisecond)
+	}
+	rDone := make(chan struct{})
+	go func() {
+		l.AcquireShared()
+		close(rDone)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-rDone:
+		t.Fatal("new reader must queue behind pending writer")
+	case <-wDone:
+		t.Fatal("writer acquired while reader held")
+	default:
+	}
+	l.ReleaseShared()
+	<-wDone
+	select {
+	case <-rDone:
+		t.Fatal("reader acquired while writer held")
+	default:
+	}
+	l.ReleaseExclusive()
+	<-rDone
+	l.ReleaseShared()
+}
+
+func TestLatchReleasePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("ReleaseShared", func() { NewLatch().ReleaseShared() })
+	assertPanics("ReleaseExclusive", func() { NewLatch().ReleaseExclusive() })
+}

@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"fmt"
+
+	"nbschema/internal/value"
+)
+
+// Index is a hash index over a subset of a table's columns. Unique indexes
+// reject duplicate keys; non-unique indexes map a key to a set of primary
+// keys. Index access is synchronized by the owning table's latch.
+type Index struct {
+	name   string
+	cols   []int
+	unique bool
+	// entries maps encoded index key → set of encoded primary keys.
+	entries map[string]map[string]struct{}
+}
+
+// CreateIndex adds an index over the given column positions to the table and
+// backfills it from existing rows. The paper's preparation step creates
+// target-table indexes before population so they are up to date when the
+// transformation completes (§3.1).
+func (t *Table) CreateIndex(name string, cols []int, unique bool) (*Index, error) {
+	for _, c := range cols {
+		if c < 0 || c >= len(t.def.Columns) {
+			return nil, fmt.Errorf("storage: index %s on table %s: column %d out of range", name, t.def.Name, c)
+		}
+	}
+	ix := &Index{
+		name:    name,
+		cols:    append([]int(nil), cols...),
+		unique:  unique,
+		entries: make(map[string]map[string]struct{}),
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.indexes[name]; exists {
+		return nil, fmt.Errorf("storage: table %s already has index %s", t.def.Name, name)
+	}
+	for pk, rec := range t.rows {
+		if err := ix.insert(rec.Row, pk); err != nil {
+			return nil, err
+		}
+	}
+	t.indexes[name] = ix
+	return ix, nil
+}
+
+// Index returns a previously created index by name, or nil.
+func (t *Table) Index(name string) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[name]
+}
+
+func (ix *Index) keyOf(row value.Tuple) string {
+	return row.Project(ix.cols).Encode()
+}
+
+func (ix *Index) insert(row value.Tuple, pk string) error {
+	k := ix.keyOf(row)
+	set := ix.entries[k]
+	if set == nil {
+		set = make(map[string]struct{}, 1)
+		ix.entries[k] = set
+	}
+	if ix.unique && len(set) > 0 {
+		if _, self := set[pk]; !self {
+			return fmt.Errorf("storage: unique index %s violated by key %s", ix.name, row.Project(ix.cols))
+		}
+	}
+	set[pk] = struct{}{}
+	return nil
+}
+
+func (ix *Index) remove(row value.Tuple, pk string) {
+	k := ix.keyOf(row)
+	set := ix.entries[k]
+	delete(set, pk)
+	if len(set) == 0 {
+		delete(ix.entries, k)
+	}
+}
+
+// Lookup returns the rows whose index key equals key, as clones, together
+// with their LSNs. The table latch is taken by the caller-facing wrapper on
+// Table, so use Table.LookupIndex instead of calling this directly.
+func (t *Table) LookupIndex(name string, key value.Tuple) ([]value.Tuple, []string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix := t.indexes[name]
+	if ix == nil {
+		return nil, nil, fmt.Errorf("storage: table %s has no index %s", t.def.Name, name)
+	}
+	set := ix.entries[key.Encode()]
+	rows := make([]value.Tuple, 0, len(set))
+	pks := make([]string, 0, len(set))
+	for pk := range set {
+		if rec, ok := t.rows[pk]; ok {
+			rows = append(rows, rec.Row.Clone())
+			pks = append(pks, pk)
+		}
+	}
+	return rows, pks, nil
+}
+
+// IndexCount returns the number of distinct keys in the named index (for
+// tests and stats); -1 if the index does not exist.
+func (t *Table) IndexCount(name string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix := t.indexes[name]
+	if ix == nil {
+		return -1
+	}
+	return len(ix.entries)
+}
+
+// CheckUnique reports whether row would violate any unique index of the
+// table, ignoring the record stored under excludeKey (the row's own previous
+// version during an update). The engine calls this before logging so that a
+// logged operation can never fail to apply.
+func (t *Table) CheckUnique(row value.Tuple, excludeKey string) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		for pk := range ix.entries[ix.keyOf(row)] {
+			if pk != excludeKey {
+				return fmt.Errorf("storage: unique index %s violated by key %s", ix.name, row.Project(ix.cols))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"testing"
+
+	"nbschema/internal/value"
+)
+
+func TestCreateIndexAndLookup(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	for i := int64(1); i <= 6; i++ {
+		dept := "eng"
+		if i%2 == 0 {
+			dept = "ops"
+		}
+		if err := tbl.Insert(row(i, dept, i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.CreateIndex("by_dept", []int{1}, false); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	rows, pks, err := tbl.LookupIndex("by_dept", value.Tuple{value.Str("eng")})
+	if err != nil || len(rows) != 3 || len(pks) != 3 {
+		t.Fatalf("Lookup eng = %d rows, %v", len(rows), err)
+	}
+	for _, r := range rows {
+		if r[1].AsString() != "eng" {
+			t.Errorf("wrong row in lookup: %v", r)
+		}
+	}
+	if tbl.IndexCount("by_dept") != 2 {
+		t.Errorf("IndexCount = %d, want 2 distinct keys", tbl.IndexCount("by_dept"))
+	}
+	if tbl.IndexCount("nope") != -1 {
+		t.Error("missing index count should be -1")
+	}
+}
+
+func TestIndexMaintainedByDML(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if _, err := tbl.CreateIndex("by_dept", []int{1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(1, "eng", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(2, "eng", 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, _ := tbl.LookupIndex("by_dept", value.Tuple{value.Str("eng")})
+	if len(rows) != 2 {
+		t.Fatalf("after inserts: %d rows", len(rows))
+	}
+	// Update moves the record between index keys.
+	if _, err := tbl.Update(value.Tuple{value.Int(1)}, []int{1}, value.Tuple{value.Str("ops")}, 2); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, _ = tbl.LookupIndex("by_dept", value.Tuple{value.Str("eng")})
+	if len(rows) != 1 {
+		t.Errorf("after update, eng = %d rows", len(rows))
+	}
+	rows, _, _ = tbl.LookupIndex("by_dept", value.Tuple{value.Str("ops")})
+	if len(rows) != 1 {
+		t.Errorf("after update, ops = %d rows", len(rows))
+	}
+	// Delete removes the entry.
+	if _, err := tbl.Delete(value.Tuple{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, _ = tbl.LookupIndex("by_dept", value.Tuple{value.Str("ops")})
+	if len(rows) != 0 {
+		t.Errorf("after delete, ops = %d rows", len(rows))
+	}
+}
+
+func TestUniqueIndex(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if _, err := tbl.CreateIndex("u_salary", []int{2}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(1, "a", 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(2, "b", 100), 1); err == nil {
+		t.Fatal("unique index should reject duplicate")
+	}
+	// The failed insert must not leave the row behind.
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d after rejected insert", tbl.Len())
+	}
+	if _, _, err := tbl.Get(value.Tuple{value.Int(2)}); err == nil {
+		t.Error("rejected row should not be stored")
+	}
+	// Updating to a duplicate unique key must also fail cleanly.
+	if err := tbl.Insert(row(3, "c", 300), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Update(value.Tuple{value.Int(3)}, []int{2}, value.Tuple{value.Int(100)}, 2); err == nil {
+		t.Error("unique index should reject duplicate via update")
+	}
+}
+
+func TestCreateIndexValidation(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if _, err := tbl.CreateIndex("bad", []int{9}, false); err == nil {
+		t.Error("out-of-range column should fail")
+	}
+	if _, err := tbl.CreateIndex("a", []int{1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("a", []int{1}, false); err == nil {
+		t.Error("duplicate index name should fail")
+	}
+	if tbl.Index("a") == nil {
+		t.Error("Index(a) should exist")
+	}
+	if tbl.Index("zz") != nil {
+		t.Error("Index(zz) should be nil")
+	}
+}
+
+func TestCreateIndexBackfillUniqueViolation(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if err := tbl.Insert(row(1, "a", 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(2, "b", 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("u", []int{2}, true); err == nil {
+		t.Error("backfill over duplicates should fail for a unique index")
+	}
+}
+
+func TestLookupMissingIndex(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if _, _, err := tbl.LookupIndex("ghost", value.Tuple{value.Int(1)}); err == nil {
+		t.Error("lookup on missing index should fail")
+	}
+}
+
+func TestIndexOnMultipleColumns(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if _, err := tbl.CreateIndex("multi", []int{1, 2}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(1, "a", 5), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(2, "a", 6), 1); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, _ := tbl.LookupIndex("multi", value.Tuple{value.Str("a"), value.Int(5)})
+	if len(rows) != 1 || rows[0][0].AsInt() != 1 {
+		t.Errorf("multi lookup = %v", rows)
+	}
+}
+
+func TestLookupReturnsClones(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if _, err := tbl.CreateIndex("by_dept", []int{1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(1, "a", 5), 1); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, _ := tbl.LookupIndex("by_dept", value.Tuple{value.Str("a")})
+	rows[0][2] = value.Int(999)
+	got, _, _ := tbl.Get(value.Tuple{value.Int(1)})
+	if got[2].AsInt() != 5 {
+		t.Error("LookupIndex must return clones")
+	}
+}

@@ -1,0 +1,263 @@
+// Package storage implements in-memory heap tables with per-record LSNs and
+// hash indexes, plus the fuzzy (lock-free, chunked) scan the transformation
+// framework uses for its initial population step.
+//
+// Storage is physically synchronized with short-held latches; transactional
+// isolation (record locks) lives a layer above, in internal/engine. This is
+// exactly the split the paper relies on: a fuzzy read takes no transactional
+// locks but is physically safe.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+// Common storage errors.
+var (
+	ErrDuplicateKey = errors.New("storage: duplicate primary key")
+	ErrNotFound     = errors.New("storage: record not found")
+)
+
+// Record is one stored row plus its state identifier (the LSN of the log
+// record that produced this version), as required by the fuzzy-copy
+// technique the framework builds on.
+type Record struct {
+	Row value.Tuple
+	LSN wal.LSN
+}
+
+// Table is an in-memory heap table keyed by encoded primary key.
+type Table struct {
+	def *catalog.TableDef
+
+	mu      sync.RWMutex
+	rows    map[string]*Record
+	indexes map[string]*Index
+}
+
+// NewTable returns an empty table for the given definition.
+func NewTable(def *catalog.TableDef) *Table {
+	return &Table{
+		def:     def,
+		rows:    make(map[string]*Record),
+		indexes: make(map[string]*Index),
+	}
+}
+
+// Def returns the table definition.
+func (t *Table) Def() *catalog.TableDef { return t.def }
+
+// Len returns the number of stored records.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// EncodeKey encodes a primary-key tuple the way this table keys its rows.
+func (t *Table) EncodeKey(key value.Tuple) string { return key.Encode() }
+
+// KeyOfRow extracts and encodes the primary key of a full row.
+func (t *Table) KeyOfRow(row value.Tuple) string { return t.def.KeyOf(row).Encode() }
+
+// Insert stores a new row version with the given LSN. The row is cloned.
+func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
+	key := t.KeyOfRow(row)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.rows[key]; exists {
+		return fmt.Errorf("%w: %s in table %s", ErrDuplicateKey, t.def.KeyOf(row), t.def.Name)
+	}
+	rec := &Record{Row: row.Clone(), LSN: lsn}
+	t.rows[key] = rec
+	for _, ix := range t.indexes {
+		if err := ix.insert(rec.Row, key); err != nil {
+			// Roll the partial insert back so storage stays consistent.
+			for _, ix2 := range t.indexes {
+				if ix2 == ix {
+					break
+				}
+				ix2.remove(rec.Row, key)
+			}
+			delete(t.rows, key)
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of the record stored under key, or ErrNotFound.
+func (t *Table) Get(key value.Tuple) (value.Tuple, wal.LSN, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rec, ok := t.rows[key.Encode()]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
+	}
+	return rec.Row.Clone(), rec.LSN, nil
+}
+
+// Update overwrites the values of the given column positions and sets the
+// record LSN. It returns the updated full row. If the primary key changes,
+// the record is re-keyed.
+func (t *Table) Update(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LSN) (value.Tuple, error) {
+	if len(cols) != len(vals) {
+		return nil, fmt.Errorf("storage: update arity mismatch: %d cols, %d vals", len(cols), len(vals))
+	}
+	enc := key.Encode()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.rows[enc]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
+	}
+	newRow := rec.Row.Clone()
+	for i, c := range cols {
+		if c < 0 || c >= len(newRow) {
+			return nil, fmt.Errorf("storage: update of table %s: column %d out of range", t.def.Name, c)
+		}
+		newRow[c] = vals[i]
+	}
+	newEnc := t.KeyOfRow(newRow)
+	if newEnc != enc {
+		if _, exists := t.rows[newEnc]; exists {
+			return nil, fmt.Errorf("%w: update re-keys %s onto existing %s", ErrDuplicateKey, key, t.def.KeyOf(newRow))
+		}
+	}
+	for _, ix := range t.indexes {
+		ix.remove(rec.Row, enc)
+	}
+	rec.Row = newRow
+	rec.LSN = lsn
+	if newEnc != enc {
+		delete(t.rows, enc)
+		t.rows[newEnc] = rec
+		enc = newEnc
+	}
+	for _, ix := range t.indexes {
+		if err := ix.insert(rec.Row, enc); err != nil {
+			return nil, err
+		}
+	}
+	return newRow.Clone(), nil
+}
+
+// SetLSN bumps only the state identifier of an existing record. Split
+// propagation rule 10 requires this ("The LSN is changed even if no
+// attribute values ... are updated").
+func (t *Table) SetLSN(key value.Tuple, lsn wal.LSN) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.rows[key.Encode()]
+	if !ok {
+		return fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
+	}
+	rec.LSN = lsn
+	return nil
+}
+
+// Delete removes the record stored under key and returns its last row image.
+func (t *Table) Delete(key value.Tuple) (value.Tuple, error) {
+	enc := key.Encode()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.rows[enc]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
+	}
+	for _, ix := range t.indexes {
+		ix.remove(rec.Row, enc)
+	}
+	delete(t.rows, enc)
+	return rec.Row, nil
+}
+
+// Scan calls fn for every record under a read latch, in unspecified order.
+// fn must not modify the table. The row passed to fn is the live tuple; fn
+// must clone it if it retains it.
+func (t *Table) Scan(fn func(row value.Tuple, lsn wal.LSN) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, rec := range t.rows {
+		if !fn(rec.Row, rec.LSN) {
+			return
+		}
+	}
+}
+
+// FuzzyScan reads the table without transactional locks, in chunks, so that
+// concurrent updates can land between chunks: the result may mix record
+// versions from before and during the scan, exactly the fuzziness the
+// framework's log propagation repairs. chunk <= 0 selects a default.
+func (t *Table) FuzzyScan(chunk int, fn func(row value.Tuple, lsn wal.LSN)) {
+	if chunk <= 0 {
+		chunk = 256
+	}
+	// Snapshot the key set first; records inserted after this point are
+	// missed (repaired by log propagation), records deleted after this
+	// point are skipped.
+	t.mu.RLock()
+	keys := make([]string, 0, len(t.rows))
+	for k := range t.rows {
+		keys = append(keys, k)
+	}
+	t.mu.RUnlock()
+
+	for start := 0; start < len(keys); start += chunk {
+		end := min(start+chunk, len(keys))
+		t.mu.RLock()
+		for _, k := range keys[start:end] {
+			if rec, ok := t.rows[k]; ok {
+				fn(rec.Row.Clone(), rec.LSN)
+			}
+		}
+		t.mu.RUnlock()
+	}
+}
+
+// FuzzyScanChunks is FuzzyScan's batch form: each chunk of rows is copied
+// out under the latch and delivered to fn with no latch held, so fn may
+// block (e.g. a priority-throttle sleep) without stalling writers.
+func (t *Table) FuzzyScanChunks(chunk int, fn func(rows []Record)) {
+	if chunk <= 0 {
+		chunk = 256
+	}
+	t.mu.RLock()
+	keys := make([]string, 0, len(t.rows))
+	for k := range t.rows {
+		keys = append(keys, k)
+	}
+	t.mu.RUnlock()
+
+	buf := make([]Record, 0, chunk)
+	for start := 0; start < len(keys); start += chunk {
+		end := min(start+chunk, len(keys))
+		buf = buf[:0]
+		t.mu.RLock()
+		for _, k := range keys[start:end] {
+			if rec, ok := t.rows[k]; ok {
+				buf = append(buf, Record{Row: rec.Row.Clone(), LSN: rec.LSN})
+			}
+		}
+		t.mu.RUnlock()
+		fn(buf)
+	}
+}
+
+// Rows returns a deep copy of all rows keyed by encoded primary key
+// (for tests and verification).
+func (t *Table) Rows() map[string]value.Tuple {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]value.Tuple, len(t.rows))
+	for k, rec := range t.rows {
+		out[k] = rec.Row.Clone()
+	}
+	return out
+}

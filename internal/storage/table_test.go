@@ -1,0 +1,287 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+func testDef(t *testing.T) *catalog.TableDef {
+	t.Helper()
+	d, err := catalog.NewTableDef("emp", []catalog.Column{
+		{Name: "id", Type: value.KindInt},
+		{Name: "dept", Type: value.KindString, Nullable: true},
+		{Name: "salary", Type: value.KindInt, Nullable: true},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func row(id int64, dept string, salary int64) value.Tuple {
+	return value.Tuple{value.Int(id), value.Str(dept), value.Int(salary)}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if err := tbl.Insert(row(1, "eng", 100), 10); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	got, lsn, err := tbl.Get(value.Tuple{value.Int(1)})
+	if err != nil || lsn != 10 || !got.Equal(row(1, "eng", 100)) {
+		t.Fatalf("Get = %v, %d, %v", got, lsn, err)
+	}
+	if _, _, err := tbl.Get(value.Tuple{value.Int(2)}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing Get err = %v", err)
+	}
+	img, err := tbl.Delete(value.Tuple{value.Int(1)})
+	if err != nil || !img.Equal(row(1, "eng", 100)) {
+		t.Fatalf("Delete = %v, %v", img, err)
+	}
+	if tbl.Len() != 0 {
+		t.Error("table should be empty")
+	}
+	if _, err := tbl.Delete(value.Tuple{value.Int(1)}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v", err)
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if err := tbl.Insert(row(1, "a", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(1, "b", 2), 2); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("dup insert err = %v", err)
+	}
+}
+
+func TestInsertClonesRow(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	r := row(1, "a", 1)
+	if err := tbl.Insert(r, 1); err != nil {
+		t.Fatal(err)
+	}
+	r[1] = value.Str("mutated")
+	got, _, _ := tbl.Get(value.Tuple{value.Int(1)})
+	if got[1].AsString() != "a" {
+		t.Error("Insert must clone the row")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	updated, err := tbl.Update(value.Tuple{value.Int(1)}, []int{2}, value.Tuple{value.Int(150)}, 5)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if updated[2].AsInt() != 150 || updated[1].AsString() != "eng" {
+		t.Errorf("updated row = %v", updated)
+	}
+	_, lsn, _ := tbl.Get(value.Tuple{value.Int(1)})
+	if lsn != 5 {
+		t.Errorf("LSN = %d, want 5", lsn)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if err := tbl.Insert(row(1, "a", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Update(value.Tuple{value.Int(2)}, []int{1}, value.Tuple{value.Str("x")}, 2); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing update err = %v", err)
+	}
+	if _, err := tbl.Update(value.Tuple{value.Int(1)}, []int{1, 2}, value.Tuple{value.Str("x")}, 2); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := tbl.Update(value.Tuple{value.Int(1)}, []int{9}, value.Tuple{value.Str("x")}, 2); err == nil {
+		t.Error("out-of-range column should fail")
+	}
+}
+
+func TestUpdateRekeys(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if err := tbl.Insert(row(1, "a", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(2, "b", 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-keying onto an existing key must fail.
+	if _, err := tbl.Update(value.Tuple{value.Int(1)}, []int{0}, value.Tuple{value.Int(2)}, 3); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("rekey collision err = %v", err)
+	}
+	// Re-keying onto a fresh key moves the record.
+	if _, err := tbl.Update(value.Tuple{value.Int(1)}, []int{0}, value.Tuple{value.Int(3)}, 3); err != nil {
+		t.Fatalf("rekey: %v", err)
+	}
+	if _, _, err := tbl.Get(value.Tuple{value.Int(1)}); !errors.Is(err, ErrNotFound) {
+		t.Error("old key should be gone")
+	}
+	got, _, err := tbl.Get(value.Tuple{value.Int(3)})
+	if err != nil || got[1].AsString() != "a" {
+		t.Errorf("rekeyed record = %v, %v", got, err)
+	}
+}
+
+func TestSetLSN(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if err := tbl.Insert(row(1, "a", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetLSN(value.Tuple{value.Int(1)}, 42); err != nil {
+		t.Fatal(err)
+	}
+	_, lsn, _ := tbl.Get(value.Tuple{value.Int(1)})
+	if lsn != 42 {
+		t.Errorf("LSN = %d", lsn)
+	}
+	if err := tbl.SetLSN(value.Tuple{value.Int(9)}, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("SetLSN missing err = %v", err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	for i := int64(1); i <= 5; i++ {
+		if err := tbl.Insert(row(i, "d", i*10), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int
+	tbl.Scan(func(row value.Tuple, lsn wal.LSN) bool {
+		n++
+		return true
+	})
+	if n != 5 {
+		t.Errorf("scanned %d rows", n)
+	}
+	n = 0
+	tbl.Scan(func(row value.Tuple, lsn wal.LSN) bool {
+		n++
+		return n < 2 // early stop
+	})
+	if n != 2 {
+		t.Errorf("early stop scanned %d", n)
+	}
+}
+
+func TestFuzzyScanSeesAllQuiescent(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	for i := int64(1); i <= 100; i++ {
+		if err := tbl.Insert(row(i, "d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[int64]bool)
+	tbl.FuzzyScan(16, func(row value.Tuple, _ wal.LSN) {
+		seen[row[0].AsInt()] = true
+	})
+	if len(seen) != 100 {
+		t.Errorf("fuzzy scan saw %d rows, want 100 on a quiescent table", len(seen))
+	}
+}
+
+func TestFuzzyScanUnderConcurrentWrites(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	const n = 2000
+	for i := int64(0); i < n; i++ {
+		if err := tbl.Insert(row(i, "d", 0), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := value.Tuple{value.Int(int64(i % n))}
+			if _, err := tbl.Update(key, []int{2}, value.Tuple{value.Int(int64(i))}, 2); err != nil {
+				t.Errorf("concurrent update: %v", err)
+				return
+			}
+		}
+	}()
+	var count int
+	tbl.FuzzyScan(64, func(row value.Tuple, _ wal.LSN) { count++ })
+	close(stop)
+	wg.Wait()
+	if count != n {
+		t.Errorf("fuzzy scan under updates saw %d rows, want %d (no inserts/deletes ran)", count, n)
+	}
+}
+
+func TestRowsDeepCopy(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if err := tbl.Insert(row(1, "a", 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	m := tbl.Rows()
+	for _, r := range m {
+		r[1] = value.Str("mutated")
+	}
+	got, _, _ := tbl.Get(value.Tuple{value.Int(1)})
+	if got[1].AsString() != "a" {
+		t.Error("Rows must deep copy")
+	}
+}
+
+func TestEncodeKeyHelpers(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	r := row(7, "a", 1)
+	if tbl.KeyOfRow(r) != tbl.EncodeKey(value.Tuple{value.Int(7)}) {
+		t.Error("KeyOfRow and EncodeKey disagree")
+	}
+}
+
+// Exercise concurrent readers and writers for the race detector.
+func TestConcurrentAccess(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := int64(g*1000 + i)
+				if err := tbl.Insert(row(id, "d", id), 1); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if _, _, err := tbl.Get(value.Tuple{value.Int(id)}); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			tbl.Scan(func(row value.Tuple, _ wal.LSN) bool { return true })
+		}
+	}()
+	wg.Wait()
+	if tbl.Len() != 800 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}

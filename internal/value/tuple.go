@@ -1,0 +1,93 @@
+package value
+
+import "strings"
+
+// Tuple is an ordered sequence of values: a table row, a key, or the
+// projected payload of a log record.
+type Tuple []Value
+
+// Clone returns an independent copy of the tuple. Values are immutable, so a
+// shallow copy of the slice suffices.
+func (t Tuple) Clone() Tuple {
+	if t == nil {
+		return nil
+	}
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports whether two tuples have the same length and pairwise-equal
+// values.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically; shorter tuples that are a prefix
+// of longer ones sort first.
+func (t Tuple) Compare(o Tuple) int {
+	n := min(len(t), len(o))
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	}
+	return 0
+}
+
+// HasNull reports whether any value in the tuple is NULL.
+func (t Tuple) HasNull() bool {
+	for _, v := range t {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// Project returns the tuple restricted to the given column positions.
+func (t Tuple) Project(cols []int) Tuple {
+	p := make(Tuple, len(cols))
+	for i, c := range cols {
+		p[i] = t[c]
+	}
+	return p
+}
+
+// Encode returns an injective string encoding of the tuple, suitable as a
+// map key. Distinct tuples always produce distinct strings.
+func (t Tuple) Encode() string {
+	var b strings.Builder
+	for _, v := range t {
+		v.encodeTo(&b)
+	}
+	return b.String()
+}
+
+// String renders the tuple for humans, e.g. (1, "x", NULL).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleClone(t *testing.T) {
+	orig := Tuple{Int(1), Str("a")}
+	c := orig.Clone()
+	if !c.Equal(orig) {
+		t.Fatal("clone must equal original")
+	}
+	c[0] = Int(9)
+	if orig[0].AsInt() != 1 {
+		t.Fatal("mutating clone must not affect original")
+	}
+	if Tuple(nil).Clone() != nil {
+		t.Fatal("nil clone should stay nil")
+	}
+}
+
+func TestTupleEqual(t *testing.T) {
+	a := Tuple{Int(1), Str("x")}
+	b := Tuple{Int(1), Str("x")}
+	c := Tuple{Int(1), Str("y")}
+	d := Tuple{Int(1)}
+	if !a.Equal(b) {
+		t.Error("equal tuples reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("different payload reported equal")
+	}
+	if a.Equal(d) {
+		t.Error("different length reported equal")
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{Tuple{Int(1)}, Tuple{Int(2)}, -1},
+		{Tuple{Int(2)}, Tuple{Int(1)}, 1},
+		{Tuple{Int(1)}, Tuple{Int(1), Int(0)}, -1},
+		{Tuple{Int(1), Int(0)}, Tuple{Int(1)}, 1},
+		{Tuple{Int(1), Str("a")}, Tuple{Int(1), Str("a")}, 0},
+		{nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTupleHasNull(t *testing.T) {
+	if (Tuple{Int(1), Str("x")}).HasNull() {
+		t.Error("no null expected")
+	}
+	if !(Tuple{Int(1), Null()}).HasNull() {
+		t.Error("null expected")
+	}
+	if (Tuple{}).HasNull() {
+		t.Error("empty tuple has no null")
+	}
+}
+
+func TestTupleProject(t *testing.T) {
+	row := Tuple{Int(10), Str("a"), Float(1.5)}
+	got := row.Project([]int{2, 0})
+	want := Tuple{Float(1.5), Int(10)}
+	if !got.Equal(want) {
+		t.Errorf("Project = %v, want %v", got, want)
+	}
+	if len(row.Project(nil)) != 0 {
+		t.Error("empty projection should be empty")
+	}
+}
+
+func TestEncodeInjectiveHandPicked(t *testing.T) {
+	// Classic collision candidates for naive encodings.
+	pairs := [][2]Tuple{
+		{{Str("ab"), Str("c")}, {Str("a"), Str("bc")}},
+		{{Str("1")}, {Int(1)}},
+		{{Str("")}, {Bytes([]byte{})}},
+		{{Null()}, {Str("n")}},
+		{{Int(1), Int(2)}, {Int(12)}},
+		{{Str("a;b")}, {Str("a"), Str("b")}},
+		{{Bool(true)}, {Int(1)}},
+		{{Float(1)}, {Int(1)}},
+	}
+	for _, p := range pairs {
+		if p[0].Encode() == p[1].Encode() {
+			t.Errorf("Encode collision: %v vs %v -> %q", p[0], p[1], p[0].Encode())
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := Tuple{Int(5), Str("x"), Null()}
+	if a.Encode() != a.Clone().Encode() {
+		t.Error("Encode must be deterministic")
+	}
+}
+
+func TestEncodeInjectiveProperty(t *testing.T) {
+	f := func(a1, a2 int64, s1, s2 string) bool {
+		t1 := Tuple{Int(a1), Str(s1)}
+		t2 := Tuple{Int(a2), Str(s2)}
+		return (t1.Encode() == t2.Encode()) == t1.Equal(t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := Tuple{Int(1), Str("a"), Null()}.String()
+	want := `(1, "a", NULL)`
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

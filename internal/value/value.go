@@ -1,0 +1,227 @@
+// Package value implements the typed values and tuples stored in tables and
+// carried by log records. Values are small immutable scalars with a total
+// order within each kind; tuples are ordered sequences of values with an
+// injective string encoding used as hash-index and lock-table keys.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the scalar types a Value can hold.
+type Kind uint8
+
+// The supported value kinds. KindNull is the zero Kind, so the zero Value is
+// the SQL NULL.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+)
+
+// String returns the lower-case SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single typed scalar. The zero Value is NULL. Values are
+// immutable; the only mutation path is replacing a Value in a Tuple.
+type Value struct {
+	kind Kind
+	i    int64   // bool (0/1) and int payload
+	f    float64 // float payload
+	s    string  // string and bytes payload (bytes are stored as string)
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bytes returns a byte-string value. The slice is copied.
+func Bytes(b []byte) Value { return Value{kind: KindBytes, s: string(b)} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean payload; it is false for non-bool values.
+func (v Value) AsBool() bool { return v.kind == KindBool && v.i != 0 }
+
+// AsInt returns the integer payload; it is 0 for non-int values.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		return 0
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload. Ints are widened; other kinds yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		return 0
+	}
+}
+
+// AsString returns the string payload; it is "" for non-string values.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		return ""
+	}
+	return v.s
+}
+
+// AsBytes returns a copy of the byte payload; it is nil for non-bytes values.
+func (v Value) AsBytes() []byte {
+	if v.kind != KindBytes {
+		return nil
+	}
+	return []byte(v.s)
+}
+
+// String renders the value for humans (fmt.Stringer).
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBytes:
+		return fmt.Sprintf("x'%x'", v.s)
+	default:
+		return fmt.Sprintf("value(kind=%d)", uint8(v.kind))
+	}
+}
+
+// Equal reports whether two values are identical in kind and payload.
+// NULL equals NULL (this is record identity, not SQL three-valued logic).
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Compare totally orders values: first by kind, then by payload. It returns
+// -1, 0, or +1. NULL sorts before everything. The ordering is only
+// meaningful within a kind but is total so values can always be sorted.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool, KindInt:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		// Order NaN first so Compare stays total.
+		vn, on := math.IsNaN(v.f), math.IsNaN(o.f)
+		switch {
+		case vn && on:
+			return 0
+		case vn:
+			return -1
+		case on:
+			return 1
+		case v.f < o.f:
+			return -1
+		case v.f > o.f:
+			return 1
+		}
+		return 0
+	case KindString, KindBytes:
+		return strings.Compare(v.s, o.s)
+	default:
+		return 0
+	}
+}
+
+// encodeTo appends an injective encoding of v to b. The encoding is
+// length-prefixed so distinct tuples never collide.
+func (v Value) encodeTo(b *strings.Builder) {
+	switch v.kind {
+	case KindNull:
+		b.WriteByte('n')
+	case KindBool:
+		if v.i != 0 {
+			b.WriteString("b1")
+		} else {
+			b.WriteString("b0")
+		}
+	case KindInt:
+		b.WriteByte('i')
+		b.WriteString(strconv.FormatInt(v.i, 36))
+	case KindFloat:
+		b.WriteByte('f')
+		b.WriteString(strconv.FormatUint(math.Float64bits(v.f), 36))
+	case KindString:
+		b.WriteByte('s')
+		b.WriteString(strconv.Itoa(len(v.s)))
+		b.WriteByte(':')
+		b.WriteString(v.s)
+	case KindBytes:
+		b.WriteByte('x')
+		b.WriteString(strconv.Itoa(len(v.s)))
+		b.WriteByte(':')
+		b.WriteString(v.s)
+	}
+	b.WriteByte(';')
+}

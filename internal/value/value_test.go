@@ -1,0 +1,182 @@
+package value
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "null",
+		KindBool:   "bool",
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindString: "string",
+		KindBytes:  "bytes",
+		Kind(99):   "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("zero Value kind = %v, want null", v.Kind())
+	}
+	if !v.Equal(Null()) {
+		t.Fatal("zero Value must equal Null()")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %g", got)
+	}
+	if got := Int(3).AsFloat(); got != 3 {
+		t.Errorf("Int(3).AsFloat() = %g, want widened 3", got)
+	}
+	if got := Str("hi").AsString(); got != "hi" {
+		t.Errorf("Str(hi).AsString() = %q", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool round-trip broken")
+	}
+	b := Bytes([]byte{1, 2, 3})
+	got := b.AsBytes()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Bytes round-trip = %v", got)
+	}
+}
+
+func TestAccessorsOnWrongKind(t *testing.T) {
+	if Str("x").AsInt() != 0 {
+		t.Error("AsInt on string should be 0")
+	}
+	if Int(7).AsString() != "" {
+		t.Error("AsString on int should be empty")
+	}
+	if Int(7).AsBytes() != nil {
+		t.Error("AsBytes on int should be nil")
+	}
+	if Str("t").AsBool() {
+		t.Error("AsBool on string should be false")
+	}
+	if Str("x").AsFloat() != 0 {
+		t.Error("AsFloat on string should be 0")
+	}
+}
+
+func TestBytesAreCopied(t *testing.T) {
+	src := []byte{1, 2}
+	v := Bytes(src)
+	src[0] = 9
+	if v.AsBytes()[0] != 1 {
+		t.Error("Bytes must copy its input")
+	}
+}
+
+func TestCompareWithinKind(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(5), Int(5), 0},
+		{Float(1.5), Float(2.5), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("a"), 1},
+		{Str("x"), Str("x"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bytes([]byte{1}), Bytes([]byte{2}), -1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAcrossKindsIsByKind(t *testing.T) {
+	// KindNull < KindBool < KindInt < KindFloat < KindString < KindBytes
+	order := []Value{Null(), Bool(true), Int(0), Float(0), Str(""), Bytes(nil)}
+	for i := 0; i < len(order); i++ {
+		for j := 0; j < len(order); j++ {
+			got := order[i].Compare(order[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", order[i], order[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := Float(math.NaN())
+	if nan.Compare(nan) != 0 {
+		t.Error("NaN must compare equal to itself for totality")
+	}
+	if nan.Compare(Float(0)) != -1 || Float(0).Compare(nan) != 1 {
+		t.Error("NaN must sort before all floats")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(-3), "-3"},
+		{Float(1.5), "1.5"},
+		{Str("a\"b"), `"a\"b"`},
+		{Bytes([]byte{0xab}), "x'ab'"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	// Antisymmetry and consistency of Equal with Compare on random ints.
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		if va.Compare(vb) != -vb.Compare(va) {
+			return false
+		}
+		return va.Equal(vb) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortValues(t *testing.T) {
+	vs := []Value{Int(3), Int(1), Int(2)}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+	if vs[0].AsInt() != 1 || vs[2].AsInt() != 3 {
+		t.Errorf("sorted = %v", vs)
+	}
+}

@@ -1,0 +1,319 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"nbschema/internal/value"
+)
+
+// Binary log format, per record:
+//
+//	magic   uint16  (0x4C57, "WL")
+//	length  uint32  (payload bytes, excluding header and trailer)
+//	payload ...     (fields in fixed order, varint-framed)
+//	crc32   uint32  (IEEE, over payload)
+//
+// The format is self-delimiting so a log file can be replayed sequentially
+// at restart.
+
+const recordMagic = 0x4C57
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) val(v value.Value) {
+	e.buf = append(e.buf, byte(v.Kind()))
+	switch v.Kind() {
+	case value.KindNull:
+	case value.KindBool:
+		if v.AsBool() {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+	case value.KindInt:
+		e.buf = binary.AppendVarint(e.buf, v.AsInt())
+	case value.KindFloat:
+		e.uvarint(math.Float64bits(v.AsFloat()))
+	case value.KindString:
+		e.str(v.AsString())
+	case value.KindBytes:
+		b := v.AsBytes()
+		e.uvarint(uint64(len(b)))
+		e.buf = append(e.buf, b...)
+	}
+}
+
+func (e *encoder) tuple(t value.Tuple) {
+	e.uvarint(uint64(len(t)))
+	for _, v := range t {
+		e.val(v)
+	}
+}
+
+func (e *encoder) ints(xs []int) {
+	e.uvarint(uint64(len(xs)))
+	for _, x := range xs {
+		e.buf = binary.AppendVarint(e.buf, int64(x))
+	}
+}
+
+// Marshal encodes a record into the binary log format.
+func Marshal(r *Record) []byte {
+	var e encoder
+	e.uvarint(uint64(r.LSN))
+	e.uvarint(uint64(r.Prev))
+	e.uvarint(uint64(r.Txn))
+	e.buf = append(e.buf, byte(r.Type))
+	e.str(r.Table)
+	e.tuple(r.Key)
+	e.tuple(r.Row)
+	e.ints(r.Cols)
+	e.tuple(r.Old)
+	e.tuple(r.New)
+	e.buf = append(e.buf, byte(r.Redo))
+	e.uvarint(uint64(r.UndoNext))
+	e.uvarint(uint64(len(r.Active)))
+	for _, a := range r.Active {
+		e.uvarint(uint64(a.ID))
+		e.uvarint(uint64(a.First))
+	}
+
+	payload := e.buf
+	out := make([]byte, 0, len(payload)+10)
+	out = binary.BigEndian.AppendUint16(out, recordMagic)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return out
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: corrupt record: truncated %s", what)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.fail("byte")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail("bytes")
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) str() string {
+	return string(d.bytes(d.uvarint()))
+}
+
+func (d *decoder) val() value.Value {
+	switch value.Kind(d.byte()) {
+	case value.KindNull:
+		return value.Null()
+	case value.KindBool:
+		return value.Bool(d.byte() != 0)
+	case value.KindInt:
+		return value.Int(d.varint())
+	case value.KindFloat:
+		return value.Float(math.Float64frombits(d.uvarint()))
+	case value.KindString:
+		return value.Str(d.str())
+	case value.KindBytes:
+		return value.Bytes(d.bytes(d.uvarint()))
+	default:
+		d.fail("value kind")
+		return value.Null()
+	}
+}
+
+func (d *decoder) tuple() value.Tuple {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	t := make(value.Tuple, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		t = append(t, d.val())
+	}
+	return t
+}
+
+func (d *decoder) ints() []int {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]int, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		xs = append(xs, int(d.varint()))
+	}
+	return xs
+}
+
+// Unmarshal decodes one payload previously produced by Marshal (without the
+// frame header/trailer).
+func unmarshalPayload(payload []byte) (*Record, error) {
+	d := decoder{buf: payload}
+	r := &Record{}
+	r.LSN = LSN(d.uvarint())
+	r.Prev = LSN(d.uvarint())
+	r.Txn = TxnID(d.uvarint())
+	r.Type = Type(d.byte())
+	r.Table = d.str()
+	r.Key = d.tuple()
+	r.Row = d.tuple()
+	r.Cols = d.ints()
+	r.Old = d.tuple()
+	r.New = d.tuple()
+	r.Redo = Type(d.byte())
+	r.UndoNext = LSN(d.uvarint())
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		a := ActiveTxn{ID: TxnID(d.uvarint()), First: LSN(d.uvarint())}
+		r.Active = append(r.Active, a)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wal: corrupt record: %d trailing bytes", len(d.buf))
+	}
+	return r, nil
+}
+
+// Unmarshal decodes one framed record produced by Marshal.
+func Unmarshal(b []byte) (*Record, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("wal: frame too short (%d bytes)", len(b))
+	}
+	if binary.BigEndian.Uint16(b) != recordMagic {
+		return nil, fmt.Errorf("wal: bad magic %#x", binary.BigEndian.Uint16(b))
+	}
+	n := binary.BigEndian.Uint32(b[2:])
+	if uint32(len(b)) != n+10 {
+		return nil, fmt.Errorf("wal: frame length mismatch: header %d, got %d", n, len(b)-10)
+	}
+	payload := b[6 : 6+n]
+	want := binary.BigEndian.Uint32(b[6+n:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("wal: crc mismatch: %#x != %#x", got, want)
+	}
+	return unmarshalPayload(payload)
+}
+
+// WriteTo serializes the whole log to w in replay order.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	for _, rec := range l.Scan(1, 0) {
+		n, err := bw.Write(Marshal(rec))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadLog replays a serialized log from r. It validates that LSNs are dense
+// and ascending from 1.
+func ReadLog(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	l := NewLog()
+	var header [6]byte
+	for {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			if err == io.EOF {
+				return l, nil
+			}
+			return nil, fmt.Errorf("wal: reading frame header: %w", err)
+		}
+		if binary.BigEndian.Uint16(header[:]) != recordMagic {
+			return nil, fmt.Errorf("wal: bad magic %#x", binary.BigEndian.Uint16(header[:]))
+		}
+		n := binary.BigEndian.Uint32(header[2:])
+		body := make([]byte, n+4)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("wal: reading frame body: %w", err)
+		}
+		payload := body[:n]
+		want := binary.BigEndian.Uint32(body[n:])
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, fmt.Errorf("wal: crc mismatch at record %d", l.Len()+1)
+		}
+		rec, err := unmarshalPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		if rec.LSN != LSN(l.Len()+1) {
+			return nil, fmt.Errorf("wal: non-dense LSN %d at position %d", rec.LSN, l.Len()+1)
+		}
+		l.mu.Lock()
+		l.recs = append(l.recs, rec)
+		l.mu.Unlock()
+	}
+}

@@ -1,0 +1,200 @@
+// Package wal implements the write-ahead log the transformation framework
+// propagates from. The log is sequential, append-only, and assigns each
+// record a log sequence number (LSN). Both redo and undo information is
+// logged, and undo operations produce compensating log records (CLRs) as in
+// ARIES, exactly as the paper assumes (Section 1).
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"nbschema/internal/value"
+)
+
+// LSN is a log sequence number. 0 is the nil LSN; the first record appended
+// to a log gets LSN 1. LSNs are dense: record n has LSN n.
+type LSN uint64
+
+// TxnID identifies a transaction. 0 is reserved for system activity
+// (transformation bookkeeping records such as fuzzy marks).
+type TxnID uint64
+
+// Type enumerates log record types.
+type Type uint8
+
+const (
+	// TypeBegin marks the start of a transaction.
+	TypeBegin Type = iota
+	// TypeCommit marks a committed transaction.
+	TypeCommit
+	// TypeAbort marks a rolled-back transaction (written after undo).
+	TypeAbort
+	// TypeInsert logs the insertion of a full row.
+	TypeInsert
+	// TypeUpdate logs an update of selected columns. Following the paper,
+	// update records carry the primary key and the updated attribute values;
+	// before-images are kept for undo but the log propagator never reads
+	// them (Section 4.2, "Update Operations").
+	TypeUpdate
+	// TypeDelete logs a deletion; the before-image is kept for undo.
+	TypeDelete
+	// TypeCLR is a compensating log record written during undo. It is
+	// redo-only: Redo carries the compensating operation, and the log
+	// propagator replays it like a regular operation.
+	TypeCLR
+	// TypeFuzzyMark is written by the transformation framework at the start
+	// of the initial population and at each log-propagation cycle boundary.
+	// It snapshots the active-transaction table.
+	TypeFuzzyMark
+	// TypeCCBegin is written by the split consistency checker before it
+	// fuzzily reads the source records contributing to one S record (§5.3).
+	TypeCCBegin
+	// TypeCCOK is written when the consistency checker found the records
+	// consistent; it carries the correct image of the S record.
+	TypeCCOK
+)
+
+// String returns the record type name.
+func (t Type) String() string {
+	switch t {
+	case TypeBegin:
+		return "begin"
+	case TypeCommit:
+		return "commit"
+	case TypeAbort:
+		return "abort"
+	case TypeInsert:
+		return "insert"
+	case TypeUpdate:
+		return "update"
+	case TypeDelete:
+		return "delete"
+	case TypeCLR:
+		return "clr"
+	case TypeFuzzyMark:
+		return "fuzzy-mark"
+	case TypeCCBegin:
+		return "cc-begin"
+	case TypeCCOK:
+		return "cc-ok"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// IsOp reports whether the type describes a data operation (including the
+// redo half of a CLR) that the log propagator must consider.
+func (t Type) IsOp() bool {
+	return t == TypeInsert || t == TypeUpdate || t == TypeDelete || t == TypeCLR
+}
+
+// ActiveTxn is one entry of the active-transaction table snapshotted into a
+// fuzzy mark: the transaction and the LSN of its first log record. The
+// propagator starts from the minimum First across the mark (§3.3).
+type ActiveTxn struct {
+	ID    TxnID
+	First LSN
+}
+
+// Record is one log record. Records are immutable once appended.
+type Record struct {
+	LSN  LSN
+	Prev LSN // previous record of the same transaction (undo chain)
+	Txn  TxnID
+	Type Type
+
+	// Operation payload (TypeInsert/TypeUpdate/TypeDelete and CLRs).
+	Table string
+	Key   value.Tuple // primary key of the affected record
+	Row   value.Tuple // insert: full row; delete: before-image (undo only)
+	Cols  []int       // update: positions of the updated columns
+	Old   value.Tuple // update: old values of Cols (undo only)
+	New   value.Tuple // update: new values of Cols
+
+	// CLR fields.
+	Redo     Type // the compensating operation: insert, update, or delete
+	UndoNext LSN  // next record of the transaction to undo
+
+	// Fuzzy-mark payload.
+	Active []ActiveTxn
+
+	// Consistency-checker payload (TypeCCBegin/TypeCCOK). Key carries the
+	// checked split value; Row carries the correct image for TypeCCOK.
+}
+
+// OpType returns the effective data operation of the record: its own type
+// for plain operations, the Redo type for CLRs, and the record type itself
+// otherwise.
+func (r *Record) OpType() Type {
+	if r.Type == TypeCLR {
+		return r.Redo
+	}
+	return r.Type
+}
+
+// Log is an in-memory, append-only sequential log, safe for one writer at a
+// time and any number of concurrent readers. The zero value is not usable;
+// call NewLog.
+type Log struct {
+	mu   sync.RWMutex
+	recs []*Record
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{}
+}
+
+// Append assigns the next LSN to rec, stores it, and returns the LSN.
+func (l *Log) Append(rec *Record) LSN {
+	l.mu.Lock()
+	rec.LSN = LSN(len(l.recs) + 1)
+	l.recs = append(l.recs, rec)
+	lsn := rec.LSN
+	l.mu.Unlock()
+	return lsn
+}
+
+// End returns the highest LSN assigned so far (0 for an empty log).
+func (l *Log) End() LSN {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return LSN(len(l.recs))
+}
+
+// Get returns the record with the given LSN, or an error if out of range.
+func (l *Log) Get(lsn LSN) (*Record, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if lsn == 0 || lsn > LSN(len(l.recs)) {
+		return nil, fmt.Errorf("wal: no record with LSN %d", lsn)
+	}
+	return l.recs[lsn-1], nil
+}
+
+// Scan returns the records with from <= LSN <= to in ascending order. A to
+// of 0 means "up to the current end". The returned slice aliases the log's
+// backing array; records are immutable, so callers may only read them.
+func (l *Log) Scan(from, to LSN) []*Record {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	end := LSN(len(l.recs))
+	if to == 0 || to > end {
+		to = end
+	}
+	if from == 0 {
+		from = 1
+	}
+	if from > to {
+		return nil
+	}
+	return l.recs[from-1 : to]
+}
+
+// Len returns the number of records in the log.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.recs)
+}

@@ -1,0 +1,298 @@
+package wal
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"nbschema/internal/value"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeBegin:     "begin",
+		TypeCommit:    "commit",
+		TypeAbort:     "abort",
+		TypeInsert:    "insert",
+		TypeUpdate:    "update",
+		TypeDelete:    "delete",
+		TypeCLR:       "clr",
+		TypeFuzzyMark: "fuzzy-mark",
+		TypeCCBegin:   "cc-begin",
+		TypeCCOK:      "cc-ok",
+		Type(77):      "type(77)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestIsOp(t *testing.T) {
+	ops := []Type{TypeInsert, TypeUpdate, TypeDelete, TypeCLR}
+	for _, o := range ops {
+		if !o.IsOp() {
+			t.Errorf("%v should be an op", o)
+		}
+	}
+	nonOps := []Type{TypeBegin, TypeCommit, TypeAbort, TypeFuzzyMark, TypeCCBegin, TypeCCOK}
+	for _, o := range nonOps {
+		if o.IsOp() {
+			t.Errorf("%v should not be an op", o)
+		}
+	}
+}
+
+func TestOpType(t *testing.T) {
+	plain := &Record{Type: TypeUpdate}
+	if plain.OpType() != TypeUpdate {
+		t.Error("plain op should report itself")
+	}
+	clr := &Record{Type: TypeCLR, Redo: TypeDelete}
+	if clr.OpType() != TypeDelete {
+		t.Error("CLR should report its redo op")
+	}
+}
+
+func TestAppendAssignsDenseLSNs(t *testing.T) {
+	l := NewLog()
+	if l.End() != 0 {
+		t.Fatal("empty log must have End 0")
+	}
+	for i := 1; i <= 5; i++ {
+		lsn := l.Append(&Record{Type: TypeInsert})
+		if lsn != LSN(i) {
+			t.Fatalf("append %d got LSN %d", i, lsn)
+		}
+	}
+	if l.End() != 5 || l.Len() != 5 {
+		t.Errorf("End = %d Len = %d", l.End(), l.Len())
+	}
+}
+
+func TestGet(t *testing.T) {
+	l := NewLog()
+	l.Append(&Record{Type: TypeBegin, Txn: 7})
+	rec, err := l.Get(1)
+	if err != nil || rec.Txn != 7 {
+		t.Fatalf("Get(1) = %v, %v", rec, err)
+	}
+	if _, err := l.Get(0); err == nil {
+		t.Error("Get(0) should fail")
+	}
+	if _, err := l.Get(2); err == nil {
+		t.Error("Get past end should fail")
+	}
+}
+
+func TestScan(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 10; i++ {
+		l.Append(&Record{Type: TypeInsert})
+	}
+	if got := l.Scan(3, 5); len(got) != 3 || got[0].LSN != 3 || got[2].LSN != 5 {
+		t.Errorf("Scan(3,5) = %v records", len(got))
+	}
+	if got := l.Scan(1, 0); len(got) != 10 {
+		t.Errorf("Scan(1,0) = %d records, want 10", len(got))
+	}
+	if got := l.Scan(0, 2); len(got) != 2 {
+		t.Errorf("Scan(0,2) = %d records, want 2", len(got))
+	}
+	if got := l.Scan(8, 3); got != nil {
+		t.Errorf("inverted Scan should be nil, got %d", len(got))
+	}
+	if got := l.Scan(5, 99); len(got) != 6 {
+		t.Errorf("Scan past end = %d records, want 6", len(got))
+	}
+}
+
+func TestConcurrentAppendAndScan(t *testing.T) {
+	l := NewLog()
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			l.Append(&Record{Type: TypeInsert, Txn: TxnID(i)})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			recs := l.Scan(1, 0)
+			for j, r := range recs {
+				if r.LSN != LSN(j+1) {
+					t.Errorf("scan saw LSN %d at position %d", r.LSN, j+1)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if l.End() != n {
+		t.Errorf("End = %d", l.End())
+	}
+}
+
+func sampleRecord() *Record {
+	return &Record{
+		LSN:   42,
+		Prev:  41,
+		Txn:   9,
+		Type:  TypeUpdate,
+		Table: "customer",
+		Key:   value.Tuple{value.Int(7)},
+		Row:   value.Tuple{value.Int(7), value.Str("x"), value.Null()},
+		Cols:  []int{1, 2},
+		Old:   value.Tuple{value.Str("x"), value.Null()},
+		New:   value.Tuple{value.Str("y"), value.Float(1.5)},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	recs := []*Record{
+		sampleRecord(),
+		{LSN: 1, Txn: 3, Type: TypeBegin},
+		{LSN: 2, Txn: 3, Type: TypeCommit, Prev: 1},
+		{LSN: 3, Type: TypeFuzzyMark, Active: []ActiveTxn{{ID: 3, First: 1}, {ID: 8, First: 2}}},
+		{LSN: 4, Txn: 5, Type: TypeCLR, Redo: TypeDelete, UndoNext: 2,
+			Table: "t", Key: value.Tuple{value.Str("k")}},
+		{LSN: 5, Type: TypeCCOK, Table: "s", Key: value.Tuple{value.Int(1)},
+			Row: value.Tuple{value.Int(1), value.Str("Trondheim")}},
+		{LSN: 6, Txn: 2, Type: TypeInsert, Table: "b",
+			Row: value.Tuple{value.Bytes([]byte{0, 1, 2}), value.Bool(true)}},
+	}
+	for _, rec := range recs {
+		b := Marshal(rec)
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%v): %v", rec.Type, err)
+		}
+		assertRecordEqual(t, rec, got)
+	}
+}
+
+func assertRecordEqual(t *testing.T, want, got *Record) {
+	t.Helper()
+	if got.LSN != want.LSN || got.Prev != want.Prev || got.Txn != want.Txn ||
+		got.Type != want.Type || got.Table != want.Table ||
+		got.Redo != want.Redo || got.UndoNext != want.UndoNext {
+		t.Errorf("header mismatch: got %+v want %+v", got, want)
+	}
+	if !got.Key.Equal(want.Key) || !got.Row.Equal(want.Row) ||
+		!got.Old.Equal(want.Old) || !got.New.Equal(want.New) {
+		t.Errorf("payload mismatch: got %+v want %+v", got, want)
+	}
+	if len(got.Cols) != len(want.Cols) {
+		t.Fatalf("cols mismatch: %v vs %v", got.Cols, want.Cols)
+	}
+	for i := range got.Cols {
+		if got.Cols[i] != want.Cols[i] {
+			t.Errorf("cols mismatch: %v vs %v", got.Cols, want.Cols)
+		}
+	}
+	if len(got.Active) != len(want.Active) {
+		t.Fatalf("active mismatch: %v vs %v", got.Active, want.Active)
+	}
+	for i := range got.Active {
+		if got.Active[i] != want.Active[i] {
+			t.Errorf("active mismatch: %v vs %v", got.Active, want.Active)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good := Marshal(sampleRecord())
+
+	if _, err := Unmarshal(good[:5]); err == nil || !strings.Contains(err.Error(), "too short") {
+		t.Errorf("short frame err = %v", err)
+	}
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 0xFF
+	if _, err := Unmarshal(badMagic); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic err = %v", err)
+	}
+
+	badLen := append([]byte(nil), good...)
+	badLen = badLen[:len(badLen)-1]
+	if _, err := Unmarshal(badLen); err == nil || !strings.Contains(err.Error(), "length") {
+		t.Errorf("bad length err = %v", err)
+	}
+
+	badCRC := append([]byte(nil), good...)
+	badCRC[8] ^= 0xFF // flip a payload byte
+	if _, err := Unmarshal(badCRC); err == nil || !strings.Contains(err.Error(), "crc") {
+		t.Errorf("bad crc err = %v", err)
+	}
+}
+
+func TestLogFileRoundTrip(t *testing.T) {
+	l := NewLog()
+	l.Append(&Record{Txn: 1, Type: TypeBegin})
+	l.Append(&Record{Txn: 1, Type: TypeInsert, Table: "t",
+		Key: value.Tuple{value.Int(1)}, Row: value.Tuple{value.Int(1), value.Str("a")}, Prev: 1})
+	l.Append(&Record{Txn: 1, Type: TypeCommit, Prev: 2})
+
+	var buf strings.Builder
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("replayed %d records, want 3", got.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		want, _ := l.Get(LSN(i))
+		rec, _ := got.Get(LSN(i))
+		assertRecordEqual(t, want, rec)
+	}
+}
+
+func TestReadLogRejectsCorruption(t *testing.T) {
+	l := NewLog()
+	l.Append(&Record{Txn: 1, Type: TypeBegin})
+	var buf strings.Builder
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(buf.String())
+
+	flipped := append([]byte(nil), data...)
+	flipped[7] ^= 0xFF
+	if _, err := ReadLog(strings.NewReader(string(flipped))); err == nil {
+		t.Error("corrupted payload should fail replay")
+	}
+
+	truncated := data[:len(data)-2]
+	if _, err := ReadLog(strings.NewReader(string(truncated))); err == nil {
+		t.Error("truncated file should fail replay")
+	}
+}
+
+func TestReadLogRejectsNonDenseLSN(t *testing.T) {
+	rec := &Record{LSN: 5, Type: TypeBegin}
+	data := Marshal(rec)
+	if _, err := ReadLog(strings.NewReader(string(data))); err == nil ||
+		!strings.Contains(err.Error(), "non-dense") {
+		t.Error("non-dense LSN should fail replay")
+	}
+}
+
+func TestEmptyLogWrites(t *testing.T) {
+	var buf strings.Builder
+	n, err := NewLog().WriteTo(&buf)
+	if err != nil || n != 0 {
+		t.Errorf("empty WriteTo = %d, %v", n, err)
+	}
+	got, err := ReadLog(strings.NewReader(""))
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty ReadLog = %d, %v", got.Len(), err)
+	}
+}

@@ -1,0 +1,13 @@
+package workload
+
+import (
+	"errors"
+
+	"nbschema/internal/lock"
+)
+
+// isLockTimeout reports a lock-wait timeout (deadlock resolution) or a
+// transferred-lock conflict — both are retried by the clients.
+func isLockTimeout(err error) bool {
+	return errors.Is(err, lock.ErrTimeout) || errors.Is(err, lock.ErrShadowConflict)
+}

@@ -1,0 +1,279 @@
+// Package workload implements the paper's evaluation workload (Section 6):
+// closed-loop clients, each transaction updating 10 records under record
+// locks, with a configurable fraction of updates aimed at the tables under
+// transformation and the rest at a dummy table to keep total load constant.
+// 100% workload is defined, as in the paper, as the number of concurrent
+// transactions that maximizes throughput; lower workloads use fewer clients.
+package workload
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/engine"
+	"nbschema/internal/value"
+)
+
+// Target is one table the workload updates.
+type Target struct {
+	// Table is the table name.
+	Table string
+	// Fallback is used after the table is dropped by a transformation
+	// (post-switchover the application switches to the new table).
+	Fallback string
+	// Keys is the key-space size; records 0..Keys-1 must exist.
+	Keys int64
+	// Col is the payload column updated.
+	Col string
+	// Weight is the relative probability of one update hitting this
+	// target. The paper's "20% of updates on T" is Weight 0.2 on T and 0.8
+	// on the dummy table.
+	Weight float64
+}
+
+// Config describes a workload.
+type Config struct {
+	DB *engine.DB
+	// Targets to update; weights are normalized.
+	Targets []Target
+	// UpdatesPerTxn is the number of record updates per transaction
+	// (paper: 10).
+	UpdatesPerTxn int
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// Think pauses each client between transactions (0 = none).
+	Think time.Duration
+	// Seed for deterministic key/target choice (clients derive their own).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.UpdatesPerTxn <= 0 {
+		c.UpdatesPerTxn = 10
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	return c
+}
+
+// Counters is a monotonic snapshot of workload progress. Subtracting two
+// snapshots yields the stats of the window between them.
+type Counters struct {
+	Txns      uint64
+	Aborts    uint64
+	LatencyNs uint64
+	At        time.Time
+}
+
+// Stats summarizes a measurement window.
+type Stats struct {
+	Txns       uint64
+	Aborts     uint64
+	Duration   time.Duration
+	Throughput float64       // committed transactions per second
+	MeanRT     time.Duration // mean response time of committed transactions
+}
+
+// Between computes the stats of the window from a to b.
+func Between(a, b Counters) Stats {
+	d := b.At.Sub(a.At)
+	s := Stats{
+		Txns:     b.Txns - a.Txns,
+		Aborts:   b.Aborts - a.Aborts,
+		Duration: d,
+	}
+	if d > 0 {
+		s.Throughput = float64(s.Txns) / d.Seconds()
+	}
+	if s.Txns > 0 {
+		s.MeanRT = time.Duration((b.LatencyNs - a.LatencyNs) / s.Txns)
+	}
+	return s
+}
+
+// Runner drives a workload until stopped.
+type Runner struct {
+	cfg Config
+
+	txns      atomic.Uint64
+	aborts    atomic.Uint64
+	latencyNs atomic.Uint64
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
+}
+
+// Start launches the workload clients.
+func Start(cfg Config) *Runner {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{cfg: cfg, cancel: cancel}
+	for i := 0; i < cfg.Clients; i++ {
+		r.wg.Add(1)
+		go r.client(ctx, cfg.Seed+int64(i)*7919)
+	}
+	return r
+}
+
+// Stop terminates the clients and waits for them; it returns the first
+// non-retryable error a client hit, if any.
+func (r *Runner) Stop() error {
+	r.cancel()
+	r.wg.Wait()
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}
+
+// Snapshot returns the current progress counters.
+func (r *Runner) Snapshot() Counters {
+	return Counters{
+		Txns:      r.txns.Load(),
+		Aborts:    r.aborts.Load(),
+		LatencyNs: r.latencyNs.Load(),
+		At:        time.Now(),
+	}
+}
+
+func (r *Runner) fail(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.cancel()
+}
+
+// client is one closed-loop client: begin, update UpdatesPerTxn random
+// records, commit; aborted transactions are retried as fresh transactions.
+func (r *Runner) client(ctx context.Context, seed int64) {
+	defer r.wg.Done()
+	rng := rand.New(rand.NewSource(seed))
+	// Per-client view of target tables (fallback swaps are client-local,
+	// mirroring each application instance switching over on its own).
+	targets := append([]Target(nil), r.cfg.Targets...)
+	var totalWeight float64
+	for _, tg := range targets {
+		totalWeight += tg.Weight
+	}
+
+	for ctx.Err() == nil {
+		if r.cfg.Think > 0 {
+			time.Sleep(r.cfg.Think)
+		}
+		start := time.Now()
+		tx := r.cfg.DB.Begin()
+		err := r.runTxn(tx, rng, targets, totalWeight)
+		if err == nil {
+			err = tx.Commit()
+		}
+		if err == nil {
+			r.txns.Add(1)
+			r.latencyNs.Add(uint64(time.Since(start).Nanoseconds()))
+			continue
+		}
+		if aerr := tx.Abort(); aerr != nil && !errors.Is(aerr, engine.ErrTxnDone) {
+			r.fail(aerr)
+			return
+		}
+		r.aborts.Add(1)
+		// Back off briefly after a failure: a tight retry loop against a
+		// closed table would flood the log with begin/abort records.
+		time.Sleep(50 * time.Microsecond)
+		if retryable(err) {
+			// A transformation switchover may have closed or dropped a
+			// source table: move this client to the fallback.
+			if errors.Is(err, engine.ErrNoAccess) || errors.Is(err, catalog.ErrNotFound) {
+				for i := range targets {
+					if targets[i].Fallback != "" {
+						targets[i].Table = targets[i].Fallback
+					}
+				}
+			}
+			continue
+		}
+		r.fail(err)
+		return
+	}
+}
+
+func (r *Runner) runTxn(tx *engine.Txn, rng *rand.Rand, targets []Target, totalWeight float64) error {
+	for i := 0; i < r.cfg.UpdatesPerTxn; i++ {
+		tg := pick(rng, targets, totalWeight)
+		key := value.Tuple{value.Int(rng.Int63n(tg.Keys))}
+		err := tx.Update(tg.Table, key, []string{tg.Col}, value.Tuple{value.Int(rng.Int63())})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pick(rng *rand.Rand, targets []Target, totalWeight float64) *Target {
+	x := rng.Float64() * totalWeight
+	for i := range targets {
+		x -= targets[i].Weight
+		if x <= 0 {
+			return &targets[i]
+		}
+	}
+	return &targets[len(targets)-1]
+}
+
+// retryable reports whether a transaction failure is part of normal
+// operation under a running transformation.
+func retryable(err error) bool {
+	return errors.Is(err, engine.ErrTxnDoomed) ||
+		errors.Is(err, engine.ErrNoAccess) ||
+		errors.Is(err, engine.ErrTxnDone) ||
+		errors.Is(err, catalog.ErrNotFound) ||
+		isLockTimeout(err)
+}
+
+// Measure runs the workload for the given duration and returns its stats.
+func Measure(cfg Config, d time.Duration) (Stats, error) {
+	r := Start(cfg)
+	before := r.Snapshot()
+	time.Sleep(d)
+	after := r.Snapshot()
+	err := r.Stop()
+	return Between(before, after), err
+}
+
+// Calibrate finds the client count (up to maxClients, doubling) that
+// maximizes throughput — the paper's definition of 100% workload. Each probe
+// runs for probe duration.
+func Calibrate(cfg Config, maxClients int, probe time.Duration) (int, error) {
+	best, bestTput := 1, 0.0
+	for n := 1; n <= maxClients; n *= 2 {
+		c := cfg
+		c.Clients = n
+		s, err := Measure(c, probe)
+		if err != nil {
+			return 0, err
+		}
+		if s.Throughput > bestTput {
+			best, bestTput = n, s.Throughput
+		}
+	}
+	return best, nil
+}
+
+// ClientsFor scales a calibrated 100% client count down to the given
+// workload percentage (at least 1 client).
+func ClientsFor(calibrated int, percent int) int {
+	n := calibrated * percent / 100
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+// Package nbschema is an in-memory relational database with online,
+// non-blocking schema transformations, reproducing Løland & Hvasshovd,
+// "Online, Non-blocking Relational Schema Changes" (EDBT 2006).
+//
+// The database provides ACID transactions with strict two-phase record
+// locking and an ARIES-style write-ahead log. On top of it, two non-trivial
+// schema transformations — full outer join (denormalization) and vertical
+// split (normalization) — run as low-priority background processes that
+// never block user transactions: the new tables are populated from a fuzzy
+// (lock-free) read and then caught up by redoing the log with idempotent
+// propagation rules, until a brief latched synchronization switches
+// applications over.
+//
+// A minimal session:
+//
+//	db := nbschema.Open()
+//	db.CreateTable("customer",
+//		[]nbschema.Column{
+//			{Name: "id", Type: nbschema.Int},
+//			{Name: "name", Type: nbschema.String, Nullable: true},
+//			{Name: "zip", Type: nbschema.Int},
+//			{Name: "city", Type: nbschema.String, Nullable: true},
+//		}, "id")
+//
+//	tx := db.Begin()
+//	tx.Insert("customer", 1, "Peter", 7050, "Trondheim")
+//	tx.Commit()
+//
+//	tr, _ := db.Split(nbschema.SplitSpec{
+//		Source: "customer", Left: "customer_base", Right: "place",
+//		SplitOn: []string{"zip"}, RightOnly: []string{"city"},
+//	}, nbschema.TransformOptions{Priority: 0.2})
+//	err := tr.Run(ctx) // concurrent transactions keep running throughout
+package nbschema
+
+import (
+	"fmt"
+	"time"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/engine"
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+// Type is the type of a column.
+type Type = value.Kind
+
+// Column types.
+const (
+	Bool   = value.KindBool
+	Int    = value.KindInt
+	Float  = value.KindFloat
+	String = value.KindString
+	Bytes  = value.KindBytes
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name     string
+	Type     Type
+	Nullable bool
+}
+
+// Options configures a database.
+type Options struct {
+	// LockTimeout bounds lock waits; deadlocks are resolved by timing the
+	// waiter out. Zero selects a 2s default.
+	LockTimeout time.Duration
+}
+
+// DB is an in-memory transactional database supporting online schema
+// transformations.
+type DB struct {
+	eng *engine.DB
+}
+
+// Open creates an empty database.
+func Open(opts ...Options) *DB {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &DB{eng: engine.New(engine.Options{LockTimeout: o.LockTimeout})}
+}
+
+// Engine exposes the underlying engine for advanced integration (workload
+// harnesses, benchmarks). Most applications never need it.
+func (db *DB) Engine() *engine.DB { return db.eng }
+
+// CreateTable registers a new table with the given columns and primary key.
+func (db *DB) CreateTable(name string, cols []Column, primaryKey ...string) error {
+	cc := make([]catalog.Column, len(cols))
+	for i, c := range cols {
+		cc[i] = catalog.Column{Name: c.Name, Type: c.Type, Nullable: c.Nullable}
+	}
+	def, err := catalog.NewTableDef(name, cc, primaryKey)
+	if err != nil {
+		return err
+	}
+	return db.eng.CreateTable(def)
+}
+
+// DropTable removes a table.
+func (db *DB) DropTable(name string) error { return db.eng.DropTable(name) }
+
+// CreateIndex adds a (optionally unique) index over the named columns.
+func (db *DB) CreateIndex(table, name string, cols []string, unique bool) error {
+	return db.eng.CreateIndex(table, name, cols, unique)
+}
+
+// Tables lists all table names, including hidden transformation targets.
+func (db *DB) Tables() []string { return db.eng.Catalog().List() }
+
+// Columns returns the column definitions of a table.
+func (db *DB) Columns(table string) ([]Column, error) {
+	def, err := db.eng.Catalog().Get(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Column, len(def.Columns))
+	for i, c := range def.Columns {
+		out[i] = Column{Name: c.Name, Type: c.Type, Nullable: c.Nullable}
+	}
+	return out, nil
+}
+
+// Rows returns the number of rows currently stored in a table.
+func (db *DB) Rows(table string) (int, error) {
+	tbl := db.eng.Table(table)
+	if tbl == nil {
+		return 0, fmt.Errorf("nbschema: no such table %s", table)
+	}
+	return tbl.Len(), nil
+}
+
+// ScanTable iterates all rows of a table without transactional locks (a
+// fuzzy read). Intended for reporting and verification, not for isolation-
+// sensitive reads.
+func (db *DB) ScanTable(table string, fn func(row []any) bool) error {
+	tbl := db.eng.Table(table)
+	if tbl == nil {
+		return fmt.Errorf("nbschema: no such table %s", table)
+	}
+	tbl.Scan(func(row value.Tuple, _ wal.LSN) bool {
+		return fn(fromTuple(row))
+	})
+	return nil
+}
+
+// LogSize returns the number of records in the write-ahead log.
+func (db *DB) LogSize() int { return db.eng.Log().Len() }

@@ -1,0 +1,342 @@
+package nbschema_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"nbschema"
+)
+
+func customerDB(t *testing.T) *nbschema.DB {
+	t.Helper()
+	db := nbschema.Open(nbschema.Options{LockTimeout: 200 * time.Millisecond})
+	err := db.CreateTable("customer", []nbschema.Column{
+		{Name: "id", Type: nbschema.Int},
+		{Name: "name", Type: nbschema.String, Nullable: true},
+		{Name: "zip", Type: nbschema.Int},
+		{Name: "city", Type: nbschema.String, Nullable: true},
+	}, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func seedCustomers(t *testing.T, db *nbschema.DB) {
+	t.Helper()
+	tx := db.Begin()
+	for _, c := range [][]any{
+		{1, "peter", 7050, "trondheim"},
+		{2, "mark", 5020, "bergen"},
+		{3, "gary", 50, "oslo"},
+		{4, "jen", 7050, "trondheim"},
+	} {
+		if err := tx.Insert("customer", c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRUDRoundTrip(t *testing.T) {
+	db := customerDB(t)
+	seedCustomers(t, db)
+
+	tx := db.Begin()
+	row, err := tx.Get("customer", 1)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if row[1].(string) != "peter" || row[2].(int64) != 7050 {
+		t.Errorf("row = %v", row)
+	}
+	if err := tx.Update("customer", []any{1}, []string{"city"}, []any{"TRONDHEIM"}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := tx.Delete("customer", 2); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.Rows("customer")
+	if err != nil || n != 3 {
+		t.Errorf("Rows = %d, %v", n, err)
+	}
+}
+
+func TestTypeConversions(t *testing.T) {
+	db := nbschema.Open()
+	err := db.CreateTable("t", []nbschema.Column{
+		{Name: "i", Type: nbschema.Int},
+		{Name: "f", Type: nbschema.Float, Nullable: true},
+		{Name: "s", Type: nbschema.String, Nullable: true},
+		{Name: "b", Type: nbschema.Bytes, Nullable: true},
+		{Name: "o", Type: nbschema.Bool, Nullable: true},
+	}, "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert("t", 7, 2.5, "x", []byte{1, 2}, true); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	row, err := tx.Get("t", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].(int64) != 7 || row[1].(float64) != 2.5 || row[2].(string) != "x" ||
+		row[3].([]byte)[1] != 2 || row[4].(bool) != true {
+		t.Errorf("row = %v", row)
+	}
+	// Null round trip.
+	if err := tx.Insert("t", 8, nil, nil, nil, nil); err != nil {
+		t.Fatalf("nil insert: %v", err)
+	}
+	row, _ = tx.Get("t", 8)
+	if row[1] != nil || row[2] != nil {
+		t.Errorf("null row = %v", row)
+	}
+	// Unsupported type.
+	if err := tx.Insert("t", struct{}{}, nil, nil, nil, nil); err == nil {
+		t.Error("unsupported type should fail")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	db := customerDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("customer", 9, "x", 1, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Rows("customer"); n != 0 {
+		t.Errorf("Rows = %d after abort", n)
+	}
+}
+
+func TestSplitThroughPublicAPI(t *testing.T) {
+	db := customerDB(t)
+	seedCustomers(t, db)
+	tr, err := db.Split(nbschema.SplitSpec{
+		Source: "customer", Left: "customer_base", Right: "place",
+		SplitOn: []string{"zip"}, RightOnly: []string{"city"},
+	}, nbschema.TransformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tr.Phase() != nbschema.PhaseDone {
+		t.Errorf("phase = %v", tr.Phase())
+	}
+	n, err := db.Rows("place")
+	if err != nil || n != 3 {
+		t.Errorf("place rows = %d, %v", n, err)
+	}
+	n, _ = db.Rows("customer_base")
+	if n != 4 {
+		t.Errorf("customer_base rows = %d", n)
+	}
+	// The source is gone; new transactions use the new tables.
+	tx := db.Begin()
+	if err := tx.Insert("customer", 9, "x", 1, "y"); err == nil {
+		t.Error("dropped source should reject access")
+	}
+	if _, err := tx.Get("place", 7050); err != nil {
+		t.Errorf("place read: %v", err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinThroughPublicAPI(t *testing.T) {
+	db := nbschema.Open()
+	if err := db.CreateTable("orders", []nbschema.Column{
+		{Name: "oid", Type: nbschema.Int},
+		{Name: "cust", Type: nbschema.Int, Nullable: true},
+		{Name: "total", Type: nbschema.Float, Nullable: true},
+	}, "oid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("cust", []nbschema.Column{
+		{Name: "cust", Type: nbschema.Int},
+		{Name: "name", Type: nbschema.String, Nullable: true},
+	}, "cust"); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for _, r := range [][]any{{1, 100, 9.5}, {2, 100, 1.5}, {3, 200, 4.0}} {
+		if err := tx.Insert("orders", r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Insert("cust", 100, "ann"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := db.FullOuterJoin(nbschema.JoinSpec{
+		Target: "orders_wide", Left: "orders", Right: "cust",
+		On: [][2]string{{"cust", "cust"}},
+	}, nbschema.TransformOptions{KeepSources: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 2 orders join ann, 1 order has no customer: 3 rows.
+	n, err := db.Rows("orders_wide")
+	if err != nil || n != 3 {
+		t.Errorf("orders_wide rows = %d, %v", n, err)
+	}
+	var joined int
+	if err := db.ScanTable("orders_wide", func(row []any) bool {
+		if row[3] != nil && row[3].(string) == "ann" {
+			joined++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if joined != 2 {
+		t.Errorf("joined rows = %d, want 2", joined)
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	if !nbschema.IsRetryable(nbschema.ErrLockTimeout) ||
+		!nbschema.IsRetryable(nbschema.ErrTxnDoomed) ||
+		!nbschema.IsRetryable(nbschema.ErrNoAccess) {
+		t.Error("retryable sentinels not recognized")
+	}
+	if nbschema.IsRetryable(errors.New("other")) {
+		t.Error("arbitrary errors are not retryable")
+	}
+	if nbschema.IsRetryable(nbschema.ErrTxnDone) {
+		t.Error("ErrTxnDone is not retryable")
+	}
+}
+
+func TestCatalogIntrospection(t *testing.T) {
+	db := customerDB(t)
+	tables := db.Tables()
+	if len(tables) != 1 || tables[0] != "customer" {
+		t.Errorf("Tables = %v", tables)
+	}
+	cols, err := db.Columns("customer")
+	if err != nil || len(cols) != 4 || cols[2].Name != "zip" {
+		t.Errorf("Columns = %v, %v", cols, err)
+	}
+	if _, err := db.Columns("ghost"); err == nil {
+		t.Error("missing table should error")
+	}
+	if _, err := db.Rows("ghost"); err == nil {
+		t.Error("missing table should error")
+	}
+	if err := db.ScanTable("ghost", func([]any) bool { return true }); err == nil {
+		t.Error("missing table should error")
+	}
+	tx := db.Begin() // a begin record is logged immediately
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if db.LogSize() == 0 {
+		t.Error("log should have begin/abort records")
+	}
+}
+
+func TestTransformationAbortViaAPI(t *testing.T) {
+	db := customerDB(t)
+	seedCustomers(t, db)
+	tr, err := db.Split(nbschema.SplitSpec{
+		Source: "customer", Left: "a", Right: "b",
+		SplitOn: []string{"zip"}, RightOnly: []string{"city"},
+	}, nbschema.TransformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Abort()
+	if err := tr.Run(context.Background()); !errors.Is(err, nbschema.ErrTransformAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	// Source untouched, targets gone.
+	if n, _ := db.Rows("customer"); n != 4 {
+		t.Error("source damaged by aborted transformation")
+	}
+	if _, err := db.Rows("a"); err == nil {
+		t.Error("target should be dropped")
+	}
+}
+
+func TestConcurrentTransformAndTraffic(t *testing.T) {
+	db := customerDB(t)
+	seedCustomers(t, db)
+	tr, err := db.Split(nbschema.SplitSpec{
+		Source: "customer", Left: "base", Right: "place",
+		SplitOn: []string{"zip"}, RightOnly: []string{"city"},
+	}, nbschema.TransformOptions{Priority: 0.5, SyncThreshold: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	traffic := make(chan error, 1)
+	go func() {
+		defer close(traffic)
+		id := 100
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := db.Begin()
+			err := tx.Insert("customer", id, "load", 7050, "trondheim")
+			if err == nil {
+				err = tx.Commit()
+			}
+			if err != nil {
+				if aerr := tx.Abort(); aerr != nil && !errors.Is(aerr, nbschema.ErrTxnDone) {
+					traffic <- aerr
+					return
+				}
+				if !nbschema.IsRetryable(err) && !errors.Is(err, nbschema.ErrTxnDone) {
+					traffic <- err
+					return
+				}
+			}
+			id++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	close(stop)
+	if err, ok := <-traffic; ok && err != nil {
+		t.Fatalf("traffic: %v", err)
+	}
+	// All committed inserts are reflected in the new tables.
+	base, _ := db.Rows("base")
+	var viaScan int
+	if err := db.ScanTable("base", func(row []any) bool { viaScan++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if base == 0 || base != viaScan {
+		t.Errorf("base rows = %d, scanned %d", base, viaScan)
+	}
+}

@@ -1,0 +1,131 @@
+package nbschema
+
+import (
+	"time"
+
+	"nbschema/internal/core"
+)
+
+// JoinSpec describes a full outer join transformation R ⟗ S → Target
+// (paper Section 4). See core.JoinSpec for field semantics.
+type JoinSpec = core.JoinSpec
+
+// SplitSpec describes a vertical split transformation T → Left, Right
+// (paper Section 5).
+type SplitSpec = core.SplitSpec
+
+// SyncStrategy selects how synchronization completes a transformation.
+type SyncStrategy = core.SyncStrategy
+
+// The three synchronization strategies of §3.4.
+const (
+	// NonBlockingAbort force-aborts transactions still active on the
+	// sources after a sub-millisecond latch window (the paper's default).
+	NonBlockingAbort = core.NonBlockingAbort
+	// NonBlockingCommit lets old transactions finish against the old
+	// tables, mirroring locks between old and new.
+	NonBlockingCommit = core.NonBlockingCommit
+	// BlockingCommit drains the sources before switching (baseline; blocks
+	// new transactions).
+	BlockingCommit = core.BlockingCommit
+)
+
+// Phase is a transformation lifecycle phase.
+type Phase = core.Phase
+
+// Transformation phases.
+const (
+	PhaseIdle          = core.PhaseIdle
+	PhasePreparing     = core.PhasePreparing
+	PhasePopulating    = core.PhasePopulating
+	PhasePropagating   = core.PhasePropagating
+	PhaseSynchronizing = core.PhaseSynchronizing
+	PhaseDraining      = core.PhaseDraining
+	PhaseDone          = core.PhaseDone
+	PhaseAborted       = core.PhaseAborted
+)
+
+// Metrics reports what a transformation did.
+type Metrics = core.Metrics
+
+// Transformation is a running (or completed) schema transformation. Create
+// one with DB.FullOuterJoin or DB.Split, then call Run; user transactions
+// proceed concurrently for the entire duration.
+type Transformation = core.Transformation
+
+// Transformation errors.
+var (
+	// ErrStalled reports that log propagation could not keep up and the
+	// transformation was configured to give up.
+	ErrStalled = core.ErrStalled
+	// ErrTransformAborted reports that the transformation was cancelled;
+	// its target tables were deleted.
+	ErrTransformAborted = core.ErrAborted
+	// ErrInconsistentData reports a split whose source violates the
+	// functional dependency on the split attributes (paper Example 1).
+	ErrInconsistentData = core.ErrInconsistentData
+)
+
+// TransformOptions tunes a transformation. The zero value runs at full
+// priority with non-blocking abort synchronization.
+type TransformOptions struct {
+	// Priority in (0, 1] is the fraction of time the background
+	// transformation may consume; lower values interfere less with user
+	// transactions but take longer (paper Fig. 4d). 0 selects 1.0.
+	Priority float64
+	// Strategy selects the synchronization strategy (§3.4).
+	Strategy SyncStrategy
+	// SyncThreshold starts synchronization when at most this many log
+	// records remain to propagate (count-based analysis, §3.3). 0 selects
+	// 64. Ignored when SyncWithin is set.
+	SyncThreshold int
+	// SyncWithin starts synchronization when the estimated remaining
+	// propagation time drops below this duration (estimate-based analysis).
+	SyncWithin time.Duration
+	// AbortOnStall gives up (instead of raising priority) when the log
+	// grows faster than it can be propagated.
+	AbortOnStall bool
+	// StallTimeout bounds one propagation iteration before the stall
+	// policy fires (0 disables the in-iteration check).
+	StallTimeout time.Duration
+	// CheckConsistency enables §5.3 handling for splits of possibly
+	// inconsistent data: C/U flags plus the background consistency checker.
+	CheckConsistency bool
+	// KeepSources leaves the (closed) source tables in place after the
+	// transformation instead of deleting them.
+	KeepSources bool
+	// MaxIterations bounds propagation cycles (0 = unlimited).
+	MaxIterations int
+}
+
+func (o TransformOptions) config() core.Config {
+	cfg := core.Config{
+		Priority:         o.Priority,
+		Strategy:         o.Strategy,
+		CheckConsistency: o.CheckConsistency,
+		KeepSources:      o.KeepSources,
+		MaxIterations:    o.MaxIterations,
+		StallTimeout:     o.StallTimeout,
+	}
+	if o.AbortOnStall {
+		cfg.StallPolicy = core.StallAbort
+	}
+	switch {
+	case o.SyncWithin > 0:
+		cfg.Analyzer = core.EstimateAnalyzer(o.SyncWithin)
+	case o.SyncThreshold > 0:
+		cfg.Analyzer = core.CountAnalyzer(o.SyncThreshold)
+	}
+	return cfg
+}
+
+// FullOuterJoin prepares a non-blocking full outer join transformation.
+// Nothing runs until Transformation.Run is called.
+func (db *DB) FullOuterJoin(spec JoinSpec, opts TransformOptions) (*Transformation, error) {
+	return core.NewFullOuterJoin(db.eng, spec, opts.config())
+}
+
+// Split prepares a non-blocking vertical split transformation.
+func (db *DB) Split(spec SplitSpec, opts TransformOptions) (*Transformation, error) {
+	return core.NewSplit(db.eng, spec, opts.config())
+}

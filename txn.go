@@ -1,0 +1,154 @@
+package nbschema
+
+import (
+	"errors"
+	"fmt"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/engine"
+	"nbschema/internal/lock"
+	"nbschema/internal/value"
+)
+
+// Errors surfaced to applications. Engine errors wrap these sentinels.
+var (
+	// ErrTxnDone reports use of a finished transaction.
+	ErrTxnDone = engine.ErrTxnDone
+	// ErrTxnDoomed reports that a schema transformation's synchronization
+	// has marked the transaction for abort; call Abort and retry.
+	ErrTxnDoomed = engine.ErrTxnDoomed
+	// ErrNoAccess reports access to a table that is hidden or being
+	// dropped by a transformation; retry against the new table.
+	ErrNoAccess = engine.ErrNoAccess
+	// ErrLockTimeout reports a lock wait timeout (deadlock resolution).
+	ErrLockTimeout = lock.ErrTimeout
+	// ErrNoSuchTable reports a reference to a missing table — possibly one
+	// a completed transformation dropped; retry against the new table.
+	ErrNoSuchTable = catalog.ErrNotFound
+)
+
+// Txn is a transaction handle. A Txn is intended for a single goroutine.
+type Txn struct {
+	t  *engine.Txn
+	db *DB
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn { return &Txn{t: db.eng.Begin(), db: db} }
+
+// ID returns the transaction identifier.
+func (tx *Txn) ID() uint64 { return uint64(tx.t.ID()) }
+
+// Doomed reports whether a transformation has marked this transaction for
+// forced abort.
+func (tx *Txn) Doomed() bool { return tx.t.Doomed() }
+
+// Insert adds a row; vals are given in column order and converted from Go
+// values (int/int64, float64, string, []byte, bool, nil).
+func (tx *Txn) Insert(table string, vals ...any) error {
+	row, err := toTuple(vals)
+	if err != nil {
+		return err
+	}
+	return tx.t.Insert(table, row)
+}
+
+// Update overwrites the named columns of the row under key.
+func (tx *Txn) Update(table string, key []any, cols []string, vals []any) error {
+	k, err := toTuple(key)
+	if err != nil {
+		return err
+	}
+	v, err := toTuple(vals)
+	if err != nil {
+		return err
+	}
+	return tx.t.Update(table, k, cols, v)
+}
+
+// Delete removes the row under key.
+func (tx *Txn) Delete(table string, key ...any) error {
+	k, err := toTuple(key)
+	if err != nil {
+		return err
+	}
+	return tx.t.Delete(table, k)
+}
+
+// Get reads the row under key with a shared lock held until commit/abort.
+func (tx *Txn) Get(table string, key ...any) ([]any, error) {
+	k, err := toTuple(key)
+	if err != nil {
+		return nil, err
+	}
+	row, err := tx.t.Get(table, k)
+	if err != nil {
+		return nil, err
+	}
+	return fromTuple(row), nil
+}
+
+// Commit makes the transaction durable and releases its locks.
+func (tx *Txn) Commit() error { return tx.t.Commit() }
+
+// Abort rolls the transaction back.
+func (tx *Txn) Abort() error { return tx.t.Abort() }
+
+// toTuple converts Go values to a storage tuple.
+func toTuple(vals []any) (value.Tuple, error) {
+	t := make(value.Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			t[i] = value.Null()
+		case bool:
+			t[i] = value.Bool(x)
+		case int:
+			t[i] = value.Int(int64(x))
+		case int32:
+			t[i] = value.Int(int64(x))
+		case int64:
+			t[i] = value.Int(x)
+		case float64:
+			t[i] = value.Float(x)
+		case string:
+			t[i] = value.Str(x)
+		case []byte:
+			t[i] = value.Bytes(x)
+		case value.Value:
+			t[i] = x
+		default:
+			return nil, fmt.Errorf("nbschema: unsupported value type %T at position %d", v, i)
+		}
+	}
+	return t, nil
+}
+
+// fromTuple converts a storage tuple back to Go values.
+func fromTuple(t value.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		switch v.Kind() {
+		case value.KindNull:
+			out[i] = nil
+		case value.KindBool:
+			out[i] = v.AsBool()
+		case value.KindInt:
+			out[i] = v.AsInt()
+		case value.KindFloat:
+			out[i] = v.AsFloat()
+		case value.KindString:
+			out[i] = v.AsString()
+		case value.KindBytes:
+			out[i] = v.AsBytes()
+		}
+	}
+	return out
+}
+
+// IsRetryable reports whether err indicates the transaction should be
+// aborted and retried (lock timeout or a transformation dooming/denying it).
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrLockTimeout) || errors.Is(err, ErrTxnDoomed) ||
+		errors.Is(err, ErrNoAccess) || errors.Is(err, ErrNoSuchTable)
+}
