@@ -259,6 +259,19 @@ func (c *Catalog) SetState(name string, s State) error {
 	return nil
 }
 
+// StateOf returns the lifecycle state of a table, read under the catalog
+// lock. Concurrent readers must use this instead of TableDef.State: the
+// field is written by SetState while user transactions check access.
+func (c *Catalog) StateOf(name string) (State, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.tables[name]
+	if !ok {
+		return StatePublic, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return d.State, nil
+}
+
 // List returns the sorted names of all tables, including hidden ones.
 func (c *Catalog) List() []string {
 	c.mu.RLock()

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"nbschema/internal/engine"
+	"nbschema/internal/fault"
 	"nbschema/internal/lock"
 	"nbschema/internal/value"
 	"nbschema/internal/wal"
@@ -203,6 +204,16 @@ type Config struct {
 	// instead of deleting them after the drain completes. Useful for
 	// verification and tests.
 	KeepSources bool
+	// SyncLatchTimeout bounds each attempt to take a source table's latch
+	// at the start of synchronization (0 selects 50ms). A latch that stays
+	// busy past the timeout degrades synchronization to another catch-up
+	// propagation round instead of blocking indefinitely.
+	SyncLatchTimeout time.Duration
+	// SyncLatchRetries is how many timed latch attempts (each followed by a
+	// catch-up round and exponential backoff) synchronization makes before
+	// falling back to a blocking acquisition, which writer preference
+	// guarantees will finish (0 selects 3).
+	SyncLatchRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -220,6 +231,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FuzzyChunk <= 0 {
 		c.FuzzyChunk = 256
+	}
+	if c.SyncLatchTimeout <= 0 {
+		c.SyncLatchTimeout = 50 * time.Millisecond
+	}
+	if c.SyncLatchRetries <= 0 {
+		c.SyncLatchRetries = 3
 	}
 	return c
 }
@@ -293,6 +310,7 @@ type Transformation struct {
 	op     operator
 	cfg    Config
 	shadow *lock.ShadowTable
+	faults *fault.Registry // inherited from db; nil-safe
 
 	phase        atomic.Int32
 	priority     atomic.Uint64 // math.Float64bits
@@ -312,10 +330,18 @@ func newTransformation(db *engine.DB, cfg Config) *Transformation {
 		db:        db,
 		cfg:       cfg.withDefaults(),
 		shadow:    lock.NewShadowTable(),
+		faults:    db.Faults(),
 		ccPending: make(map[string]wal.LSN),
 	}
 	tr.setPriority(tr.cfg.Priority)
 	return tr
+}
+
+// faultHit fires a transformation fault point ("core.<name>"). The points
+// are documented on the constants below; a nil or disarmed registry costs
+// one nil check and one atomic load.
+func (tr *Transformation) faultHit(name string) error {
+	return tr.faults.Hit("core." + name)
 }
 
 // Phase returns the current lifecycle phase.
@@ -393,9 +419,27 @@ func (tr *Transformation) Run(ctx context.Context) error {
 	return nil
 }
 
+// Fault points fired by a transformation when the database was opened with a
+// fault registry. Phase points fire right after the phase becomes visible;
+// the finer-grained points mark the seams a crash is most interesting at.
+//
+//	core.phase.preparing       entering step 1
+//	core.phase.populating      entering step 2
+//	core.phase.propagating     entering step 3
+//	core.phase.synchronizing   entering step 4
+//	core.fuzzymark             before appending a fuzzy mark (steps 2 and 3)
+//	core.populate.chunk        after each initial-population work chunk
+//	core.propagate.batch       at each batch start while redoing log records
+//	core.sync.entry            synchronization, before latching the sources
+//	core.sync.latched          sources latched, final propagation done
+//	core.sync.published        targets published, switchover latches not yet
+//	                           released
 func (tr *Transformation) run(ctx context.Context) error {
 	// Step 1: preparation.
 	tr.setPhase(PhasePreparing)
+	if err := tr.faultHit("phase.preparing"); err != nil {
+		return err
+	}
 	if err := tr.op.Prepare(); err != nil {
 		return fmt.Errorf("core: prepare: %w", err)
 	}
@@ -403,6 +447,9 @@ func (tr *Transformation) run(ctx context.Context) error {
 
 	// Step 2: initial population.
 	tr.setPhase(PhasePopulating)
+	if err := tr.faultHit("phase.populating"); err != nil {
+		return err
+	}
 	popStart := time.Now()
 	if err := tr.populate(ctx); err != nil {
 		return fmt.Errorf("core: populate: %w", err)
@@ -413,6 +460,9 @@ func (tr *Transformation) run(ctx context.Context) error {
 
 	// Step 3: log propagation.
 	tr.setPhase(PhasePropagating)
+	if err := tr.faultHit("phase.propagating"); err != nil {
+		return err
+	}
 	propStart := time.Now()
 	if err := tr.propagateLoop(ctx); err != nil {
 		return fmt.Errorf("core: propagate: %w", err)
@@ -423,6 +473,9 @@ func (tr *Transformation) run(ctx context.Context) error {
 
 	// Step 4: synchronization (+ drain for the non-blocking strategies).
 	tr.setPhase(PhaseSynchronizing)
+	if err := tr.faultHit("phase.synchronizing"); err != nil {
+		return err
+	}
 	if err := tr.synchronize(ctx); err != nil {
 		return fmt.Errorf("core: synchronize: %w", err)
 	}
@@ -434,6 +487,9 @@ func (tr *Transformation) run(ctx context.Context) error {
 // populate writes the begin fuzzy mark, computes the propagation start
 // position from the active-transaction table, and builds the initial image.
 func (tr *Transformation) populate(ctx context.Context) error {
+	if err := tr.faultHit("fuzzymark"); err != nil {
+		return err
+	}
 	active := tr.db.ActiveTxns()
 	mark := tr.db.Log().Append(&wal.Record{Type: wal.TypeFuzzyMark, Active: active})
 	start := mark
@@ -446,8 +502,21 @@ func (tr *Transformation) populate(ctx context.Context) error {
 	tr.cursor = start
 	tr.mu.Unlock()
 
+	// The tick callback cannot return an error to the operator, so an
+	// injected chunk fault is carried out of the scan in chunkErr and
+	// surfaces once Populate returns. A crash action still fires in place,
+	// i.e. at the chunk boundary itself.
 	th := newThrottler(tr)
-	rows, err := tr.op.Populate(func(n int) { th.tick(n) })
+	var chunkErr error
+	rows, err := tr.op.Populate(func(n int) {
+		th.tick(n)
+		if chunkErr == nil {
+			chunkErr = tr.faultHit("populate.chunk")
+		}
+	})
+	if err == nil {
+		err = chunkErr
+	}
 	if err != nil {
 		return err
 	}

@@ -123,6 +123,9 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 
 		// Cycle boundary: a fuzzy mark ends this propagation cycle and
 		// begins the next (§3.3).
+		if err := tr.faultHit("fuzzymark"); err != nil {
+			return err
+		}
 		mark := tr.db.Log().Append(&wal.Record{Type: wal.TypeFuzzyMark, Active: tr.db.ActiveTxns()})
 		tr.mu.Lock()
 		tr.cursor = end + 1
@@ -199,6 +202,13 @@ func (tr *Transformation) propagateRange(from, to wal.LSN, th *throttler) (int, 
 	}
 	applied := 0
 	for _, rec := range tr.db.Log().Scan(from, to) {
+		// A "batch" is each run of up to BatchSize records; the fault point
+		// fires at every batch start, including the range's first record.
+		if applied%tr.cfg.BatchSize == 0 {
+			if err := tr.faultHit("propagate.batch"); err != nil {
+				return applied, err
+			}
+		}
 		if err := tr.handleRecord(rec); err != nil {
 			return applied, err
 		}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/engine"
+)
+
+// RecoverConfig configures crash recovery of an interrupted transformation.
+type RecoverConfig struct {
+	// Targets names tables known to be transformation targets; they are
+	// dropped regardless of their catalog state. Tables in the hidden state
+	// are treated as orphaned targets even when not listed here, since only
+	// a transformation creates hidden tables.
+	Targets []string
+	// Rerun, when non-nil, is invoked after cleanup to restart the
+	// transformation from scratch. It builds the transformation against the
+	// recovered database; Recover then runs it to completion.
+	Rerun func(db *engine.DB) (*Transformation, error)
+}
+
+// RecoverReport describes what Recover found and did.
+type RecoverReport struct {
+	// Orphaned reports whether an unfinished transformation was detected.
+	Orphaned bool
+	// DroppedTargets lists the orphaned target tables that were dropped.
+	DroppedTargets []string
+	// ReopenedSources lists source tables reverted from the dropping state
+	// back to public use.
+	ReopenedSources []string
+	// Rerun reports whether the transformation was re-executed.
+	Rerun bool
+	// Transformation is the re-run transformation when Rerun happened
+	// (metrics, phase and operator inspection).
+	Transformation *Transformation
+}
+
+// Recover detects and cleans up a transformation that was interrupted by a
+// crash. The paper's recovery story (§6) is that a transformation needs no
+// recovery protocol of its own: target tables are populated outside the log,
+// so after an engine restart they are empty shells — recovery simply drops
+// them and, because the synchronization never completed, reverts any source
+// caught mid-switchover to public use. The transformation can then be re-run
+// from scratch (RecoverConfig.Rerun).
+//
+// A target that reached the public state is left alone: a published target
+// means synchronization completed and the table's contents are
+// reconstructible by re-propagation, which the caller opted into by naming
+// it in Targets — such tables are dropped too, since their post-crash
+// storage is empty.
+func Recover(ctx context.Context, db *engine.DB, cfg RecoverConfig) (RecoverReport, error) {
+	var rep RecoverReport
+
+	listed := make(map[string]bool, len(cfg.Targets))
+	for _, t := range cfg.Targets {
+		listed[t] = true
+	}
+
+	for _, name := range db.Catalog().List() {
+		def, err := db.Catalog().Get(name)
+		if err != nil {
+			continue // dropped concurrently
+		}
+		switch {
+		case listed[name] || def.State == catalog.StateHidden:
+			if err := db.DropTable(name); err != nil {
+				return rep, fmt.Errorf("core: recover: drop target %s: %w", name, err)
+			}
+			rep.DroppedTargets = append(rep.DroppedTargets, name)
+		case def.State == catalog.StateDropping:
+			if err := db.Reopen(name); err != nil {
+				return rep, fmt.Errorf("core: recover: reopen source %s: %w", name, err)
+			}
+			rep.ReopenedSources = append(rep.ReopenedSources, name)
+		}
+	}
+	rep.Orphaned = len(rep.DroppedTargets) > 0 || len(rep.ReopenedSources) > 0
+
+	if rep.Orphaned && cfg.Rerun != nil {
+		tr, err := cfg.Rerun(db)
+		if err != nil {
+			return rep, fmt.Errorf("core: recover: rebuild transformation: %w", err)
+		}
+		if err := tr.Run(ctx); err != nil {
+			return rep, fmt.Errorf("core: recover: re-run: %w", err)
+		}
+		rep.Rerun = true
+		rep.Transformation = tr
+	}
+	return rep, nil
+}

@@ -80,6 +80,95 @@ func TestCrashMidTransformationThenRetry(t *testing.T) {
 	assertConverged(t, tr2.op.(*fojOp))
 }
 
+// TestRestartMidTransformationMatchesNeverTransformed crashes a
+// transformation at its most entangled moment — fuzzy marks written, user
+// operations propagated onto the targets, targets half populated — and
+// checks that restarting the WAL yields sources identical to a database
+// that never saw a transformation at all.
+func TestRestartMidTransformationMatchesNeverTransformed(t *testing.T) {
+	db := newJoinDB(t)
+	seedJoin(t, db)
+
+	// Begin a transformation: targets prepared, initial image built. Mix in
+	// user operations and propagate them so the targets hold both halves of
+	// the paper's state: fuzzily-copied rows and log-propagated rows.
+	tr, op := prepared(t, db, Config{})
+	mustExec(t, db, func(tx *engine.Txn) error {
+		if err := tx.Insert("R", rRow(8, "during", 30)); err != nil {
+			return err
+		}
+		return tx.Update("S", value.Tuple{value.Int(10)}, []string{"d"},
+			value.Tuple{value.Str("trondheim")})
+	})
+	db.Log().Append(&wal.Record{Type: wal.TypeFuzzyMark, Active: db.ActiveTxns()})
+	propagateAll(t, tr)
+	// More user work after the last propagated position: at the crash, the
+	// targets are missing it (half populated).
+	mustExec(t, db, func(tx *engine.Txn) error {
+		return tx.Delete("R", value.Tuple{value.Int(2)})
+	})
+	// A loser: in flight at the crash, must be rolled back on restart.
+	loser := db.Begin()
+	if err := loser.Insert("R", rRow(9, "loser", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if op.tTbl.Len() == 0 {
+		t.Fatal("targets unexpectedly empty before the crash")
+	}
+
+	var buf strings.Builder
+	if _, err := db.Log().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String()
+
+	// Restart into the full crashed schema (sources + hidden target), then
+	// recover: the orphaned target must be dropped.
+	hidden := op.tDef.Clone()
+	db2, _, err := engine.RestartFrom(append(joinDefs(t), hidden),
+		strings.NewReader(dump), engine.Options{LockTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	rep, err := Recover(context.Background(), db2, RecoverConfig{Targets: []string{"T"}})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(rep.DroppedTargets) != 1 || rep.DroppedTargets[0] != "T" {
+		t.Fatalf("DroppedTargets = %v", rep.DroppedTargets)
+	}
+
+	// Control: the same log restarted into a schema that never had a
+	// transformation.
+	db3, _, err := engine.RestartFrom(joinDefs(t), strings.NewReader(dump),
+		engine.Options{LockTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("control Restart: %v", err)
+	}
+	for _, src := range []string{"R", "S"} {
+		got := db2.Table(src).Rows()
+		want := db3.Table(src).Rows()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows recovered, control has %d", src, len(got), len(want))
+		}
+		for k, w := range want {
+			if g, ok := got[k]; !ok || !g.Equal(w) {
+				t.Errorf("%s row %q: got %v want %v", src, k, g, w)
+			}
+		}
+	}
+	// The loser insert was rolled back; committed work survived.
+	if _, ok := db2.ReadCommitted("R", value.Tuple{value.Int(9)}); ok {
+		t.Error("loser insert survived the restart")
+	}
+	if _, ok := db2.ReadCommitted("R", value.Tuple{value.Int(8)}); !ok {
+		t.Error("committed mid-transformation insert lost")
+	}
+	if _, ok := db2.ReadCommitted("R", value.Tuple{value.Int(2)}); ok {
+		t.Error("committed delete lost: row 2 still present")
+	}
+}
+
 func TestAbortedTransformationLeavesNoTrace(t *testing.T) {
 	db := newJoinDB(t)
 	seedJoin(t, db)

@@ -75,16 +75,72 @@ func (tr *Transformation) finalPropagation() (wal.LSN, error) {
 	return end, nil
 }
 
-// syncNonBlocking implements both non-blocking strategies; forceAbort
-// selects non-blocking abort.
-func (tr *Transformation) syncNonBlocking(ctx context.Context, forceAbort bool) error {
-	latches := tr.sourceLatches()
-	latchStart := time.Now()
+// acquireSourceLatches takes all source latches exclusively, in sorted
+// order. Each pass uses timed acquisitions: if any latch stays busy past
+// SyncLatchTimeout the pass releases what it holds and degrades to another
+// catch-up propagation round (keeping the eventual latched window short)
+// followed by an exponential backoff. After SyncLatchRetries failed passes
+// it falls back to blocking acquisition, which the latches' writer
+// preference guarantees will finish.
+func (tr *Transformation) acquireSourceLatches(ctx context.Context, latches []*lock.Latch) error {
+	backoff := time.Millisecond
+	for attempt := 0; attempt < tr.cfg.SyncLatchRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return errors.Join(ErrAborted, err)
+		}
+		if tr.cancel.Load() {
+			return ErrAborted
+		}
+		held := 0
+		for _, l := range latches {
+			if !l.AcquireExclusiveTimeout(tr.cfg.SyncLatchTimeout) {
+				break
+			}
+			held++
+		}
+		if held == len(latches) {
+			return nil
+		}
+		for i := held - 1; i >= 0; i-- {
+			latches[i].ReleaseExclusive()
+		}
+		// A busy latch degrades to one more propagation round so the log
+		// does not run away while we wait.
+		tr.mu.Lock()
+		from := tr.cursor
+		tr.mu.Unlock()
+		end := tr.db.Log().End()
+		if _, err := tr.propagateRange(from, end, nil); err != nil {
+			return err
+		}
+		tr.mu.Lock()
+		tr.cursor = end + 1
+		tr.mu.Unlock()
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 	for _, l := range latches {
 		l.AcquireExclusive()
 	}
+	return nil
+}
+
+// syncNonBlocking implements both non-blocking strategies; forceAbort
+// selects non-blocking abort.
+func (tr *Transformation) syncNonBlocking(ctx context.Context, forceAbort bool) error {
+	if err := tr.faultHit("sync.entry"); err != nil {
+		return err
+	}
+	latches := tr.sourceLatches()
+	latchStart := time.Now()
+	if err := tr.acquireSourceLatches(ctx, latches); err != nil {
+		return err
+	}
 
 	end, err := tr.finalPropagation()
+	if err == nil {
+		err = tr.faultHit("sync.latched")
+	}
 	if err != nil {
 		for _, l := range latches {
 			l.ReleaseExclusive()
@@ -105,6 +161,12 @@ func (tr *Transformation) syncNonBlocking(ctx context.Context, forceAbort bool) 
 			}
 			return err
 		}
+	}
+	if err := tr.faultHit("sync.published"); err != nil {
+		for _, l := range latches {
+			l.ReleaseExclusive()
+		}
+		return err
 	}
 	var doomed []wal.TxnID
 	if forceAbort {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"nbschema/internal/catalog"
+	"nbschema/internal/fault"
 	"nbschema/internal/lock"
 	"nbschema/internal/storage"
 	"nbschema/internal/value"
@@ -51,13 +52,26 @@ type Options struct {
 	// LockTimeout bounds lock waits (deadlock resolution). Zero selects
 	// lock.DefaultTimeout.
 	LockTimeout time.Duration
+	// Faults is an optional fault-injection registry. When set, the WAL,
+	// the lock manager and every table created on this DB hit named fault
+	// points, letting tests inject errors, crashes and delays at the hot
+	// seams. A nil registry costs a single nil check per seam.
+	Faults *fault.Registry
+	// LenientWAL selects lenient log reading on restart: the log is
+	// truncated at the first undecodable frame and recovery proceeds from
+	// the valid prefix, with the cut reported to the caller (its Torn
+	// method distinguishes a tail torn by a crash from an in-place flip).
+	// The default (strict) refuses to recover from any corrupt log.
+	LenientWAL bool
 }
 
 // DB is an in-memory transactional database.
 type DB struct {
-	cat   *catalog.Catalog
-	log   *wal.Log
-	locks *lock.Manager
+	cat    *catalog.Catalog
+	log    *wal.Log
+	locks  *lock.Manager
+	faults *fault.Registry
+	opts   Options
 
 	mu      sync.RWMutex
 	tables  map[string]*storage.Table
@@ -74,16 +88,25 @@ type DB struct {
 
 // New returns an empty database.
 func New(opts Options) *DB {
-	return &DB{
+	db := &DB{
 		cat:     catalog.New(),
 		log:     wal.NewLog(),
 		locks:   lock.NewManager(opts.LockTimeout),
+		faults:  opts.Faults,
+		opts:    opts,
 		tables:  make(map[string]*storage.Table),
 		latches: make(map[string]*lock.Latch),
 		dropAt:  make(map[string]wal.LSN),
 		active:  make(map[wal.TxnID]*Txn),
 	}
+	db.log.SetFaults(opts.Faults)
+	db.locks.SetFaults(opts.Faults)
+	return db
 }
+
+// Faults returns the fault registry the DB was opened with (nil when fault
+// injection is off). Transformations forward it to their own fault points.
+func (db *DB) Faults() *fault.Registry { return db.faults }
 
 // Catalog returns the schema catalog.
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
@@ -116,8 +139,10 @@ func (db *DB) CreateTable(def *catalog.TableDef) error {
 		return err
 	}
 	db.mu.Lock()
-	db.tables[def.Name] = storage.NewTable(def)
-	db.latches[def.Name] = lock.NewLatch()
+	tbl := storage.NewTable(def)
+	tbl.SetFaults(db.faults)
+	db.tables[def.Name] = tbl
+	db.latches[def.Name] = lock.NewLatch(def.Name)
 	db.mu.Unlock()
 	return nil
 }
@@ -187,9 +212,28 @@ func (db *DB) Publish(name string) error {
 	return db.cat.SetState(name, catalog.StatePublic)
 }
 
-// accessible reports whether txn may operate on the table right now.
+// Reopen returns a table to public use and clears any switchover gate. Crash
+// recovery uses it to revert a source table left in the dropping state by a
+// transformation that did not finish.
+func (db *DB) Reopen(name string) error {
+	if err := db.cat.SetState(name, catalog.StatePublic); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	delete(db.dropAt, name)
+	db.mu.Unlock()
+	return nil
+}
+
+// accessible reports whether txn may operate on the table right now. The
+// state is re-read under the catalog lock: a synchronization step may flip
+// it concurrently (Publish/MarkDropping).
 func (db *DB) accessible(def *catalog.TableDef, txn *Txn) error {
-	switch def.State {
+	state, err := db.cat.StateOf(def.Name)
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrNoAccess, def.Name)
+	}
+	switch state {
 	case catalog.StatePublic:
 		return nil
 	case catalog.StateHidden:

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"io"
 
 	"nbschema/internal/catalog"
 	"nbschema/internal/wal"
@@ -58,6 +59,7 @@ func Restart(defs []*catalog.TableDef, log *wal.Log, opts Options) (*DB, error) 
 
 	// Adopt the log and continue numbering after it.
 	db.log = log
+	db.log.SetFaults(db.faults)
 	db.txnMu.Lock()
 	for id := range txns {
 		if id > db.nextTxn {
@@ -82,6 +84,34 @@ func Restart(defs []*catalog.TableDef, log *wal.Log, opts Options) (*DB, error) 
 		}
 	}
 	return db, nil
+}
+
+// RestartFrom decodes a serialized write-ahead log from r and runs Restart on
+// it. Log strictness follows opts.LenientWAL: strict mode fails on any
+// corrupt or torn record, lenient mode truncates the log at the first bad
+// frame and recovers from the valid prefix — the policy a crashed process
+// needs, since a crash mid-append routinely leaves a torn tail. When lenient
+// reading truncated the log, the (possibly nil) *wal.CorruptionError
+// describing the cut is returned alongside the database.
+func RestartFrom(defs []*catalog.TableDef, r io.Reader, opts Options) (*DB, *wal.CorruptionError, error) {
+	var (
+		log *wal.Log
+		cut *wal.CorruptionError
+		err error
+	)
+	if opts.LenientWAL {
+		log, cut, err = wal.ReadLogLenient(r)
+	} else {
+		log, err = wal.ReadLog(r)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: restart: read log: %w", err)
+	}
+	db, err := Restart(defs, log, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, cut, nil
 }
 
 // redo applies one operation record to storage during the redo pass.

@@ -1,0 +1,236 @@
+// Package fault implements deterministic fault injection for crash- and
+// error-tolerance testing. Components are instrumented with named fault
+// points ("storage.insert", "core.sync.latched", ...); a test arms a point on
+// a Registry with a trigger policy (every hit, the Nth hit, seeded
+// probabilistic) and an action (return an error, panic-as-crash, sleep).
+//
+// A Registry is injectable and test-scoped: production code holds a possibly
+// nil *Registry and calls Hit at its fault points. A nil or disarmed registry
+// costs one nil check plus one atomic load per hit — there is no map lookup,
+// no allocation, and no lock on the disarmed path.
+//
+// The crash action panics with a Crash value. A test harness that simulates
+// process death recovers it at its process-simulation boundary (the paper's
+// model: a crashed transformation is recovered from the WAL exactly like an
+// aborted one).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by an ErrorAction armed without
+// a specific error. Injected errors wrap it, so callers can test with
+// errors.Is(err, fault.ErrInjected).
+var ErrInjected = errors.New("fault: injected failure")
+
+// Crash is the value panicked with by the crash action. Harnesses that
+// simulate a process crash recover it at their process boundary and treat
+// everything below as dead.
+type Crash struct {
+	// Point is the fault point that fired.
+	Point string
+	// Hit is the 1-based hit count at which the point fired.
+	Hit int64
+}
+
+// String describes the crash site.
+func (c Crash) String() string {
+	return fmt.Sprintf("fault: injected crash at %s (hit %d)", c.Point, c.Hit)
+}
+
+// AsCrash reports whether a recovered panic value is an injected crash.
+func AsCrash(r any) (Crash, bool) {
+	c, ok := r.(Crash)
+	return c, ok
+}
+
+// Trigger decides, given the 1-based hit count of a point, whether a rule
+// fires on this hit. Triggers run under the registry lock and must not block.
+type Trigger func(hit int64) bool
+
+// Always fires on every hit.
+func Always() Trigger { return func(int64) bool { return true } }
+
+// OnHit fires on exactly the nth hit (1-based) and never again.
+func OnHit(n int64) Trigger { return func(hit int64) bool { return hit == n } }
+
+// FromHit fires on the nth hit and every hit after it.
+func FromHit(n int64) Trigger { return func(hit int64) bool { return hit >= n } }
+
+// EveryN fires on every nth hit (n, 2n, 3n, ...).
+func EveryN(n int64) Trigger {
+	return func(hit int64) bool { return n > 0 && hit%n == 0 }
+}
+
+// Prob fires on each hit independently with probability p, driven by a
+// seeded RNG so a run is reproducible from its seed.
+func Prob(p float64, seed int64) Trigger {
+	rng := rand.New(rand.NewSource(seed))
+	return func(int64) bool { return rng.Float64() < p }
+}
+
+// Action is what a fired rule does. An action returning a non-nil error makes
+// Hit return that error; the crash action never returns (it panics).
+type Action func(point string, hit int64) error
+
+// ErrorAction makes Hit return an error wrapping ErrInjected (and err, when
+// non-nil).
+func ErrorAction(err error) Action {
+	return func(point string, hit int64) error {
+		if err != nil {
+			return fmt.Errorf("%w at %s (hit %d): %w", ErrInjected, point, hit, err)
+		}
+		return fmt.Errorf("%w at %s (hit %d)", ErrInjected, point, hit)
+	}
+}
+
+// CrashAction panics with a Crash value, simulating process death at the
+// fault point.
+func CrashAction() Action {
+	return func(point string, hit int64) error {
+		panic(Crash{Point: point, Hit: hit})
+	}
+}
+
+// SleepAction delays the caller by d, then lets it continue. Useful for
+// widening race windows (e.g. the synchronization latch window).
+func SleepAction(d time.Duration) Action {
+	return func(string, int64) error {
+		time.Sleep(d)
+		return nil
+	}
+}
+
+type rule struct {
+	when Trigger
+	act  Action
+}
+
+type point struct {
+	hits  int64
+	rules []rule
+}
+
+// Registry is a set of armed fault points. The zero value is not usable;
+// call New. All methods are safe for concurrent use, and every method is a
+// no-op (or returns zero) on a nil receiver so components can hold a nil
+// *Registry unconditionally.
+type Registry struct {
+	armed  atomic.Int32 // number of armed rules across all points
+	mu     sync.Mutex
+	points map[string]*point
+}
+
+// New returns an empty, disarmed registry.
+func New() *Registry {
+	return &Registry{points: make(map[string]*point)}
+}
+
+// Armed reports whether any rule is armed. It is the fast-path check
+// components may use before building dynamic point names.
+func (r *Registry) Armed() bool {
+	return r != nil && r.armed.Load() > 0
+}
+
+// Arm attaches (trigger, action) to the named point. Multiple rules may be
+// armed on one point; they are evaluated in arming order and the first
+// firing rule's action runs.
+func (r *Registry) Arm(name string, when Trigger, act Action) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	p := r.points[name]
+	if p == nil {
+		p = &point{}
+		r.points[name] = p
+	}
+	p.rules = append(p.rules, rule{when: when, act: act})
+	r.mu.Unlock()
+	r.armed.Add(1)
+}
+
+// Disarm removes every rule from the named point. Hit counts are preserved.
+func (r *Registry) Disarm(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if p := r.points[name]; p != nil && len(p.rules) > 0 {
+		r.armed.Add(int32(-len(p.rules)))
+		p.rules = nil
+	}
+	r.mu.Unlock()
+}
+
+// Reset disarms every point and clears all hit counts.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	var n int32
+	for _, p := range r.points {
+		n += int32(len(p.rules))
+	}
+	r.points = make(map[string]*point)
+	r.mu.Unlock()
+	r.armed.Add(-n)
+}
+
+// Hits returns how many times the named point has been hit while the
+// registry was armed. (Disarmed registries skip counting entirely — the
+// zero-overhead guarantee outweighs exact counts.)
+func (r *Registry) Hits(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p := r.points[name]; p != nil {
+		return p.hits
+	}
+	return 0
+}
+
+// Hit reports one arrival at the named fault point. Disarmed (or nil)
+// registries return nil immediately. Armed registries count the hit and run
+// the first firing rule's action: the returned error is the injected
+// failure the caller should propagate; the crash action panics instead.
+func (r *Registry) Hit(name string) error {
+	if r == nil || r.armed.Load() == 0 {
+		return nil
+	}
+	return r.hitSlow(name)
+}
+
+func (r *Registry) hitSlow(name string) error {
+	r.mu.Lock()
+	p := r.points[name]
+	if p == nil {
+		p = &point{}
+		r.points[name] = p
+	}
+	p.hits++
+	hit := p.hits
+	var act Action
+	for _, ru := range p.rules {
+		if ru.when(hit) {
+			act = ru.act
+			break
+		}
+	}
+	r.mu.Unlock()
+	if act == nil {
+		return nil
+	}
+	// The action runs outside the lock: it may sleep or panic, and the
+	// panic must not leave the registry locked.
+	return act(name, hit)
+}

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if r.Armed() {
+		t.Error("nil registry reports armed")
+	}
+	if err := r.Hit("x"); err != nil {
+		t.Errorf("nil Hit = %v", err)
+	}
+	r.Arm("x", Always(), ErrorAction(nil)) // must not panic
+	r.Disarm("x")
+	r.Reset()
+	if r.Hits("x") != 0 {
+		t.Error("nil Hits != 0")
+	}
+}
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	r := New()
+	if err := r.Hit("anything"); err != nil {
+		t.Fatalf("disarmed Hit = %v", err)
+	}
+	// Disarmed hits are not even counted (zero-overhead contract).
+	if got := r.Hits("anything"); got != 0 {
+		t.Errorf("disarmed hit was counted: %d", got)
+	}
+}
+
+func TestOnHitFiresExactlyOnce(t *testing.T) {
+	r := New()
+	r.Arm("p", OnHit(3), ErrorAction(nil))
+	var errs int
+	for i := 0; i < 10; i++ {
+		if err := r.Hit("p"); err != nil {
+			errs++
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("injected error does not wrap ErrInjected: %v", err)
+			}
+			if r.Hits("p") != 3 {
+				t.Errorf("fired at hit %d, want 3", r.Hits("p"))
+			}
+		}
+	}
+	if errs != 1 {
+		t.Errorf("OnHit(3) fired %d times, want 1", errs)
+	}
+}
+
+func TestEveryNAndFromHit(t *testing.T) {
+	r := New()
+	r.Arm("e", EveryN(2), ErrorAction(nil))
+	r.Arm("f", FromHit(4), ErrorAction(nil))
+	var e, f int
+	for i := 0; i < 6; i++ {
+		if r.Hit("e") != nil {
+			e++
+		}
+		if r.Hit("f") != nil {
+			f++
+		}
+	}
+	if e != 3 {
+		t.Errorf("EveryN(2) fired %d/6, want 3", e)
+	}
+	if f != 3 {
+		t.Errorf("FromHit(4) fired %d/6, want 3", f)
+	}
+}
+
+func TestProbIsSeededDeterministic(t *testing.T) {
+	fires := func(seed int64) []bool {
+		r := New()
+		r.Arm("p", Prob(0.5, seed), ErrorAction(nil))
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = r.Hit("p") != nil
+		}
+		return out
+	}
+	a, b := fires(42), fires(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i+1)
+		}
+	}
+	some := false
+	for _, x := range a {
+		if x {
+			some = true
+		}
+	}
+	if !some {
+		t.Error("Prob(0.5) never fired in 64 hits")
+	}
+}
+
+func TestCrashActionPanicsWithCrash(t *testing.T) {
+	r := New()
+	r.Arm("c", OnHit(1), CrashAction())
+	defer func() {
+		c, ok := AsCrash(recover())
+		if !ok {
+			t.Fatal("crash action did not panic with Crash")
+		}
+		if c.Point != "c" || c.Hit != 1 {
+			t.Errorf("crash = %+v", c)
+		}
+		// The registry survives the crash: the lock was not held.
+		if err := r.Hit("other"); err != nil {
+			t.Errorf("registry unusable after crash: %v", err)
+		}
+	}()
+	_ = r.Hit("c")
+}
+
+func TestSleepActionDelays(t *testing.T) {
+	r := New()
+	r.Arm("s", Always(), SleepAction(20*time.Millisecond))
+	start := time.Now()
+	if err := r.Hit("s"); err != nil {
+		t.Fatalf("sleep returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("sleep action returned after %v", d)
+	}
+}
+
+func TestErrorActionWrapsCause(t *testing.T) {
+	cause := errors.New("disk on fire")
+	r := New()
+	r.Arm("w", Always(), ErrorAction(cause))
+	err := r.Hit("w")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, cause) {
+		t.Errorf("error chain broken: %v", err)
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	r := New()
+	r.Arm("p", Always(), ErrorAction(nil))
+	if r.Hit("p") == nil {
+		t.Fatal("armed point did not fire")
+	}
+	r.Disarm("p")
+	if r.Armed() {
+		t.Error("still armed after Disarm")
+	}
+	if err := r.Hit("p"); err != nil {
+		t.Errorf("disarmed point fired: %v", err)
+	}
+
+	r.Arm("a", Always(), ErrorAction(nil))
+	r.Arm("b", Always(), ErrorAction(nil))
+	r.Reset()
+	if r.Armed() || r.Hits("a") != 0 {
+		t.Error("Reset did not clear rules and counts")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	r := New()
+	r.Arm("p", OnHit(500), ErrorAction(nil))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 125; i++ {
+				if r.Hit("p") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Hits("p") != 1000 {
+		t.Errorf("hits = %d, want 1000", r.Hits("p"))
+	}
+	if fired != 1 {
+		t.Errorf("OnHit fired %d times under concurrency", fired)
+	}
+}

@@ -1,6 +1,9 @@
 package lock
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Latch is a table latch. User operations hold it in shared mode for the
 // duration of one operation; the synchronization step of a transformation
@@ -11,6 +14,7 @@ import "sync"
 // pending, new shared acquisitions queue behind it, so the exclusive window
 // cannot be starved by a stream of operations.
 type Latch struct {
+	name     string
 	mu       sync.Mutex
 	cond     *sync.Cond
 	readers  int
@@ -18,12 +22,16 @@ type Latch struct {
 	pendingW int
 }
 
-// NewLatch returns an unlocked latch.
-func NewLatch() *Latch {
-	l := &Latch{}
+// NewLatch returns an unlocked latch. The name (typically the table the
+// latch protects) appears in misuse panics and diagnostics.
+func NewLatch(name string) *Latch {
+	l := &Latch{name: name}
 	l.cond = sync.NewCond(&l.mu)
 	return l
 }
+
+// Name returns the name the latch was created with.
+func (l *Latch) Name() string { return l.name }
 
 // AcquireShared takes the latch in shared mode.
 func (l *Latch) AcquireShared() {
@@ -35,13 +43,15 @@ func (l *Latch) AcquireShared() {
 	l.mu.Unlock()
 }
 
-// ReleaseShared releases one shared holder.
+// ReleaseShared releases one shared holder. Releasing a latch that has no
+// shared holder is a bug in the caller and panics, naming the latch.
 func (l *Latch) ReleaseShared() {
 	l.mu.Lock()
 	l.readers--
 	if l.readers < 0 {
+		l.readers = 0 // leave the latch consistent for other holders
 		l.mu.Unlock()
-		panic("lock: ReleaseShared without AcquireShared")
+		panic("lock: ReleaseShared without AcquireShared on latch " + l.nameForPanic())
 	}
 	if l.readers == 0 {
 		l.cond.Broadcast()
@@ -60,6 +70,41 @@ func (l *Latch) AcquireExclusive() {
 	l.pendingW--
 	l.writer = true
 	l.mu.Unlock()
+}
+
+// AcquireExclusiveTimeout takes the latch exclusively, giving up after d.
+// It reports whether the latch was acquired. While waiting it blocks new
+// shared acquisitions (writer preference); on timeout that reservation is
+// withdrawn and queued readers are woken.
+func (l *Latch) AcquireExclusiveTimeout(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	l.mu.Lock()
+	if !l.writer && l.readers == 0 {
+		l.writer = true
+		l.mu.Unlock()
+		return true
+	}
+	l.pendingW++
+	// Cond has no timed wait; a timer broadcast bounds each Wait.
+	timer := time.AfterFunc(d, func() {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer timer.Stop()
+	for l.writer || l.readers > 0 {
+		if !time.Now().Before(deadline) {
+			l.pendingW--
+			l.cond.Broadcast() // wake readers queued behind the reservation
+			l.mu.Unlock()
+			return false
+		}
+		l.cond.Wait()
+	}
+	l.pendingW--
+	l.writer = true
+	l.mu.Unlock()
+	return true
 }
 
 // TryAcquireExclusive takes the latch exclusively only if it is free right
@@ -82,14 +127,25 @@ func (l *Latch) PendingExclusive() bool {
 	return l.pendingW > 0
 }
 
-// ReleaseExclusive releases the exclusive holder.
+// ReleaseExclusive releases the exclusive holder. A release without a
+// matching exclusive acquisition (including a double release) is a bug in
+// the caller and panics, naming the latch.
 func (l *Latch) ReleaseExclusive() {
 	l.mu.Lock()
 	if !l.writer {
 		l.mu.Unlock()
-		panic("lock: ReleaseExclusive without AcquireExclusive")
+		panic("lock: ReleaseExclusive without AcquireExclusive on latch " + l.nameForPanic())
 	}
 	l.writer = false
 	l.cond.Broadcast()
 	l.mu.Unlock()
+}
+
+// nameForPanic never returns an empty string, so panic messages always name
+// a latch.
+func (l *Latch) nameForPanic() string {
+	if l.name == "" {
+		return "<unnamed>"
+	}
+	return l.name
 }

@@ -1,0 +1,121 @@
+package lock
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recoverMsg runs f and returns the panic message (empty if none).
+func recoverMsg(f func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			if s, ok := r.(string); ok {
+				msg = s
+			} else {
+				msg = "non-string panic"
+			}
+		}
+	}()
+	f()
+	return ""
+}
+
+func TestLatchPanicsIncludeTableName(t *testing.T) {
+	msg := recoverMsg(func() { NewLatch("orders").ReleaseShared() })
+	if !strings.Contains(msg, "orders") {
+		t.Errorf("ReleaseShared panic %q does not name the latch", msg)
+	}
+	msg = recoverMsg(func() { NewLatch("orders").ReleaseExclusive() })
+	if !strings.Contains(msg, "orders") {
+		t.Errorf("ReleaseExclusive panic %q does not name the latch", msg)
+	}
+	// A latch constructed without a name still produces a usable message.
+	msg = recoverMsg(func() { NewLatch("").ReleaseExclusive() })
+	if !strings.Contains(msg, "<unnamed>") {
+		t.Errorf("unnamed latch panic %q lacks placeholder", msg)
+	}
+}
+
+func TestLatchDoubleReleaseDetected(t *testing.T) {
+	// Exclusive: one acquire, two releases — second must panic with the name.
+	l := NewLatch("accounts")
+	l.AcquireExclusive()
+	l.ReleaseExclusive()
+	msg := recoverMsg(func() { l.ReleaseExclusive() })
+	if msg == "" {
+		t.Fatal("double ReleaseExclusive did not panic")
+	}
+	if !strings.Contains(msg, "accounts") {
+		t.Errorf("double-release panic %q does not name the latch", msg)
+	}
+	// The latch must remain usable after the caught panic.
+	if !l.TryAcquireExclusive() {
+		t.Fatal("latch unusable after recovered double release")
+	}
+	l.ReleaseExclusive()
+
+	// Shared: two acquires, three releases.
+	l2 := NewLatch("accounts")
+	l2.AcquireShared()
+	l2.AcquireShared()
+	l2.ReleaseShared()
+	l2.ReleaseShared()
+	msg = recoverMsg(func() { l2.ReleaseShared() })
+	if msg == "" {
+		t.Fatal("extra ReleaseShared did not panic")
+	}
+	if !strings.Contains(msg, "accounts") {
+		t.Errorf("extra ReleaseShared panic %q does not name the latch", msg)
+	}
+	if !l2.TryAcquireExclusive() {
+		t.Fatal("latch unusable after recovered extra shared release")
+	}
+	l2.ReleaseExclusive()
+}
+
+func TestAcquireExclusiveTimeout(t *testing.T) {
+	// Free latch: immediate success.
+	l := NewLatch("t")
+	if !l.AcquireExclusiveTimeout(time.Millisecond) {
+		t.Fatal("timeout acquire on free latch failed")
+	}
+	l.ReleaseExclusive()
+
+	// Reader held: times out, and the reservation is withdrawn so a new
+	// reader is not blocked afterwards.
+	l.AcquireShared()
+	start := time.Now()
+	if l.AcquireExclusiveTimeout(20 * time.Millisecond) {
+		t.Fatal("timeout acquire succeeded while reader held")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("gave up before the timeout elapsed")
+	}
+	if l.PendingExclusive() {
+		t.Error("timed-out acquisition left its writer reservation behind")
+	}
+	done := make(chan struct{})
+	go func() {
+		l.AcquireShared()
+		l.ReleaseShared()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("reader blocked after writer timeout withdrew")
+	}
+	l.ReleaseShared()
+
+	// Reader releases within the window: acquisition succeeds.
+	l.AcquireShared()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		l.ReleaseShared()
+	}()
+	if !l.AcquireExclusiveTimeout(2 * time.Second) {
+		t.Fatal("timeout acquire failed although reader released in time")
+	}
+	l.ReleaseExclusive()
+}

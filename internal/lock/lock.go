@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"nbschema/internal/fault"
 	"nbschema/internal/wal"
 )
 
@@ -59,6 +60,7 @@ type entry struct {
 // Manager is a record-lock manager with FIFO-fair wait queues and
 // timeout-based deadlock resolution.
 type Manager struct {
+	faults  *fault.Registry
 	mu      sync.Mutex
 	entries map[lockKey]*entry
 	held    map[wal.TxnID]map[lockKey]struct{}
@@ -81,11 +83,25 @@ func NewManager(timeout time.Duration) *Manager {
 	}
 }
 
+// SetFaults installs a fault registry. Acquire hits the points
+// "lock.acquire" and "lock.acquire.<table>" before queueing; an injected
+// error is returned to the caller exactly like a lock timeout. Call before
+// the manager is shared.
+func (m *Manager) SetFaults(reg *fault.Registry) { m.faults = reg }
+
 // Acquire obtains a lock on (table, key) for txn, blocking until granted or
 // until the timeout expires. Re-acquiring a held lock is a no-op; an S→X
 // upgrade is granted immediately when txn is the sole holder and queued
 // otherwise.
 func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
+	if m.faults.Armed() {
+		if err := m.faults.Hit("lock.acquire"); err != nil {
+			return err
+		}
+		if err := m.faults.Hit("lock.acquire." + table); err != nil {
+			return err
+		}
+	}
 	k := lockKey{table, key}
 	m.mu.Lock()
 	e := m.entries[k]

@@ -161,7 +161,7 @@ func TestShadowMultipleOwners(t *testing.T) {
 }
 
 func TestLatchSharedExclusive(t *testing.T) {
-	l := NewLatch()
+	l := NewLatch("test")
 	l.AcquireShared()
 	l.AcquireShared()
 	if l.TryAcquireExclusive() {
@@ -176,7 +176,7 @@ func TestLatchSharedExclusive(t *testing.T) {
 }
 
 func TestLatchWriterBlocksNewReaders(t *testing.T) {
-	l := NewLatch()
+	l := NewLatch("test")
 	l.AcquireShared()
 	wDone := make(chan struct{})
 	go func() {
@@ -221,6 +221,6 @@ func TestLatchReleasePanics(t *testing.T) {
 		}()
 		f()
 	}
-	assertPanics("ReleaseShared", func() { NewLatch().ReleaseShared() })
-	assertPanics("ReleaseExclusive", func() { NewLatch().ReleaseExclusive() })
+	assertPanics("ReleaseShared", func() { NewLatch("t").ReleaseShared() })
+	assertPanics("ReleaseExclusive", func() { NewLatch("t").ReleaseExclusive() })
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"nbschema/internal/catalog"
+	"nbschema/internal/fault"
 	"nbschema/internal/value"
 	"nbschema/internal/wal"
 )
@@ -34,7 +35,8 @@ type Record struct {
 
 // Table is an in-memory heap table keyed by encoded primary key.
 type Table struct {
-	def *catalog.TableDef
+	def    *catalog.TableDef
+	faults *fault.Registry
 
 	mu      sync.RWMutex
 	rows    map[string]*Record
@@ -53,6 +55,25 @@ func NewTable(def *catalog.TableDef) *Table {
 // Def returns the table definition.
 func (t *Table) Def() *catalog.TableDef { return t.def }
 
+// SetFaults installs a fault registry. Insert, Update and Delete hit both a
+// generic point ("storage.insert", ...) and a table-qualified one
+// ("storage.insert.<table>"), so a test can target writes to one table —
+// e.g. only a transformation's hidden target. Call before the table is
+// shared.
+func (t *Table) SetFaults(reg *fault.Registry) { t.faults = reg }
+
+// faultHit fires the generic and table-qualified fault points for op. The
+// table-qualified name is only built when the registry is armed.
+func (t *Table) faultHit(op string) error {
+	if !t.faults.Armed() {
+		return nil
+	}
+	if err := t.faults.Hit("storage." + op); err != nil {
+		return err
+	}
+	return t.faults.Hit("storage." + op + "." + t.def.Name)
+}
+
 // Len returns the number of stored records.
 func (t *Table) Len() int {
 	t.mu.RLock()
@@ -68,6 +89,9 @@ func (t *Table) KeyOfRow(row value.Tuple) string { return t.def.KeyOf(row).Encod
 
 // Insert stores a new row version with the given LSN. The row is cloned.
 func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
+	if err := t.faultHit("insert"); err != nil {
+		return err
+	}
 	key := t.KeyOfRow(row)
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -107,6 +131,9 @@ func (t *Table) Get(key value.Tuple) (value.Tuple, wal.LSN, error) {
 // record LSN. It returns the updated full row. If the primary key changes,
 // the record is re-keyed.
 func (t *Table) Update(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LSN) (value.Tuple, error) {
+	if err := t.faultHit("update"); err != nil {
+		return nil, err
+	}
 	if len(cols) != len(vals) {
 		return nil, fmt.Errorf("storage: update arity mismatch: %d cols, %d vals", len(cols), len(vals))
 	}
@@ -164,6 +191,9 @@ func (t *Table) SetLSN(key value.Tuple, lsn wal.LSN) error {
 
 // Delete removes the record stored under key and returns its last row image.
 func (t *Table) Delete(key value.Tuple) (value.Tuple, error) {
+	if err := t.faultHit("delete"); err != nil {
+		return nil, err
+	}
 	enc := key.Encode()
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -3,11 +3,13 @@ package wal
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 
+	"nbschema/internal/fault"
 	"nbschema/internal/value"
 )
 
@@ -265,11 +267,16 @@ func Unmarshal(b []byte) (*Record, error) {
 	return unmarshalPayload(payload)
 }
 
-// WriteTo serializes the whole log to w in replay order.
+// WriteTo serializes the whole log to w in replay order. The fault point
+// "wal.write" is hit once per record and may inject a write error (the flush
+// analog of a failing disk).
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var total int64
 	for _, rec := range l.Scan(1, 0) {
+		if err := l.faults.Hit("wal.write"); err != nil {
+			return total, err
+		}
 		n, err := bw.Write(Marshal(rec))
 		total += int64(n)
 		if err != nil {
@@ -279,41 +286,117 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 	return total, bw.Flush()
 }
 
-// ReadLog replays a serialized log from r. It validates that LSNs are dense
-// and ascending from 1.
+// CorruptionError reports the first invalid data found while replaying a
+// serialized log: the byte offset of the frame that failed to decode and the
+// 1-based position (equivalently, the LSN) the record would have had. Callers
+// that repair a log by truncation cut at exactly Offset.
+type CorruptionError struct {
+	// Offset is the byte offset of the start of the first bad frame.
+	Offset int64
+	// Record is the 1-based record position at which decoding failed.
+	Record int
+	// Err is the underlying decode failure. A torn tail (the file ends
+	// mid-frame) wraps io.ErrUnexpectedEOF.
+	Err error
+}
+
+// Error formats the corruption site.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("wal: corrupt log at byte offset %d (record %d): %v", e.Offset, e.Record, e.Err)
+}
+
+// Unwrap exposes the underlying decode failure.
+func (e *CorruptionError) Unwrap() error { return e.Err }
+
+// Torn reports whether the corruption is a torn tail: the data simply ends
+// mid-frame, the expected shape after a crash during a log flush.
+func (e *CorruptionError) Torn() bool {
+	return errors.Is(e.Err, io.ErrUnexpectedEOF)
+}
+
+// ReadLog replays a serialized log from r in strict mode: any torn or
+// corrupt record aborts the read with a *CorruptionError carrying the byte
+// offset of the first bad frame. It validates that LSNs are dense and
+// ascending from 1.
 func ReadLog(r io.Reader) (*Log, error) {
+	l, cerr, err := readLog(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return l, nil
+}
+
+// ReadLogLenient replays a serialized log from r, truncating a torn or
+// corrupt tail to the last valid record: decoding stops at the first bad
+// frame and every record before it is kept. The returned *CorruptionError
+// describes the cut (nil when the log was fully intact); its Offset is the
+// number of valid bytes. Genuine reader failures (non-EOF I/O errors) are
+// still returned as errors.
+func ReadLogLenient(r io.Reader) (*Log, *CorruptionError, error) {
+	return readLog(r, nil)
+}
+
+// ReadLogWith is ReadLogLenient with a fault registry: the point "wal.read"
+// is hit once per record and may inject a decode failure, which lenient
+// callers observe as a truncation at that record.
+func ReadLogWith(r io.Reader, faults *fault.Registry) (*Log, *CorruptionError, error) {
+	return readLog(r, faults)
+}
+
+// readLog is the single decode loop behind both modes. It returns the valid
+// prefix, a *CorruptionError describing the first bad frame (nil if none),
+// and a non-nil error only for failures that are not data corruption.
+func readLog(r io.Reader, faults *fault.Registry) (*Log, *CorruptionError, error) {
 	br := bufio.NewReader(r)
 	l := NewLog()
+	var offset int64 // byte offset of the frame being decoded
 	var header [6]byte
 	for {
-		if _, err := io.ReadFull(br, header[:]); err != nil {
-			if err == io.EOF {
-				return l, nil
+		corrupt := func(err error) (*Log, *CorruptionError, error) {
+			return l, &CorruptionError{Offset: offset, Record: l.Len() + 1, Err: err}, nil
+		}
+		if err := faults.Hit("wal.read"); err != nil {
+			return corrupt(err)
+		}
+		n, err := io.ReadFull(br, header[:])
+		if err == io.EOF {
+			return l, nil, nil // clean end at a record boundary
+		}
+		if err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return corrupt(fmt.Errorf("torn frame header (%d of 6 bytes): %w", n, io.ErrUnexpectedEOF))
 			}
-			return nil, fmt.Errorf("wal: reading frame header: %w", err)
+			return nil, nil, fmt.Errorf("wal: reading frame header: %w", err)
 		}
 		if binary.BigEndian.Uint16(header[:]) != recordMagic {
-			return nil, fmt.Errorf("wal: bad magic %#x", binary.BigEndian.Uint16(header[:]))
+			return corrupt(fmt.Errorf("bad magic %#x", binary.BigEndian.Uint16(header[:])))
 		}
-		n := binary.BigEndian.Uint32(header[2:])
-		body := make([]byte, n+4)
-		if _, err := io.ReadFull(br, body); err != nil {
-			return nil, fmt.Errorf("wal: reading frame body: %w", err)
+		length := binary.BigEndian.Uint32(header[2:])
+		body := make([]byte, length+4)
+		if n, err := io.ReadFull(br, body); err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return corrupt(fmt.Errorf("torn frame body (%d of %d bytes): %w", n, len(body), io.ErrUnexpectedEOF))
+			}
+			return nil, nil, fmt.Errorf("wal: reading frame body: %w", err)
 		}
-		payload := body[:n]
-		want := binary.BigEndian.Uint32(body[n:])
+		payload := body[:length]
+		want := binary.BigEndian.Uint32(body[length:])
 		if got := crc32.ChecksumIEEE(payload); got != want {
-			return nil, fmt.Errorf("wal: crc mismatch at record %d", l.Len()+1)
+			return corrupt(fmt.Errorf("crc mismatch: %#x != %#x", got, want))
 		}
 		rec, err := unmarshalPayload(payload)
 		if err != nil {
-			return nil, err
+			return corrupt(err)
 		}
 		if rec.LSN != LSN(l.Len()+1) {
-			return nil, fmt.Errorf("wal: non-dense LSN %d at position %d", rec.LSN, l.Len()+1)
+			return corrupt(fmt.Errorf("non-dense LSN %d at position %d", rec.LSN, l.Len()+1))
 		}
 		l.mu.Lock()
 		l.recs = append(l.recs, rec)
 		l.mu.Unlock()
+		offset += int64(6 + len(body))
 	}
 }

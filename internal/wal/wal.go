@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nbschema/internal/fault"
 	"nbschema/internal/value"
 )
 
@@ -137,8 +138,9 @@ func (r *Record) OpType() Type {
 // time and any number of concurrent readers. The zero value is not usable;
 // call NewLog.
 type Log struct {
-	mu   sync.RWMutex
-	recs []*Record
+	faults *fault.Registry
+	mu     sync.RWMutex
+	recs   []*Record
 }
 
 // NewLog returns an empty log.
@@ -146,8 +148,15 @@ func NewLog() *Log {
 	return &Log{}
 }
 
+// SetFaults installs a fault registry. The log exposes the point
+// "wal.append", hit before each record is stored; because an in-memory
+// append cannot fail, only the delay and crash actions are meaningful there
+// (an error action's error is ignored). Call before the log is shared.
+func (l *Log) SetFaults(reg *fault.Registry) { l.faults = reg }
+
 // Append assigns the next LSN to rec, stores it, and returns the LSN.
 func (l *Log) Append(rec *Record) LSN {
+	_ = l.faults.Hit("wal.append")
 	l.mu.Lock()
 	rec.LSN = LSN(len(l.recs) + 1)
 	l.recs = append(l.recs, rec)

@@ -1,10 +1,12 @@
 package wal
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 
+	"nbschema/internal/fault"
 	"nbschema/internal/value"
 )
 
@@ -294,5 +296,139 @@ func TestEmptyLogWrites(t *testing.T) {
 	got, err := ReadLog(strings.NewReader(""))
 	if err != nil || got.Len() != 0 {
 		t.Errorf("empty ReadLog = %d, %v", got.Len(), err)
+	}
+}
+
+// multiRecordDump serializes a small log and returns the bytes plus the byte
+// offset of each frame start.
+func multiRecordDump(t *testing.T, n int) ([]byte, []int64) {
+	t.Helper()
+	l := NewLog()
+	l.Append(&Record{Txn: 1, Type: TypeBegin})
+	for i := 1; i < n-1; i++ {
+		l.Append(&Record{Txn: 1, Type: TypeInsert, Table: "t",
+			Key: value.Tuple{value.Int(int64(i))}, Row: value.Tuple{value.Int(int64(i)), value.Str("row")}})
+	}
+	l.Append(&Record{Txn: 1, Type: TypeCommit})
+	var buf strings.Builder
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(buf.String())
+	offsets := make([]int64, 0, n)
+	var off int64
+	for i := 0; i < n; i++ {
+		offsets = append(offsets, off)
+		length := int64(data[off+2])<<24 | int64(data[off+3])<<16 | int64(data[off+4])<<8 | int64(data[off+5])
+		off += 6 + length + 4
+	}
+	if off != int64(len(data)) {
+		t.Fatalf("frame walk ended at %d, file is %d bytes", off, len(data))
+	}
+	return data, offsets
+}
+
+func TestReadLogReportsOffsetOfMidFileFlip(t *testing.T) {
+	data, offsets := multiRecordDump(t, 5)
+	// Flip a payload byte of record 3 (frame header is 6 bytes).
+	flipped := append([]byte(nil), data...)
+	flipped[offsets[2]+7] ^= 0xFF
+
+	_, err := ReadLog(strings.NewReader(string(flipped)))
+	var cerr *CorruptionError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("strict ReadLog error = %T %v, want *CorruptionError", err, err)
+	}
+	if cerr.Offset != offsets[2] || cerr.Record != 3 {
+		t.Errorf("corruption at offset %d record %d, want %d record 3", cerr.Offset, cerr.Record, offsets[2])
+	}
+	if cerr.Torn() {
+		t.Error("mid-file flip must not report a torn tail")
+	}
+
+	// Lenient mode keeps exactly the records before the bad frame.
+	l, lerr, err := ReadLogLenient(strings.NewReader(string(flipped)))
+	if err != nil {
+		t.Fatalf("lenient: %v", err)
+	}
+	if l.Len() != 2 {
+		t.Errorf("lenient kept %d records, want 2", l.Len())
+	}
+	if lerr == nil || lerr.Offset != offsets[2] {
+		t.Errorf("lenient corruption report = %+v, want offset %d", lerr, offsets[2])
+	}
+}
+
+func TestReadLogReportsOffsetOfTornTail(t *testing.T) {
+	data, offsets := multiRecordDump(t, 5)
+	// Cut mid-way through the last frame: a torn tail after a crash.
+	torn := data[:offsets[4]+3]
+
+	_, err := ReadLog(strings.NewReader(string(torn)))
+	var cerr *CorruptionError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("strict error = %T %v, want *CorruptionError", err, err)
+	}
+	if cerr.Offset != offsets[4] || cerr.Record != 5 {
+		t.Errorf("torn tail at offset %d record %d, want %d record 5", cerr.Offset, cerr.Record, offsets[4])
+	}
+	if !cerr.Torn() {
+		t.Errorf("tail truncation should report Torn(): %v", cerr)
+	}
+
+	// Lenient mode truncates to the last durable record.
+	l, lerr, err := ReadLogLenient(strings.NewReader(string(torn)))
+	if err != nil {
+		t.Fatalf("lenient: %v", err)
+	}
+	if l.Len() != 4 {
+		t.Errorf("lenient kept %d records, want 4", l.Len())
+	}
+	if lerr == nil || !lerr.Torn() {
+		t.Errorf("lenient torn report = %+v", lerr)
+	}
+	// Torn mid-body (after the header) is equally repairable.
+	l2, _, err := ReadLogLenient(strings.NewReader(string(data[:offsets[4]+8])))
+	if err != nil || l2.Len() != 4 {
+		t.Errorf("mid-body tear kept %d records (%v), want 4", l2.Len(), err)
+	}
+}
+
+func TestReadLogLenientIntactReportsNoCut(t *testing.T) {
+	data, _ := multiRecordDump(t, 3)
+	l, cerr, err := ReadLogLenient(strings.NewReader(string(data)))
+	if err != nil || cerr != nil || l.Len() != 3 {
+		t.Errorf("intact lenient read = %d records, cut=%v, err=%v", l.Len(), cerr, err)
+	}
+}
+
+func TestWALFaultPoints(t *testing.T) {
+	reg := fault.New()
+	l := NewLog()
+	l.SetFaults(reg)
+	l.Append(&Record{Txn: 1, Type: TypeBegin})
+	l.Append(&Record{Txn: 1, Type: TypeCommit})
+
+	// wal.write: injected error aborts serialization.
+	reg.Arm("wal.write", fault.OnHit(2), fault.ErrorAction(nil))
+	var buf strings.Builder
+	if _, err := l.WriteTo(&buf); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("WriteTo with armed wal.write = %v", err)
+	}
+	reg.Reset()
+
+	var full strings.Builder
+	if _, err := l.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+
+	// wal.read: injected error truncates a lenient read at that record.
+	reg.Arm("wal.read", fault.OnHit(2), fault.ErrorAction(nil))
+	got, cerr, err := ReadLogWith(strings.NewReader(full.String()), reg)
+	if err != nil {
+		t.Fatalf("ReadLogWith: %v", err)
+	}
+	if got.Len() != 1 || cerr == nil || !errors.Is(cerr, fault.ErrInjected) {
+		t.Errorf("faulted read kept %d records, cut=%v", got.Len(), cerr)
 	}
 }

@@ -67,6 +67,23 @@ type Options struct {
 	// LockTimeout bounds lock waits; deadlocks are resolved by timing the
 	// waiter out. Zero selects a 2s default.
 	LockTimeout time.Duration
+	// Faults is an optional fault-injection registry (NewFaultRegistry).
+	// When set, the WAL, lock manager, tables and transformations hit named
+	// fault points that tests can arm with errors, crashes and delays. Nil
+	// (the default) costs a single nil check per instrumented seam.
+	Faults *FaultRegistry
+	// LenientWAL selects lenient log reading on Restart: a torn or corrupt
+	// tail is truncated to the last valid record instead of failing
+	// recovery. The default (strict) refuses any corrupt log.
+	LenientWAL bool
+}
+
+func (o Options) engineOptions() engine.Options {
+	return engine.Options{
+		LockTimeout: o.LockTimeout,
+		Faults:      o.Faults,
+		LenientWAL:  o.LenientWAL,
+	}
 }
 
 // DB is an in-memory transactional database supporting online schema
@@ -81,7 +98,7 @@ func Open(opts ...Options) *DB {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return &DB{eng: engine.New(engine.Options{LockTimeout: o.LockTimeout})}
+	return &DB{eng: engine.New(o.engineOptions())}
 }
 
 // Engine exposes the underlying engine for advanced integration (workload

@@ -1,0 +1,115 @@
+package nbschema
+
+import (
+	"context"
+	"io"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/core"
+	"nbschema/internal/engine"
+	"nbschema/internal/fault"
+	"nbschema/internal/wal"
+)
+
+// FaultRegistry is a registry of named fault points for deterministic fault
+// injection in tests: arm a point with a trigger (every hit, the Nth hit, a
+// seeded probability) and an action (return an error, panic as a simulated
+// crash, sleep), pass the registry via Options.Faults, and the instrumented
+// seams — WAL append and read, storage writes, lock and latch acquisition,
+// every transformation phase transition — fire it. Disarmed points cost one
+// atomic load.
+type FaultRegistry = fault.Registry
+
+// NewFaultRegistry returns an empty fault registry.
+func NewFaultRegistry() *FaultRegistry { return fault.New() }
+
+// Fault triggers and actions, re-exported so FaultRegistry.Arm is usable
+// without importing the internal package.
+var (
+	FaultAlways  = fault.Always      // fire on every hit
+	FaultOnHit   = fault.OnHit       // fire exactly on the nth hit
+	FaultFromHit = fault.FromHit     // fire on the nth hit and after
+	FaultEveryN  = fault.EveryN      // fire on every nth hit
+	FaultProb    = fault.Prob        // fire with probability p (seeded)
+	FaultError   = fault.ErrorAction // return an error wrapping ErrInjected
+	FaultCrash   = fault.CrashAction // panic with a Crash value
+	FaultSleep   = fault.SleepAction // delay the hit
+)
+
+// ErrInjected is the sentinel all injected fault errors wrap.
+var ErrInjected = fault.ErrInjected
+
+// AsCrash reports whether a recovered panic value is an injected crash,
+// for process-simulation boundaries in tests.
+var AsCrash = fault.AsCrash
+
+// WALCorruption describes where a serialized write-ahead log stopped being
+// decodable: the byte offset and record index of the first bad frame, and
+// whether it was a torn tail (a frame cut short by a crash mid-append) as
+// opposed to in-place corruption.
+type WALCorruption = wal.CorruptionError
+
+// RecoverReport describes what DB.Recover found and did.
+type RecoverReport = core.RecoverReport
+
+// TableSpec names one table for Restart: the schema is not logged, so a
+// restarting process supplies it.
+type TableSpec struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []string
+}
+
+func (s TableSpec) def() (*catalog.TableDef, error) {
+	cc := make([]catalog.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cc[i] = catalog.Column{Name: c.Name, Type: c.Type, Nullable: c.Nullable}
+	}
+	return catalog.NewTableDef(s.Name, cc, s.PrimaryKey)
+}
+
+// WriteLog serializes the write-ahead log to w (checksummed binary frames).
+// Together with Restart it round-trips a database across a process
+// boundary.
+func (db *DB) WriteLog(w io.Writer) (int64, error) {
+	return db.eng.Log().WriteTo(w)
+}
+
+// Restart rebuilds a database from a serialized write-ahead log: an
+// ARIES-style redo pass replays all logged work, then losers — transactions
+// without a commit or abort record — are rolled back. With
+// Options.LenientWAL set, the log is truncated at the first undecodable
+// frame and the cut is reported in the returned *WALCorruption (nil when
+// the log was intact; Torn distinguishes a crash-torn tail from in-place
+// corruption); without it, any corruption fails the restart.
+//
+// If the crash interrupted a schema transformation, follow Restart with
+// DB.Recover.
+func Restart(r io.Reader, tables []TableSpec, opts ...Options) (*DB, *WALCorruption, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	defs := make([]*catalog.TableDef, len(tables))
+	for i, s := range tables {
+		def, err := s.def()
+		if err != nil {
+			return nil, nil, err
+		}
+		defs[i] = def
+	}
+	eng, cut, err := engine.RestartFrom(defs, r, o.engineOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	return &DB{eng: eng}, cut, nil
+}
+
+// Recover cleans up a schema transformation interrupted by a crash: target
+// tables named here (or left in the hidden state) are dropped — they were
+// populated outside the log, so after a restart they are empty shells — and
+// sources caught mid-switchover are reopened for public use. The
+// transformation can then simply be run again (§6 of the paper).
+func (db *DB) Recover(ctx context.Context, targets ...string) (RecoverReport, error) {
+	return core.Recover(ctx, db.eng, core.RecoverConfig{Targets: targets})
+}
