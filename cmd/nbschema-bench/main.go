@@ -3,8 +3,14 @@
 //
 // Usage:
 //
-//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|all]
+//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|workload|all]
 //	               [-paper] [-rows N] [-sample dur] [-repeats N] [-seed N]
+//	               [-out file.json]
+//
+// The workload experiment additionally writes a machine-readable JSON report
+// (-out, default BENCH_workload.json): per-window throughput and response-time
+// percentiles, transformation phase durations, per-rule propagation counts,
+// live progress samples with ETA, and the full engine metric snapshot.
 //
 // By default a laptop-scale variant of every figure runs in a few minutes;
 // -paper selects the paper's 50 000/20 000-record setup (slower, less noisy).
@@ -22,12 +28,13 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, summary, all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, workload, summary, all")
 		paper   = flag.Bool("paper", false, "use the paper's table sizes (50k/20k records)")
 		rows    = flag.Int("rows", 0, "override row count for the transformed table(s)")
 		sample  = flag.Duration("sample", 0, "override measurement window")
 		repeats = flag.Int("repeats", 0, "measurements per point (median reported)")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		out     = flag.String("out", "BENCH_workload.json", "output file for the workload JSON report")
 	)
 	flag.Parse()
 
@@ -81,10 +88,54 @@ func main() {
 		fmt.Println(r.Format())
 		fmt.Printf("(%s in %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
 	}
+	if want == "workload" || want == "all" {
+		ran++
+		fmt.Println("running workload ...")
+		t0 := time.Now()
+		if err := runWorkload(p, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(workload in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		flag.Usage()
 		os.Exit(2)
 	}
 	fmt.Printf("done: %d experiment(s) in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// runWorkload runs the instrumented workload experiment, prints a short
+// summary and writes the machine-readable report to path.
+func runWorkload(p bench.Params, path string) error {
+	rep, err := bench.RunWorkload(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== workload — closed-loop update workload around a background split ==\n")
+	fmt.Printf("%-10s %12s %12s %10s %10s %10s\n", "window", "txns", "tput (t/s)", "p50 (ms)", "p95 (ms)", "p99 (ms)")
+	for _, w := range rep.Windows {
+		fmt.Printf("%-10s %12d %12.1f %10.3f %10.3f %10.3f\n",
+			w.Name, w.Txns, w.Throughput, w.P50Ms, w.P95Ms, w.P99Ms)
+	}
+	t := rep.Transform
+	fmt.Printf("transform: total %.1fms (populate %.1f, propagate %.1f over %d iters, latch %.3f)\n",
+		t.TotalMs, t.PopulationMs, t.PropagationMs, t.Iterations, t.SyncLatchMs)
+	fmt.Printf("           %d records applied, rules %v, %d trace events, %d progress samples\n",
+		t.RecordsApplied, t.Rules, t.TraceEvents, len(t.Progress))
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", path)
+	return nil
 }

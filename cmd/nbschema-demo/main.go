@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -24,11 +25,23 @@ func main() {
 		rows     = flag.Int("rows", 20000, "customer rows")
 		priority = flag.Float64("priority", 0.2, "transformation priority (0..1]")
 		clients  = flag.Int("clients", 4, "concurrent update clients")
+		metrics  = flag.String("metrics", "", "serve metrics over HTTP on this address (e.g. :8080)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
-	db := nbschema.Open()
+	reg := nbschema.NewMetricsRegistry()
+	db := nbschema.Open(nbschema.Options{Metrics: reg})
+	if *metrics != "" {
+		go func() {
+			log.Printf("metrics: http://%s/metrics (append ?format=json for JSON)", *metrics)
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", nbschema.MetricsHandler(reg))
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 	must(db.CreateTable("customer", []nbschema.Column{
 		{Name: "id", Type: nbschema.Int},
 		{Name: "name", Type: nbschema.String, Nullable: true},
@@ -99,16 +112,33 @@ func main() {
 	last := nbschema.PhaseIdle
 	ticker := time.NewTicker(25 * time.Millisecond)
 	defer ticker.Stop()
+	lineLen := 0
+	clearLine := func() {
+		if lineLen > 0 {
+			fmt.Printf("\r%*s\r", lineLen, "")
+			lineLen = 0
+		}
+	}
 	for running := true; running; {
 		select {
 		case err := <-done:
+			clearLine()
 			must(err)
 			running = false
 		case <-ticker.C:
-			if ph := tr.Phase(); ph != last {
-				log.Printf("phase: %v  (committed so far: %d)", ph, committed.Load())
-				last = ph
+			pr := tr.Progress()
+			if pr.Phase != last {
+				clearLine()
+				log.Printf("phase: %v  (committed so far: %d)", pr.Phase, committed.Load())
+				last = pr.Phase
 			}
+			line := progressLine(pr)
+			pad := lineLen - len(line)
+			if pad < 0 {
+				pad = 0
+			}
+			fmt.Printf("\r%s%*s", line, pad, "")
+			lineLen = len(line)
 		}
 	}
 	close(stop)
@@ -127,6 +157,49 @@ func main() {
 	fmt.Printf("result: customer_base=%d rows, place=%d rows\n", base, place)
 	fmt.Printf("user transactions:  %d committed, %d retried/aborted — never blocked\n",
 		committed.Load(), aborted.Load())
+
+	if rules := tr.RuleApplications(); len(rules) > 0 {
+		fmt.Printf("propagation rules:  %v\n", rules)
+	}
+	trace := tr.Trace()
+	fmt.Printf("trace:              %d events buffered (%d dropped)\n", len(trace), tr.TraceDropped())
+	for _, ev := range trace {
+		switch ev.KindName {
+		case "sync-latched", "switchover":
+			fmt.Printf("  %-12s %s\n", ev.KindName, traceDetail(ev))
+		}
+	}
+}
+
+// progressLine renders one live status line from a Progress snapshot.
+func progressLine(pr nbschema.Progress) string {
+	switch pr.Phase {
+	case nbschema.PhasePopulating:
+		return fmt.Sprintf("  populating: %d rows copied (fuzzy, lock-free)", pr.InitialImageRows)
+	case nbschema.PhasePropagating:
+		eta := "eta —"
+		if pr.ETAValid {
+			eta = "eta " + pr.ETA.Round(time.Millisecond).String()
+		}
+		return fmt.Sprintf("  propagating: iter %d  applied %d  backlog %d  %.0f rec/s  %s",
+			pr.Iteration, pr.RecordsApplied, pr.Remaining, pr.Rate, eta)
+	default:
+		return fmt.Sprintf("  %v: %v elapsed", pr.Phase, pr.Elapsed.Round(time.Millisecond))
+	}
+}
+
+func traceDetail(ev nbschema.TraceEvent) string {
+	s := fmt.Sprintf("t+%v", ev.Time.Format("15:04:05.000"))
+	if ev.Duration > 0 {
+		s += fmt.Sprintf("  latched %v", ev.Duration)
+	}
+	if ev.Doomed > 0 {
+		s += fmt.Sprintf("  doomed %d", ev.Doomed)
+	}
+	if len(ev.Tables) > 0 {
+		s += fmt.Sprintf("  %v", ev.Tables)
+	}
+	return s
 }
 
 func cityOf(zip int) string {

@@ -14,6 +14,7 @@ import (
 	"nbschema/internal/catalog"
 	"nbschema/internal/core"
 	"nbschema/internal/engine"
+	"nbschema/internal/obs"
 	"nbschema/internal/value"
 	"nbschema/internal/workload"
 )
@@ -57,6 +58,9 @@ type Params struct {
 	Seed int64
 	// LockTimeout for the engine.
 	LockTimeout time.Duration
+	// Obs is an optional observability registry the experiment's engine
+	// reports into (used by the workload report; nil = no metrics).
+	Obs *obs.Registry
 }
 
 // Default returns laptop-scale parameters (seconds per figure).
@@ -216,7 +220,7 @@ func intCol(name string) catalog.Column {
 }
 
 func newSplitEnv(p Params) (*splitEnv, error) {
-	db := engine.New(engine.Options{LockTimeout: p.LockTimeout})
+	db := engine.New(engine.Options{LockTimeout: p.LockTimeout, Obs: p.Obs})
 	tDef, err := catalog.NewTableDef("T", []catalog.Column{
 		{Name: "id", Type: value.KindInt},
 		intCol("payload"),
@@ -263,7 +267,7 @@ type joinEnv struct {
 }
 
 func newJoinEnv(p Params) (*joinEnv, error) {
-	db := engine.New(engine.Options{LockTimeout: p.LockTimeout})
+	db := engine.New(engine.Options{LockTimeout: p.LockTimeout, Obs: p.Obs})
 	rDef, err := catalog.NewTableDef("R", []catalog.Column{
 		{Name: "id", Type: value.KindInt},
 		intCol("payload"),

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunWorkloadSmoke(t *testing.T) {
+	rep, err := RunWorkload(tiny())
+	if err != nil {
+		t.Fatalf("RunWorkload: %v", err)
+	}
+
+	if len(rep.Windows) != 3 {
+		t.Fatalf("%d windows, want 3", len(rep.Windows))
+	}
+	for i, name := range []string{"baseline", "during", "after"} {
+		w := rep.Windows[i]
+		if w.Name != name {
+			t.Errorf("window %d = %q, want %q", i, w.Name, name)
+		}
+		if w.Txns == 0 || w.Throughput <= 0 {
+			t.Errorf("window %q committed nothing: %+v", name, w)
+		}
+		if w.P50Ms <= 0 || w.P95Ms < w.P50Ms || w.P99Ms < w.P95Ms {
+			t.Errorf("window %q percentiles not ordered: %+v", name, w)
+		}
+	}
+
+	tr := rep.Transform
+	if tr.Kind != "split" || tr.TotalMs <= 0 || tr.InitialImageRows == 0 {
+		t.Errorf("transform summary incomplete: %+v", tr)
+	}
+	if tr.TraceEvents == 0 {
+		t.Error("no trace events recorded")
+	}
+	if len(tr.Progress) == 0 {
+		t.Error("no live progress samples recorded")
+	} else if len(tr.Progress) > 64 {
+		t.Errorf("progress trail not thinned: %d samples", len(tr.Progress))
+	}
+
+	// The engine metrics snapshot rode along.
+	if rep.Metrics.Counters["engine.txn.commit"] == 0 {
+		t.Error("metrics snapshot missing committed transactions")
+	}
+	if rep.Metrics.Counters["core.propagated"] == 0 {
+		t.Error("metrics snapshot missing propagated records")
+	}
+
+	// The report round-trips through its JSON encoding.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back WorkloadReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if back.Transform.TotalMs != tr.TotalMs || len(back.Windows) != 3 {
+		t.Errorf("JSON round-trip mismatch: %+v", back.Transform)
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"nbschema/internal/engine"
+	"nbschema/internal/obs"
+	"nbschema/internal/value"
+)
+
+func TestCountAnalyzer(t *testing.T) {
+	a := CountAnalyzer(64)
+	cases := []struct {
+		remaining int
+		want      bool
+	}{
+		{0, true}, {64, true}, {65, false}, {1000, false},
+	}
+	for _, c := range cases {
+		if got := a(Analysis{Remaining: c.remaining}); got != c.want {
+			t.Errorf("CountAnalyzer(64)(Remaining=%d) = %v, want %v", c.remaining, got, c.want)
+		}
+	}
+}
+
+func TestTimeAnalyzer(t *testing.T) {
+	a := TimeAnalyzer(10 * time.Millisecond)
+	if !a(Analysis{Duration: 10 * time.Millisecond}) {
+		t.Error("iteration exactly at the limit should sync")
+	}
+	if a(Analysis{Duration: 11 * time.Millisecond}) {
+		t.Error("iteration over the limit should not sync")
+	}
+	// A zero-duration iteration (no work) is trivially within any limit.
+	if !a(Analysis{Duration: 0}) {
+		t.Error("zero-duration iteration should sync")
+	}
+}
+
+func TestEstimateAnalyzer(t *testing.T) {
+	a := EstimateAnalyzer(10 * time.Millisecond)
+
+	// 100 records at 1ms each → 100ms estimated: keep propagating.
+	if a(Analysis{Remaining: 100, Applied: 50, Duration: 50 * time.Millisecond}) {
+		t.Error("100ms estimate should not sync under a 10ms limit")
+	}
+	// 5 records at 1ms each → 5ms estimated: sync.
+	if !a(Analysis{Remaining: 5, Applied: 50, Duration: 50 * time.Millisecond}) {
+		t.Error("5ms estimate should sync under a 10ms limit")
+	}
+
+	// Applied == 0: no rate observed. Only an empty backlog may sync —
+	// a non-empty one has an unknown cost.
+	if !a(Analysis{Remaining: 0, Applied: 0, Duration: time.Second}) {
+		t.Error("empty backlog with no rate should sync")
+	}
+	if a(Analysis{Remaining: 1, Applied: 0, Duration: time.Second}) {
+		t.Error("non-empty backlog with no rate should not sync")
+	}
+
+	// Duration == 0: same guard (instantaneous iterations give no usable
+	// per-record cost).
+	if !a(Analysis{Remaining: 0, Applied: 10, Duration: 0}) {
+		t.Error("empty backlog with zero duration should sync")
+	}
+	if a(Analysis{Remaining: 7, Applied: 10, Duration: 0}) {
+		t.Error("non-empty backlog with zero duration should not sync")
+	}
+}
+
+func execTxn(db *engine.DB, f func(tx *engine.Txn) error) error {
+	tx := db.Begin()
+	if err := f(tx); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// TestTraceAndProgress runs a split under concurrent updates and checks the
+// structured trace and the live Progress snapshots.
+func TestTraceAndProgress(t *testing.T) {
+	db := newSplitDB(t)
+	// A table large enough that population and propagation overlap the
+	// concurrent updater (the 4-row seed converges before it lands a write).
+	mustExec(t, db, func(tx *engine.Txn) error {
+		for i := int64(1); i <= 1500; i++ {
+			if err := tx.Insert("T", tRow(i, "n", i%20, "c")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	var sinkMu sync.Mutex
+	var streamed []obs.Event
+	// The analyzer doubles as a deterministic injector: after the first
+	// iteration it commits a batch of updates (necessarily after the fuzzy
+	// mark) and demands one more iteration, guaranteeing rule-10 traffic
+	// regardless of goroutine scheduling.
+	var injected bool
+	var injectErr error
+	tr, err := NewSplit(db, splitSpec(), Config{
+		Strategy: NonBlockingAbort,
+		Analyzer: func(a Analysis) bool {
+			if !injected {
+				injected = true
+				injectErr = execTxn(db, func(tx *engine.Txn) error {
+					for i := int64(1); i <= 25; i++ {
+						if err := tx.Update("T", value.Tuple{value.Int(i)},
+							[]string{"name"}, value.Tuple{value.Str("inj")}); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				return false
+			}
+			return a.Remaining <= 4
+		},
+		Sink: obs.FuncSink(func(ev obs.Event) {
+			sinkMu.Lock()
+			streamed = append(streamed, ev)
+			sinkMu.Unlock()
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent updates generate log records for the propagator to trace.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := db.Begin()
+			err := tx.Update("T", value.Tuple{value.Int(int64(i%1500 + 1))},
+				[]string{"name"}, value.Tuple{value.Str("upd")})
+			if err == nil {
+				_ = tx.Commit()
+			} else {
+				_ = tx.Abort()
+			}
+		}
+	}()
+
+	// Let the updater get going before the fuzzy mark is taken so commits
+	// land in the propagation window.
+	time.Sleep(10 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() { done <- tr.Run(context.Background()) }()
+
+	// Poll Progress while the transformation runs: snapshots must be
+	// internally consistent from any goroutine.
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+polling:
+	for {
+		select {
+		case err := <-done:
+			close(stop)
+			wg.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if injectErr != nil {
+				t.Fatalf("injected updates failed: %v", injectErr)
+			}
+			break polling
+		case <-tick.C:
+			pr := tr.Progress()
+			if pr.Remaining < 0 || pr.RecordsApplied < 0 || pr.Iteration < 0 {
+				t.Fatalf("inconsistent progress: %+v", pr)
+			}
+		}
+	}
+
+	// Final progress: done, drained, trivially valid ETA.
+	pr := tr.Progress()
+	if pr.Phase != PhaseDone {
+		t.Fatalf("final phase = %v, want done", pr.Phase)
+	}
+	if pr.Remaining != 0 || !pr.ETAValid {
+		t.Errorf("final progress: remaining=%d etaValid=%v, want 0/true", pr.Remaining, pr.ETAValid)
+	}
+	if pr.InitialImageRows != tr.Metrics().InitialImageRows {
+		t.Errorf("progress initial image rows %d != metrics %d",
+			pr.InitialImageRows, tr.Metrics().InitialImageRows)
+	}
+
+	// The buffered ring and the custom sink saw the same stream.
+	trace := tr.Trace()
+	sinkMu.Lock()
+	nStreamed := len(streamed)
+	sinkMu.Unlock()
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	if tr.TraceDropped() == 0 && nStreamed != len(trace) {
+		t.Errorf("custom sink saw %d events, ring has %d", nStreamed, len(trace))
+	}
+
+	// Events are strictly ordered and the lifecycle milestones all appear.
+	kinds := map[obs.EventKind]int{}
+	for i, ev := range trace {
+		if i > 0 && ev.Seq <= trace[i-1].Seq {
+			t.Fatalf("trace not ordered: seq %d after %d", ev.Seq, trace[i-1].Seq)
+		}
+		kinds[ev.Kind]++
+	}
+	for _, want := range []obs.EventKind{
+		obs.EventPhase, obs.EventFuzzyMark, obs.EventPopulateChunk,
+		obs.EventIteration, obs.EventSyncLatched, obs.EventSwitchover,
+		obs.EventDone,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %v event (kinds: %v)", want, kinds)
+		}
+	}
+
+	// Iteration events carry per-rule deltas. They can undercount the
+	// totals — the final latched catch-up applies records without an
+	// iteration event — but never overcount.
+	ruleSum := map[string]int64{}
+	var applied int64
+	for _, ev := range trace {
+		if ev.Kind != obs.EventIteration {
+			continue
+		}
+		applied += int64(ev.Applied)
+		for r, n := range ev.Rules {
+			ruleSum[r] += n
+		}
+	}
+	if total := tr.Metrics().RecordsApplied; applied > total {
+		t.Errorf("iteration events sum to %d applied, metrics say only %d", applied, total)
+	}
+	totals := tr.RuleApplications()
+	for r, n := range ruleSum {
+		if totals[r] < n {
+			t.Errorf("rule %s: iteration deltas sum to %d, totals say only %d", r, n, totals[r])
+		}
+	}
+	// A split propagates updates with rules 10/11 (updates on name hit the
+	// R part → rule 10).
+	if totals["rule10"] == 0 {
+		t.Errorf("expected rule10 applications, got %v (metrics %+v, kinds %v)",
+			totals, tr.Metrics(), kinds)
+	}
+
+	// The done event reports the final rule totals and target tables.
+	last := trace[len(trace)-1]
+	if last.Kind != obs.EventDone {
+		t.Fatalf("last event = %v, want done", last.KindName)
+	}
+	if len(last.Tables) == 0 || last.Duration <= 0 {
+		t.Errorf("done event missing tables/duration: %+v", last)
+	}
+}
+
+// TestProgressETA checks the ETA arithmetic against a hand-built state.
+func TestProgressETA(t *testing.T) {
+	db := newSplitDB(t)
+	seedSplit(t, db)
+	tr, _ := newSplitOp(t, db, Config{})
+
+	// Simulate a completed iteration: 100 records in 100ms → 1ms/record.
+	tr.mu.Lock()
+	tr.runStart = time.Now()
+	tr.lastA = Analysis{Applied: 100, Duration: 100 * time.Millisecond}
+	tr.cursor = 1 // everything in the log is backlog
+	tr.mu.Unlock()
+	tr.phase.Store(int32(PhasePropagating))
+
+	pr := tr.Progress()
+	if !pr.ETAValid {
+		t.Fatal("ETA should be valid after a productive iteration")
+	}
+	wantETA := time.Duration(pr.Remaining) * time.Millisecond
+	if pr.ETA != wantETA {
+		t.Errorf("ETA = %v, want %v (remaining %d at 1ms/record)", pr.ETA, wantETA, pr.Remaining)
+	}
+	if pr.Rate < 999 || pr.Rate > 1001 {
+		t.Errorf("rate = %v, want ~1000 rec/s", pr.Rate)
+	}
+
+	// No observed rate and a non-empty backlog → ETA not valid.
+	tr.mu.Lock()
+	tr.lastA = Analysis{}
+	tr.mu.Unlock()
+	if pr := tr.Progress(); pr.ETAValid && pr.Remaining > 0 {
+		t.Errorf("ETA claimed valid with no observed rate: %+v", pr)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"nbschema/internal/engine"
 	"nbschema/internal/fault"
 	"nbschema/internal/lock"
+	"nbschema/internal/obs"
 	"nbschema/internal/value"
 	"nbschema/internal/wal"
 )
@@ -214,6 +215,10 @@ type Config struct {
 	// falling back to a blocking acquisition, which writer preference
 	// guarantees will finish (0 selects 3).
 	SyncLatchRetries int
+	// Sink receives the transformation's structured trace events in addition
+	// to the built-in bounded ring buffer (readable via Trace). Nil keeps
+	// just the ring.
+	Sink obs.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -317,9 +322,25 @@ type Transformation struct {
 	cancel       atomic.Bool
 	latchTargets atomic.Bool // post-switchover: serialize rule application
 
-	mu      sync.Mutex
-	metrics Metrics
-	cursor  wal.LSN // next log record to propagate
+	// Observability (see obs.go). sink is never nil after newTransformation;
+	// ring is the built-in bounded buffer behind Trace.
+	sink       obs.Sink
+	ring       *obs.RingSink
+	seq        atomic.Int64
+	popRows    atomic.Int64
+	ruleCounts [12]atomic.Int64
+	lastRules  [12]int64 // baseline for per-iteration deltas (run goroutine only)
+
+	// Registry-backed metric handles (nil when the DB has no registry).
+	mPropagated *obs.Counter
+	mIterations *obs.Counter
+	mRunning    *obs.Gauge
+
+	mu       sync.Mutex
+	metrics  Metrics
+	cursor   wal.LSN // next log record to propagate
+	lastA    Analysis
+	runStart time.Time
 	// ccPending tracks consistency-checker rounds in flight: checked key →
 	// LSN of the CC-begin record; invalidated when the key is touched.
 	ccPending map[string]wal.LSN
@@ -332,6 +353,17 @@ func newTransformation(db *engine.DB, cfg Config) *Transformation {
 		shadow:    lock.NewShadowTable(),
 		faults:    db.Faults(),
 		ccPending: make(map[string]wal.LSN),
+	}
+	tr.ring = obs.NewRingSink(0)
+	tr.sink = obs.Sink(tr.ring)
+	if tr.cfg.Sink != nil {
+		tr.sink = obs.MultiSink{tr.ring, tr.cfg.Sink}
+	}
+	if reg := db.Obs(); reg != nil {
+		tr.mPropagated = reg.Counter("core.propagated")
+		tr.mIterations = reg.Counter("core.iterations")
+		tr.mRunning = reg.Gauge("core.running")
+		tr.shadow.SetObs(reg)
 	}
 	tr.setPriority(tr.cfg.Priority)
 	return tr
@@ -347,7 +379,10 @@ func (tr *Transformation) faultHit(name string) error {
 // Phase returns the current lifecycle phase.
 func (tr *Transformation) Phase() Phase { return Phase(tr.phase.Load()) }
 
-func (tr *Transformation) setPhase(p Phase) { tr.phase.Store(int32(p)) }
+func (tr *Transformation) setPhase(p Phase) {
+	tr.phase.Store(int32(p))
+	tr.emit(obs.EventPhase, nil)
+}
 
 // Priority returns the current propagation priority in (0, 1].
 func (tr *Transformation) Priority() float64 {
@@ -397,6 +432,11 @@ func (tr *Transformation) Remaining() int {
 // are dropped and the database is left untouched.
 func (tr *Transformation) Run(ctx context.Context) error {
 	start := time.Now()
+	tr.mu.Lock()
+	tr.runStart = start
+	tr.mu.Unlock()
+	tr.mRunning.Add(1)
+	defer tr.mRunning.Add(-1)
 	defer func() {
 		rounds, repairs := tr.op.CCStats()
 		tr.mu.Lock()
@@ -410,12 +450,22 @@ func (tr *Transformation) Run(ctx context.Context) error {
 		tr.setPhase(PhaseAborted)
 		tr.db.ClearHooks()
 		tr.shadow.SetEnforce(false)
-		if cerr := tr.op.Cleanup(); cerr != nil {
+		cerr := tr.op.Cleanup()
+		tr.emit(obs.EventAbort, func(ev *obs.Event) {
+			ev.Err = err.Error()
+			ev.Duration = time.Since(start)
+		})
+		if cerr != nil {
 			return errors.Join(err, cerr)
 		}
 		return err
 	}
 	tr.setPhase(PhaseDone)
+	tr.emit(obs.EventDone, func(ev *obs.Event) {
+		ev.Duration = time.Since(start)
+		ev.Rules = tr.RuleApplications()
+		ev.Tables = append([]string(nil), tr.op.Targets()...)
+	})
 	return nil
 }
 
@@ -501,6 +551,7 @@ func (tr *Transformation) populate(ctx context.Context) error {
 	tr.mu.Lock()
 	tr.cursor = start
 	tr.mu.Unlock()
+	tr.emit(obs.EventFuzzyMark, func(ev *obs.Event) { ev.LSN = uint64(mark) })
 
 	// The tick callback cannot return an error to the operator, so an
 	// injected chunk fault is carried out of the scan in chunkErr and
@@ -508,8 +559,17 @@ func (tr *Transformation) populate(ctx context.Context) error {
 	// i.e. at the chunk boundary itself.
 	th := newThrottler(tr)
 	var chunkErr error
+	chunkAcc := 0
 	rows, err := tr.op.Populate(func(n int) {
 		th.tick(n)
+		tr.popRows.Add(int64(n))
+		chunkAcc += n
+		if chunkAcc >= tr.cfg.FuzzyChunk {
+			chunkAcc = 0
+			tr.emit(obs.EventPopulateChunk, func(ev *obs.Event) {
+				ev.Rows = tr.popRows.Load()
+			})
+		}
 		if chunkErr == nil {
 			chunkErr = tr.faultHit("populate.chunk")
 		}
@@ -520,6 +580,8 @@ func (tr *Transformation) populate(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	tr.popRows.Store(rows)
+	tr.emit(obs.EventPopulateChunk, func(ev *obs.Event) { ev.Rows = rows })
 	tr.mu.Lock()
 	tr.metrics.InitialImageRows = rows
 	tr.mu.Unlock()

@@ -457,25 +457,33 @@ func (op *fojOp) Apply(rec *wal.Record) error {
 	case op.spec.Left:
 		switch rec.OpType() {
 		case wal.TypeInsert:
+			op.tr.countRule(1)
 			return op.rule1InsertR(rec, rec.Row)
 		case wal.TypeDelete:
+			op.tr.countRule(3)
 			return op.rule3DeleteR(rec, rec.Key)
 		case wal.TypeUpdate:
 			if touchesAny(rec.Cols, op.rJoin) || touchesAny(rec.Cols, op.rDef.PrimaryKey) {
+				op.tr.countRule(5)
 				return op.rule5UpdateRJoin(rec)
 			}
+			op.tr.countRule(7)
 			return op.rule7UpdateR(rec)
 		}
 	case op.spec.Right:
 		switch rec.OpType() {
 		case wal.TypeInsert:
+			op.tr.countRule(2)
 			return op.rule2InsertS(rec, rec.Row)
 		case wal.TypeDelete:
+			op.tr.countRule(4)
 			return op.rule4DeleteS(rec, rec.Key)
 		case wal.TypeUpdate:
 			if touchesAny(rec.Cols, op.sJoin) || touchesAny(rec.Cols, op.sDef.PrimaryKey) {
+				op.tr.countRule(6)
 				return op.rule6UpdateSJoin(rec)
 			}
+			op.tr.countRule(7)
 			return op.rule7UpdateS(rec)
 		}
 	}

@@ -83,25 +83,33 @@ func (op *fojOp) applyM2M(rec *wal.Record) error {
 	case op.spec.Left:
 		switch rec.OpType() {
 		case wal.TypeInsert:
+			op.tr.countRule(1)
 			return op.m2mInsertR(rec, rec.Row)
 		case wal.TypeDelete:
+			op.tr.countRule(3)
 			return op.m2mDeleteR(rec, rec.Key)
 		case wal.TypeUpdate:
 			if touchesAny(rec.Cols, op.rJoin) || touchesAny(rec.Cols, op.rDef.PrimaryKey) {
+				op.tr.countRule(5)
 				return op.m2mUpdateRJoin(rec)
 			}
+			op.tr.countRule(7)
 			return op.rule7UpdateR(rec) // same as 1:N: update all t^{y,*}
 		}
 	case op.spec.Right:
 		switch rec.OpType() {
 		case wal.TypeInsert:
+			op.tr.countRule(2)
 			return op.m2mInsertS(rec, rec.Row)
 		case wal.TypeDelete:
+			op.tr.countRule(4)
 			return op.m2mDeleteS(rec, rec.Key)
 		case wal.TypeUpdate:
 			if touchesAny(rec.Cols, op.sJoin) || touchesAny(rec.Cols, op.sDef.PrimaryKey) {
+				op.tr.countRule(6)
 				return op.m2mUpdateSJoin(rec)
 			}
+			op.tr.countRule(7)
 			return op.rule7UpdateS(rec)
 		}
 	}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"time"
+
+	"nbschema/internal/obs"
+)
+
+// ruleNames maps rule numbers (1–11) to the keys used in trace events and
+// RuleApplications. Index 0 is unused.
+var ruleNames = [12]string{
+	"", "rule1", "rule2", "rule3", "rule4", "rule5", "rule6",
+	"rule7", "rule8", "rule9", "rule10", "rule11",
+}
+
+// countRule records one application of propagation rule n (1–11). FOJ
+// transformations use rules 1–7 (the many-to-many variants count under the
+// rule they generalize), split transformations rules 8–11.
+func (tr *Transformation) countRule(n int) {
+	if n >= 1 && n < len(tr.ruleCounts) {
+		tr.ruleCounts[n].Add(1)
+	}
+}
+
+// RuleApplications returns the per-rule application counts accumulated so
+// far, keyed "rule1".."rule11". Rules that never fired are omitted.
+func (tr *Transformation) RuleApplications() map[string]int64 {
+	out := make(map[string]int64)
+	for i := 1; i < len(tr.ruleCounts); i++ {
+		if n := tr.ruleCounts[i].Load(); n > 0 {
+			out[ruleNames[i]] = n
+		}
+	}
+	return out
+}
+
+// ruleDelta returns the per-rule counts accumulated since the previous call
+// as an event map (nil when nothing fired), updating the baseline. Only the
+// propagation goroutine calls it, so the baseline needs no locking.
+func (tr *Transformation) ruleDelta() map[string]int64 {
+	var out map[string]int64
+	for i := 1; i < len(tr.ruleCounts); i++ {
+		cur := tr.ruleCounts[i].Load()
+		if d := cur - tr.lastRules[i]; d > 0 {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[ruleNames[i]] = d
+		}
+		tr.lastRules[i] = cur
+	}
+	return out
+}
+
+// emit sends one trace event to the transformation's sink, stamping sequence
+// number, time, kind and current phase. mut fills the kind-specific fields.
+func (tr *Transformation) emit(kind obs.EventKind, mut func(*obs.Event)) {
+	ev := obs.Event{
+		Seq:      tr.seq.Add(1),
+		Time:     time.Now(),
+		Kind:     kind,
+		KindName: kind.String(),
+		Phase:    tr.Phase().String(),
+	}
+	if mut != nil {
+		mut(&ev)
+	}
+	tr.sink.Emit(ev)
+}
+
+// Trace returns the transformation's buffered trace events, oldest first.
+// The default bounded ring keeps the most recent events; Dropped on the ring
+// (via TraceDropped) tells how many older ones were evicted.
+func (tr *Transformation) Trace() []obs.Event { return tr.ring.Events() }
+
+// TraceDropped returns how many trace events the default ring buffer had to
+// evict.
+func (tr *Transformation) TraceDropped() int64 { return tr.ring.Dropped() }
+
+// Progress is a point-in-time snapshot of a running transformation, cheap
+// enough to poll from a UI loop.
+type Progress struct {
+	// Phase is the current lifecycle phase.
+	Phase Phase `json:"phase"`
+	// Iteration is the number of completed propagation iterations.
+	Iteration int `json:"iteration"`
+	// InitialImageRows is the number of rows written by the initial
+	// population so far (live during PhasePopulating).
+	InitialImageRows int64 `json:"initial_image_rows"`
+	// RecordsApplied is the total number of log records propagated so far.
+	RecordsApplied int64 `json:"records_applied"`
+	// Remaining is the current unpropagated log backlog, in records.
+	Remaining int `json:"remaining"`
+	// Rate is the propagation rate observed in the last completed iteration,
+	// in records per second (0 until an iteration with work completes).
+	Rate float64 `json:"rate"`
+	// ETA estimates the time to drain the current backlog at Rate — the same
+	// per-record estimate EstimateAnalyzer uses to decide synchronization
+	// (§3.3). Only meaningful when ETAValid.
+	ETA time.Duration `json:"eta_ns"`
+	// ETAValid reports whether ETA is backed by an observed rate. It is
+	// false before the first productive iteration — except when the backlog
+	// is already empty, where the estimate is trivially zero (mirroring
+	// EstimateAnalyzer's Applied == 0 edge case).
+	ETAValid bool `json:"eta_valid"`
+	// Elapsed is the wall time since Run started.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Progress returns a live snapshot of the transformation's progress. It may
+// be called concurrently with Run from any goroutine.
+func (tr *Transformation) Progress() Progress {
+	tr.mu.Lock()
+	a := tr.lastA
+	start := tr.runStart
+	applied := tr.metrics.RecordsApplied
+	iters := tr.metrics.Iterations
+	tr.mu.Unlock()
+
+	p := Progress{
+		Phase:            tr.Phase(),
+		Iteration:        iters,
+		InitialImageRows: tr.popRows.Load(),
+		RecordsApplied:   applied,
+		Remaining:        tr.Remaining(),
+	}
+	if !start.IsZero() {
+		p.Elapsed = time.Since(start)
+	}
+	if p.Phase == PhaseDone || p.Phase == PhaseAborted {
+		p.Remaining = 0
+		p.ETAValid = true
+		return p
+	}
+	if a.Applied > 0 && a.Duration > 0 {
+		perRecord := a.Duration / time.Duration(a.Applied)
+		p.Rate = float64(a.Applied) / a.Duration.Seconds()
+		p.ETA = time.Duration(p.Remaining) * perRecord
+		p.ETAValid = true
+	} else {
+		// Mirror EstimateAnalyzer: with no observed rate the estimate is
+		// only trustworthy when there is nothing left to do.
+		p.ETAValid = p.Remaining == 0
+	}
+	return p
+}

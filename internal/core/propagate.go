@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nbschema/internal/lock"
+	"nbschema/internal/obs"
 	"nbschema/internal/wal"
 )
 
@@ -39,9 +40,11 @@ func (th *throttler) checkDeadline() error {
 		return nil
 	}
 	if th.tr.cfg.StallPolicy == StallAbort {
+		th.tr.emit(obs.EventStall, func(ev *obs.Event) { ev.Err = ErrStalled.Error() })
 		return ErrStalled
 	}
 	th.tr.SetPriority(min(1, th.tr.Priority()*2))
+	th.tr.emit(obs.EventStall, nil)
 	th.armDeadline()
 	return nil
 }
@@ -102,9 +105,14 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		// Idle cycle: nothing was propagated and nothing new arrived. Ask
 		// the analyzer (it may decide the log is drained enough to
 		// synchronize) and otherwise wait for log activity instead of
-		// spinning on fuzzy marks.
+		// spinning on fuzzy marks. No iteration event is emitted — idle
+		// cycles are paced in the sub-millisecond range and would flood the
+		// trace — but the analysis is still published for Progress.
 		if applied == 0 && tr.db.Log().End() == end {
 			a := Analysis{Remaining: 0, Applied: 0, Duration: time.Since(iterStart), Iteration: iter}
+			tr.mu.Lock()
+			tr.lastA = a
+			tr.mu.Unlock()
 			if tr.cfg.Analyzer(a) && tr.op.ReadyToSync() {
 				return nil
 			}
@@ -127,10 +135,7 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 			return err
 		}
 		mark := tr.db.Log().Append(&wal.Record{Type: wal.TypeFuzzyMark, Active: tr.db.ActiveTxns()})
-		tr.mu.Lock()
-		tr.cursor = end + 1
-		tr.metrics.Iterations = iter
-		tr.mu.Unlock()
+		tr.emit(obs.EventFuzzyMark, func(ev *obs.Event) { ev.LSN = uint64(mark) })
 
 		remaining := int(mark - end - 1) // records generated during the iteration
 		if remaining < 0 {
@@ -142,6 +147,19 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 			Duration:  time.Since(iterStart),
 			Iteration: iter,
 		}
+		tr.mu.Lock()
+		tr.cursor = end + 1
+		tr.metrics.Iterations = iter
+		tr.lastA = a
+		tr.mu.Unlock()
+		tr.mIterations.Add(1)
+		tr.emit(obs.EventIteration, func(ev *obs.Event) {
+			ev.Iteration = iter
+			ev.Applied = applied
+			ev.Remaining = remaining
+			ev.Duration = a.Duration
+			ev.Rules = tr.ruleDelta()
+		})
 		if tr.cfg.Analyzer(a) {
 			if tr.op.ReadyToSync() {
 				return nil
@@ -186,9 +204,18 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		if stalls >= tr.cfg.StallIterations {
 			switch tr.cfg.StallPolicy {
 			case StallAbort:
+				tr.emit(obs.EventStall, func(ev *obs.Event) {
+					ev.Iteration = iter
+					ev.Remaining = remaining
+					ev.Err = ErrStalled.Error()
+				})
 				return ErrStalled
 			case StallBoost:
 				tr.SetPriority(min(1, tr.Priority()*2))
+				tr.emit(obs.EventStall, func(ev *obs.Event) {
+					ev.Iteration = iter
+					ev.Remaining = remaining
+				})
 				stalls = 0
 			}
 		}
@@ -232,6 +259,7 @@ func (tr *Transformation) propagateRange(from, to wal.LSN, th *throttler) (int, 
 	tr.mu.Lock()
 	tr.metrics.RecordsApplied += int64(applied)
 	tr.mu.Unlock()
+	tr.mPropagated.Add(int64(applied))
 	return applied, nil
 }
 

@@ -318,10 +318,13 @@ func (op *splitOp) Apply(rec *wal.Record) error {
 	}
 	switch rec.OpType() {
 	case wal.TypeInsert:
+		op.tr.countRule(8)
 		return op.rule8Insert(rec)
 	case wal.TypeDelete:
+		op.tr.countRule(9)
 		return op.rule9Delete(rec)
 	case wal.TypeUpdate:
+		op.tr.countRule(10)
 		return op.rule10And11Update(rec)
 	default:
 		return nil
@@ -401,6 +404,7 @@ func (op *splitOp) rule10And11Update(rec *wal.Record) error {
 	if len(sCols) == 0 {
 		return nil
 	}
+	op.tr.countRule(11)
 	if !splitChanged {
 		op.shadowS(rec, vOld)
 		s, slsn, err := op.sTbl.Get(vOld)

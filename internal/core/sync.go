@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nbschema/internal/lock"
+	"nbschema/internal/obs"
 	"nbschema/internal/wal"
 )
 
@@ -104,6 +105,10 @@ func (tr *Transformation) acquireSourceLatches(ctx context.Context, latches []*l
 		for i := held - 1; i >= 0; i-- {
 			latches[i].ReleaseExclusive()
 		}
+		tr.emit(obs.EventSyncRetry, func(ev *obs.Event) {
+			ev.Iteration = attempt + 1
+			ev.Tables = []string{latches[held].Name()}
+		})
 		// A busy latch degrades to one more propagation round so the log
 		// does not run away while we wait.
 		tr.mu.Lock()
@@ -212,10 +217,20 @@ func (tr *Transformation) syncNonBlocking(ctx context.Context, forceAbort bool) 
 	for i := len(latches) - 1; i >= 0; i-- {
 		latches[i].ReleaseExclusive()
 	}
+	latchDur := time.Since(latchStart)
 	tr.mu.Lock()
-	tr.metrics.SyncLatchDuration = time.Since(latchStart)
+	tr.metrics.SyncLatchDuration = latchDur
 	tr.metrics.DoomedTxns = len(doomed)
 	tr.mu.Unlock()
+	tr.emit(obs.EventSyncLatched, func(ev *obs.Event) {
+		ev.Duration = latchDur
+		ev.Tables = append([]string(nil), tr.op.Sources()...)
+	})
+	tr.emit(obs.EventSwitchover, func(ev *obs.Event) {
+		ev.LSN = uint64(end)
+		ev.Doomed = len(doomed)
+		ev.Tables = append([]string(nil), tr.op.Targets()...)
+	})
 
 	// Post-switchover: user transactions run against the new tables while
 	// the propagator finishes in the background.
@@ -371,9 +386,18 @@ func (tr *Transformation) syncBlockingCommit(ctx context.Context) error {
 	for i := len(latches) - 1; i >= 0; i-- {
 		latches[i].ReleaseExclusive()
 	}
+	latchDur := time.Since(latchStart)
 	tr.mu.Lock()
-	tr.metrics.SyncLatchDuration = time.Since(latchStart)
+	tr.metrics.SyncLatchDuration = latchDur
 	tr.mu.Unlock()
+	tr.emit(obs.EventSyncLatched, func(ev *obs.Event) {
+		ev.Duration = latchDur
+		ev.Tables = append([]string(nil), tr.op.Sources()...)
+	})
+	tr.emit(obs.EventSwitchover, func(ev *obs.Event) {
+		ev.LSN = uint64(gate)
+		ev.Tables = append([]string(nil), tr.op.Targets()...)
+	})
 
 	if !tr.cfg.KeepSources {
 		for _, s := range tr.op.Sources() {

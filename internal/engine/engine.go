@@ -15,6 +15,7 @@ import (
 	"nbschema/internal/catalog"
 	"nbschema/internal/fault"
 	"nbschema/internal/lock"
+	"nbschema/internal/obs"
 	"nbschema/internal/storage"
 	"nbschema/internal/value"
 	"nbschema/internal/wal"
@@ -63,6 +64,21 @@ type Options struct {
 	// method distinguishes a tail torn by a crash from an in-place flip).
 	// The default (strict) refuses to recover from any corrupt log.
 	LenientWAL bool
+	// Obs is an optional observability registry. When set, the engine, the
+	// WAL, the lock manager, every table and latch, and the fault registry
+	// report metrics into it. A nil registry costs one nil check per
+	// instrumented site.
+	Obs *obs.Registry
+}
+
+// engineMetrics bundles the engine-level metric handles. All handles are
+// nil (and therefore no-ops) when the DB was opened without a registry.
+type engineMetrics struct {
+	txnBegin      *obs.Counter
+	txnCommit     *obs.Counter
+	txnAbort      *obs.Counter
+	txnActive     *obs.Gauge
+	commitLatency *obs.Histogram
 }
 
 // DB is an in-memory transactional database.
@@ -71,6 +87,8 @@ type DB struct {
 	log    *wal.Log
 	locks  *lock.Manager
 	faults *fault.Registry
+	obs    *obs.Registry
+	met    engineMetrics
 	opts   Options
 
 	mu      sync.RWMutex
@@ -101,8 +119,25 @@ func New(opts Options) *DB {
 	}
 	db.log.SetFaults(opts.Faults)
 	db.locks.SetFaults(opts.Faults)
+	if reg := opts.Obs; reg != nil {
+		db.obs = reg
+		db.met = engineMetrics{
+			txnBegin:      reg.Counter("engine.txn.begin"),
+			txnCommit:     reg.Counter("engine.txn.commit"),
+			txnAbort:      reg.Counter("engine.txn.abort"),
+			txnActive:     reg.Gauge("engine.txn.active"),
+			commitLatency: reg.Histogram("engine.txn.commit_latency"),
+		}
+		db.log.SetObs(reg)
+		db.locks.SetObs(reg)
+		opts.Faults.SetObs(reg)
+	}
 	return db
 }
+
+// Obs returns the observability registry the DB was opened with (nil when
+// observability is off).
+func (db *DB) Obs() *obs.Registry { return db.obs }
 
 // Faults returns the fault registry the DB was opened with (nil when fault
 // injection is off). Transformations forward it to their own fault points.
@@ -141,8 +176,13 @@ func (db *DB) CreateTable(def *catalog.TableDef) error {
 	db.mu.Lock()
 	tbl := storage.NewTable(def)
 	tbl.SetFaults(db.faults)
+	latch := lock.NewLatch(def.Name)
+	if db.obs != nil {
+		tbl.SetObs(db.obs)
+		latch.SetObs(db.obs)
+	}
 	db.tables[def.Name] = tbl
-	db.latches[def.Name] = lock.NewLatch(def.Name)
+	db.latches[def.Name] = latch
 	db.mu.Unlock()
 	return nil
 }
@@ -259,8 +299,13 @@ func (db *DB) Begin() *Txn {
 	db.nextTxn++
 	id := db.nextTxn
 	txn := &Txn{db: db, id: id}
+	if db.met.commitLatency.Enabled() {
+		txn.started = time.Now()
+	}
 	db.active[id] = txn
 	db.txnMu.Unlock()
+	db.met.txnBegin.Add(1)
+	db.met.txnActive.Add(1)
 
 	lsn := db.log.Append(&wal.Record{Txn: id, Type: wal.TypeBegin})
 	txn.begin.Store(uint64(lsn))
@@ -330,6 +375,7 @@ func (db *DB) endTxn(id wal.TxnID) {
 	db.txnMu.Lock()
 	delete(db.active, id)
 	db.txnMu.Unlock()
+	db.met.txnActive.Add(-1)
 	db.locks.ReleaseAll(id)
 	if h := db.currentHooks(); h.OnTxnEnd != nil {
 		h.OnTxnEnd(id)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nbschema/internal/lock"
 	"nbschema/internal/storage"
@@ -24,6 +25,10 @@ const (
 type Txn struct {
 	db *DB
 	id wal.TxnID
+
+	// started is set by DB.Begin only when the commit-latency histogram is
+	// live; the zero value means "not timed".
+	started time.Time
 
 	// begin is the LSN of the begin record, written once by DB.Begin and
 	// read lock-free by fuzzy-mark snapshots and access checks.
@@ -291,6 +296,10 @@ func (t *Txn) Commit() error {
 	t.db.log.Append(&wal.Record{Txn: t.id, Type: wal.TypeCommit, Prev: t.lastLSN})
 	t.state = txnCommitted
 	t.mu.Unlock()
+	t.db.met.txnCommit.Add(1)
+	if !t.started.IsZero() {
+		t.db.met.commitLatency.Observe(time.Since(t.started))
+	}
 	t.db.endTxn(t.id)
 	return nil
 }
@@ -309,6 +318,7 @@ func (t *Txn) Abort() error {
 	t.db.log.Append(&wal.Record{Txn: t.id, Type: wal.TypeAbort, Prev: t.lastLSN})
 	t.state = txnAborted
 	t.mu.Unlock()
+	t.db.met.txnAbort.Add(1)
 	t.db.endTxn(t.id)
 	return nil
 }

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nbschema/internal/obs"
 )
 
 // ErrInjected is the default error returned by an ErrorAction armed without
@@ -122,7 +124,11 @@ type point struct {
 // no-op (or returns zero) on a nil receiver so components can hold a nil
 // *Registry unconditionally.
 type Registry struct {
-	armed  atomic.Int32 // number of armed rules across all points
+	armed atomic.Int32 // number of armed rules across all points
+
+	// Metric handle counting fired rules (nil when observability is off).
+	mFires *obs.Counter
+
 	mu     sync.Mutex
 	points map[string]*point
 }
@@ -136,6 +142,15 @@ func New() *Registry {
 // components may use before building dynamic point names.
 func (r *Registry) Armed() bool {
 	return r != nil && r.armed.Load() > 0
+}
+
+// SetObs wires the "fault.fire" counter, incremented each time an armed rule
+// fires (regardless of its action). Call before the registry is shared.
+func (r *Registry) SetObs(reg *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.mFires = reg.Counter("fault.fire")
 }
 
 // Arm attaches (trigger, action) to the named point. Multiple rules may be
@@ -230,6 +245,8 @@ func (r *Registry) hitSlow(name string) error {
 	if act == nil {
 		return nil
 	}
+	// Count the fire before the action runs: the crash action panics.
+	r.mFires.Add(1)
 	// The action runs outside the lock: it may sleep or panic, and the
 	// panic must not leave the registry locked.
 	return act(name, hit)

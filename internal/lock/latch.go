@@ -3,6 +3,8 @@ package lock
 import (
 	"sync"
 	"time"
+
+	"nbschema/internal/obs"
 )
 
 // Latch is a table latch. User operations hold it in shared mode for the
@@ -14,7 +16,11 @@ import (
 // pending, new shared acquisitions queue behind it, so the exclusive window
 // cannot be starved by a stream of operations.
 type Latch struct {
-	name     string
+	name string
+
+	// Metric handle for contended waits (nil when observability is off).
+	mWait *obs.Histogram
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	readers  int
@@ -33,11 +39,39 @@ func NewLatch(name string) *Latch {
 // Name returns the name the latch was created with.
 func (l *Latch) Name() string { return l.name }
 
+// SetObs wires the "engine.latch.wait" histogram, which records the wall
+// time of contended latch acquisitions (shared and exclusive). Uncontended
+// acquisitions are not timed. Call before the latch is shared.
+func (l *Latch) SetObs(reg *obs.Registry) {
+	l.mWait = reg.Histogram("engine.latch.wait")
+}
+
+// waitStart returns the timestamp to measure a contended wait from, or the
+// zero time when the histogram is disabled. Called with l.mu held.
+func (l *Latch) waitStart() time.Time {
+	if l.mWait.Enabled() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// observeWait records a contended wait that started at start (no-op for the
+// zero time). Called with l.mu held.
+func (l *Latch) observeWait(start time.Time) {
+	if !start.IsZero() {
+		l.mWait.Observe(time.Since(start))
+	}
+}
+
 // AcquireShared takes the latch in shared mode.
 func (l *Latch) AcquireShared() {
 	l.mu.Lock()
-	for l.writer || l.pendingW > 0 {
-		l.cond.Wait()
+	if l.writer || l.pendingW > 0 {
+		start := l.waitStart()
+		for l.writer || l.pendingW > 0 {
+			l.cond.Wait()
+		}
+		l.observeWait(start)
 	}
 	l.readers++
 	l.mu.Unlock()
@@ -64,8 +98,12 @@ func (l *Latch) ReleaseShared() {
 func (l *Latch) AcquireExclusive() {
 	l.mu.Lock()
 	l.pendingW++
-	for l.writer || l.readers > 0 {
-		l.cond.Wait()
+	if l.writer || l.readers > 0 {
+		start := l.waitStart()
+		for l.writer || l.readers > 0 {
+			l.cond.Wait()
+		}
+		l.observeWait(start)
 	}
 	l.pendingW--
 	l.writer = true

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"nbschema/internal/fault"
+	"nbschema/internal/obs"
 	"nbschema/internal/wal"
 )
 
@@ -60,7 +61,13 @@ type entry struct {
 // Manager is a record-lock manager with FIFO-fair wait queues and
 // timeout-based deadlock resolution.
 type Manager struct {
-	faults  *fault.Registry
+	faults *fault.Registry
+
+	// Metric handles (nil when observability is off; nil handles are no-ops).
+	mAcquires *obs.Counter
+	mTimeouts *obs.Counter
+	mWait     *obs.Histogram
+
 	mu      sync.Mutex
 	entries map[lockKey]*entry
 	held    map[wal.TxnID]map[lockKey]struct{}
@@ -89,6 +96,16 @@ func NewManager(timeout time.Duration) *Manager {
 // the manager is shared.
 func (m *Manager) SetFaults(reg *fault.Registry) { m.faults = reg }
 
+// SetObs wires the manager's metrics: "engine.lock.acquire" counts every
+// acquisition, "engine.lock.timeout" counts waits resolved by timeout, and
+// the "engine.lock.wait" histogram records the wall time of blocked
+// acquisitions. Call before the manager is shared.
+func (m *Manager) SetObs(reg *obs.Registry) {
+	m.mAcquires = reg.Counter("engine.lock.acquire")
+	m.mTimeouts = reg.Counter("engine.lock.timeout")
+	m.mWait = reg.Histogram("engine.lock.wait")
+}
+
 // Acquire obtains a lock on (table, key) for txn, blocking until granted or
 // until the timeout expires. Re-acquiring a held lock is a no-op; an S→X
 // upgrade is granted immediately when txn is the sole holder and queued
@@ -102,6 +119,7 @@ func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 			return err
 		}
 	}
+	m.mAcquires.Add(1)
 	k := lockKey{table, key}
 	m.mu.Lock()
 	e := m.entries[k]
@@ -129,20 +147,34 @@ func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 	e.queue = append(e.queue, w)
 	m.mu.Unlock()
 
+	// Blocked path: record how long the lock wait takes (granted or not).
+	var waitStart time.Time
+	if m.mWait.Enabled() {
+		waitStart = time.Now()
+	}
+	observeWait := func() {
+		if !waitStart.IsZero() {
+			m.mWait.Observe(time.Since(waitStart))
+		}
+	}
+
 	timer := time.NewTimer(m.timeout)
 	defer timer.Stop()
 	select {
 	case <-w.ready:
+		observeWait()
 		return nil
 	case <-timer.C:
 		m.mu.Lock()
 		defer m.mu.Unlock()
+		observeWait()
 		select {
 		case <-w.ready:
 			// Granted between timer firing and lock acquisition.
 			return nil
 		default:
 		}
+		m.mTimeouts.Add(1)
 		for i, q := range e.queue {
 			if q == w {
 				e.queue = append(e.queue[:i], e.queue[i+1:]...)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nbschema/internal/obs"
 	"nbschema/internal/wal"
 )
 
@@ -82,6 +83,10 @@ type shadowLock struct {
 // propagation; enforcement is switched on at synchronization, when user
 // transactions can reach both old and new tables.
 type ShadowTable struct {
+	// Metric handles (nil when observability is off; nil handles are no-ops).
+	mTransfers *obs.Counter
+	mConflicts *obs.Counter
+
 	mu      sync.Mutex
 	locks   map[string]map[wal.TxnID]shadowLock // T-record key → owner → lock
 	byTxn   map[wal.TxnID]map[string]struct{}
@@ -96,6 +101,14 @@ func NewShadowTable() *ShadowTable {
 	}
 }
 
+// SetObs wires the shadow table's metrics: "engine.lock.transfer" counts
+// transferred-lock placements and "engine.lock.transfer.conflict" counts
+// requests rejected under the Fig. 2 matrix. Call before the table is shared.
+func (s *ShadowTable) SetObs(reg *obs.Registry) {
+	s.mTransfers = reg.Counter("engine.lock.transfer")
+	s.mConflicts = reg.Counter("engine.lock.transfer.conflict")
+}
+
 // Place records (or upgrades) a transferred lock on the transformed-table
 // record identified by key, owned by txn. The propagator calls this while
 // redoing each logged operation.
@@ -103,6 +116,7 @@ func (s *ShadowTable) Place(txn wal.TxnID, key string, origin Origin, mode Mode)
 	if txn == 0 {
 		return // system records carry no user locks
 	}
+	s.mTransfers.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	owners := s.locks[key]
@@ -169,6 +183,7 @@ func (s *ShadowTable) Check(txn wal.TxnID, key string, origin Origin, mode Mode)
 			continue
 		}
 		if !TransferCompatible(l.origin, l.mode, origin, mode) {
+			s.mConflicts.Add(1)
 			return fmt.Errorf("%w: txn %d holds %s.%s on %q", ErrShadowConflict, owner, l.origin, l.mode, key)
 		}
 	}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func exampleRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("engine.txn.commit").Add(5)
+	r.Gauge("core.running").Set(1)
+	r.Histogram("engine.txn.commit_latency").Observe(3 * time.Millisecond)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := exampleRegistry().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE engine_txn_commit_total counter",
+		"engine_txn_commit_total 5",
+		"# TYPE core_running gauge",
+		"core_running 1",
+		"# TYPE engine_txn_commit_latency histogram",
+		`engine_txn_commit_latency_bucket{le="+Inf"} 1`,
+		"engine_txn_commit_latency_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be monotonically non-decreasing and the last
+	// must equal the count.
+	if !strings.Contains(out, `engine_txn_commit_latency_bucket{le="0.002048"} 0`) {
+		t.Fatalf("3ms observation leaked into a ≤2.048ms bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `engine_txn_commit_latency_bucket{le="0.004096"} 1`) {
+		t.Fatalf("3ms observation missing from the ≤4.096ms bucket:\n%s", out)
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	h := Handler(exampleRegistry())
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "engine_txn_commit_total 5") {
+		t.Fatalf("missing counter in text output:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if s.Counters["engine.txn.commit"] != 5 {
+		t.Fatalf("json counters = %v", s.Counters)
+	}
+	if s.Histograms["engine.txn.commit_latency"].Count != 1 {
+		t.Fatalf("json histograms = %v", s.Histograms)
+	}
+
+	// A nil registry serves an empty snapshot, not a panic.
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil registry handler status = %d", rec.Code)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"engine.txn.commit": "engine_txn_commit",
+		"a-b/c d":           "a_b_c_d",
+		"9lives":            "_lives",
+		"x9":                "x9",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package obs is the observability layer of the system: a lock-free metrics
+// registry (counters, gauges, fixed-bucket latency histograms), a structured
+// trace of schema-transformation events delivered to pluggable sinks, and
+// exposition of both as Prometheus text and JSON.
+//
+// The design goal is that instrumentation is safe to leave in every hot path:
+//
+//   - A nil metric handle costs one nil check (components hold possibly-nil
+//     handles exactly like they hold a possibly-nil *fault.Registry).
+//   - A disabled metric — a handle from a Registry whose collection is turned
+//     off — costs one atomic load.
+//   - An enabled counter costs one atomic add; a histogram observation costs
+//     two atomic adds plus one bucket add.
+//
+// No lock is taken on any record path; locks exist only at registration time
+// (name → metric lookup) and when taking a Snapshot.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is not
+// registered anywhere but is usable; a nil *Counter is a no-op.
+type Counter struct {
+	on *atomic.Bool // shared with the owning registry; nil = always on
+	v  atomic.Int64
+}
+
+// NewCounter returns a standalone, always-on counter (no registry).
+func NewCounter() *Counter { return &Counter{} }
+
+// Add increments the counter by n. Nil-safe; one atomic load when disabled.
+func (c *Counter) Add(n int64) {
+	if c == nil || (c.on != nil && !c.on.Load()) {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 for nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (e.g. running transformations).
+// A nil *Gauge is a no-op.
+type Gauge struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// NewGauge returns a standalone, always-on gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil || (g.on != nil && !g.on.Load()) {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil || (g.on != nil && !g.on.Load()) {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Load returns the current value (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of histogram buckets. Bucket 0 holds observations
+// below 1µs; bucket i (1 ≤ i < histBuckets-1) holds [2^(i-1), 2^i) µs; the
+// last bucket is the +Inf overflow (≥ ~16.8s). The bounds are fixed so two
+// snapshots can be subtracted and merged without negotiation.
+const histBuckets = 26
+
+// HistogramBound returns the exclusive upper bound of bucket i as a duration;
+// the last bucket returns a negative duration meaning +Inf.
+func HistogramBound(i int) time.Duration {
+	if i >= histBuckets-1 {
+		return -1 // +Inf
+	}
+	return time.Microsecond << i
+}
+
+func bucketIndex(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < 1000 {
+		return 0
+	}
+	idx := bits.Len64(uint64(ns / 1000)) // 2^(idx-1) ≤ µs < 2^idx
+	if idx > histBuckets-1 {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// Histogram is a fixed-bucket latency histogram with exponential bounds from
+// 1µs to ~16.8s. A nil *Histogram is a no-op.
+type Histogram struct {
+	on      *atomic.Bool
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns a standalone, always-on histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration. Nil-safe; one atomic load when disabled.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil || (h.on != nil && !h.on.Load()) {
+		return
+	}
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Enabled reports whether an observation would be recorded right now. Callers
+// use it to skip the time.Now() needed to produce the duration in the first
+// place. Nil-safe.
+func (h *Histogram) Enabled() bool {
+	return h != nil && (h.on == nil || h.on.Load())
+}
+
+// Snapshot returns a consistent-enough copy for reporting (buckets are read
+// without a barrier against concurrent observers; totals may trail by a few
+// in-flight observations, which is fine for monitoring).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sumNs.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, subtractable to
+// get the histogram of a measurement window.
+type HistogramSnapshot struct {
+	Count   int64
+	SumNs   int64
+	Buckets [histBuckets]int64
+}
+
+// Sub returns the window histogram from old to s (s - old).
+func (s HistogramSnapshot) Sub(old HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count - old.Count, SumNs: s.SumNs - old.SumNs}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] - old.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of the
+// bucket in which the quantile falls — a conservative (over-) estimate with
+// at most 2× resolution error, which the exponential bounds make acceptable
+// for latency reporting. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			if bound := HistogramBound(i); bound >= 0 {
+				return bound
+			}
+			// Overflow bucket: all we know is "at least the last bound".
+			return time.Microsecond << (histBuckets - 2)
+		}
+	}
+	return time.Microsecond << (histBuckets - 2)
+}
+
+// P50 returns the median estimate.
+func (s HistogramSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P95 returns the 95th-percentile estimate.
+func (s HistogramSnapshot) P95() time.Duration { return s.Quantile(0.95) }
+
+// P99 returns the 99th-percentile estimate.
+func (s HistogramSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// Registry is a named collection of metrics. Metric handles are looked up (and
+// created) once, at wiring time, and then recorded through lock-free; the
+// registry lock guards only the name maps. All methods are safe on a nil
+// receiver — a nil registry yields nil handles, making instrumentation free
+// when observability is off.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry with collection enabled.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled turns collection on or off for every metric of the registry.
+// Handles stay valid; a disabled metric costs one atomic load per record.
+func (r *Registry) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled.Store(on)
+}
+
+// Enabled reports whether collection is on.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// Counter returns the named counter, creating it on first use. Nil-safe: a
+// nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{on: &r.enabled}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{on: &r.enabled}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{on: &r.enabled}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every metric's current value. Names are sorted in the
+// exposition helpers, not here.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, v := range counters {
+		s.Counters[k] = v.Load()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Load()
+	}
+	for k, v := range histograms {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// sortedKeys returns the keys of a map in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

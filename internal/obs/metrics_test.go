@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilAndDisabledMetricsAreNoOps(t *testing.T) {
+	var nilReg *Registry
+	nilReg.SetEnabled(true) // must not panic
+	c := nilReg.Counter("x")
+	if c != nil {
+		t.Fatal("nil registry returned non-nil counter")
+	}
+	c.Add(5)
+	nilReg.Gauge("x").Set(1)
+	nilReg.Histogram("x").Observe(time.Second)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("nil counter = %d", got)
+	}
+	s := nilReg.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+
+	r := NewRegistry()
+	r.SetEnabled(false)
+	cc := r.Counter("c")
+	cc.Add(10)
+	hh := r.Histogram("h")
+	hh.Observe(time.Millisecond)
+	if cc.Load() != 0 || hh.Snapshot().Count != 0 {
+		t.Fatal("disabled metrics recorded values")
+	}
+	if hh.Enabled() {
+		t.Fatal("disabled histogram reports Enabled")
+	}
+	r.SetEnabled(true)
+	cc.Add(10)
+	hh.Observe(time.Millisecond)
+	if cc.Load() != 10 || hh.Snapshot().Count != 1 {
+		t.Fatal("re-enabled metrics did not record")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 90 fast observations, 10 slow ones: p50 small, p95/p99 near the slow
+	// cluster.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if p50 := s.P50(); p50 > time.Millisecond {
+		t.Fatalf("p50 = %v, want ≤ 1ms", p50)
+	}
+	for _, q := range []time.Duration{s.P95(), s.P99()} {
+		if q < 50*time.Millisecond || q > 300*time.Millisecond {
+			t.Fatalf("tail quantile = %v, want within 2x of 80ms bucket", q)
+		}
+	}
+	if m := s.Mean(); m < 5*time.Millisecond || m > 20*time.Millisecond {
+		t.Fatalf("mean = %v, want ≈ 8ms", m)
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	before := h.Snapshot()
+	h.Observe(4 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	win := h.Snapshot().Sub(before)
+	if win.Count != 2 {
+		t.Fatalf("window count = %d, want 2", win.Count)
+	}
+	if win.SumNs != (9 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("window sum = %d", win.SumNs)
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	if bucketIndex(0) != 0 || bucketIndex(999*time.Nanosecond) != 0 {
+		t.Fatal("sub-µs observations must land in bucket 0")
+	}
+	if bucketIndex(time.Microsecond) != 1 {
+		t.Fatalf("1µs lands in bucket %d, want 1", bucketIndex(time.Microsecond))
+	}
+	if bucketIndex(time.Hour) != histBuckets-1 {
+		t.Fatal("huge observation must land in the overflow bucket")
+	}
+	if HistogramBound(histBuckets-1) >= 0 {
+		t.Fatal("last bucket bound must be +Inf")
+	}
+	if HistogramBound(1) != 2*time.Microsecond {
+		t.Fatalf("bound(1) = %v", HistogramBound(1))
+	}
+}
+
+func TestQuantileEmptyAndEdge(t *testing.T) {
+	var s HistogramSnapshot
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty snapshot must report zero")
+	}
+	h := NewHistogram()
+	h.Observe(time.Microsecond)
+	if q := h.Snapshot().Quantile(0.0001); q <= 0 {
+		t.Fatalf("tiny quantile = %v", q)
+	}
+}
+
+// TestRegistryConcurrent hammers the registry from concurrent writers while
+// readers take snapshots; run with -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stopToggle := make(chan struct{})
+	wg.Add(1)
+	go func() { // flip collection on and off while everyone records
+		defer wg.Done()
+		for {
+			select {
+			case <-stopToggle:
+				r.SetEnabled(true)
+				return
+			default:
+				r.SetEnabled(false)
+				r.SetEnabled(true)
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			h := r.Histogram("shared.hist")
+			g := r.Gauge("shared.gauge")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				g.Add(1)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		_ = r.Snapshot()
+	}
+	close(stopToggle)
+	wg.Wait()
+	r.SetEnabled(true)
+	got := r.Counter("shared.counter").Load()
+	if got <= 0 || got > writers*perWriter {
+		t.Fatalf("counter = %d, want in (0, %d]", got, writers*perWriter)
+	}
+	s := r.Snapshot()
+	if s.Histograms["shared.hist"].Count != got && s.Counters["shared.counter"] != got {
+		// Only a sanity bound: the toggler may have dropped different subsets.
+		t.Logf("hist count %d vs counter %d (both raced the toggler)", s.Histograms["shared.hist"].Count, got)
+	}
+}
+
+// BenchmarkCounterDisabled proves the disabled-metric cost: one atomic load.
+// Compare with BenchmarkCounterEnabled and BenchmarkCounterNil.
+func BenchmarkCounterDisabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Load() != 0 {
+		b.Fatal("disabled counter recorded")
+	}
+}
+
+// BenchmarkCounterEnabled is the enabled cost: one load plus one atomic add.
+func BenchmarkCounterEnabled(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterNil is the cost with observability entirely off (nil
+// registry → nil handle): one nil check.
+func BenchmarkCounterNil(b *testing.B) {
+	var r *Registry
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve is the enabled histogram cost.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}
+
+// BenchmarkHistogramDisabled is the disabled histogram cost (one atomic
+// load, no time.Now needed thanks to Enabled()).
+func BenchmarkHistogramDisabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	h := r.Histogram("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.Enabled() {
+			h.Observe(time.Duration(i))
+		}
+	}
+}

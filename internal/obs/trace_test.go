@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRingSinkOrderAndWrap(t *testing.T) {
+	r := NewRingSink(4)
+	for i := 1; i <= 3; i++ {
+		r.Emit(Event{Seq: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 || r.Len() != 3 {
+		t.Fatalf("len = %d/%d, want 3", len(evs), r.Len())
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	for i := 4; i <= 10; i++ {
+		r.Emit(Event{Seq: int64(i)})
+	}
+	evs = r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("wrapped len = %d, want 4", len(evs))
+	}
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("wrapped order wrong: %v..%v", evs[0].Seq, evs[3].Seq)
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestRingSinkDefaultSize(t *testing.T) {
+	r := NewRingSink(0)
+	if len(r.buf) != 1024 {
+		t.Fatalf("default size = %d", len(r.buf))
+	}
+}
+
+func TestMultiAndFuncSink(t *testing.T) {
+	var got []int64
+	f := FuncSink(func(ev Event) { got = append(got, ev.Seq) })
+	ring := NewRingSink(8)
+	m := MultiSink{ring, f}
+	m.Emit(Event{Seq: 1})
+	m.Emit(Event{Seq: 2})
+	if len(got) != 2 || ring.Len() != 2 {
+		t.Fatalf("fan-out failed: func=%v ring=%d", got, ring.Len())
+	}
+}
+
+// TestRingSinkConcurrent exercises concurrent emitters and readers; run with
+// -race.
+func TestRingSinkConcurrent(t *testing.T) {
+	r := NewRingSink(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Emit(Event{Seq: int64(w*1000 + i)})
+				if i%50 == 0 {
+					_ = r.Events()
+					_ = r.Len()
+					_ = r.Dropped()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Fatalf("final len = %d, want 64", r.Len())
+	}
+	if r.Dropped() != 8*1000-64 {
+		t.Fatalf("dropped = %d, want %d", r.Dropped(), 8*1000-64)
+	}
+}
+
+func TestEventKindStringsAndJSON(t *testing.T) {
+	kinds := []EventKind{
+		EventPhase, EventFuzzyMark, EventPopulateChunk, EventIteration,
+		EventSyncRetry, EventSyncLatched, EventSwitchover, EventStall,
+		EventDone, EventAbort,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if got := EventKind(200).String(); got != "event(200)" {
+		t.Fatalf("unknown kind = %q", got)
+	}
+
+	ev := Event{Seq: 3, Kind: EventIteration, KindName: EventIteration.String(),
+		Iteration: 2, Applied: 10, Rules: map[string]int64{"rule8": 10}}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["kind"] != "iteration" {
+		t.Fatalf("json kind = %v", m["kind"])
+	}
+	if fmt.Sprint(m["rules"].(map[string]any)["rule8"]) != "10" {
+		t.Fatalf("json rules = %v", m["rules"])
+	}
+}

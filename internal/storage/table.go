@@ -15,6 +15,7 @@ import (
 
 	"nbschema/internal/catalog"
 	"nbschema/internal/fault"
+	"nbschema/internal/obs"
 	"nbschema/internal/value"
 	"nbschema/internal/wal"
 )
@@ -37,6 +38,10 @@ type Record struct {
 type Table struct {
 	def    *catalog.TableDef
 	faults *fault.Registry
+
+	// Metric handles (nil when observability is off; nil handles are no-ops).
+	mInserts, mUpdates, mDeletes *obs.Counter
+	mGets, mFuzzyChunks          *obs.Counter
 
 	mu      sync.RWMutex
 	rows    map[string]*Record
@@ -61,6 +66,18 @@ func (t *Table) Def() *catalog.TableDef { return t.def }
 // e.g. only a transformation's hidden target. Call before the table is
 // shared.
 func (t *Table) SetFaults(reg *fault.Registry) { t.faults = reg }
+
+// SetObs wires the table's storage-operation counters: "storage.insert",
+// "storage.update", "storage.delete", "storage.get" count the respective
+// record operations across all tables, and "storage.fuzzy.chunk" counts the
+// chunks delivered by fuzzy scans. Call before the table is shared.
+func (t *Table) SetObs(reg *obs.Registry) {
+	t.mInserts = reg.Counter("storage.insert")
+	t.mUpdates = reg.Counter("storage.update")
+	t.mDeletes = reg.Counter("storage.delete")
+	t.mGets = reg.Counter("storage.get")
+	t.mFuzzyChunks = reg.Counter("storage.fuzzy.chunk")
+}
 
 // faultHit fires the generic and table-qualified fault points for op. The
 // table-qualified name is only built when the registry is armed.
@@ -92,6 +109,7 @@ func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
 	if err := t.faultHit("insert"); err != nil {
 		return err
 	}
+	t.mInserts.Add(1)
 	key := t.KeyOfRow(row)
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -118,6 +136,7 @@ func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
 
 // Get returns a copy of the record stored under key, or ErrNotFound.
 func (t *Table) Get(key value.Tuple) (value.Tuple, wal.LSN, error) {
+	t.mGets.Add(1)
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	rec, ok := t.rows[key.Encode()]
@@ -134,6 +153,7 @@ func (t *Table) Update(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LS
 	if err := t.faultHit("update"); err != nil {
 		return nil, err
 	}
+	t.mUpdates.Add(1)
 	if len(cols) != len(vals) {
 		return nil, fmt.Errorf("storage: update arity mismatch: %d cols, %d vals", len(cols), len(vals))
 	}
@@ -194,6 +214,7 @@ func (t *Table) Delete(key value.Tuple) (value.Tuple, error) {
 	if err := t.faultHit("delete"); err != nil {
 		return nil, err
 	}
+	t.mDeletes.Add(1)
 	enc := key.Encode()
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -241,6 +262,7 @@ func (t *Table) FuzzyScan(chunk int, fn func(row value.Tuple, lsn wal.LSN)) {
 
 	for start := 0; start < len(keys); start += chunk {
 		end := min(start+chunk, len(keys))
+		t.mFuzzyChunks.Add(1)
 		t.mu.RLock()
 		for _, k := range keys[start:end] {
 			if rec, ok := t.rows[k]; ok {
@@ -268,6 +290,7 @@ func (t *Table) FuzzyScanChunks(chunk int, fn func(rows []Record)) {
 	buf := make([]Record, 0, chunk)
 	for start := 0; start < len(keys); start += chunk {
 		end := min(start+chunk, len(keys))
+		t.mFuzzyChunks.Add(1)
 		buf = buf[:0]
 		t.mu.RLock()
 		for _, k := range keys[start:end] {

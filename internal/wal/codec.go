@@ -283,7 +283,12 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 			return total, err
 		}
 	}
-	return total, bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return total, err
+	}
+	l.mFlushes.Add(1)
+	l.mFlushBytes.Add(total)
+	return total, nil
 }
 
 // CorruptionError reports the first invalid data found while replaying a

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"nbschema/internal/fault"
+	"nbschema/internal/obs"
 	"nbschema/internal/value"
 )
 
@@ -139,8 +140,12 @@ func (r *Record) OpType() Type {
 // call NewLog.
 type Log struct {
 	faults *fault.Registry
-	mu     sync.RWMutex
-	recs   []*Record
+
+	// Metric handles (nil when observability is off; nil handles are no-ops).
+	mAppends, mFlushes, mFlushBytes *obs.Counter
+
+	mu   sync.RWMutex
+	recs []*Record
 }
 
 // NewLog returns an empty log.
@@ -154,9 +159,20 @@ func NewLog() *Log {
 // (an error action's error is ignored). Call before the log is shared.
 func (l *Log) SetFaults(reg *fault.Registry) { l.faults = reg }
 
+// SetObs wires the log's metrics: "wal.append" counts appended records,
+// "wal.flush" counts whole-log flushes (WriteTo, the in-memory analog of an
+// fsync) and "wal.flush.bytes" the bytes they wrote. Call before the log is
+// shared; a nil registry yields no-op handles.
+func (l *Log) SetObs(reg *obs.Registry) {
+	l.mAppends = reg.Counter("wal.append")
+	l.mFlushes = reg.Counter("wal.flush")
+	l.mFlushBytes = reg.Counter("wal.flush.bytes")
+}
+
 // Append assigns the next LSN to rec, stores it, and returns the LSN.
 func (l *Log) Append(rec *Record) LSN {
 	_ = l.faults.Hit("wal.append")
+	l.mAppends.Add(1)
 	l.mu.Lock()
 	rec.LSN = LSN(len(l.recs) + 1)
 	l.recs = append(l.recs, rec)

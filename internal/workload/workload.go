@@ -16,6 +16,7 @@ import (
 
 	"nbschema/internal/catalog"
 	"nbschema/internal/engine"
+	"nbschema/internal/obs"
 	"nbschema/internal/value"
 )
 
@@ -68,7 +69,10 @@ type Counters struct {
 	Txns      uint64
 	Aborts    uint64
 	LatencyNs uint64
-	At        time.Time
+	// Latency is the response-time histogram at snapshot time; subtracting
+	// two snapshots' histograms yields the window's distribution.
+	Latency obs.HistogramSnapshot
+	At      time.Time
 }
 
 // Stats summarizes a measurement window.
@@ -78,6 +82,9 @@ type Stats struct {
 	Duration   time.Duration
 	Throughput float64       // committed transactions per second
 	MeanRT     time.Duration // mean response time of committed transactions
+	// Response-time percentiles of committed transactions over the window
+	// (bucketed; zero when the window committed nothing).
+	P50, P95, P99 time.Duration
 }
 
 // Between computes the stats of the window from a to b.
@@ -94,6 +101,12 @@ func Between(a, b Counters) Stats {
 	if s.Txns > 0 {
 		s.MeanRT = time.Duration((b.LatencyNs - a.LatencyNs) / s.Txns)
 	}
+	win := b.Latency.Sub(a.Latency)
+	if win.Count > 0 {
+		s.P50 = win.P50()
+		s.P95 = win.P95()
+		s.P99 = win.P99()
+	}
 	return s
 }
 
@@ -104,6 +117,7 @@ type Runner struct {
 	txns      atomic.Uint64
 	aborts    atomic.Uint64
 	latencyNs atomic.Uint64
+	lat       *obs.Histogram
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -116,7 +130,7 @@ type Runner struct {
 func Start(cfg Config) *Runner {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	r := &Runner{cfg: cfg, cancel: cancel}
+	r := &Runner{cfg: cfg, cancel: cancel, lat: obs.NewHistogram()}
 	for i := 0; i < cfg.Clients; i++ {
 		r.wg.Add(1)
 		go r.client(ctx, cfg.Seed+int64(i)*7919)
@@ -140,6 +154,7 @@ func (r *Runner) Snapshot() Counters {
 		Txns:      r.txns.Load(),
 		Aborts:    r.aborts.Load(),
 		LatencyNs: r.latencyNs.Load(),
+		Latency:   r.lat.Snapshot(),
 		At:        time.Now(),
 	}
 }
@@ -177,8 +192,10 @@ func (r *Runner) client(ctx context.Context, seed int64) {
 			err = tx.Commit()
 		}
 		if err == nil {
+			rt := time.Since(start)
 			r.txns.Add(1)
-			r.latencyNs.Add(uint64(time.Since(start).Nanoseconds()))
+			r.latencyNs.Add(uint64(rt.Nanoseconds()))
+			r.lat.Observe(rt)
 			continue
 		}
 		if aerr := tx.Abort(); aerr != nil && !errors.Is(aerr, engine.ErrTxnDone) {

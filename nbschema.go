@@ -35,10 +35,12 @@ package nbschema
 
 import (
 	"fmt"
+	"net/http"
 	"time"
 
 	"nbschema/internal/catalog"
 	"nbschema/internal/engine"
+	"nbschema/internal/obs"
 	"nbschema/internal/value"
 	"nbschema/internal/wal"
 )
@@ -76,6 +78,12 @@ type Options struct {
 	// tail is truncated to the last valid record instead of failing
 	// recovery. The default (strict) refuses any corrupt log.
 	LenientWAL bool
+	// Metrics is an optional metrics registry (NewMetricsRegistry). When
+	// set, the engine, WAL, lock manager, storage and transformations report
+	// counters, gauges and latency histograms into it, readable via
+	// DB.Metrics or served over HTTP with MetricsHandler. Nil (the default)
+	// keeps every instrumented site at a single nil check.
+	Metrics *MetricsRegistry
 }
 
 func (o Options) engineOptions() engine.Options {
@@ -83,8 +91,26 @@ func (o Options) engineOptions() engine.Options {
 		LockTimeout: o.LockTimeout,
 		Faults:      o.Faults,
 		LenientWAL:  o.LenientWAL,
+		Obs:         o.Metrics,
 	}
 }
+
+// MetricsRegistry collects named counters, gauges and latency histograms
+// from every layer of the database. See the DESIGN.md "Observability"
+// section for the metric names.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsRegistry returns an empty, enabled metrics registry to pass in
+// Options.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsHandler serves a registry's metrics over HTTP: Prometheus text
+// format by default, JSON with ?format=json (or an application/json Accept
+// header). A nil registry serves an empty snapshot.
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg) }
 
 // DB is an in-memory transactional database supporting online schema
 // transformations.
@@ -104,6 +130,10 @@ func Open(opts ...Options) *DB {
 // Engine exposes the underlying engine for advanced integration (workload
 // harnesses, benchmarks). Most applications never need it.
 func (db *DB) Engine() *engine.DB { return db.eng }
+
+// Metrics returns the registry the database was opened with (nil when
+// Options.Metrics was not set).
+func (db *DB) Metrics() *MetricsRegistry { return db.eng.Obs() }
 
 // CreateTable registers a new table with the given columns and primary key.
 func (db *DB) CreateTable(name string, cols []Column, primaryKey ...string) error {

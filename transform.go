@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"nbschema/internal/core"
+	"nbschema/internal/obs"
 )
 
 // JoinSpec describes a full outer join transformation R ⟗ S → Target
@@ -47,6 +48,26 @@ const (
 
 // Metrics reports what a transformation did.
 type Metrics = core.Metrics
+
+// Progress is a live snapshot of a running transformation: phase, iteration,
+// backlog, observed propagation rate, and an ETA derived the same way
+// EstimateAnalyzer decides synchronization (§3.3). Obtain one from
+// Transformation.Progress at any time, from any goroutine.
+type Progress = core.Progress
+
+// TraceEvent is one structured event of a transformation's trace: phase
+// transitions, fuzzy marks, population chunks, propagation iterations with
+// per-rule applied counts, synchronization latching, switchover, stalls, and
+// completion. Read the buffered trace with Transformation.Trace or stream
+// events live via TransformOptions.Trace.
+type TraceEvent = obs.Event
+
+// TraceSink receives trace events as they happen. RingSink (the built-in
+// default), FuncSink and MultiSink implement it.
+type TraceSink = obs.Sink
+
+// TraceFunc adapts a function to a TraceSink.
+type TraceFunc = obs.FuncSink
 
 // Transformation is a running (or completed) schema transformation. Create
 // one with DB.FullOuterJoin or DB.Split, then call Run; user transactions
@@ -96,6 +117,10 @@ type TransformOptions struct {
 	KeepSources bool
 	// MaxIterations bounds propagation cycles (0 = unlimited).
 	MaxIterations int
+	// Trace streams the transformation's structured trace events to a
+	// custom sink as they happen, in addition to the bounded in-memory ring
+	// readable via Transformation.Trace. Nil keeps just the ring.
+	Trace TraceSink
 }
 
 func (o TransformOptions) config() core.Config {
@@ -106,6 +131,7 @@ func (o TransformOptions) config() core.Config {
 		KeepSources:      o.KeepSources,
 		MaxIterations:    o.MaxIterations,
 		StallTimeout:     o.StallTimeout,
+		Sink:             o.Trace,
 	}
 	if o.AbortOnStall {
 		cfg.StallPolicy = core.StallAbort
