@@ -114,10 +114,11 @@ func runWorkload(p bench.Params, path string) error {
 		return err
 	}
 	fmt.Printf("== workload — closed-loop update workload around a background split ==\n")
-	fmt.Printf("%-10s %12s %12s %10s %10s %10s\n", "window", "txns", "tput (t/s)", "p50 (ms)", "p95 (ms)", "p99 (ms)")
+	fmt.Printf("%-10s %12s %12s %10s %10s %10s %6s %6s\n",
+		"window", "txns", "tput (t/s)", "p50 (ms)", "p95 (ms)", "p99 (ms)", "ddlk", "tmout")
 	for _, w := range rep.Windows {
-		fmt.Printf("%-10s %12d %12.1f %10.3f %10.3f %10.3f\n",
-			w.Name, w.Txns, w.Throughput, w.P50Ms, w.P95Ms, w.P99Ms)
+		fmt.Printf("%-10s %12d %12.1f %10.3f %10.3f %10.3f %6d %6d\n",
+			w.Name, w.Txns, w.Throughput, w.P50Ms, w.P95Ms, w.P99Ms, w.Deadlocks, w.Timeouts)
 	}
 	t := rep.Transform
 	fmt.Printf("transform: total %.1fms (populate %.1f, propagate %.1f over %d iters, latch %.3f)\n",

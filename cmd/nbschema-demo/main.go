@@ -25,7 +25,7 @@ func main() {
 		rows     = flag.Int("rows", 20000, "customer rows")
 		priority = flag.Float64("priority", 0.2, "transformation priority (0..1]")
 		clients  = flag.Int("clients", 4, "concurrent update clients")
-		metrics  = flag.String("metrics", "", "serve metrics over HTTP on this address (e.g. :8080)")
+		metrics  = flag.String("metrics", "", "serve metrics and /debug over HTTP on this address (e.g. :8080)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -35,8 +35,11 @@ func main() {
 	if *metrics != "" {
 		go func() {
 			log.Printf("metrics: http://%s/metrics (append ?format=json for JSON)", *metrics)
+			log.Printf("debug:   http://%s/debug — txns, locks, waitsfor (?format=dot), transform, wal", *metrics)
 			mux := http.NewServeMux()
 			mux.Handle("/metrics", nbschema.MetricsHandler(reg))
+			mux.Handle("/debug", nbschema.DebugHandler(db))
+			mux.Handle("/debug/", nbschema.DebugHandler(db))
 			if err := http.ListenAndServe(*metrics, mux); err != nil {
 				log.Printf("metrics server: %v", err)
 			}

@@ -1,0 +1,160 @@
+package nbschema
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeadlockDetectionPublicAPI drives a 2-transaction deadlock through the
+// public API and asserts the victim gets ErrDeadlock (retryable) well before
+// the lock timeout, while the survivor completes.
+func TestDeadlockDetectionPublicAPI(t *testing.T) {
+	timeout := 5 * time.Second
+	db := Open(Options{LockTimeout: timeout})
+	if err := db.CreateTable("acct", []Column{
+		{Name: "id", Type: Int},
+		{Name: "bal", Type: Int},
+	}, "id"); err != nil {
+		t.Fatal(err)
+	}
+	setup := db.Begin()
+	for i := 1; i <= 2; i++ {
+		if err := setup.Insert("acct", i, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both transactions lock their own row before either crosses over, so
+	// the cross-reads are guaranteed to collide.
+	txs := [2]*Txn{db.Begin(), db.Begin()}
+	for i, tx := range txs {
+		if err := tx.Update("acct", []any{i + 1}, []string{"bal"}, []any{50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tx := txs[i]
+			if _, err := tx.Get("acct", 2-i); err != nil {
+				errs[i] = err
+				_ = tx.Abort()
+				return
+			}
+			errs[i] = tx.Commit()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var deadlocks, oks int
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			oks++
+		case errors.Is(err, ErrDeadlock):
+			deadlocks++
+			if !IsRetryable(err) {
+				t.Errorf("ErrDeadlock not retryable: %v", err)
+			}
+		default:
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	if deadlocks != 1 || oks != 1 {
+		t.Fatalf("deadlocks=%d oks=%d, want exactly one victim and one survivor", deadlocks, oks)
+	}
+	if elapsed > timeout/4 {
+		t.Errorf("deadlock resolution took %v; want well under the %v timeout", elapsed, timeout)
+	}
+}
+
+// TestDebugHandlerPublicAPI mounts DebugHandler and checks the endpoints
+// reflect a live transaction and a prepared transformation.
+func TestDebugHandlerPublicAPI(t *testing.T) {
+	db := Open(Options{Metrics: NewMetricsRegistry()})
+	if err := db.CreateTable("customer", []Column{
+		{Name: "id", Type: Int},
+		{Name: "zip", Type: Int},
+		{Name: "city", Type: String, Nullable: true},
+	}, "id"); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert("customer", 1, 7050, "Trondheim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Split(SplitSpec{
+		Source: "customer", Left: "customer_base", Right: "place",
+		SplitOn: []string{"zip"}, RightOnly: []string{"city"},
+	}, TransformOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(DebugHandler(db))
+	defer srv.Close()
+	fetch := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+
+	var txns struct {
+		Active []struct {
+			ID   uint64 `json:"id"`
+			Held []any  `json:"held"`
+		} `json:"active"`
+	}
+	if err := json.Unmarshal([]byte(fetch("/debug/txns")), &txns); err != nil {
+		t.Fatal(err)
+	}
+	if len(txns.Active) != 1 || txns.Active[0].ID != tx.ID() || len(txns.Active[0].Held) == 0 {
+		t.Errorf("/debug/txns = %+v, want txn %d holding a lock", txns.Active, tx.ID())
+	}
+
+	var tr struct {
+		Transformations []struct {
+			Phase string `json:"phase"`
+		} `json:"transformations"`
+	}
+	if err := json.Unmarshal([]byte(fetch("/debug/transform")), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Transformations) != 1 || tr.Transformations[0].Phase == "" {
+		t.Errorf("/debug/transform = %+v, want one prepared transformation", tr.Transformations)
+	}
+	if got := len(db.Transformations()); got != 1 {
+		t.Errorf("Transformations() = %d, want 1", got)
+	}
+
+	if dot := fetch("/debug/waitsfor?format=dot"); !strings.Contains(dot, "digraph waitsfor") {
+		t.Errorf("waitsfor DOT = %q", dot)
+	}
+	if wal := fetch("/debug/wal"); !strings.Contains(wal, "end_lsn") {
+		t.Errorf("/debug/wal = %q", wal)
+	}
+
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,8 @@ type WorkloadWindow struct {
 	DurationMs float64 `json:"duration_ms"`
 	Txns       uint64  `json:"txns"`
 	Aborts     uint64  `json:"aborts"`
+	Deadlocks  uint64  `json:"deadlocks"`
+	Timeouts   uint64  `json:"timeouts"`
 	Throughput float64 `json:"throughput_tps"`
 	MeanRTMs   float64 `json:"mean_rt_ms"`
 	P50Ms      float64 `json:"p50_ms"`
@@ -83,6 +85,8 @@ func window(name string, a, b workload.Counters) WorkloadWindow {
 		DurationMs: ms(s.Duration),
 		Txns:       s.Txns,
 		Aborts:     s.Aborts,
+		Deadlocks:  s.Deadlocks,
+		Timeouts:   s.Timeouts,
 		Throughput: s.Throughput,
 		MeanRTMs:   ms(s.MeanRT),
 		P50Ms:      ms(s.P50),

@@ -1,0 +1,186 @@
+// Package debug is the live-introspection admin surface of the engine: a set
+// of HTTP endpoints that expose what is blocked on what, right now — active
+// transactions with their held and awaited locks, the full lock table, the
+// waits-for graph (JSON and Graphviz DOT), live transformation progress with
+// the recent trace, and WAL position/flush statistics.
+//
+// Mount the handler next to the metrics endpoint:
+//
+//	mux.Handle("/debug/", debug.Handler(debug.Config{DB: eng, Obs: reg}))
+//
+// Every endpoint answers JSON; /debug/waitsfor additionally answers Graphviz
+// DOT with ?format=dot. All snapshots are taken with the same internal locks
+// the engine uses, so they are consistent but deliberately brief.
+package debug
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"nbschema/internal/core"
+	"nbschema/internal/engine"
+	"nbschema/internal/lock"
+	"nbschema/internal/obs"
+	"nbschema/internal/wal"
+)
+
+// Config wires the handler to a database.
+type Config struct {
+	// DB is the engine to introspect (required).
+	DB *engine.DB
+	// Obs supplies WAL flush statistics and lock/deadlock counters to the
+	// endpoints that report them; nil omits those fields.
+	Obs *obs.Registry
+	// Transforms returns the transformations to report under
+	// /debug/transform; nil serves an empty list.
+	Transforms func() []*core.Transformation
+	// TraceTail bounds the trace events returned per transformation
+	// (0 selects 50).
+	TraceTail int
+}
+
+// Handler returns an http.Handler serving the debug surface. The returned
+// mux registers absolute /debug/... paths, so it can be mounted with
+// mux.Handle("/debug/", h) on any server.
+func Handler(c Config) http.Handler {
+	if c.TraceTail <= 0 {
+		c.TraceTail = 50
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug", c.index)
+	mux.HandleFunc("/debug/", c.index)
+	mux.HandleFunc("/debug/txns", c.txns)
+	mux.HandleFunc("/debug/locks", c.locks)
+	mux.HandleFunc("/debug/waitsfor", c.waitsFor)
+	mux.HandleFunc("/debug/transform", c.transform)
+	mux.HandleFunc("/debug/wal", c.walInfo)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (c Config) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/debug" && r.URL.Path != "/debug/" {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, map[string]string{
+		"/debug/txns":      "active transactions: age, ops, held and awaited locks, event history, slow-txn log",
+		"/debug/locks":     "lock table: holders and queue depth per record",
+		"/debug/waitsfor":  "waits-for graph (JSON; ?format=dot for Graphviz)",
+		"/debug/transform": "running transformations: live progress, ETA, recent trace",
+		"/debug/wal":       "log position and flush statistics",
+	})
+}
+
+// txnsResponse is the /debug/txns payload.
+type txnsResponse struct {
+	At        time.Time        `json:"at"`
+	Active    []engine.TxnInfo `json:"active"`
+	Slow      []engine.SlowTxn `json:"slow,omitempty"`
+	SlowTotal int64            `json:"slow_total"`
+}
+
+func (c Config) txns(w http.ResponseWriter, _ *http.Request) {
+	resp := txnsResponse{At: time.Now(), Active: c.DB.TxnInfos()}
+	resp.Slow, resp.SlowTotal = c.DB.SlowTxns()
+	writeJSON(w, resp)
+}
+
+// locksResponse is the /debug/locks payload.
+type locksResponse struct {
+	At        time.Time       `json:"at"`
+	Locks     []lock.LockInfo `json:"locks"`
+	Entries   int             `json:"entries"`
+	Waiters   int             `json:"waiters"`
+	Deadlocks int64           `json:"deadlocks_total"`
+	Timeouts  int64           `json:"timeouts_total"`
+}
+
+func (c Config) locks(w http.ResponseWriter, _ *http.Request) {
+	locks := c.DB.Locks().SnapshotLocks()
+	resp := locksResponse{At: time.Now(), Locks: locks, Entries: len(locks)}
+	for _, li := range locks {
+		resp.Waiters += len(li.Queue)
+	}
+	if c.Obs != nil {
+		s := c.Obs.Snapshot()
+		resp.Deadlocks = s.Counters["engine.lock.deadlock"]
+		resp.Timeouts = s.Counters["engine.lock.timeout"]
+	}
+	writeJSON(w, resp)
+}
+
+// waitsForResponse is the /debug/waitsfor JSON payload.
+type waitsForResponse struct {
+	lock.WaitsFor
+	Cycles [][]wal.TxnID `json:"cycles"`
+}
+
+func (c Config) waitsFor(w http.ResponseWriter, r *http.Request) {
+	g := c.DB.Locks().WaitsFor()
+	if r.URL.Query().Get("format") == "dot" {
+		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+		_, _ = w.Write([]byte(g.DOT()))
+		return
+	}
+	writeJSON(w, waitsForResponse{WaitsFor: g, Cycles: g.Cycles()})
+}
+
+// transformEntry is one transformation in the /debug/transform payload.
+type transformEntry struct {
+	Phase        string           `json:"phase"`
+	Progress     core.Progress    `json:"progress"`
+	Rules        map[string]int64 `json:"rules,omitempty"`
+	Trace        []obs.Event      `json:"trace,omitempty"`
+	TraceDropped int64            `json:"trace_dropped"`
+}
+
+func (c Config) transform(w http.ResponseWriter, _ *http.Request) {
+	var entries []transformEntry
+	if c.Transforms != nil {
+		for _, tr := range c.Transforms() {
+			pr := tr.Progress()
+			trace := tr.Trace()
+			if len(trace) > c.TraceTail {
+				trace = trace[len(trace)-c.TraceTail:]
+			}
+			entries = append(entries, transformEntry{
+				Phase:        pr.Phase.String(),
+				Progress:     pr,
+				Rules:        tr.RuleApplications(),
+				Trace:        trace,
+				TraceDropped: tr.TraceDropped(),
+			})
+		}
+	}
+	writeJSON(w, map[string]any{"at": time.Now(), "transformations": entries})
+}
+
+// walResponse is the /debug/wal payload.
+type walResponse struct {
+	At         time.Time `json:"at"`
+	EndLSN     wal.LSN   `json:"end_lsn"`
+	Records    int       `json:"records"`
+	Appends    int64     `json:"appends_total"`
+	Flushes    int64     `json:"flushes_total"`
+	FlushBytes int64     `json:"flush_bytes_total"`
+}
+
+func (c Config) walInfo(w http.ResponseWriter, _ *http.Request) {
+	log := c.DB.Log()
+	resp := walResponse{At: time.Now(), EndLSN: log.End(), Records: log.Len()}
+	if c.Obs != nil {
+		s := c.Obs.Snapshot()
+		resp.Appends = s.Counters["wal.append"]
+		resp.Flushes = s.Counters["wal.flush"]
+		resp.FlushBytes = s.Counters["wal.flush.bytes"]
+	}
+	writeJSON(w, resp)
+}

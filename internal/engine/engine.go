@@ -50,8 +50,9 @@ type Hooks struct {
 
 // Options configures a DB.
 type Options struct {
-	// LockTimeout bounds lock waits (deadlock resolution). Zero selects
-	// lock.DefaultTimeout.
+	// LockTimeout bounds lock waits. Deadlocks are detected and aborted on
+	// the blocking path (lock.ErrDeadlock); the timeout is the backstop for
+	// genuinely slow holders. Zero selects lock.DefaultTimeout.
 	LockTimeout time.Duration
 	// Faults is an optional fault-injection registry. When set, the WAL,
 	// the lock manager and every table created on this DB hit named fault
@@ -69,6 +70,14 @@ type Options struct {
 	// report metrics into it. A nil registry costs one nil check per
 	// instrumented site.
 	Obs *obs.Registry
+	// TxnHistory bounds the per-transaction event history (begin, slow or
+	// failed lock waits, WAL appends, commit/abort) kept for the debug
+	// surface. 0 selects DefaultTxnHistory; negative disables the history.
+	TxnHistory int
+	// SlowTxnThreshold sends finished transactions that ran longer than this
+	// to the bounded slow-transaction log (DB.SlowTxns, /debug/txns). 0
+	// selects DefaultSlowTxnThreshold; negative disables the log.
+	SlowTxnThreshold time.Duration
 }
 
 // engineMetrics bundles the engine-level metric handles. All handles are
@@ -77,6 +86,7 @@ type engineMetrics struct {
 	txnBegin      *obs.Counter
 	txnCommit     *obs.Counter
 	txnAbort      *obs.Counter
+	slowTxns      *obs.Counter
 	txnActive     *obs.Gauge
 	commitLatency *obs.Histogram
 }
@@ -100,6 +110,13 @@ type DB struct {
 	nextTxn wal.TxnID
 	active  map[wal.TxnID]*Txn
 
+	// Introspection: per-transaction history bound, slow-transaction log.
+	histBound  int
+	slowThresh time.Duration
+	slowMu     sync.Mutex
+	slow       []SlowTxn
+	slowN      int64
+
 	hookMu sync.RWMutex
 	hooks  Hooks
 }
@@ -117,6 +134,18 @@ func New(opts Options) *DB {
 		dropAt:  make(map[string]wal.LSN),
 		active:  make(map[wal.TxnID]*Txn),
 	}
+	switch {
+	case opts.TxnHistory > 0:
+		db.histBound = opts.TxnHistory
+	case opts.TxnHistory == 0:
+		db.histBound = DefaultTxnHistory
+	}
+	switch {
+	case opts.SlowTxnThreshold > 0:
+		db.slowThresh = opts.SlowTxnThreshold
+	case opts.SlowTxnThreshold == 0:
+		db.slowThresh = DefaultSlowTxnThreshold
+	}
 	db.log.SetFaults(opts.Faults)
 	db.locks.SetFaults(opts.Faults)
 	if reg := opts.Obs; reg != nil {
@@ -125,6 +154,7 @@ func New(opts Options) *DB {
 			txnBegin:      reg.Counter("engine.txn.begin"),
 			txnCommit:     reg.Counter("engine.txn.commit"),
 			txnAbort:      reg.Counter("engine.txn.abort"),
+			slowTxns:      reg.Counter("engine.txn.slow"),
 			txnActive:     reg.Gauge("engine.txn.active"),
 			commitLatency: reg.Histogram("engine.txn.commit_latency"),
 		}
@@ -299,7 +329,7 @@ func (db *DB) Begin() *Txn {
 	db.nextTxn++
 	id := db.nextTxn
 	txn := &Txn{db: db, id: id}
-	if db.met.commitLatency.Enabled() {
+	if db.met.commitLatency.Enabled() || db.histBound > 0 || db.slowThresh > 0 {
 		txn.started = time.Now()
 	}
 	db.active[id] = txn
@@ -312,6 +342,7 @@ func (db *DB) Begin() *Txn {
 	txn.mu.Lock()
 	txn.lastLSN = lsn
 	txn.mu.Unlock()
+	txn.record(TxnEvent{Time: txn.started, Kind: "begin", LSN: lsn})
 	return txn
 }
 

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"nbschema/internal/lock"
+	"nbschema/internal/wal"
+)
+
+// Defaults for the introspection options.
+const (
+	// DefaultTxnHistory is the per-transaction event bound selected by
+	// Options.TxnHistory == 0.
+	DefaultTxnHistory = 32
+	// DefaultSlowTxnThreshold is the slow-transaction threshold selected by
+	// Options.SlowTxnThreshold == 0.
+	DefaultSlowTxnThreshold = 100 * time.Millisecond
+	// slowTxnLogBound caps the slow-transaction log.
+	slowTxnLogBound = 64
+	// slowLockWaitFloor is the minimum lock-wait duration recorded in a
+	// transaction's event history; instant grants are noise at a 32-event
+	// bound.
+	slowLockWaitFloor = time.Millisecond
+)
+
+// TxnEvent is one entry of a transaction's bounded event history: begin,
+// slow or failed lock waits, WAL appends, and the final commit or abort.
+type TxnEvent struct {
+	Time     time.Time     `json:"time"`
+	Kind     string        `json:"kind"` // begin, lock-wait, wal-append, commit, abort
+	Table    string        `json:"table,omitempty"`
+	Key      string        `json:"key,omitempty"`
+	Mode     string        `json:"mode,omitempty"` // lock-wait: requested mode
+	Op       string        `json:"op,omitempty"`   // wal-append: record type
+	LSN      wal.LSN       `json:"lsn,omitempty"`
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// record appends an event to the transaction's bounded history ring. Safe
+// for the transaction's goroutine; takes only histMu (never t.mu), so
+// introspection snapshots cannot be blocked by a transaction stuck in a
+// lock wait.
+func (t *Txn) record(ev TxnEvent) {
+	bound := t.db.histBound
+	if bound <= 0 {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	t.histMu.Lock()
+	if t.hist == nil {
+		t.hist = make([]TxnEvent, 0, bound)
+	}
+	if len(t.hist) < bound {
+		t.hist = append(t.hist, ev)
+	} else {
+		t.hist[t.histN%int64(bound)] = ev
+	}
+	t.histN++
+	t.histMu.Unlock()
+}
+
+// Events returns the transaction's buffered history oldest-first, plus the
+// number of events evicted by the bound.
+func (t *Txn) Events() (events []TxnEvent, dropped int64) {
+	t.histMu.Lock()
+	defer t.histMu.Unlock()
+	bound := int64(len(t.hist))
+	if bound == 0 {
+		return nil, 0
+	}
+	if t.histN <= bound {
+		return append([]TxnEvent(nil), t.hist...), 0
+	}
+	out := make([]TxnEvent, 0, bound)
+	start := t.histN % bound
+	out = append(out, t.hist[start:]...)
+	out = append(out, t.hist[:start]...)
+	return out, t.histN - bound
+}
+
+// TxnInfo is a point-in-time view of one live transaction for the debug
+// surface. It is assembled without taking the transaction's operation mutex,
+// so a transaction blocked in a lock wait can still be inspected.
+type TxnInfo struct {
+	ID            wal.TxnID       `json:"id"`
+	Start         time.Time       `json:"start"`
+	Age           time.Duration   `json:"age_ns"`
+	BeginLSN      wal.LSN         `json:"begin_lsn"`
+	Ops           int64           `json:"ops"`
+	Doomed        bool            `json:"doomed"`
+	Held          []lock.HeldLock `json:"held,omitempty"`
+	Waiting       []lock.WaitInfo `json:"waiting,omitempty"`
+	Events        []TxnEvent      `json:"events,omitempty"`
+	EventsDropped int64           `json:"events_dropped,omitempty"`
+}
+
+// TxnInfos snapshots every live transaction: identity, age, operation count,
+// held locks, blocked lock requests, and the bounded event history.
+func (db *DB) TxnInfos() []TxnInfo {
+	db.txnMu.Lock()
+	txns := make([]*Txn, 0, len(db.active))
+	for _, txn := range db.active {
+		txns = append(txns, txn)
+	}
+	db.txnMu.Unlock()
+
+	now := time.Now()
+	out := make([]TxnInfo, 0, len(txns))
+	for _, t := range txns {
+		info := TxnInfo{
+			ID:       t.id,
+			Start:    t.started,
+			BeginLSN: t.BeginLSN(),
+			Ops:      t.ops.Load(),
+			Doomed:   t.Doomed(),
+			Held:     db.locks.HeldLocks(t.id),
+			Waiting:  db.locks.WaitingOn(t.id),
+		}
+		if !t.started.IsZero() {
+			info.Age = now.Sub(t.started)
+		}
+		info.Events, info.EventsDropped = t.Events()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SlowTxn is one entry of the slow-transaction log: a finished transaction
+// whose total runtime exceeded the configured threshold.
+type SlowTxn struct {
+	ID            wal.TxnID     `json:"id"`
+	Start         time.Time     `json:"start"`
+	Duration      time.Duration `json:"duration_ns"`
+	Ops           int64         `json:"ops"`
+	Outcome       string        `json:"outcome"` // commit or abort
+	Events        []TxnEvent    `json:"events,omitempty"`
+	EventsDropped int64         `json:"events_dropped,omitempty"`
+}
+
+// maybeRecordSlow adds the finished transaction to the bounded slow log if
+// it ran past the threshold. Called from Commit/Abort after the state flip.
+func (t *Txn) maybeRecordSlow(outcome string) {
+	thresh := t.db.slowThresh
+	if thresh <= 0 || t.started.IsZero() {
+		return
+	}
+	dur := time.Since(t.started)
+	if dur < thresh {
+		return
+	}
+	s := SlowTxn{
+		ID:       t.id,
+		Start:    t.started,
+		Duration: dur,
+		Ops:      t.ops.Load(),
+		Outcome:  outcome,
+	}
+	s.Events, s.EventsDropped = t.Events()
+	db := t.db
+	db.slowMu.Lock()
+	if len(db.slow) < slowTxnLogBound {
+		db.slow = append(db.slow, s)
+	} else {
+		db.slow[db.slowN%slowTxnLogBound] = s
+	}
+	db.slowN++
+	db.slowMu.Unlock()
+	db.met.slowTxns.Add(1)
+}
+
+// SlowTxns returns the slow-transaction log oldest-first, plus the total
+// number of slow transactions seen (including ones evicted by the bound).
+func (db *DB) SlowTxns() (slow []SlowTxn, total int64) {
+	db.slowMu.Lock()
+	defer db.slowMu.Unlock()
+	n := int64(len(db.slow))
+	if n == 0 {
+		return nil, db.slowN
+	}
+	if db.slowN <= n {
+		return append([]SlowTxn(nil), db.slow...), db.slowN
+	}
+	out := make([]SlowTxn, 0, n)
+	start := db.slowN % n
+	out = append(out, db.slow[start:]...)
+	out = append(out, db.slow[:start]...)
+	return out, db.slowN
+}

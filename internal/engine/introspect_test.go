@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/lock"
+	"nbschema/internal/value"
+)
+
+func introspectDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db := New(opts)
+	def, err := catalog.NewTableDef("t", []catalog.Column{
+		{Name: "id", Type: value.KindInt},
+		{Name: "v", Type: value.KindInt},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(def); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestTxnInfosShowsHeldAndWaiting(t *testing.T) {
+	db := introspectDB(t, Options{LockTimeout: 2 * time.Second})
+
+	t1 := db.Begin()
+	if err := t1.Insert("t", value.Tuple{value.Int(1), value.Int(10)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second transaction blocks on t1's exclusive lock.
+	t2 := db.Begin()
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := t2.Get("t", value.Tuple{value.Int(1)})
+		blocked <- err
+	}()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if len(db.Locks().WaitingOn(t2.ID())) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	infos := db.TxnInfos()
+	if len(infos) != 2 {
+		t.Fatalf("TxnInfos = %d entries, want 2", len(infos))
+	}
+	i1, i2 := infos[0], infos[1]
+	if i1.ID != t1.ID() || i2.ID != t2.ID() {
+		t.Fatalf("infos out of order: %v %v", i1.ID, i2.ID)
+	}
+	if len(i1.Held) != 1 || i1.Held[0].Mode != lock.Exclusive || i1.Held[0].Table != "t" {
+		t.Errorf("t1 held = %+v, want one X lock on t", i1.Held)
+	}
+	if i1.Ops != 1 {
+		t.Errorf("t1 ops = %d, want 1", i1.Ops)
+	}
+	if len(i2.Waiting) != 1 || i2.Waiting[0].Mode != lock.Shared {
+		t.Errorf("t2 waiting = %+v, want one blocked S request", i2.Waiting)
+	}
+	if i1.Age <= 0 || i1.BeginLSN == 0 {
+		t.Errorf("t1 age/beginLSN not populated: %+v", i1)
+	}
+	// t1's history carries begin and the insert's WAL append.
+	kinds := map[string]bool{}
+	for _, ev := range i1.Events {
+		kinds[ev.Kind] = true
+	}
+	if !kinds["begin"] || !kinds["wal-append"] {
+		t.Errorf("t1 events missing begin/wal-append: %+v", i1.Events)
+	}
+
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatalf("t2 get after release: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.TxnInfos(); len(got) != 0 {
+		t.Errorf("TxnInfos after commits = %+v, want empty", got)
+	}
+}
+
+func TestSlowTxnLog(t *testing.T) {
+	db := introspectDB(t, Options{SlowTxnThreshold: time.Nanosecond})
+	tx := db.Begin()
+	if err := tx.Insert("t", value.Tuple{value.Int(1), value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := db.Begin()
+	if err := tx2.Insert("t", value.Tuple{value.Int(2), value.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	slow, total := db.SlowTxns()
+	if total != 2 || len(slow) != 2 {
+		t.Fatalf("SlowTxns total=%d len=%d, want 2/2", total, len(slow))
+	}
+	if slow[0].Outcome != "commit" || slow[1].Outcome != "abort" {
+		t.Errorf("outcomes = %s/%s", slow[0].Outcome, slow[1].Outcome)
+	}
+	if slow[0].Duration <= 0 || slow[0].Ops != 1 {
+		t.Errorf("slow[0] = %+v", slow[0])
+	}
+	last := slow[0].Events[len(slow[0].Events)-1]
+	if last.Kind != "commit" {
+		t.Errorf("last event = %q, want commit", last.Kind)
+	}
+}
+
+func TestSlowTxnLogDisabledAndThresholdRespected(t *testing.T) {
+	db := introspectDB(t, Options{SlowTxnThreshold: -1})
+	tx := db.Begin()
+	time.Sleep(2 * time.Millisecond)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, total := db.SlowTxns(); total != 0 {
+		t.Errorf("slow log recorded with threshold disabled: total=%d", total)
+	}
+
+	db2 := introspectDB(t, Options{SlowTxnThreshold: time.Hour})
+	tx2 := db2.Begin()
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, total := db2.SlowTxns(); total != 0 {
+		t.Errorf("fast txn recorded as slow: total=%d", total)
+	}
+}
+
+func TestTxnHistoryBoundAndDisable(t *testing.T) {
+	db := introspectDB(t, Options{TxnHistory: 4})
+	tx := db.Begin()
+	for i := 0; i < 10; i++ {
+		if err := tx.Insert("t", value.Tuple{value.Int(int64(i)), value.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, dropped := tx.Events()
+	if len(events) != 4 {
+		t.Fatalf("len(events) = %d, want bound 4", len(events))
+	}
+	// 1 begin + 10 appends recorded, 4 kept.
+	if dropped != 7 {
+		t.Errorf("dropped = %d, want 7", dropped)
+	}
+	for _, ev := range events {
+		if ev.Kind != "wal-append" {
+			t.Errorf("old event survived the ring: %+v", ev)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	off := introspectDB(t, Options{TxnHistory: -1})
+	tx2 := off.Begin()
+	if err := tx2.Insert("t", value.Tuple{value.Int(1), value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if ev, _ := tx2.Events(); len(ev) != 0 {
+		t.Errorf("history recorded while disabled: %+v", ev)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockSurfacesThroughEngine(t *testing.T) {
+	db := introspectDB(t, Options{LockTimeout: 5 * time.Second})
+	setup := db.Begin()
+	for i := int64(1); i <= 2; i++ {
+		if err := setup.Insert("t", value.Tuple{value.Int(i), value.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	t1, t2 := db.Begin(), db.Begin()
+	one := []string{"v"}
+	if err := t1.Update("t", value.Tuple{value.Int(1)}, one, value.Tuple{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Update("t", value.Tuple{value.Int(2)}, one, value.Tuple{value.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { _, err := t1.Get("t", value.Tuple{value.Int(2)}); blocked <- err }()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if len(db.Locks().WaitingOn(t1.ID())) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	_, err := t2.Get("t", value.Tuple{value.Int(1)})
+	if !errors.Is(err, lock.ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("deadlock resolution took %v", d)
+	}
+	// The failed wait is in t2's history.
+	events, _ := t2.Events()
+	var found bool
+	for _, ev := range events {
+		if ev.Kind == "lock-wait" && ev.Err != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("deadlocked lock-wait not recorded: %+v", events)
+	}
+	if err := t2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

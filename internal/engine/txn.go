@@ -44,6 +44,16 @@ type Txn struct {
 	state   txnState
 	lastLSN wal.LSN
 	nOps    int
+
+	// ops mirrors nOps for lock-free introspection (TxnInfos must not take
+	// t.mu: it may be held across a blocked lock wait).
+	ops atomic.Int64
+
+	// Bounded event history for the debug surface, guarded by its own mutex
+	// for the same reason.
+	histMu sync.Mutex
+	hist   []TxnEvent
+	histN  int64
 }
 
 // BeginLSN returns the LSN of the transaction's begin record.
@@ -69,9 +79,28 @@ func (t *Txn) checkUsable() error {
 }
 
 // lockAndCheck acquires a record lock and runs the transformation hook.
+// With history on, slow or failed lock waits land in the event history.
 func (t *Txn) lockAndCheck(table string, key value.Tuple, mode lock.Mode) error {
+	var start time.Time
+	if t.db.histBound > 0 {
+		start = time.Now()
+	}
 	if err := t.db.locks.Acquire(t.id, table, key.Encode(), mode); err != nil {
+		if !start.IsZero() {
+			t.record(TxnEvent{
+				Kind: "lock-wait", Table: table, Key: key.Encode(),
+				Mode: mode.String(), Duration: time.Since(start), Err: err.Error(),
+			})
+		}
 		return err
+	}
+	if !start.IsZero() {
+		if wait := time.Since(start); wait >= slowLockWaitFloor {
+			t.record(TxnEvent{
+				Kind: "lock-wait", Table: table, Key: key.Encode(),
+				Mode: mode.String(), Duration: wait,
+			})
+		}
 	}
 	if h := t.db.currentHooks(); h.CheckLock != nil {
 		if err := h.CheckLock(t.id, table, key, mode); err != nil {
@@ -129,6 +158,8 @@ func (t *Txn) Insert(table string, row value.Tuple) error {
 	}
 	t.lastLSN = lsn
 	t.nOps++
+	t.ops.Add(1)
+	t.record(TxnEvent{Kind: "wal-append", Table: table, Key: key.Encode(), Op: rec.Type.String(), LSN: lsn})
 	return nil
 }
 
@@ -202,6 +233,8 @@ func (t *Txn) Update(table string, key value.Tuple, cols []string, vals value.Tu
 	}
 	t.lastLSN = lsn
 	t.nOps++
+	t.ops.Add(1)
+	t.record(TxnEvent{Kind: "wal-append", Table: table, Key: key.Encode(), Op: rec.Type.String(), LSN: lsn})
 	return nil
 }
 
@@ -244,6 +277,8 @@ func (t *Txn) Delete(table string, key value.Tuple) error {
 	}
 	t.lastLSN = lsn
 	t.nOps++
+	t.ops.Add(1)
+	t.record(TxnEvent{Kind: "wal-append", Table: table, Key: key.Encode(), Op: rec.Type.String(), LSN: lsn})
 	return nil
 }
 
@@ -293,13 +328,15 @@ func (t *Txn) Commit() error {
 		t.mu.Unlock()
 		return fmt.Errorf("%w (txn %d)", ErrTxnDoomed, t.id)
 	}
-	t.db.log.Append(&wal.Record{Txn: t.id, Type: wal.TypeCommit, Prev: t.lastLSN})
+	lsn := t.db.log.Append(&wal.Record{Txn: t.id, Type: wal.TypeCommit, Prev: t.lastLSN})
 	t.state = txnCommitted
 	t.mu.Unlock()
 	t.db.met.txnCommit.Add(1)
 	if !t.started.IsZero() {
 		t.db.met.commitLatency.Observe(time.Since(t.started))
 	}
+	t.record(TxnEvent{Kind: "commit", LSN: lsn})
+	t.maybeRecordSlow("commit")
 	t.db.endTxn(t.id)
 	return nil
 }
@@ -315,10 +352,12 @@ func (t *Txn) Abort() error {
 		return fmt.Errorf("%w (txn %d)", ErrTxnDone, t.id)
 	}
 	t.undoAll()
-	t.db.log.Append(&wal.Record{Txn: t.id, Type: wal.TypeAbort, Prev: t.lastLSN})
+	lsn := t.db.log.Append(&wal.Record{Txn: t.id, Type: wal.TypeAbort, Prev: t.lastLSN})
 	t.state = txnAborted
 	t.mu.Unlock()
 	t.db.met.txnAbort.Add(1)
+	t.record(TxnEvent{Kind: "abort", LSN: lsn})
+	t.maybeRecordSlow("abort")
 	t.db.endTxn(t.id)
 	return nil
 }

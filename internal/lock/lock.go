@@ -6,6 +6,7 @@
 package lock
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -35,12 +36,33 @@ func (m Mode) String() string {
 	return "S"
 }
 
+// MarshalJSON renders the mode as its string form ("S"/"X") so debug
+// endpoints stay readable.
+func (m Mode) MarshalJSON() ([]byte, error) { return json.Marshal(m.String()) }
+
+// UnmarshalJSON parses the string form produced by MarshalJSON.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s == "X" {
+		*m = Exclusive
+	} else {
+		*m = Shared
+	}
+	return nil
+}
+
 // compatible reports classic S/X compatibility.
 func compatible(a, b Mode) bool { return a == Shared && b == Shared }
 
 // ErrTimeout is returned when a lock could not be granted within the
-// manager's timeout. The engine resolves deadlocks by aborting the waiter.
-var ErrTimeout = errors.New("lock: wait timed out (possible deadlock)")
+// manager's timeout. Since deadlocks are detected and aborted promptly by
+// the waits-for cycle detector, a timeout normally means a genuinely slow
+// holder (e.g. a transformation holding the sync latch); it remains the
+// backstop for anything the detector cannot see.
+var ErrTimeout = errors.New("lock: wait timed out")
 
 type lockKey struct {
 	table string
@@ -51,6 +73,8 @@ type waiter struct {
 	txn   wal.TxnID
 	mode  Mode
 	ready chan struct{} // closed when granted
+	key   lockKey
+	since time.Time
 }
 
 type entry struct {
@@ -58,19 +82,24 @@ type entry struct {
 	queue   []*waiter
 }
 
-// Manager is a record-lock manager with FIFO-fair wait queues and
-// timeout-based deadlock resolution.
+// Manager is a record-lock manager with FIFO-fair wait queues, waits-for
+// cycle detection on block, and a timeout backstop.
 type Manager struct {
 	faults *fault.Registry
 
 	// Metric handles (nil when observability is off; nil handles are no-ops).
-	mAcquires *obs.Counter
-	mTimeouts *obs.Counter
-	mWait     *obs.Histogram
+	mAcquires  *obs.Counter
+	mTimeouts  *obs.Counter
+	mDeadlocks *obs.Counter
+	mWaiters   *obs.Gauge
+	mEdges     *obs.Gauge
+	mWait      *obs.Histogram
 
 	mu      sync.Mutex
 	entries map[lockKey]*entry
 	held    map[wal.TxnID]map[lockKey]struct{}
+	waiting map[wal.TxnID][]*waiter // blocked requests, the waits-for graph's nodes
+	detect  bool
 	timeout time.Duration
 }
 
@@ -86,8 +115,20 @@ func NewManager(timeout time.Duration) *Manager {
 	return &Manager{
 		entries: make(map[lockKey]*entry),
 		held:    make(map[wal.TxnID]map[lockKey]struct{}),
+		waiting: make(map[wal.TxnID][]*waiter),
+		detect:  true,
 		timeout: timeout,
 	}
+}
+
+// SetDetection turns the on-block deadlock detector on or off (on by
+// default). With detection off, deadlocks are resolved only by the lock
+// timeout — the pre-detector behavior, kept for tests and ablations. Call
+// before the manager is shared.
+func (m *Manager) SetDetection(on bool) {
+	m.mu.Lock()
+	m.detect = on
+	m.mu.Unlock()
 }
 
 // SetFaults installs a fault registry. Acquire hits the points
@@ -97,18 +138,26 @@ func NewManager(timeout time.Duration) *Manager {
 func (m *Manager) SetFaults(reg *fault.Registry) { m.faults = reg }
 
 // SetObs wires the manager's metrics: "engine.lock.acquire" counts every
-// acquisition, "engine.lock.timeout" counts waits resolved by timeout, and
-// the "engine.lock.wait" histogram records the wall time of blocked
+// acquisition, "engine.lock.timeout" counts waits resolved by timeout,
+// "engine.lock.deadlock" counts victims aborted by the cycle detector, the
+// "engine.lock.waiting" gauge tracks blocked requests, the
+// "engine.lock.waitsfor.edges" gauge tracks waits-for edges, and the
+// "engine.lock.wait" histogram records the wall time of blocked
 // acquisitions. Call before the manager is shared.
 func (m *Manager) SetObs(reg *obs.Registry) {
 	m.mAcquires = reg.Counter("engine.lock.acquire")
 	m.mTimeouts = reg.Counter("engine.lock.timeout")
+	m.mDeadlocks = reg.Counter("engine.lock.deadlock")
+	m.mWaiters = reg.Gauge("engine.lock.waiting")
+	m.mEdges = reg.Gauge("engine.lock.waitsfor.edges")
 	m.mWait = reg.Histogram("engine.lock.wait")
 }
 
 // Acquire obtains a lock on (table, key) for txn, blocking until granted or
-// until the timeout expires. Re-acquiring a held lock is a no-op; an S→X
-// upgrade is granted immediately when txn is the sole holder and queued
+// until the timeout expires. If blocking would close a waits-for cycle, the
+// request fails immediately with ErrDeadlock instead of waiting (the
+// requester is the deadlock victim). Re-acquiring a held lock is a no-op; an
+// S→X upgrade is granted immediately when txn is the sole holder and queued
 // otherwise.
 func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 	if m.faults.Armed() {
@@ -143,8 +192,24 @@ func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 		m.mu.Unlock()
 		return nil
 	}
-	w := &waiter{txn: txn, mode: mode, ready: make(chan struct{})}
+	w := &waiter{txn: txn, mode: mode, ready: make(chan struct{}), key: k, since: time.Now()}
 	e.queue = append(e.queue, w)
+	m.waiting[txn] = append(m.waiting[txn], w)
+	// Deadlock detection on block: a new waits-for cycle can only appear when
+	// a transaction blocks (grants and removals only delete edges, and a
+	// transaction has a single outstanding request), so checking here catches
+	// every deadlock the moment it forms. The requester is the victim.
+	if m.detect {
+		if cycle := m.findCycleLocked(txn); cycle != nil {
+			m.removeWaiterLocked(e, w)
+			m.mDeadlocks.Add(1)
+			m.updateWaitGaugesLocked()
+			m.mu.Unlock()
+			return fmt.Errorf("%w: txn %d requesting %s on %s/%s, cycle %v",
+				ErrDeadlock, txn, mode, table, key, cycle)
+		}
+	}
+	m.updateWaitGaugesLocked()
 	m.mu.Unlock()
 
 	// Blocked path: record how long the lock wait takes (granted or not).
@@ -175,14 +240,47 @@ func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 		default:
 		}
 		m.mTimeouts.Add(1)
-		for i, q := range e.queue {
-			if q == w {
-				e.queue = append(e.queue[:i], e.queue[i+1:]...)
-				break
-			}
-		}
+		m.removeWaiterLocked(e, w)
+		m.updateWaitGaugesLocked()
 		return fmt.Errorf("%w: txn %d, %s%s", ErrTimeout, txn, table, key)
 	}
+}
+
+// removeWaiterLocked drops w from its entry's queue and from the waits-for
+// bookkeeping. Called with m.mu held.
+func (m *Manager) removeWaiterLocked(e *entry, w *waiter) {
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	ws := m.waiting[w.txn]
+	for i, q := range ws {
+		if q == w {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(m.waiting, w.txn)
+	} else {
+		m.waiting[w.txn] = ws
+	}
+}
+
+// updateWaitGaugesLocked refreshes the blocked-request and waits-for edge
+// gauges. Called with m.mu held whenever the waiter set changes.
+func (m *Manager) updateWaitGaugesLocked() {
+	if m.mWaiters == nil && m.mEdges == nil {
+		return
+	}
+	n := 0
+	for _, ws := range m.waiting {
+		n += len(ws)
+	}
+	m.mWaiters.Set(int64(n))
+	m.mEdges.Set(int64(m.countEdgesLocked()))
 }
 
 // grantable reports whether txn may take mode on e right now. Fairness: a
@@ -243,7 +341,7 @@ func (m *Manager) wake(e *entry, k lockKey) {
 		}
 		m.grant(e, k, w.txn, w.mode)
 		close(w.ready)
-		e.queue = e.queue[1:]
+		m.removeWaiterLocked(e, w)
 	}
 }
 
@@ -264,6 +362,7 @@ func (m *Manager) ReleaseAll(txn wal.TxnID) {
 		}
 	}
 	delete(m.held, txn)
+	m.updateWaitGaugesLocked()
 }
 
 // Holders returns the transactions currently holding (table, key) and their

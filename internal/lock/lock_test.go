@@ -129,8 +129,55 @@ func TestUpgradeWaitsForOtherReaders(t *testing.T) {
 	}
 }
 
-func TestUpgradeDeadlockResolvedByTimeout(t *testing.T) {
+// TestUpgradeDeadlockDetected asserts the cycle detector resolves an upgrade
+// deadlock long before the timeout would: of two S holders both requesting X,
+// exactly one is aborted with ErrDeadlock and the survivor's upgrade is
+// granted once the victim releases.
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	const timeout = 5 * time.Second
+	m := NewManager(timeout)
+	if err := m.Acquire(1, "t", "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "t", "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	var deadlocks, granted atomic.Int32
+	for _, txn := range []wal.TxnID{1, 2} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := m.Acquire(txn, "t", "k", Exclusive)
+			switch {
+			case errors.Is(err, ErrDeadlock):
+				deadlocks.Add(1)
+				m.ReleaseAll(txn) // the victim aborts
+			case err == nil:
+				granted.Add(1)
+			default:
+				t.Errorf("txn %d: %v", txn, err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if deadlocks.Load() != 1 || granted.Load() != 1 {
+		t.Fatalf("deadlocks=%d granted=%d, want exactly one victim and one survivor",
+			deadlocks.Load(), granted.Load())
+	}
+	if elapsed > timeout/4 {
+		t.Errorf("detection took %v, want well under the %v timeout", elapsed, timeout)
+	}
+}
+
+// TestUpgradeDeadlockTimeoutBackstop pins the pre-detector behavior: with
+// detection off, the same upgrade deadlock is still resolved, by timing a
+// waiter out.
+func TestUpgradeDeadlockTimeoutBackstop(t *testing.T) {
 	m := NewManager(50 * time.Millisecond)
+	m.SetDetection(false)
 	if err := m.Acquire(1, "t", "k", Shared); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,177 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nbschema/internal/wal"
+)
+
+// TestFigure2MatrixExhaustive derives every cell of the Fig. 2 matrix from
+// first principles and checks TransferCompatible against it: two lock
+// requests on a transformed-table record conflict iff at least one is a
+// write AND they are not both transferred from source tables (operations on
+// R and S cannot modify the same attributes of a T record, so transferred
+// locks never conflict with each other).
+func TestFigure2MatrixExhaustive(t *testing.T) {
+	origins := []Origin{OriginR, OriginS, OriginT}
+	modes := []Mode{Shared, Exclusive}
+	for _, ho := range origins {
+		for _, hm := range modes {
+			for _, ro := range origins {
+				for _, rm := range modes {
+					transferred := ho != OriginT && ro != OriginT
+					anyWrite := hm == Exclusive || rm == Exclusive
+					want := !anyWrite || transferred
+					got := TransferCompatible(ho, hm, ro, rm)
+					if got != want {
+						t.Errorf("TransferCompatible(%s.%s, %s.%s) = %v, want %v",
+							ho, hm, ro, rm, got, want)
+					}
+					// Fig. 2 is symmetric: compatibility does not depend on
+					// which side holds and which requests.
+					if got != TransferCompatible(ro, rm, ho, hm) {
+						t.Errorf("matrix asymmetric at (%s.%s, %s.%s)", ho, hm, ro, rm)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShadowCheckAllPairs exercises ShadowTable.Check for every
+// (held, requested) pair with enforcement on, confirming the error carries
+// the conflicting holder.
+func TestShadowCheckAllPairs(t *testing.T) {
+	origins := []Origin{OriginR, OriginS, OriginT}
+	modes := []Mode{Shared, Exclusive}
+	for _, ho := range origins {
+		for _, hm := range modes {
+			for _, ro := range origins {
+				for _, rm := range modes {
+					s := NewShadowTable()
+					s.Place(1, "k", ho, hm)
+					s.SetEnforce(true)
+					err := s.Check(2, "k", ro, rm)
+					want := TransferCompatible(ho, hm, ro, rm)
+					if want && err != nil {
+						t.Errorf("Check(%s.%s after %s.%s): unexpected %v", ro, rm, ho, hm, err)
+					}
+					if !want && !errors.Is(err, ErrShadowConflict) {
+						t.Errorf("Check(%s.%s after %s.%s): want ErrShadowConflict, got %v", ro, rm, ho, hm, err)
+					}
+					// The holder itself always passes its own locks.
+					if err := s.Check(1, "k", ro, rm); err != nil {
+						t.Errorf("self-check(%s.%s after %s.%s): %v", ro, rm, ho, hm, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShadowEnforcementWithQueuedWaiters plays the synchronization scenario:
+// a transferred write lock is held on a T record while direct transactions
+// queue on the record-lock manager; when each waiter is finally granted the
+// record lock, the shadow check still rejects it until the propagator
+// releases the transferred lock.
+func TestShadowEnforcementWithQueuedWaiters(t *testing.T) {
+	m := NewManager(2 * time.Second)
+	s := NewShadowTable()
+
+	// The propagator carries txn 100's write from R onto the T record.
+	s.Place(100, "k", OriginR, Exclusive)
+	s.SetEnforce(true)
+
+	// A direct transaction holds the record lock; two more queue behind it.
+	if err := m.Acquire(1, "T", "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Holder of the record lock is still rejected by the transferred lock.
+	if err := s.Check(1, "k", OriginT, Exclusive); !errors.Is(err, ErrShadowConflict) {
+		t.Fatalf("direct write should conflict with transferred write, got %v", err)
+	}
+
+	results := make(chan error, 2)
+	var wg sync.WaitGroup
+	for txn := wal.TxnID(2); txn <= 3; txn++ {
+		wg.Add(1)
+		go func(txn wal.TxnID) {
+			defer wg.Done()
+			if err := m.Acquire(txn, "T", "k", Exclusive); err != nil {
+				results <- err
+				return
+			}
+			results <- s.Check(txn, "k", OriginT, Exclusive)
+			m.ReleaseAll(txn)
+		}(txn)
+	}
+	// Wait until both are queued, then release the first holder.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if len(m.WaitsFor().Waiters) == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.ReleaseAll(1)
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if !errors.Is(err, ErrShadowConflict) {
+			t.Errorf("queued waiter passed shadow check while transferred lock held: %v", err)
+		}
+	}
+
+	// Propagator sees txn 100's commit record → transferred lock released →
+	// direct access is clean.
+	s.ReleaseTxn(100)
+	if err := m.Acquire(4, "T", "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check(4, "k", OriginT, Exclusive); err != nil {
+		t.Errorf("check after transferred release: %v", err)
+	}
+	m.ReleaseAll(4)
+}
+
+// TestShadowUpgradeKeepsStrongestUnderLoad upgrades and re-places transferred
+// locks from many goroutines and verifies the strongest mode wins and
+// release fully clears the table.
+func TestShadowUpgradeKeepsStrongestUnderLoad(t *testing.T) {
+	s := NewShadowTable()
+	s.SetEnforce(true)
+	const owners = 8
+	var wg sync.WaitGroup
+	for i := 1; i <= owners; i++ {
+		wg.Add(1)
+		go func(txn wal.TxnID) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", txn%2)
+			for j := 0; j < 100; j++ {
+				s.Place(txn, key, OriginR, Shared)
+				s.Place(txn, key, OriginS, Exclusive) // upgrade sticks
+				s.Place(txn, key, OriginR, Shared)    // downgrade is ignored
+				s.Check(txn, key, OriginT, Shared)
+				s.Owners(key)
+			}
+		}(wal.TxnID(i))
+	}
+	wg.Wait()
+	for _, key := range []string{"k0", "k1"} {
+		for txn, l := range s.Owners(key) {
+			if l.Mode != Exclusive {
+				t.Errorf("owner %d on %s: mode %s, want X (upgrade lost)", txn, key, l.Mode)
+			}
+		}
+	}
+	for i := 1; i <= owners; i++ {
+		s.ReleaseTxn(wal.TxnID(i))
+	}
+	if n := s.LockedKeys(); n != 0 {
+		t.Errorf("LockedKeys = %d after full release", n)
+	}
+}

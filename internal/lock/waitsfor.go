@@ -1,0 +1,370 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nbschema/internal/wal"
+)
+
+// ErrDeadlock is returned by Acquire when the deadlock detector finds the
+// requesting transaction closing a waits-for cycle. The requester is the
+// victim: it is never enqueued, so detection resolves the deadlock without
+// waiting for the lock timeout (which remains as a backstop for cycles the
+// detector cannot see, e.g. ones involving non-lock resources).
+var ErrDeadlock = errors.New("lock: deadlock detected, transaction chosen as victim")
+
+// WaitInfo describes one blocked lock request.
+type WaitInfo struct {
+	Txn   wal.TxnID `json:"txn"`
+	Table string    `json:"table"`
+	Key   string    `json:"key"`
+	Mode  Mode      `json:"mode"`
+	Since time.Time `json:"since"`
+}
+
+// WaitEdge is one edge of the waits-for graph: Waiter is blocked on a lock
+// that Holder currently holds ("holder" edge) or is queued for ahead of the
+// waiter ("queue" edge — the FIFO-fair queue makes queue order a real
+// blocking relation).
+type WaitEdge struct {
+	Waiter wal.TxnID `json:"waiter"`
+	Holder wal.TxnID `json:"holder"`
+	Table  string    `json:"table"`
+	Key    string    `json:"key"`
+	Mode   Mode      `json:"mode"` // the waiter's requested mode
+	Reason string    `json:"reason"`
+	Since  time.Time `json:"since"`
+}
+
+// WaitsFor is a consistent snapshot of the waits-for graph.
+type WaitsFor struct {
+	At      time.Time  `json:"at"`
+	Waiters []WaitInfo `json:"waiters"`
+	Edges   []WaitEdge `json:"edges"`
+}
+
+// WaitsFor snapshots the current waits-for graph: every blocked request and
+// every blocking edge, at one instant under the manager lock.
+func (m *Manager) WaitsFor() WaitsFor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := WaitsFor{At: time.Now()}
+	for _, ws := range m.waiting {
+		for _, w := range ws {
+			g.Waiters = append(g.Waiters, WaitInfo{
+				Txn: w.txn, Table: w.key.table, Key: w.key.key,
+				Mode: w.mode, Since: w.since,
+			})
+			g.Edges = append(g.Edges, m.edgesOfLocked(w)...)
+		}
+	}
+	sort.Slice(g.Waiters, func(i, j int) bool { return g.Waiters[i].Txn < g.Waiters[j].Txn })
+	sort.Slice(g.Edges, func(i, j int) bool {
+		a, b := g.Edges[i], g.Edges[j]
+		if a.Waiter != b.Waiter {
+			return a.Waiter < b.Waiter
+		}
+		return a.Holder < b.Holder
+	})
+	return g
+}
+
+// edgesOfLocked computes the outgoing waits-for edges of one blocked request.
+// Called with m.mu held.
+func (m *Manager) edgesOfLocked(w *waiter) []WaitEdge {
+	e := m.entries[w.key]
+	if e == nil {
+		return nil
+	}
+	var out []WaitEdge
+	edge := func(to wal.TxnID, reason string) {
+		out = append(out, WaitEdge{
+			Waiter: w.txn, Holder: to,
+			Table: w.key.table, Key: w.key.key,
+			Mode: w.mode, Reason: reason, Since: w.since,
+		})
+	}
+	for h, hm := range e.holders {
+		if h != w.txn && !compatible(hm, w.mode) {
+			edge(h, "holder")
+		}
+	}
+	// The wake loop grants strictly from the queue head, so a waiter also
+	// waits on every distinct transaction queued ahead of it.
+	for _, q := range e.queue {
+		if q == w {
+			break
+		}
+		if q.txn != w.txn {
+			edge(q.txn, "queue")
+		}
+	}
+	return out
+}
+
+// successorsLocked returns the distinct transactions that txn is waiting on.
+// Called with m.mu held.
+func (m *Manager) successorsLocked(txn wal.TxnID) []wal.TxnID {
+	seen := make(map[wal.TxnID]struct{})
+	var out []wal.TxnID
+	for _, w := range m.waiting[txn] {
+		for _, e := range m.edgesOfLocked(w) {
+			if _, dup := seen[e.Holder]; !dup {
+				seen[e.Holder] = struct{}{}
+				out = append(out, e.Holder)
+			}
+		}
+	}
+	return out
+}
+
+// findCycleLocked looks for a waits-for path from a successor of start back
+// to start and returns the cycle as the transactions along it (start first),
+// or nil. Plain DFS reachability with a visited set: if a node's subtree was
+// exhausted without reaching start, later paths through it cannot reach start
+// either. Called with m.mu held.
+func (m *Manager) findCycleLocked(start wal.TxnID) []wal.TxnID {
+	seen := map[wal.TxnID]bool{start: true}
+	path := []wal.TxnID{start}
+	var dfs func(t wal.TxnID) []wal.TxnID
+	dfs = func(t wal.TxnID) []wal.TxnID {
+		for _, next := range m.successorsLocked(t) {
+			if next == start {
+				return append([]wal.TxnID(nil), path...)
+			}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			path = append(path, next)
+			if c := dfs(next); c != nil {
+				return c
+			}
+			path = path[:len(path)-1]
+		}
+		return nil
+	}
+	return dfs(start)
+}
+
+// countEdgesLocked returns the number of edges in the current waits-for
+// graph. Called with m.mu held.
+func (m *Manager) countEdgesLocked() int {
+	n := 0
+	for _, ws := range m.waiting {
+		for _, w := range ws {
+			n += len(m.edgesOfLocked(w))
+		}
+	}
+	return n
+}
+
+// adjacency builds the successor map of the snapshot.
+func (g WaitsFor) adjacency() map[wal.TxnID][]wal.TxnID {
+	adj := make(map[wal.TxnID][]wal.TxnID)
+	seen := make(map[WaitEdge]struct{})
+	for _, e := range g.Edges {
+		key := WaitEdge{Waiter: e.Waiter, Holder: e.Holder}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		adj[e.Waiter] = append(adj[e.Waiter], e.Holder)
+	}
+	return adj
+}
+
+// Cycles returns the distinct waits-for cycles present in the snapshot, each
+// as the transactions along the cycle starting from its smallest ID.
+func (g WaitsFor) Cycles() [][]wal.TxnID {
+	adj := g.adjacency()
+	nodes := make([]wal.TxnID, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	var cycles [][]wal.TxnID
+	dedup := make(map[string]struct{})
+	for _, start := range nodes {
+		seen := map[wal.TxnID]bool{start: true}
+		path := []wal.TxnID{start}
+		var dfs func(t wal.TxnID) []wal.TxnID
+		dfs = func(t wal.TxnID) []wal.TxnID {
+			for _, next := range adj[t] {
+				if next == start {
+					return append([]wal.TxnID(nil), path...)
+				}
+				if seen[next] {
+					continue
+				}
+				seen[next] = true
+				path = append(path, next)
+				if c := dfs(next); c != nil {
+					return c
+				}
+				path = path[:len(path)-1]
+			}
+			return nil
+		}
+		if c := dfs(start); c != nil {
+			c = rotateToMin(c)
+			key := fmt.Sprint(c)
+			if _, dup := dedup[key]; !dup {
+				dedup[key] = struct{}{}
+				cycles = append(cycles, c)
+			}
+		}
+	}
+	return cycles
+}
+
+// rotateToMin rotates a cycle so its smallest transaction ID comes first.
+func rotateToMin(c []wal.TxnID) []wal.TxnID {
+	min := 0
+	for i := range c {
+		if c[i] < c[min] {
+			min = i
+		}
+	}
+	out := make([]wal.TxnID, 0, len(c))
+	out = append(out, c[min:]...)
+	out = append(out, c[:min]...)
+	return out
+}
+
+// InCycle returns the set of transactions that are part of some cycle.
+func (g WaitsFor) InCycle() map[wal.TxnID]bool {
+	in := make(map[wal.TxnID]bool)
+	for _, c := range g.Cycles() {
+		for _, t := range c {
+			in[t] = true
+		}
+	}
+	return in
+}
+
+// DOT renders the snapshot as a Graphviz digraph. Nodes and edges that are
+// part of a deadlock cycle are drawn red; edge labels carry the contended
+// lock and the requested mode.
+func (g WaitsFor) DOT() string {
+	in := g.InCycle()
+	var b strings.Builder
+	b.WriteString("digraph waitsfor {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box];\n")
+	nodes := make(map[wal.TxnID]struct{})
+	for _, e := range g.Edges {
+		nodes[e.Waiter] = struct{}{}
+		nodes[e.Holder] = struct{}{}
+	}
+	ids := make([]wal.TxnID, 0, len(nodes))
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, n := range ids {
+		attr := ""
+		if in[n] {
+			attr = " [color=red]"
+		}
+		fmt.Fprintf(&b, "  \"txn %d\"%s;\n", n, attr)
+	}
+	for _, e := range g.Edges {
+		attr := fmt.Sprintf(" [label=\"%s/%s %s\"", e.Table, e.Key, e.Mode)
+		if in[e.Waiter] && in[e.Holder] {
+			attr += " color=red"
+		}
+		attr += "]"
+		fmt.Fprintf(&b, "  \"txn %d\" -> \"txn %d\"%s;\n", e.Waiter, e.Holder, attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// QueuedLock describes one queued (blocked) request on a lock entry.
+type QueuedLock struct {
+	Txn   wal.TxnID `json:"txn"`
+	Mode  Mode      `json:"mode"`
+	Since time.Time `json:"since"`
+}
+
+// LockInfo describes one lock-table entry: the record, its holders and the
+// blocked queue.
+type LockInfo struct {
+	Table   string             `json:"table"`
+	Key     string             `json:"key"`
+	Holders map[wal.TxnID]Mode `json:"holders"`
+	Queue   []QueuedLock       `json:"queue,omitempty"`
+}
+
+// SnapshotLocks copies the entire lock table, sorted by (table, key).
+func (m *Manager) SnapshotLocks() []LockInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LockInfo, 0, len(m.entries))
+	for k, e := range m.entries {
+		li := LockInfo{Table: k.table, Key: k.key, Holders: make(map[wal.TxnID]Mode, len(e.holders))}
+		for t, md := range e.holders {
+			li.Holders[t] = md
+		}
+		for _, q := range e.queue {
+			li.Queue = append(li.Queue, QueuedLock{Txn: q.txn, Mode: q.mode, Since: q.since})
+		}
+		out = append(out, li)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// HeldLock is one lock held by a transaction.
+type HeldLock struct {
+	Table string `json:"table"`
+	Key   string `json:"key"`
+	Mode  Mode   `json:"mode"`
+}
+
+// HeldLocks returns the locks held by txn, sorted by (table, key).
+func (m *Manager) HeldLocks(txn wal.TxnID) []HeldLock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]HeldLock, 0, len(m.held[txn]))
+	for k := range m.held[txn] {
+		mode := Shared
+		if e := m.entries[k]; e != nil {
+			mode = e.holders[txn]
+		}
+		out = append(out, HeldLock{Table: k.table, Key: k.key, Mode: mode})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// WaitingOn returns the blocked requests of txn (normally at most one: a
+// transaction runs one operation at a time).
+func (m *Manager) WaitingOn(txn wal.TxnID) []WaitInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []WaitInfo
+	for _, w := range m.waiting[txn] {
+		out = append(out, WaitInfo{
+			Txn: w.txn, Table: w.key.table, Key: w.key.key,
+			Mode: w.mode, Since: w.since,
+		})
+	}
+	return out
+}

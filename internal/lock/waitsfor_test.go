@@ -1,0 +1,304 @@
+package lock
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"nbschema/internal/obs"
+	"nbschema/internal/wal"
+)
+
+// waitForWaiters polls until the manager has n blocked requests.
+func waitForWaiters(t *testing.T, m *Manager, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(m.WaitsFor().Waiters) >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("never reached %d waiters", n)
+}
+
+// TestDeadlockDetectedTwoTxns constructs the classic two-transaction
+// lock-order deadlock and asserts the detector aborts the closing requester
+// well under the lock timeout.
+func TestDeadlockDetectedTwoTxns(t *testing.T) {
+	const timeout = 2 * time.Second
+	reg := obs.NewRegistry()
+	m := NewManager(timeout)
+	m.SetObs(reg)
+	if err := m.Acquire(1, "t", "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "t", "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(1, "t", "b", Exclusive) }()
+	waitForWaiters(t, m, 1)
+
+	// txn 2 closes the cycle: 2 → 1 → 2.
+	start := time.Now()
+	err := m.Acquire(2, "t", "a", Exclusive)
+	detected := time.Since(start)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if detected > timeout/10 {
+		t.Errorf("detection took %v, want well under the %v timeout", detected, timeout)
+	}
+	if got := reg.Snapshot().Counters["engine.lock.deadlock"]; got != 1 {
+		t.Errorf("engine.lock.deadlock = %d, want 1", got)
+	}
+
+	// The victim aborts; the survivor's blocked request is granted.
+	m.ReleaseAll(2)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("survivor: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("survivor never granted after victim released")
+	}
+	m.ReleaseAll(1)
+	if g := m.WaitsFor(); len(g.Waiters) != 0 || len(g.Edges) != 0 {
+		t.Errorf("graph not empty after release: %+v", g)
+	}
+}
+
+// TestDeadlockDetectedThreeTxns builds a three-transaction cycle
+// 1 → 2 → 3 → 1 and asserts prompt detection and full recovery.
+func TestDeadlockDetectedThreeTxns(t *testing.T) {
+	const timeout = 2 * time.Second
+	m := NewManager(timeout)
+	for txn, key := range map[wal.TxnID]string{1: "a", 2: "b", 3: "c"} {
+		if err := m.Acquire(txn, "t", key, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done1 := make(chan error, 1)
+	done2 := make(chan error, 1)
+	go func() { done1 <- m.Acquire(1, "t", "b", Exclusive) }() // 1 → 2
+	waitForWaiters(t, m, 1)
+	go func() { done2 <- m.Acquire(2, "t", "c", Exclusive) }() // 2 → 3
+	waitForWaiters(t, m, 2)
+
+	start := time.Now()
+	err := m.Acquire(3, "t", "a", Exclusive) // closes 3 → 1
+	detected := time.Since(start)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if detected > timeout/10 {
+		t.Errorf("detection took %v, want well under the %v timeout", detected, timeout)
+	}
+
+	// Victim 3 aborts → 2 gets c → 2 still holds b until released, and so on.
+	m.ReleaseAll(3)
+	if err := <-done2; err != nil {
+		t.Fatalf("txn 2 after victim release: %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-done1; err != nil {
+		t.Fatalf("txn 1 after txn 2 release: %v", err)
+	}
+	m.ReleaseAll(1)
+}
+
+// TestWaitsForSnapshotAndDOT disables the detector so a two-transaction
+// cycle persists, then asserts the snapshot reports it and the DOT export
+// draws it, until the timeout backstop clears it.
+func TestWaitsForSnapshotAndDOT(t *testing.T) {
+	m := NewManager(500 * time.Millisecond)
+	m.SetDetection(false)
+	if err := m.Acquire(1, "t", "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "t", "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done1 := make(chan error, 1)
+	done2 := make(chan error, 1)
+	go func() { done1 <- m.Acquire(1, "t", "b", Exclusive) }()
+	waitForWaiters(t, m, 1)
+	go func() { done2 <- m.Acquire(2, "t", "a", Exclusive) }()
+	waitForWaiters(t, m, 2)
+
+	g := m.WaitsFor()
+	if len(g.Waiters) != 2 || len(g.Edges) != 2 {
+		t.Fatalf("waiters=%d edges=%d, want 2/2", len(g.Waiters), len(g.Edges))
+	}
+	cycles := g.Cycles()
+	if len(cycles) != 1 || len(cycles[0]) != 2 {
+		t.Fatalf("Cycles() = %v, want one 2-cycle", cycles)
+	}
+	dot := g.DOT()
+	for _, want := range []string{
+		"digraph waitsfor",
+		`"txn 1" -> "txn 2"`,
+		`"txn 2" -> "txn 1"`,
+		"color=red",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+
+	// The timeout backstop resolves it: at least one waiter times out.
+	err1, err2 := <-done1, <-done2
+	if !errors.Is(err1, ErrTimeout) && !errors.Is(err2, ErrTimeout) {
+		t.Fatalf("expected a timeout, got %v / %v", err1, err2)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if g := m.WaitsFor(); len(g.Waiters) != 0 {
+		t.Errorf("waiters remain after resolution: %+v", g.Waiters)
+	}
+}
+
+// TestNoFalseDeadlockOnPlainContention checks that ordinary blocking — no
+// cycle — is never reported as a deadlock and that the graph reflects both
+// holder and queue edges.
+func TestNoFalseDeadlockOnPlainContention(t *testing.T) {
+	m := NewManager(time.Second)
+	if err := m.Acquire(1, "t", "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	done3 := make(chan error, 1)
+	go func() { done2 <- m.Acquire(2, "t", "k", Exclusive) }()
+	waitForWaiters(t, m, 1)
+	go func() { done3 <- m.Acquire(3, "t", "k", Exclusive) }()
+	waitForWaiters(t, m, 2)
+
+	g := m.WaitsFor()
+	reasons := map[string]int{}
+	for _, e := range g.Edges {
+		reasons[e.Reason]++
+	}
+	// 2→1 (holder), 3→1 (holder), 3→2 (queue).
+	if reasons["holder"] != 2 || reasons["queue"] != 1 {
+		t.Errorf("edge reasons = %v, want 2 holder + 1 queue", reasons)
+	}
+	if c := g.Cycles(); len(c) != 0 {
+		t.Errorf("false cycle reported: %v", c)
+	}
+
+	m.ReleaseAll(1)
+	if err := <-done2; err != nil {
+		t.Fatalf("txn 2: %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-done3; err != nil {
+		t.Fatalf("txn 3: %v", err)
+	}
+	m.ReleaseAll(3)
+}
+
+// TestWaitGauges checks the waiting/edge gauges track blocked requests.
+func TestWaitGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager(time.Second)
+	m.SetObs(reg)
+	if err := m.Acquire(1, "t", "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, "t", "k", Shared) }()
+	waitForWaiters(t, m, 1)
+	s := reg.Snapshot()
+	if s.Gauges["engine.lock.waiting"] != 1 || s.Gauges["engine.lock.waitsfor.edges"] != 1 {
+		t.Errorf("gauges = %v, want waiting=1 edges=1", s.Gauges)
+	}
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	s = reg.Snapshot()
+	if s.Gauges["engine.lock.waiting"] != 0 || s.Gauges["engine.lock.waitsfor.edges"] != 0 {
+		t.Errorf("gauges after release = %v, want zeros", s.Gauges)
+	}
+	m.ReleaseAll(2)
+}
+
+// TestHoldersAndTxnsOnTableUnderLoad hammers the manager from many
+// goroutines while snapshotting Holders and TxnsOnTable, then verifies the
+// introspection converges to the exact final state.
+func TestHoldersAndTxnsOnTableUnderLoad(t *testing.T) {
+	m := NewManager(5 * time.Second)
+	const txns = 8
+	stopSnap := make(chan struct{})
+	go func() { // concurrent introspection must never see torn state
+		for {
+			select {
+			case <-stopSnap:
+				return
+			default:
+			}
+			for _, h := range m.SnapshotLocks() {
+				if len(h.Holders) == 0 && len(h.Queue) == 0 {
+					t.Error("empty lock entry in snapshot")
+				}
+				x := 0
+				for _, md := range h.Holders {
+					if md == Exclusive {
+						x++
+					}
+				}
+				if x > 0 && len(h.Holders) > 1 {
+					t.Errorf("X held with other holders: %+v", h)
+				}
+			}
+			m.WaitsFor()
+			m.TxnsOnTable("t")
+		}
+	}()
+
+	doneCh := make(chan wal.TxnID, txns)
+	for i := 1; i <= txns; i++ {
+		go func(txn wal.TxnID) {
+			for j := 0; j < 50; j++ {
+				key := string(rune('a' + int(txn)%4))
+				mode := Shared
+				if j%3 == 0 {
+					mode = Exclusive
+				}
+				if err := m.Acquire(txn, "t", key, mode); err != nil {
+					// Deadlocks from S→X upgrades are expected; abort & retry.
+					if errors.Is(err, ErrDeadlock) || errors.Is(err, ErrTimeout) {
+						m.ReleaseAll(txn)
+						continue
+					}
+					t.Errorf("txn %d: %v", txn, err)
+					break
+				}
+				if j%5 == 0 {
+					m.ReleaseAll(txn)
+				}
+			}
+			m.ReleaseAll(txn)
+			doneCh <- txn
+		}(wal.TxnID(i))
+	}
+	for i := 0; i < txns; i++ {
+		<-doneCh
+	}
+	close(stopSnap)
+
+	if got := m.TxnsOnTable("t"); len(got) != 0 {
+		t.Errorf("TxnsOnTable after full release = %v", got)
+	}
+	if got := m.SnapshotLocks(); len(got) != 0 {
+		t.Errorf("lock table not empty: %+v", got)
+	}
+	for i := 1; i <= txns; i++ {
+		if m.HeldCount(wal.TxnID(i)) != 0 {
+			t.Errorf("txn %d still holds locks", i)
+		}
+	}
+}

@@ -6,8 +6,15 @@ import (
 	"nbschema/internal/lock"
 )
 
-// isLockTimeout reports a lock-wait timeout (deadlock resolution) or a
-// transferred-lock conflict — both are retried by the clients.
+// isLockTimeout reports a lock-wait timeout or a transferred-lock conflict —
+// both are retried by the clients. Deadlock victims are classified
+// separately by isDeadlock.
 func isLockTimeout(err error) bool {
 	return errors.Is(err, lock.ErrTimeout) || errors.Is(err, lock.ErrShadowConflict)
+}
+
+// isDeadlock reports that the waits-for cycle detector aborted this
+// transaction as a deadlock victim; clients retry it as a fresh transaction.
+func isDeadlock(err error) bool {
+	return errors.Is(err, lock.ErrDeadlock)
 }

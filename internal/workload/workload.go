@@ -66,8 +66,13 @@ func (c Config) withDefaults() Config {
 // Counters is a monotonic snapshot of workload progress. Subtracting two
 // snapshots yields the stats of the window between them.
 type Counters struct {
-	Txns      uint64
-	Aborts    uint64
+	Txns   uint64
+	Aborts uint64
+	// Deadlocks counts aborts caused by the waits-for cycle detector
+	// choosing the transaction as a victim; Timeouts counts aborts from lock
+	// waits that ran out the clock (both subsets of Aborts).
+	Deadlocks uint64
+	Timeouts  uint64
 	LatencyNs uint64
 	// Latency is the response-time histogram at snapshot time; subtracting
 	// two snapshots' histograms yields the window's distribution.
@@ -77,9 +82,11 @@ type Counters struct {
 
 // Stats summarizes a measurement window.
 type Stats struct {
-	Txns       uint64
-	Aborts     uint64
-	Duration   time.Duration
+	Txns      uint64
+	Aborts    uint64
+	Deadlocks uint64
+	Timeouts  uint64
+	Duration  time.Duration
 	Throughput float64       // committed transactions per second
 	MeanRT     time.Duration // mean response time of committed transactions
 	// Response-time percentiles of committed transactions over the window
@@ -91,9 +98,11 @@ type Stats struct {
 func Between(a, b Counters) Stats {
 	d := b.At.Sub(a.At)
 	s := Stats{
-		Txns:     b.Txns - a.Txns,
-		Aborts:   b.Aborts - a.Aborts,
-		Duration: d,
+		Txns:      b.Txns - a.Txns,
+		Aborts:    b.Aborts - a.Aborts,
+		Deadlocks: b.Deadlocks - a.Deadlocks,
+		Timeouts:  b.Timeouts - a.Timeouts,
+		Duration:  d,
 	}
 	if d > 0 {
 		s.Throughput = float64(s.Txns) / d.Seconds()
@@ -116,6 +125,8 @@ type Runner struct {
 
 	txns      atomic.Uint64
 	aborts    atomic.Uint64
+	deadlocks atomic.Uint64
+	timeouts  atomic.Uint64
 	latencyNs atomic.Uint64
 	lat       *obs.Histogram
 
@@ -153,6 +164,8 @@ func (r *Runner) Snapshot() Counters {
 	return Counters{
 		Txns:      r.txns.Load(),
 		Aborts:    r.aborts.Load(),
+		Deadlocks: r.deadlocks.Load(),
+		Timeouts:  r.timeouts.Load(),
 		LatencyNs: r.latencyNs.Load(),
 		Latency:   r.lat.Snapshot(),
 		At:        time.Now(),
@@ -203,6 +216,12 @@ func (r *Runner) client(ctx context.Context, seed int64) {
 			return
 		}
 		r.aborts.Add(1)
+		switch {
+		case isDeadlock(err):
+			r.deadlocks.Add(1)
+		case isLockTimeout(err):
+			r.timeouts.Add(1)
+		}
 		// Back off briefly after a failure: a tight retry loop against a
 		// closed table would flood the log with begin/abort records.
 		time.Sleep(50 * time.Microsecond)
@@ -253,7 +272,8 @@ func retryable(err error) bool {
 		errors.Is(err, engine.ErrNoAccess) ||
 		errors.Is(err, engine.ErrTxnDone) ||
 		errors.Is(err, catalog.ErrNotFound) ||
-		isLockTimeout(err)
+		isLockTimeout(err) ||
+		isDeadlock(err)
 }
 
 // Measure runs the workload for the given duration and returns its stats.

@@ -63,11 +63,14 @@ func TestRunnerCommitsTransactions(t *testing.T) {
 
 func TestBetween(t *testing.T) {
 	t0 := time.Now()
-	a := Counters{Txns: 10, Aborts: 1, LatencyNs: 1000, At: t0}
-	b := Counters{Txns: 30, Aborts: 3, LatencyNs: 5000, At: t0.Add(2 * time.Second)}
+	a := Counters{Txns: 10, Aborts: 1, Deadlocks: 1, Timeouts: 0, LatencyNs: 1000, At: t0}
+	b := Counters{Txns: 30, Aborts: 3, Deadlocks: 2, Timeouts: 1, LatencyNs: 5000, At: t0.Add(2 * time.Second)}
 	s := Between(a, b)
 	if s.Txns != 20 || s.Aborts != 2 {
 		t.Errorf("window = %+v", s)
+	}
+	if s.Deadlocks != 1 || s.Timeouts != 1 {
+		t.Errorf("deadlocks/timeouts = %d/%d, want 1/1", s.Deadlocks, s.Timeouts)
 	}
 	if s.Throughput != 10 {
 		t.Errorf("throughput = %v, want 10/s", s.Throughput)
@@ -79,6 +82,40 @@ func TestBetween(t *testing.T) {
 	z := Between(a, Counters{Txns: 10, LatencyNs: 1000, At: t0})
 	if z.Throughput != 0 || z.MeanRT != 0 {
 		t.Errorf("zero window = %+v", z)
+	}
+}
+
+// TestDeadlockAbortsCountedAndRetried drives many clients over a two-record
+// table so lock-order inversions are constant; the detector's ErrDeadlock
+// aborts must be counted under Deadlocks (not Timeouts) and retried like any
+// other transient failure.
+func TestDeadlockAbortsCountedAndRetried(t *testing.T) {
+	db := benchDB(t, []string{"tiny"}, 2)
+	cfg := Config{
+		DB: db,
+		Targets: []Target{
+			{Table: "tiny", Keys: 2, Col: "payload", Weight: 1},
+		},
+		UpdatesPerTxn: 2,
+		Clients:       8,
+	}
+	stats, err := Measure(cfg, 200*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if stats.Txns == 0 {
+		t.Fatal("no transactions committed under contention")
+	}
+	if stats.Deadlocks == 0 {
+		t.Errorf("no deadlock aborts counted over %d txns / %d aborts", stats.Txns, stats.Aborts)
+	}
+	// With the detector on, contention resolves as deadlock aborts, not lock
+	// timeouts: the 250ms test timeout would dwarf the measured window.
+	if stats.Timeouts > stats.Deadlocks {
+		t.Errorf("timeouts (%d) exceed deadlocks (%d); detector not firing", stats.Timeouts, stats.Deadlocks)
+	}
+	if stats.Deadlocks > stats.Aborts {
+		t.Errorf("deadlocks (%d) exceed total aborts (%d)", stats.Deadlocks, stats.Aborts)
 	}
 }
 

@@ -36,9 +36,12 @@ package nbschema
 import (
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"nbschema/internal/catalog"
+	"nbschema/internal/core"
+	"nbschema/internal/debug"
 	"nbschema/internal/engine"
 	"nbschema/internal/obs"
 	"nbschema/internal/value"
@@ -66,8 +69,10 @@ type Column struct {
 
 // Options configures a database.
 type Options struct {
-	// LockTimeout bounds lock waits; deadlocks are resolved by timing the
-	// waiter out. Zero selects a 2s default.
+	// LockTimeout bounds lock waits. Deadlocks do not normally wait this
+	// long: the lock manager maintains a waits-for graph and aborts a victim
+	// with ErrDeadlock the moment a request would close a cycle, so the
+	// timeout is a backstop for slow holders. Zero selects a 2s default.
 	LockTimeout time.Duration
 	// Faults is an optional fault-injection registry (NewFaultRegistry).
 	// When set, the WAL, lock manager, tables and transformations hit named
@@ -84,14 +89,24 @@ type Options struct {
 	// DB.Metrics or served over HTTP with MetricsHandler. Nil (the default)
 	// keeps every instrumented site at a single nil check.
 	Metrics *MetricsRegistry
+	// TxnHistory bounds the per-transaction event history (begin, slow or
+	// failed lock waits, WAL appends, commit/abort) served by DebugHandler
+	// under /debug/txns. 0 selects 32 events; negative disables the history.
+	TxnHistory int
+	// SlowTxnThreshold logs transactions whose total runtime exceeds it into
+	// a bounded slow-transaction log (served under /debug/txns). 0 selects
+	// 100ms; negative disables the log.
+	SlowTxnThreshold time.Duration
 }
 
 func (o Options) engineOptions() engine.Options {
 	return engine.Options{
-		LockTimeout: o.LockTimeout,
-		Faults:      o.Faults,
-		LenientWAL:  o.LenientWAL,
-		Obs:         o.Metrics,
+		LockTimeout:      o.LockTimeout,
+		Faults:           o.Faults,
+		LenientWAL:       o.LenientWAL,
+		Obs:              o.Metrics,
+		TxnHistory:       o.TxnHistory,
+		SlowTxnThreshold: o.SlowTxnThreshold,
 	}
 }
 
@@ -116,6 +131,9 @@ func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg)
 // transformations.
 type DB struct {
 	eng *engine.DB
+
+	trMu       sync.Mutex
+	transforms []*Transformation
 }
 
 // Open creates an empty database.
@@ -197,3 +215,30 @@ func (db *DB) ScanTable(table string, fn func(row []any) bool) error {
 
 // LogSize returns the number of records in the write-ahead log.
 func (db *DB) LogSize() int { return db.eng.Log().Len() }
+
+// Transformations returns every transformation created on this database via
+// FullOuterJoin or Split, in creation order, whatever their phase. The debug
+// surface uses it to serve /debug/transform.
+func (db *DB) Transformations() []*Transformation {
+	db.trMu.Lock()
+	defer db.trMu.Unlock()
+	return append([]*Transformation(nil), db.transforms...)
+}
+
+// DebugHandler serves the database's live introspection surface: active
+// transactions with held and awaited locks (/debug/txns), the lock table
+// (/debug/locks), the waits-for graph as JSON or Graphviz DOT
+// (/debug/waitsfor, ?format=dot), live transformation progress and trace
+// (/debug/transform), and WAL position and flush statistics (/debug/wal).
+// Mount it next to MetricsHandler:
+//
+//	mux.Handle("/debug/", nbschema.DebugHandler(db))
+func DebugHandler(db *DB) http.Handler {
+	return debug.Handler(debug.Config{
+		DB:  db.eng,
+		Obs: db.eng.Obs(),
+		Transforms: func() []*core.Transformation {
+			return db.Transformations()
+		},
+	})
+}

@@ -148,10 +148,27 @@ func (o TransformOptions) config() core.Config {
 // FullOuterJoin prepares a non-blocking full outer join transformation.
 // Nothing runs until Transformation.Run is called.
 func (db *DB) FullOuterJoin(spec JoinSpec, opts TransformOptions) (*Transformation, error) {
-	return core.NewFullOuterJoin(db.eng, spec, opts.config())
+	tr, err := core.NewFullOuterJoin(db.eng, spec, opts.config())
+	if err != nil {
+		return nil, err
+	}
+	db.track(tr)
+	return tr, nil
 }
 
 // Split prepares a non-blocking vertical split transformation.
 func (db *DB) Split(spec SplitSpec, opts TransformOptions) (*Transformation, error) {
-	return core.NewSplit(db.eng, spec, opts.config())
+	tr, err := core.NewSplit(db.eng, spec, opts.config())
+	if err != nil {
+		return nil, err
+	}
+	db.track(tr)
+	return tr, nil
+}
+
+// track registers a transformation for Transformations and the debug surface.
+func (db *DB) track(tr *Transformation) {
+	db.trMu.Lock()
+	db.transforms = append(db.transforms, tr)
+	db.trMu.Unlock()
 }

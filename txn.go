@@ -20,7 +20,12 @@ var (
 	// ErrNoAccess reports access to a table that is hidden or being
 	// dropped by a transformation; retry against the new table.
 	ErrNoAccess = engine.ErrNoAccess
-	// ErrLockTimeout reports a lock wait timeout (deadlock resolution).
+	// ErrDeadlock reports that the waits-for cycle detector chose this
+	// transaction as a deadlock victim; abort it and retry.
+	ErrDeadlock = lock.ErrDeadlock
+	// ErrLockTimeout reports a lock wait timeout. Deadlocks are detected and
+	// aborted promptly (ErrDeadlock); a timeout means a genuinely slow
+	// holder and remains the backstop.
 	ErrLockTimeout = lock.ErrTimeout
 	// ErrNoSuchTable reports a reference to a missing table — possibly one
 	// a completed transformation dropped; retry against the new table.
@@ -147,8 +152,10 @@ func fromTuple(t value.Tuple) []any {
 }
 
 // IsRetryable reports whether err indicates the transaction should be
-// aborted and retried (lock timeout or a transformation dooming/denying it).
+// aborted and retried (deadlock victim, lock timeout, or a transformation
+// dooming/denying it).
 func IsRetryable(err error) bool {
-	return errors.Is(err, ErrLockTimeout) || errors.Is(err, ErrTxnDoomed) ||
-		errors.Is(err, ErrNoAccess) || errors.Is(err, ErrNoSuchTable)
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrLockTimeout) ||
+		errors.Is(err, ErrTxnDoomed) || errors.Is(err, ErrNoAccess) ||
+		errors.Is(err, ErrNoSuchTable)
 }
