@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|workload|all]
+//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|workload|scale|all]
 //	               [-paper] [-rows N] [-sample dur] [-repeats N] [-seed N]
 //	               [-out file.json]
 //
@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, workload, summary, all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, workload, scale, all")
 		paper   = flag.Bool("paper", false, "use the paper's table sizes (50k/20k records)")
 		rows    = flag.Int("rows", 0, "override row count for the transformed table(s)")
 		sample  = flag.Duration("sample", 0, "override measurement window")
@@ -98,12 +99,56 @@ func main() {
 		}
 		fmt.Printf("(workload in %v)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
+	if want == "scale" || want == "all" {
+		ran++
+		fmt.Println("running scale ...")
+		t0 := time.Now()
+		if err := runScale(p, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(scale in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		flag.Usage()
 		os.Exit(2)
 	}
 	fmt.Printf("done: %d experiment(s) in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// runScale runs the concurrency scale figure (throughput vs. client count at
+// 1/2/4/8 stripes-partitions) and merges the result into the workload report
+// file: if path already holds a readable report, only its "scale" field is
+// replaced; otherwise a fresh report carrying just the scale data is written.
+func runScale(p bench.Params, path string) error {
+	res, scale, err := bench.FigureScale(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Format())
+
+	rep := &bench.WorkloadReport{Seed: p.Seed}
+	if data, err := os.ReadFile(path); err == nil {
+		var existing bench.WorkloadReport
+		if json.Unmarshal(data, &existing) == nil {
+			rep = &existing
+		}
+	}
+	rep.Scale = scale
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("scale report merged into %s\n", path)
+	return nil
 }
 
 // runWorkload runs the instrumented workload experiment, prints a short

@@ -61,6 +61,14 @@ type Params struct {
 	// Obs is an optional observability registry the experiment's engine
 	// reports into (used by the workload report; nil = no metrics).
 	Obs *obs.Registry
+	// LockStripes, StoragePartitions and GroupCommit configure the engine's
+	// concurrency knobs for the experiment (0 = the engine's GOMAXPROCS-
+	// derived defaults; 1 = the serial ablation). PropagateWorkers does the
+	// same for the transformation's parallel population/propagation.
+	LockStripes       int
+	StoragePartitions int
+	GroupCommit       int
+	PropagateWorkers  int
 }
 
 // Default returns laptop-scale parameters (seconds per figure).
@@ -219,8 +227,19 @@ func intCol(name string) catalog.Column {
 	return catalog.Column{Name: name, Type: value.KindInt, Nullable: true}
 }
 
+// engineOptions maps the experiment's concurrency knobs onto the engine.
+func (p Params) engineOptions() engine.Options {
+	return engine.Options{
+		LockTimeout:       p.LockTimeout,
+		Obs:               p.Obs,
+		LockStripes:       p.LockStripes,
+		StoragePartitions: p.StoragePartitions,
+		GroupCommit:       p.GroupCommit,
+	}
+}
+
 func newSplitEnv(p Params) (*splitEnv, error) {
-	db := engine.New(engine.Options{LockTimeout: p.LockTimeout, Obs: p.Obs})
+	db := engine.New(p.engineOptions())
 	tDef, err := catalog.NewTableDef("T", []catalog.Column{
 		{Name: "id", Type: value.KindInt},
 		intCol("payload"),
@@ -246,6 +265,9 @@ func newSplitEnv(p Params) (*splitEnv, error) {
 }
 
 func (e *splitEnv) transformation(cfg core.Config) (*core.Transformation, error) {
+	if cfg.PropagateWorkers == 0 {
+		cfg.PropagateWorkers = e.p.PropagateWorkers
+	}
 	return core.NewSplit(e.db, core.SplitSpec{
 		Source: "T", Left: "T_base", Right: "T_grp",
 		SplitOn: []string{"grp"}, RightOnly: []string{"info"},
@@ -267,7 +289,7 @@ type joinEnv struct {
 }
 
 func newJoinEnv(p Params) (*joinEnv, error) {
-	db := engine.New(engine.Options{LockTimeout: p.LockTimeout, Obs: p.Obs})
+	db := engine.New(p.engineOptions())
 	rDef, err := catalog.NewTableDef("R", []catalog.Column{
 		{Name: "id", Type: value.KindInt},
 		intCol("payload"),
@@ -308,6 +330,9 @@ func newJoinEnv(p Params) (*joinEnv, error) {
 }
 
 func (e *joinEnv) transformation(cfg core.Config) (*core.Transformation, error) {
+	if cfg.PropagateWorkers == 0 {
+		cfg.PropagateWorkers = e.p.PropagateWorkers
+	}
 	return core.NewFullOuterJoin(e.db, core.JoinSpec{
 		Target: "RS", Left: "R", Right: "S",
 		On: [][2]string{{"jv", "jv"}},

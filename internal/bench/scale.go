@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"nbschema/internal/workload"
+)
+
+// ScalePoint is one measurement of the scale figure: the closed-loop update
+// throughput at a client count with every concurrency knob (lock stripes,
+// storage partitions, WAL group-commit batch, propagation workers) pinned to
+// Knobs.
+type ScalePoint struct {
+	Knobs      int     `json:"knobs"`
+	Clients    int     `json:"clients"`
+	Throughput float64 `json:"throughput_tps"`
+	P95Ms      float64 `json:"p95_ms"`
+}
+
+// ScaleReport is the machine-readable scale figure: throughput vs. client
+// count at 1/2/4/8 stripes-partitions, plus the headline ratio the
+// partitioning work is judged by — 8-client throughput of the best
+// partitioned configuration over the all-knobs-at-1 serial configuration.
+type ScaleReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []ScalePoint `json:"points"`
+	SpeedupAt8 float64      `json:"speedup_at_8_clients"`
+}
+
+// FigureScale measures how the partitioned hot paths scale: for each knob
+// setting in {1, 2, 4, 8} (applied to lock stripes, storage partitions, the
+// group-commit batch cap, and propagation workers alike), it runs the
+// closed-loop update workload at 1, 2, 4 and 8 clients with zero think time
+// and reports the sustained throughput. Knobs=1 is the fully serial
+// configuration every other line is compared against.
+func FigureScale(p Params) (Result, *ScaleReport, error) {
+	p = p.withDefaults()
+	knobs := []int{1, 2, 4, 8}
+	clients := []int{1, 2, 4, 8}
+
+	rep := &ScaleReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	res := Result{
+		Figure: "scale",
+		Title:  "throughput vs. clients at 1/2/4/8 stripes-partitions",
+		XLabel: "clients",
+		YLabel: "throughput (txn/s)",
+	}
+	best8 := 0.0
+	serial8 := 0.0
+	for _, k := range knobs {
+		s := Series{Name: fmt.Sprintf("knobs=%d", k)}
+		for _, c := range clients {
+			tputs := make([]float64, 0, p.Repeats)
+			var lastP95 float64
+			for i := 0; i < p.Repeats; i++ {
+				tput, p95, err := measureScale(p, k, c)
+				if err != nil {
+					return Result{}, nil, err
+				}
+				tputs = append(tputs, tput)
+				lastP95 = p95
+			}
+			sort.Float64s(tputs)
+			tput := tputs[len(tputs)/2]
+			s.Points = append(s.Points, Point{X: float64(c), Y: tput})
+			rep.Points = append(rep.Points, ScalePoint{
+				Knobs: k, Clients: c, Throughput: tput, P95Ms: lastP95,
+			})
+			if c == 8 {
+				if k == 1 {
+					serial8 = tput
+				} else if tput > best8 {
+					best8 = tput
+				}
+			}
+		}
+		res.Series = append(res.Series, s)
+	}
+	if serial8 > 0 {
+		rep.SpeedupAt8 = best8 / serial8
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("GOMAXPROCS=%d; knobs = lock stripes = storage partitions = group-commit batch = propagation workers", rep.GOMAXPROCS),
+		fmt.Sprintf("8-client speedup over all-knobs-at-1: %.2fx", rep.SpeedupAt8))
+	return res, rep, nil
+}
+
+// measureScale runs one scale measurement: a saturating (no think time)
+// closed-loop workload over the split source and the dummy table, all four
+// concurrency knobs pinned to k, measured for SampleDur after a short
+// warm-up.
+func measureScale(p Params, k, c int) (tput, p95 float64, err error) {
+	q := p
+	q.LockStripes, q.StoragePartitions, q.GroupCommit, q.PropagateWorkers = k, k, k, k
+	q.Obs = nil // per-run registry noise is not part of this figure
+	env, err := newSplitEnv(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := workload.Start(workload.Config{
+		DB: env.db, Targets: env.targets(q.SourceFrac), Clients: c,
+		Seed: q.Seed, Think: 0,
+	})
+	time.Sleep(q.SampleDur / 4) // warm-up
+	c0 := r.Snapshot()
+	time.Sleep(q.SampleDur)
+	c1 := r.Snapshot()
+	if err := r.Stop(); err != nil {
+		return 0, 0, err
+	}
+	s := workload.Between(c0, c1)
+	return s.Throughput, ms(s.P95), nil
+}

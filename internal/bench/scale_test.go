@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nbschema/internal/core"
+)
+
+// tinyScale shrinks the scale figure to a smoke-test size.
+func tinyScale() Params {
+	p := tiny()
+	p.SampleDur = 30 * time.Millisecond
+	return p
+}
+
+func TestFigureScaleSmoke(t *testing.T) {
+	res, rep, err := FigureScale(tinyScale())
+	if err != nil {
+		t.Fatalf("FigureScale: %v", err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("%d series, want 4 (knobs 1/2/4/8)", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("series %s has %d points, want 4 (clients 1/2/4/8)", s.Name, len(s.Points))
+		}
+		for _, pt := range s.Points {
+			if pt.Y <= 0 {
+				t.Errorf("series %s at %g clients: no throughput", s.Name, pt.X)
+			}
+		}
+	}
+	if len(rep.Points) != 16 {
+		t.Errorf("%d report points, want 16", len(rep.Points))
+	}
+	if rep.SpeedupAt8 <= 0 {
+		t.Errorf("speedup not computed: %v", rep.SpeedupAt8)
+	}
+	if rep.GOMAXPROCS <= 0 {
+		t.Errorf("GOMAXPROCS not recorded")
+	}
+}
+
+// runAblation runs one complete split transformation (population plus log
+// propagation over a fixed backlog) with the given knob setting and no
+// concurrent load — the transformation cost itself is the measured quantity.
+func runAblation(b *testing.B, knob int) {
+	b.Helper()
+	p := Params{
+		TRows: 4000, SplitValues: 200,
+		LockTimeout: 250 * time.Millisecond,
+		LockStripes: knob, StoragePartitions: knob,
+		GroupCommit: knob, PropagateWorkers: knob,
+	}.withDefaults()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env, err := newSplitEnv(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := env.transformation(core.Config{
+			Priority:         1.0,
+			Strategy:         core.NonBlockingAbort,
+			PropagateWorkers: knob,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := tr.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSerial pins every concurrency knob — lock stripes,
+// storage partitions, group-commit batch, propagation workers — to 1: the
+// fully serial configuration all parallel speedups are measured against.
+func BenchmarkAblationSerial(b *testing.B) { runAblation(b, 1) }
+
+// BenchmarkAblationParallel is the same transformation with the
+// GOMAXPROCS-derived defaults for every knob.
+func BenchmarkAblationParallel(b *testing.B) { runAblation(b, 0) }

@@ -69,6 +69,9 @@ type WorkloadReport struct {
 	Windows   []WorkloadWindow  `json:"windows"`
 	Transform WorkloadTransform `json:"transform"`
 	Metrics   obs.Snapshot      `json:"metrics"`
+	// Scale carries the concurrency scale figure (FigureScale) when the
+	// scale experiment ran; the CLI merges it into the same report file.
+	Scale *ScaleReport `json:"scale,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.

@@ -215,6 +215,13 @@ type Config struct {
 	// falling back to a blocking acquisition, which writer preference
 	// guarantees will finish (0 selects 3).
 	SyncLatchRetries int
+	// PropagateWorkers is the number of worker goroutines used for the
+	// parallel parts of a transformation: initial population (one heap
+	// partition at a time per worker) and log propagation (batches of
+	// records with disjoint conflict keys applied concurrently, when the
+	// operator supports it). 0 selects DefaultPropagateWorkers; 1 runs both
+	// serially — the ablation baseline and the deterministic-trace mode.
+	PropagateWorkers int
 	// Sink receives the transformation's structured trace events in addition
 	// to the built-in bounded ring buffer (readable via Trace). Nil keeps
 	// just the ring.
@@ -242,6 +249,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SyncLatchRetries <= 0 {
 		c.SyncLatchRetries = 3
+	}
+	if c.PropagateWorkers <= 0 {
+		c.PropagateWorkers = DefaultPropagateWorkers()
 	}
 	return c
 }
@@ -556,11 +566,17 @@ func (tr *Transformation) populate(ctx context.Context) error {
 	// The tick callback cannot return an error to the operator, so an
 	// injected chunk fault is carried out of the scan in chunkErr and
 	// surfaces once Populate returns. A crash action still fires in place,
-	// i.e. at the chunk boundary itself.
+	// i.e. at the chunk boundary itself. Parallel population calls the
+	// callback from several workers, so it is serialized by tickMu — the
+	// throttler's duty-cycle accounting then covers the workers' combined
+	// work, which is exactly the priority contract.
 	th := newThrottler(tr)
+	var tickMu sync.Mutex
 	var chunkErr error
 	chunkAcc := 0
 	rows, err := tr.op.Populate(func(n int) {
+		tickMu.Lock()
+		defer tickMu.Unlock()
 		th.tick(n)
 		tr.popRows.Add(int64(n))
 		chunkAcc += n

@@ -419,8 +419,27 @@ func splitCrashSpecs() []crashSpec {
 	}
 }
 
+// reduceSpecs keeps one spec per crash point in -short mode: the dedicated
+// race CI job re-runs the torture under the race detector, where the full
+// matrix is needlessly slow and crash-point coverage is what matters.
+func reduceSpecs(specs []crashSpec) []crashSpec {
+	if !testing.Short() {
+		return specs
+	}
+	seen := map[string]bool{}
+	var out []crashSpec
+	for _, s := range specs {
+		if seen[s.point] {
+			continue
+		}
+		seen[s.point] = true
+		out = append(out, s)
+	}
+	return out
+}
+
 func TestCrashTortureFOJ(t *testing.T) {
-	for _, spec := range fojCrashSpecs() {
+	for _, spec := range reduceSpecs(fojCrashSpecs()) {
 		t.Run(spec.name, func(t *testing.T) {
 			runCrashTorture(t, fojTortureCase(), spec)
 		})
@@ -428,7 +447,7 @@ func TestCrashTortureFOJ(t *testing.T) {
 }
 
 func TestCrashTortureSplit(t *testing.T) {
-	for _, spec := range splitCrashSpecs() {
+	for _, spec := range reduceSpecs(splitCrashSpecs()) {
 		t.Run(spec.name, func(t *testing.T) {
 			runCrashTorture(t, splitTortureCase(), spec)
 		})

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"nbschema/internal/catalog"
 	"nbschema/internal/engine"
@@ -381,10 +383,15 @@ func (op *fojOp) sIdentityIndex() string {
 
 // ---- population (§4.1, initial population step) ----
 
-// Populate fuzzily reads R and S and inserts FOJ(R0', S0') into T. The scan
-// is chunked, so concurrent updates interleave — the initial image is
+// Populate fuzzily reads R and S and inserts FOJ(R0', S0') into T. The scans
+// are chunked, so concurrent updates interleave — the initial image is
 // genuinely fuzzy and the log propagation repairs it. Each half of a joined
 // row inherits its source record's LSN as the state identifier.
+//
+// Both scans run one worker per source heap partition (bounded by
+// Config.PropagateWorkers): the S image is built from per-worker maps merged
+// under a mutex, and the R pass reads that image read-only while inserting
+// into distinct T keys, so the result is independent of worker interleaving.
 func (op *fojOp) Populate(tick func(int)) (int64, error) {
 	if op.spec.ManyToMany {
 		return op.populateM2M(tick)
@@ -397,51 +404,72 @@ func (op *fojOp) Populate(tick func(int)) (int64, error) {
 	// Fuzzy image of S keyed by join value (unique in the 1:N case). The
 	// chunked scan delivers rows with no latch held so the priority
 	// throttle never blocks writers.
+	var sMu sync.Mutex
 	sByJoin := make(map[string]storage.Record)
-	sTbl.FuzzyScanChunks(op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
-		for _, rec := range recs {
-			sByJoin[rec.Row.Project(op.sJoin).Encode()] = rec
-		}
-		tick(len(recs))
-	})
-	matched := make(map[string]bool, len(sByJoin))
-	var rows int64
-	var insertErr error
-	rTbl.FuzzyScanChunks(op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
-		if insertErr != nil {
-			return
-		}
-		for _, rec := range recs {
-			jk := rec.Row.Project(op.rJoin).Encode()
-			var t value.Tuple
-			if s, ok := sByJoin[jk]; ok {
-				matched[jk] = true
-				t = op.joinRow(rec.Row, s.Row, rec.LSN, s.LSN)
-			} else {
-				t = op.rowFromR(rec.Row, rec.LSN)
+	matched := make(map[string]bool)
+	if err := op.tr.forEachPartition(sTbl, func(pi int) error {
+		local := make(map[string]storage.Record)
+		sTbl.FuzzyScanPartition(pi, op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
+			for _, rec := range recs {
+				local[rec.Row.Project(op.sJoin).Encode()] = rec
 			}
-			if err := op.tTbl.Insert(t, 0); err != nil {
-				insertErr = err
+			tick(len(recs))
+		})
+		sMu.Lock()
+		for k, v := range local {
+			sByJoin[k] = v
+		}
+		sMu.Unlock()
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	var rows atomic.Int64
+	err := op.tr.forEachPartition(rTbl, func(pi int) error {
+		localMatched := make(map[string]bool)
+		var werr error
+		rTbl.FuzzyScanPartition(pi, op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
+			if werr != nil {
 				return
 			}
-			rows++
+			for _, rec := range recs {
+				jk := rec.Row.Project(op.rJoin).Encode()
+				var t value.Tuple
+				if s, ok := sByJoin[jk]; ok {
+					localMatched[jk] = true
+					t = op.joinRow(rec.Row, s.Row, rec.LSN, s.LSN)
+				} else {
+					t = op.rowFromR(rec.Row, rec.LSN)
+				}
+				if err := op.tTbl.Insert(t, 0); err != nil {
+					werr = err
+					return
+				}
+				rows.Add(1)
+			}
+			tick(len(recs))
+		})
+		sMu.Lock()
+		for k := range localMatched {
+			matched[k] = true
 		}
-		tick(len(recs))
+		sMu.Unlock()
+		return werr
 	})
-	if insertErr != nil {
-		return rows, insertErr
+	if err != nil {
+		return rows.Load(), err
 	}
 	for jk, s := range sByJoin {
 		if matched[jk] {
 			continue
 		}
 		if err := op.tTbl.Insert(op.rowFromS(s.Row, s.LSN), 0); err != nil {
-			return rows, err
+			return rows.Load(), err
 		}
-		rows++
+		rows.Add(1)
 		tick(1)
 	}
-	return rows, nil
+	return rows.Load(), nil
 }
 
 // ---- log propagation (§4.2) ----

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"nbschema/internal/storage"
 	"nbschema/internal/value"
@@ -13,7 +15,11 @@ import (
 // (t^{y,v}_z in the paper's notation) and operations on R records must
 // affect every T record the R record contributed to.
 
-// populateM2M builds the initial image for a many-to-many join.
+// populateM2M builds the initial image for a many-to-many join. Like the 1:N
+// path it scans one heap partition per worker: the S image is merged from
+// per-worker maps (the resulting per-group record sets are
+// interleaving-independent; only their order varies, and every (r, s) pair
+// produces the same T row regardless), then the R pass reads it read-only.
 func (op *fojOp) populateM2M(tick func(int)) (int64, error) {
 	rTbl := op.db.Table(op.spec.Left)
 	sTbl := op.db.Table(op.spec.Right)
@@ -22,45 +28,66 @@ func (op *fojOp) populateM2M(tick func(int)) (int64, error) {
 	}
 	// Fuzzy image of S grouped by join value; chunked so the throttle
 	// sleeps with no latch held.
+	var sMu sync.Mutex
 	sByJoin := make(map[string][]storage.Record)
-	sTbl.FuzzyScanChunks(op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
-		for _, rec := range recs {
-			jk := rec.Row.Project(op.sJoin).Encode()
-			sByJoin[jk] = append(sByJoin[jk], rec)
-		}
-		tick(len(recs))
-	})
 	matched := make(map[string]bool)
-	var rows int64
-	var insertErr error
-	rTbl.FuzzyScanChunks(op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
-		if insertErr != nil {
-			return
-		}
-		for _, rec := range recs {
-			jk := rec.Row.Project(op.rJoin).Encode()
-			ss := sByJoin[jk]
-			if len(ss) == 0 {
-				if err := op.tTbl.Insert(op.rowFromR(rec.Row, rec.LSN), 0); err != nil {
-					insertErr = err
-					return
-				}
-				rows++
-				continue
+	if err := op.tr.forEachPartition(sTbl, func(pi int) error {
+		local := make(map[string][]storage.Record)
+		sTbl.FuzzyScanPartition(pi, op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
+			for _, rec := range recs {
+				jk := rec.Row.Project(op.sJoin).Encode()
+				local[jk] = append(local[jk], rec)
 			}
-			matched[jk] = true
-			for _, s := range ss {
-				if err := op.tTbl.Insert(op.joinRow(rec.Row, s.Row, rec.LSN, s.LSN), 0); err != nil {
-					insertErr = err
-					return
-				}
-				rows++
-			}
+			tick(len(recs))
+		})
+		sMu.Lock()
+		for k, v := range local {
+			sByJoin[k] = append(sByJoin[k], v...)
 		}
-		tick(len(recs))
+		sMu.Unlock()
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	var rows atomic.Int64
+	err := op.tr.forEachPartition(rTbl, func(pi int) error {
+		localMatched := make(map[string]bool)
+		var werr error
+		rTbl.FuzzyScanPartition(pi, op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
+			if werr != nil {
+				return
+			}
+			for _, rec := range recs {
+				jk := rec.Row.Project(op.rJoin).Encode()
+				ss := sByJoin[jk]
+				if len(ss) == 0 {
+					if err := op.tTbl.Insert(op.rowFromR(rec.Row, rec.LSN), 0); err != nil {
+						werr = err
+						return
+					}
+					rows.Add(1)
+					continue
+				}
+				localMatched[jk] = true
+				for _, s := range ss {
+					if err := op.tTbl.Insert(op.joinRow(rec.Row, s.Row, rec.LSN, s.LSN), 0); err != nil {
+						werr = err
+						return
+					}
+					rows.Add(1)
+				}
+			}
+			tick(len(recs))
+		})
+		sMu.Lock()
+		for k := range localMatched {
+			matched[k] = true
+		}
+		sMu.Unlock()
+		return werr
 	})
-	if insertErr != nil {
-		return rows, insertErr
+	if err != nil {
+		return rows.Load(), err
 	}
 	for jk, ss := range sByJoin {
 		if matched[jk] {
@@ -68,13 +95,13 @@ func (op *fojOp) populateM2M(tick func(int)) (int64, error) {
 		}
 		for _, s := range ss {
 			if err := op.tTbl.Insert(op.rowFromS(s.Row, s.LSN), 0); err != nil {
-				return rows, err
+				return rows.Load(), err
 			}
-			rows++
+			rows.Add(1)
 			tick(1)
 		}
 	}
-	return rows, nil
+	return rows.Load(), nil
 }
 
 // applyM2M dispatches one log record under the many-to-many rules.

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"nbschema/internal/storage"
+	"nbschema/internal/wal"
+)
+
+// DefaultPropagateWorkers returns the worker count used for parallel
+// population and propagation when none is configured: GOMAXPROCS, capped at
+// 16 (propagation batches rarely contain more independent key groups than
+// that, and the coordinator itself needs a core).
+func DefaultPropagateWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// conflictKeyer is implemented by operators whose propagation rules can
+// declare, from the log record alone, a set of abstract conflict keys
+// covering everything the rule reads or writes on the target side. Two
+// records with disjoint key sets commute, so the propagator may apply them
+// concurrently; records sharing a key are applied in LSN order by one
+// worker. ok=false marks a barrier record: the rule's touch set cannot be
+// determined statically, so everything before it is flushed, the record is
+// applied alone, and batching resumes after it. Operators that cannot
+// provide sound keys (full outer join: group lookups make even read sets
+// data-dependent) simply do not implement the interface and propagate
+// serially.
+type conflictKeyer interface {
+	conflictKeys(rec *wal.Record) (keys []string, ok bool)
+}
+
+// propagateParallel redoes recs with cfg.PropagateWorkers goroutines,
+// batching records until a barrier or until the batch holds
+// workers×BatchSize records, then partitioning each batch into
+// transitively-connected conflict groups and applying the groups
+// concurrently. All coordinator duties of the serial path — the
+// propagate.batch fault point, throttling, stall deadlines, cancellation,
+// and consistency-checker maintenance — fire from this goroutine only (a
+// crash action must not panic inside a worker).
+func (tr *Transformation) propagateParallel(recs []*wal.Record, ck conflictKeyer, th *throttler) (int, error) {
+	workers := tr.cfg.PropagateWorkers
+	maxBatch := workers * tr.cfg.BatchSize
+	applied := 0
+	var batch []*wal.Record
+	var batchKeys [][]string
+
+	flush := func() error {
+		n := len(batch)
+		if n == 0 {
+			return nil
+		}
+		if err := tr.faultHit("propagate.batch"); err != nil {
+			return err
+		}
+		err := tr.runGroups(groupByConflicts(batch, batchKeys), workers)
+		batch, batchKeys = batch[:0], batchKeys[:0]
+		if err != nil {
+			return err
+		}
+		applied += n
+		th.tick(n)
+		if tr.cancel.Load() {
+			return ErrAborted
+		}
+		if err := th.checkDeadline(); err != nil {
+			return err
+		}
+		if tr.cfg.CheckConsistency {
+			if err := tr.op.MaintenanceTick(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, rec := range recs {
+		// Records the serial path would no-op on (begins, fuzzy marks,
+		// operations on unrelated tables) are counted as processed but never
+		// scheduled.
+		skip := false
+		switch rec.Type {
+		case wal.TypeFuzzyMark, wal.TypeBegin:
+			skip = true
+		case wal.TypeInsert, wal.TypeUpdate, wal.TypeDelete, wal.TypeCLR:
+			skip = !tr.isSource(rec.Table)
+		}
+		if skip {
+			applied++
+			th.tick(1)
+			continue
+		}
+		keys, ok := ck.conflictKeys(rec)
+		if !ok {
+			// Barrier: drain the batch, then apply the record alone.
+			if err := flush(); err != nil {
+				return applied, err
+			}
+			if err := tr.handleRecord(rec); err != nil {
+				return applied, err
+			}
+			applied++
+			th.tick(1)
+			if tr.cancel.Load() {
+				return applied, ErrAborted
+			}
+			continue
+		}
+		batch = append(batch, rec)
+		batchKeys = append(batchKeys, keys)
+		if len(batch) >= maxBatch {
+			if err := flush(); err != nil {
+				return applied, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return applied, err
+	}
+	tr.mu.Lock()
+	tr.metrics.RecordsApplied += int64(applied)
+	tr.mu.Unlock()
+	tr.mPropagated.Add(int64(applied))
+	return applied, nil
+}
+
+// groupByConflicts partitions one batch into its transitively-connected
+// conflict groups: union-find over the records' key sets, so any two records
+// sharing a key (directly or through intermediaries) land in one group.
+// Each group preserves LSN (arrival) order; groups are emitted in order of
+// their earliest record.
+func groupByConflicts(recs []*wal.Record, keys [][]string) [][]*wal.Record {
+	parent := make([]int, len(recs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	owner := make(map[string]int)
+	for i, ks := range keys {
+		for _, k := range ks {
+			if j, seen := owner[k]; seen {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			} else {
+				owner[k] = i
+			}
+		}
+	}
+	groups := make(map[int][]*wal.Record, len(recs))
+	var order []int
+	for i, rec := range recs {
+		r := find(i)
+		if _, seen := groups[r]; !seen {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], rec)
+	}
+	out := make([][]*wal.Record, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// runGroups applies independent conflict groups on a bounded worker pool,
+// each group's records in LSN order. The first error stops all workers from
+// picking up further groups and is returned.
+func (tr *Transformation) runGroups(groups [][]*wal.Record, workers int) error {
+	if len(groups) == 1 {
+		for _, rec := range groups[0] {
+			if err := tr.handleRecord(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	work := make(chan []*wal.Record)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range work {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				for _, rec := range g {
+					if err := tr.handleRecord(rec); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						break
+					}
+				}
+			}
+		}()
+	}
+	for _, g := range groups {
+		work <- g
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}
+
+// forEachPartition runs fn over every heap partition of tbl on a bounded
+// worker pool of cfg.PropagateWorkers goroutines — the parallel initial
+// population driver. With one worker (or one partition) the partitions are
+// processed inline, in order: the exact serial population path.
+func (tr *Transformation) forEachPartition(tbl *storage.Table, fn func(pi int) error) error {
+	n := tbl.Partitions()
+	workers := tr.cfg.PropagateWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for pi := 0; pi < n; pi++ {
+			if err := fn(pi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := range work {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				if err := fn(pi); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for pi := 0; pi < n; pi++ {
+		work <- pi
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}

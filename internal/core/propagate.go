@@ -223,12 +223,23 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 }
 
 // propagateRange redoes log records [from, to] onto the target tables.
+// When the operator can declare conflict keys for its rules, more than one
+// worker is configured, and rule application is not being serialized against
+// post-switchover user transactions, the range is applied in parallel
+// independent-key batches; otherwise strictly in LSN order by this
+// goroutine. Both paths preserve the per-key LSN order Theorem 1's
+// idempotence argument relies on.
 func (tr *Transformation) propagateRange(from, to wal.LSN, th *throttler) (int, error) {
 	if from == 0 || from > to {
 		return 0, nil
 	}
+	recs := tr.db.Log().Scan(from, to)
+	if ck, ok := tr.op.(conflictKeyer); ok &&
+		tr.cfg.PropagateWorkers > 1 && th != nil && !tr.latchTargets.Load() {
+		return tr.propagateParallel(recs, ck, th)
+	}
 	applied := 0
-	for _, rec := range tr.db.Log().Scan(from, to) {
+	for _, rec := range recs {
 		// A "batch" is each run of up to BatchSize records; the fault point
 		// fires at every batch start, including the range's first record.
 		if applied%tr.cfg.BatchSize == 0 {

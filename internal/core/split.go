@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
 
 	"nbschema/internal/catalog"
 	"nbschema/internal/engine"
@@ -55,6 +58,20 @@ type splitOp struct {
 	flagPos int   // flag column position in S
 
 	cc *ccState // §5.3 consistency checker (nil when disabled)
+
+	// sMu stripes the read-modify-write cycles on S records (absorbS,
+	// releaseS) by split-key hash, so parallel population workers — and, for
+	// keys that merely hash together, parallel propagation groups — absorb
+	// occurrences of the same split value atomically. Never held across
+	// stripes, so no ordering discipline is needed.
+	sMu [64]sync.Mutex
+}
+
+// sLock returns the stripe mutex covering one split key.
+func (op *splitOp) sLock(key value.Tuple) *sync.Mutex {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key.Encode()))
+	return &op.sMu[h.Sum32()%uint32(len(op.sMu))]
 }
 
 // NewSplit builds a split transformation. Target tables are created hidden
@@ -223,41 +240,54 @@ func payloadEqual(a, b value.Tuple, n int) bool {
 
 // ---- population ----
 
-// Populate fuzzily reads T and inserts the initial images of R and S. Each
-// R record inherits the LSN of the T record it came from — the state
-// identifier the split propagation rules compare against.
+// Populate fuzzily reads T and inserts the initial images of R and S, one
+// worker per source heap partition (bounded by Config.PropagateWorkers).
+// Each R record inherits the LSN of the T record it came from — the state
+// identifier the split propagation rules compare against. R inserts from
+// different partitions touch distinct primary keys and never conflict; S
+// merges are serialized per split value by the sMu stripes, and the counter
+// increments and max-LSN merges commute, so the populated image is the same
+// whatever the worker interleaving.
 func (op *splitOp) Populate(tick func(int)) (int64, error) {
 	src := op.db.Table(op.spec.Source)
 	if src == nil {
 		return 0, fmt.Errorf("core: split: source storage missing")
 	}
-	var rows int64
-	var insertErr error
-	src.FuzzyScanChunks(op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
-		if insertErr != nil {
-			return
-		}
-		for _, rec := range recs {
-			if err := op.rTbl.Insert(op.rPart(rec.Row), rec.LSN); err != nil {
-				insertErr = err
+	var rows atomic.Int64
+	err := op.tr.forEachPartition(src, func(pi int) error {
+		var werr error
+		src.FuzzyScanPartition(pi, op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
+			if werr != nil {
 				return
 			}
-			if err := op.absorbS(nil, op.sPayload(rec.Row), rec.LSN); err != nil {
-				insertErr = err
-				return
+			for _, rec := range recs {
+				if err := op.rTbl.Insert(op.rPart(rec.Row), rec.LSN); err != nil {
+					werr = err
+					return
+				}
+				if err := op.absorbS(nil, op.sPayload(rec.Row), rec.LSN); err != nil {
+					werr = err
+					return
+				}
+				rows.Add(1)
 			}
-			rows++
-		}
-		tick(len(recs))
+			tick(len(recs))
+		})
+		return werr
 	})
-	return rows, insertErr
+	return rows.Load(), err
 }
 
 // absorbS merges one occurrence of an S payload into the S table: counter
 // increment when present (flagging U on value disagreement, §5.3), insert
-// with counter 1 otherwise.
+// with counter 1 otherwise. The get-then-write cycle runs under the split
+// key's stripe mutex so concurrent absorbs of the same value never lose an
+// increment.
 func (op *splitOp) absorbS(rec *wal.Record, payload value.Tuple, lsn wal.LSN) error {
 	key := payload.Project(rangeInts(len(op.splitT)))
+	mu := op.sLock(key)
+	mu.Lock()
+	defer mu.Unlock()
 	op.shadowS(rec, key)
 	existing, curLSN, err := op.sTbl.Get(key)
 	if err != nil {
@@ -281,6 +311,9 @@ func (op *splitOp) absorbS(rec *wal.Record, payload value.Tuple, lsn wal.LSN) er
 // reaches zero (Section 5: "If the counter of a record reaches zero, the
 // record is removed from S").
 func (op *splitOp) releaseS(rec *wal.Record, key value.Tuple, lsn wal.LSN) error {
+	mu := op.sLock(key)
+	mu.Lock()
+	defer mu.Unlock()
 	op.shadowS(rec, key)
 	existing, curLSN, err := op.sTbl.Get(key)
 	if err != nil {
@@ -329,6 +362,69 @@ func (op *splitOp) Apply(rec *wal.Record) error {
 	default:
 		return nil
 	}
+}
+
+// conflictKeys declares, per log record, the target-side keys rules 8–11
+// touch, enabling parallel propagation (the conflictKeyer interface):
+//
+//   - insert/delete of t^y_v → {txn, r:y, s:v}: the rules read/write r^y
+//     and the shared counter of s^v. For deletes the s key is taken from the
+//     before-image, which is sound because every earlier operation on y
+//     either shares the r:y key (ordered before, same group) or was a
+//     split-attribute change (a barrier), so the stored R row rule 9 reads
+//     the split value from reflects exactly the before-image's split value.
+//   - update touching neither T's primary key nor any column represented in
+//     S → {txn, r:y}: rule 10 alone, confined to r^y.
+//   - update touching the primary key or an S column → barrier: rule 11's
+//     touch set (which S records, under which old split value) depends on
+//     the current R/S state and cannot be derived from the record.
+//   - commit/abort → {txn}: orders the transferred-lock release after every
+//     shadow placement the transaction's own operations made (operations
+//     carry their txn key too).
+//   - consistency-checker records → barrier (they validate cross-record
+//     state).
+//
+// CLRs are classified by their compensating operation, exactly as Apply
+// replays them; a CLR missing its payload (no before-image to derive the
+// split value from) degrades to a barrier.
+func (op *splitOp) conflictKeys(rec *wal.Record) ([]string, bool) {
+	switch rec.Type {
+	case wal.TypeCCBegin, wal.TypeCCOK:
+		return nil, false
+	case wal.TypeCommit, wal.TypeAbort:
+		return []string{txnConflictKey(rec.Txn)}, true
+	}
+	keys := make([]string, 0, 3)
+	if rec.Txn != 0 {
+		keys = append(keys, txnConflictKey(rec.Txn))
+	}
+	switch rec.OpType() {
+	case wal.TypeInsert, wal.TypeDelete:
+		if rec.Row == nil {
+			return nil, false
+		}
+		keys = append(keys,
+			"r\x00"+rec.Key.Encode(),
+			"s\x00"+op.splitKeyOfT(rec.Row).Encode())
+		return keys, true
+	case wal.TypeUpdate:
+		if touchesAny(rec.Cols, op.tDef.PrimaryKey) {
+			return nil, false
+		}
+		for _, c := range rec.Cols {
+			if op.tToS[c] >= 0 {
+				return nil, false
+			}
+		}
+		keys = append(keys, "r\x00"+rec.Key.Encode())
+		return keys, true
+	default:
+		return keys, true
+	}
+}
+
+func txnConflictKey(id wal.TxnID) string {
+	return fmt.Sprintf("txn\x00%d", id)
 }
 
 // rule8Insert implements Rule 8 (Insert t^y_x into T).

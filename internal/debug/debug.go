@@ -93,19 +93,27 @@ func (c Config) txns(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, resp)
 }
 
-// locksResponse is the /debug/locks payload.
+// locksResponse is the /debug/locks payload. Stripes reports the sharded
+// lock manager's per-stripe entry/waiter/contention counts so hot stripes
+// are visible at a glance.
 type locksResponse struct {
-	At        time.Time       `json:"at"`
-	Locks     []lock.LockInfo `json:"locks"`
-	Entries   int             `json:"entries"`
-	Waiters   int             `json:"waiters"`
-	Deadlocks int64           `json:"deadlocks_total"`
-	Timeouts  int64           `json:"timeouts_total"`
+	At        time.Time         `json:"at"`
+	Locks     []lock.LockInfo   `json:"locks"`
+	Entries   int               `json:"entries"`
+	Waiters   int               `json:"waiters"`
+	Stripes   []lock.StripeStat `json:"stripes"`
+	Deadlocks int64             `json:"deadlocks_total"`
+	Timeouts  int64             `json:"timeouts_total"`
 }
 
 func (c Config) locks(w http.ResponseWriter, _ *http.Request) {
 	locks := c.DB.Locks().SnapshotLocks()
-	resp := locksResponse{At: time.Now(), Locks: locks, Entries: len(locks)}
+	resp := locksResponse{
+		At:      time.Now(),
+		Locks:   locks,
+		Entries: len(locks),
+		Stripes: c.DB.Locks().StripeStats(),
+	}
 	for _, li := range locks {
 		resp.Waiters += len(li.Queue)
 	}

@@ -78,6 +78,19 @@ type Options struct {
 	// to the bounded slow-transaction log (DB.SlowTxns, /debug/txns). 0
 	// selects DefaultSlowTxnThreshold; negative disables the log.
 	SlowTxnThreshold time.Duration
+	// LockStripes shards the record-lock manager into this many stripes
+	// (rounded up to a power of two). 0 selects lock.DefaultStripes
+	// (GOMAXPROCS-derived); 1 reproduces the single-mutex manager.
+	LockStripes int
+	// StoragePartitions shards every table heap created on this DB into this
+	// many partitions (rounded up to a power of two). 0 selects
+	// storage.DefaultPartitions (GOMAXPROCS-derived); 1 reproduces the
+	// single-latch heap.
+	StoragePartitions int
+	// GroupCommit caps the WAL group-commit batch. 0 selects
+	// wal.DefaultGroupCommit (GOMAXPROCS-derived); 1 disables group commit
+	// (every append flushes itself).
+	GroupCommit int
 }
 
 // engineMetrics bundles the engine-level metric handles. All handles are
@@ -125,8 +138,8 @@ type DB struct {
 func New(opts Options) *DB {
 	db := &DB{
 		cat:     catalog.New(),
-		log:     wal.NewLog(),
-		locks:   lock.NewManager(opts.LockTimeout),
+		log:     wal.NewLogGroup(opts.GroupCommit),
+		locks:   lock.NewManagerStripes(opts.LockTimeout, opts.LockStripes),
 		faults:  opts.Faults,
 		opts:    opts,
 		tables:  make(map[string]*storage.Table),
@@ -204,7 +217,7 @@ func (db *DB) CreateTable(def *catalog.TableDef) error {
 		return err
 	}
 	db.mu.Lock()
-	tbl := storage.NewTable(def)
+	tbl := storage.NewTablePartitions(def, db.opts.StoragePartitions)
 	tbl.SetFaults(db.faults)
 	latch := lock.NewLatch(def.Name)
 	if db.obs != nil {

@@ -57,9 +57,14 @@ func Restart(defs []*catalog.TableDef, log *wal.Log, opts Options) (*DB, error) 
 		}
 	}
 
-	// Adopt the log and continue numbering after it.
+	// Adopt the log and continue numbering after it, re-applying the DB's
+	// group-commit and instrumentation configuration.
 	db.log = log
 	db.log.SetFaults(db.faults)
+	db.log.SetGroupCommit(opts.GroupCommit)
+	if db.obs != nil {
+		db.log.SetObs(db.obs)
+	}
 	db.txnMu.Lock()
 	for id := range txns {
 		if id > db.nextTxn {

@@ -9,7 +9,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nbschema/internal/fault"
@@ -82,8 +85,36 @@ type entry struct {
 	queue   []*waiter
 }
 
-// Manager is a record-lock manager with FIFO-fair wait queues, waits-for
-// cycle detection on block, and a timeout backstop.
+// stripe is one shard of the lock table. Independent keys hash to different
+// stripes and never contend on a mutex; only blocked requests touch the
+// manager-wide waits-for state.
+type stripe struct {
+	mu      sync.Mutex
+	entries map[lockKey]*entry
+	held    map[wal.TxnID]map[lockKey]struct{}
+
+	// Contention statistics, read without the stripe mutex.
+	acquires  atomic.Int64 // lock requests routed to this stripe
+	contended atomic.Int64 // requests that had to queue
+	waiters   atomic.Int64 // currently queued requests
+}
+
+// StripeStat is one stripe's live contention statistics.
+type StripeStat struct {
+	Stripe    int   `json:"stripe"`
+	Entries   int   `json:"entries"`
+	Waiters   int   `json:"waiters"`
+	Acquires  int64 `json:"acquires"`
+	Contended int64 `json:"contended"`
+}
+
+// Manager is a record-lock manager sharded into power-of-two stripes keyed
+// by (table, key-hash). Each stripe has its own mutex, lock entries and wait
+// queues, so transactions touching independent keys never serialize. The
+// waits-for graph is a manager-wide structure guarded by wfMu: every edge
+// mutation happens with both the owning stripe's mutex and wfMu held
+// (always in that order), so the on-block deadlock DFS sees an exact graph
+// even though requests block on different stripes concurrently.
 type Manager struct {
 	faults *fault.Registry
 
@@ -95,10 +126,16 @@ type Manager struct {
 	mEdges     *obs.Gauge
 	mWait      *obs.Histogram
 
-	mu      sync.Mutex
-	entries map[lockKey]*entry
-	held    map[wal.TxnID]map[lockKey]struct{}
+	stripes []*stripe
+	mask    uint32
+
+	// wfMu guards the waits-for graph: the set of blocked requests and the
+	// cached outgoing edges of each. Lock order is stripe.mu before wfMu.
+	wfMu    sync.Mutex
 	waiting map[wal.TxnID][]*waiter // blocked requests, the waits-for graph's nodes
+	edges   map[*waiter][]WaitEdge  // cached outgoing edges per blocked request
+	nEdges  int
+	nWait   int
 	detect  bool
 	timeout time.Duration
 }
@@ -106,19 +143,91 @@ type Manager struct {
 // DefaultTimeout is the lock-wait timeout used when none is configured.
 const DefaultTimeout = 2 * time.Second
 
+// DefaultStripes returns the stripe count used when none is configured:
+// the next power of two at or above 4×GOMAXPROCS, at least 8.
+func DefaultStripes() int {
+	return ceilPow2(4 * runtime.GOMAXPROCS(0))
+}
+
+// ceilPow2 rounds n up to a power of two, clamped to [8, 1024].
+func ceilPow2(n int) int {
+	p := 8
+	for p < n && p < 1024 {
+		p <<= 1
+	}
+	return p
+}
+
 // NewManager returns a lock manager with the given wait timeout
-// (DefaultTimeout if zero).
+// (DefaultTimeout if zero) and the default stripe count.
 func NewManager(timeout time.Duration) *Manager {
+	return NewManagerStripes(timeout, 0)
+}
+
+// NewManagerStripes returns a lock manager with the given wait timeout and
+// stripe count. stripes <= 0 selects DefaultStripes; other values are
+// rounded up to a power of two. Stripes = 1 reproduces the single-mutex
+// manager (for ablations).
+func NewManagerStripes(timeout time.Duration, stripes int) *Manager {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	return &Manager{
-		entries: make(map[lockKey]*entry),
-		held:    make(map[wal.TxnID]map[lockKey]struct{}),
+	n := 1
+	if stripes <= 0 {
+		n = DefaultStripes()
+	} else {
+		for n < stripes {
+			n <<= 1
+		}
+	}
+	m := &Manager{
+		stripes: make([]*stripe, n),
+		mask:    uint32(n - 1),
 		waiting: make(map[wal.TxnID][]*waiter),
+		edges:   make(map[*waiter][]WaitEdge),
 		detect:  true,
 		timeout: timeout,
 	}
+	for i := range m.stripes {
+		m.stripes[i] = &stripe{
+			entries: make(map[lockKey]*entry),
+			held:    make(map[wal.TxnID]map[lockKey]struct{}),
+		}
+	}
+	return m
+}
+
+// stripeOf routes a lock key to its stripe by FNV-1a over table and key.
+func (m *Manager) stripeOf(k lockKey) *stripe {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(k.table))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(k.key))
+	return m.stripes[h.Sum32()&m.mask]
+}
+
+// Stripes returns the number of lock-table stripes.
+func (m *Manager) Stripes() int { return len(m.stripes) }
+
+// StripeStats returns per-stripe contention statistics: entry count, queued
+// requests, total acquisitions routed to the stripe and how many of those
+// had to block. Entries are read per stripe (each stripe consistent, the
+// set as a whole fuzzy, like every other introspection snapshot).
+func (m *Manager) StripeStats() []StripeStat {
+	out := make([]StripeStat, len(m.stripes))
+	for i, s := range m.stripes {
+		s.mu.Lock()
+		n := len(s.entries)
+		s.mu.Unlock()
+		out[i] = StripeStat{
+			Stripe:    i,
+			Entries:   n,
+			Waiters:   int(s.waiters.Load()),
+			Acquires:  s.acquires.Load(),
+			Contended: s.contended.Load(),
+		}
+	}
+	return out
 }
 
 // SetDetection turns the on-block deadlock detector on or off (on by
@@ -126,9 +235,9 @@ func NewManager(timeout time.Duration) *Manager {
 // timeout — the pre-detector behavior, kept for tests and ablations. Call
 // before the manager is shared.
 func (m *Manager) SetDetection(on bool) {
-	m.mu.Lock()
+	m.wfMu.Lock()
 	m.detect = on
-	m.mu.Unlock()
+	m.wfMu.Unlock()
 }
 
 // SetFaults installs a fault registry. Acquire hits the points
@@ -141,7 +250,8 @@ func (m *Manager) SetFaults(reg *fault.Registry) { m.faults = reg }
 // acquisition, "engine.lock.timeout" counts waits resolved by timeout,
 // "engine.lock.deadlock" counts victims aborted by the cycle detector, the
 // "engine.lock.waiting" gauge tracks blocked requests, the
-// "engine.lock.waitsfor.edges" gauge tracks waits-for edges, and the
+// "engine.lock.waitsfor.edges" gauge tracks waits-for edges, the
+// "engine.lock.stripes" gauge reports the stripe count, and the
 // "engine.lock.wait" histogram records the wall time of blocked
 // acquisitions. Call before the manager is shared.
 func (m *Manager) SetObs(reg *obs.Registry) {
@@ -151,6 +261,7 @@ func (m *Manager) SetObs(reg *obs.Registry) {
 	m.mWaiters = reg.Gauge("engine.lock.waiting")
 	m.mEdges = reg.Gauge("engine.lock.waitsfor.edges")
 	m.mWait = reg.Histogram("engine.lock.wait")
+	reg.Gauge("engine.lock.stripes").Set(int64(len(m.stripes)))
 }
 
 // Acquire obtains a lock on (table, key) for txn, blocking until granted or
@@ -170,47 +281,69 @@ func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 	}
 	m.mAcquires.Add(1)
 	k := lockKey{table, key}
-	m.mu.Lock()
-	e := m.entries[k]
+	s := m.stripeOf(k)
+	s.acquires.Add(1)
+	s.mu.Lock()
+	e := s.entries[k]
 	if e == nil {
 		e = &entry{holders: make(map[wal.TxnID]Mode, 1)}
-		m.entries[k] = e
+		s.entries[k] = e
 	}
 	if cur, ok := e.holders[txn]; ok {
 		if cur == Exclusive || mode == Shared {
-			m.mu.Unlock()
+			s.mu.Unlock()
 			return nil // already strong enough
 		}
-		// Upgrade: grant immediately if sole holder.
+		// Upgrade: grant immediately if sole holder. An upgrade can turn a
+		// previously compatible holder incompatible for queued S waiters, so
+		// the entry's cached waits-for edges must be refreshed.
 		if len(e.holders) == 1 {
 			e.holders[txn] = Exclusive
-			m.mu.Unlock()
+			if len(e.queue) > 0 {
+				m.wfMu.Lock()
+				m.syncEntryEdgesLocked(e)
+				m.updateWaitGaugesLocked()
+				m.wfMu.Unlock()
+			}
+			s.mu.Unlock()
 			return nil
 		}
-	} else if m.grantable(e, txn, mode) {
-		m.grant(e, k, txn, mode)
-		m.mu.Unlock()
+	} else if grantable(e, txn, mode) {
+		grant(s, e, k, txn, mode)
+		s.mu.Unlock()
 		return nil
 	}
+	s.contended.Add(1)
 	w := &waiter{txn: txn, mode: mode, ready: make(chan struct{}), key: k, since: time.Now()}
 	e.queue = append(e.queue, w)
-	m.waiting[txn] = append(m.waiting[txn], w)
+	s.waiters.Add(1)
 	// Deadlock detection on block: a new waits-for cycle can only appear when
 	// a transaction blocks (grants and removals only delete edges, and a
 	// transaction has a single outstanding request), so checking here catches
 	// every deadlock the moment it forms. The requester is the victim.
+	// Registering the new waiter's edges and running the DFS happen atomically
+	// under wfMu, so of two cycle halves forming on different stripes the
+	// second to reach wfMu always sees the first.
+	m.wfMu.Lock()
+	m.waiting[txn] = append(m.waiting[txn], w)
+	m.nWait++
+	m.setEdgesLocked(w, edgesOfEntry(e, w))
 	if m.detect {
 		if cycle := m.findCycleLocked(txn); cycle != nil {
-			m.removeWaiterLocked(e, w)
+			m.dropWaiterLocked(w)
 			m.mDeadlocks.Add(1)
 			m.updateWaitGaugesLocked()
-			m.mu.Unlock()
+			m.wfMu.Unlock()
+			removeFromQueue(e, w)
+			s.waiters.Add(-1)
+			s.mu.Unlock()
 			return fmt.Errorf("%w: txn %d requesting %s on %s/%s, cycle %v",
 				ErrDeadlock, txn, mode, table, key, cycle)
 		}
 	}
 	m.updateWaitGaugesLocked()
-	m.mu.Unlock()
+	m.wfMu.Unlock()
+	s.mu.Unlock()
 
 	// Blocked path: record how long the lock wait takes (granted or not).
 	var waitStart time.Time
@@ -230,8 +363,8 @@ func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 		observeWait()
 		return nil
 	case <-timer.C:
-		m.mu.Lock()
-		defer m.mu.Unlock()
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		observeWait()
 		select {
 		case <-w.ready:
@@ -240,21 +373,31 @@ func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 		default:
 		}
 		m.mTimeouts.Add(1)
-		m.removeWaiterLocked(e, w)
+		removeFromQueue(e, w)
+		s.waiters.Add(-1)
+		m.wfMu.Lock()
+		m.dropWaiterLocked(w)
+		m.syncEntryEdgesLocked(e)
 		m.updateWaitGaugesLocked()
+		m.wfMu.Unlock()
 		return fmt.Errorf("%w: txn %d, %s%s", ErrTimeout, txn, table, key)
 	}
 }
 
-// removeWaiterLocked drops w from its entry's queue and from the waits-for
-// bookkeeping. Called with m.mu held.
-func (m *Manager) removeWaiterLocked(e *entry, w *waiter) {
+// removeFromQueue drops w from its entry's queue. Called with the owning
+// stripe's mutex held.
+func removeFromQueue(e *entry, w *waiter) {
 	for i, q := range e.queue {
 		if q == w {
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
 			break
 		}
 	}
+}
+
+// dropWaiterLocked removes w from the waits-for bookkeeping. Called with
+// wfMu held.
+func (m *Manager) dropWaiterLocked(w *waiter) {
 	ws := m.waiting[w.txn]
 	for i, q := range ws {
 		if q == w {
@@ -267,26 +410,45 @@ func (m *Manager) removeWaiterLocked(e *entry, w *waiter) {
 	} else {
 		m.waiting[w.txn] = ws
 	}
+	m.nEdges -= len(m.edges[w])
+	delete(m.edges, w)
+	m.nWait--
+}
+
+// setEdgesLocked installs the cached outgoing edges of w, maintaining the
+// edge count. Called with wfMu held.
+func (m *Manager) setEdgesLocked(w *waiter, es []WaitEdge) {
+	m.nEdges += len(es) - len(m.edges[w])
+	if len(es) == 0 {
+		delete(m.edges, w)
+	} else {
+		m.edges[w] = es
+	}
+}
+
+// syncEntryEdgesLocked recomputes the cached waits-for edges of every
+// request still queued on e after its holders or queue changed. Called with
+// the owning stripe's mutex and wfMu held.
+func (m *Manager) syncEntryEdgesLocked(e *entry) {
+	for _, q := range e.queue {
+		m.setEdgesLocked(q, edgesOfEntry(e, q))
+	}
 }
 
 // updateWaitGaugesLocked refreshes the blocked-request and waits-for edge
-// gauges. Called with m.mu held whenever the waiter set changes.
+// gauges. Called with wfMu held whenever the waiter set changes.
 func (m *Manager) updateWaitGaugesLocked() {
 	if m.mWaiters == nil && m.mEdges == nil {
 		return
 	}
-	n := 0
-	for _, ws := range m.waiting {
-		n += len(ws)
-	}
-	m.mWaiters.Set(int64(n))
-	m.mEdges.Set(int64(m.countEdgesLocked()))
+	m.mWaiters.Set(int64(m.nWait))
+	m.mEdges.Set(int64(m.nEdges))
 }
 
 // grantable reports whether txn may take mode on e right now. Fairness: a
 // new request must also not jump an already-queued conflicting waiter,
 // except that an upgrade request by an existing holder may.
-func (m *Manager) grantable(e *entry, txn wal.TxnID, mode Mode) bool {
+func grantable(e *entry, txn wal.TxnID, mode Mode) bool {
 	for h, hm := range e.holders {
 		if h == txn {
 			continue
@@ -306,21 +468,25 @@ func (m *Manager) grantable(e *entry, txn wal.TxnID, mode Mode) bool {
 	return true
 }
 
-func (m *Manager) grant(e *entry, k lockKey, txn wal.TxnID, mode Mode) {
+// grant records txn as a holder of (k, mode) on e. Called with the owning
+// stripe's mutex held.
+func grant(s *stripe, e *entry, k lockKey, txn wal.TxnID, mode Mode) {
 	if cur, ok := e.holders[txn]; !ok || mode == Exclusive && cur == Shared {
 		e.holders[txn] = mode
 	}
-	hs := m.held[txn]
+	hs := s.held[txn]
 	if hs == nil {
 		hs = make(map[lockKey]struct{}, 8)
-		m.held[txn] = hs
+		s.held[txn] = hs
 	}
 	hs[k] = struct{}{}
 }
 
 // wake grants queued waiters in FIFO order for as long as they are
-// compatible with the holders. Called with m.mu held.
-func (m *Manager) wake(e *entry, k lockKey) {
+// compatible with the holders, updating the waits-for cache for waiters that
+// remain queued. Called with the owning stripe's mutex and wfMu held.
+func (m *Manager) wake(s *stripe, e *entry, k lockKey) {
+	woke := false
 	for len(e.queue) > 0 {
 		w := e.queue[0]
 		ok := true
@@ -337,40 +503,66 @@ func (m *Manager) wake(e *entry, k lockKey) {
 			}
 		}
 		if !ok {
-			return
+			break
 		}
-		m.grant(e, k, w.txn, w.mode)
+		grant(s, e, k, w.txn, w.mode)
+		e.queue = e.queue[1:]
+		s.waiters.Add(-1)
+		m.dropWaiterLocked(w)
 		close(w.ready)
-		m.removeWaiterLocked(e, w)
+		woke = true
+	}
+	if woke || len(e.queue) > 0 {
+		m.syncEntryEdgesLocked(e)
 	}
 }
 
 // ReleaseAll releases every lock held by txn (strict 2PL release at
-// commit/abort) and wakes eligible waiters.
+// commit/abort) and wakes eligible waiters, one stripe at a time.
 func (m *Manager) ReleaseAll(txn wal.TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for k := range m.held[txn] {
-		e := m.entries[k]
-		if e == nil {
+	for _, s := range m.stripes {
+		s.mu.Lock()
+		keys := s.held[txn]
+		if keys == nil {
+			s.mu.Unlock()
 			continue
 		}
-		delete(e.holders, txn)
-		m.wake(e, k)
-		if len(e.holders) == 0 && len(e.queue) == 0 {
-			delete(m.entries, k)
+		touchedGraph := false
+		for k := range keys {
+			e := s.entries[k]
+			if e == nil {
+				continue
+			}
+			delete(e.holders, txn)
+			if len(e.queue) > 0 {
+				// Only contended entries touch the waits-for graph.
+				m.wfMu.Lock()
+				m.wake(s, e, k)
+				m.wfMu.Unlock()
+				touchedGraph = true
+			}
+			if len(e.holders) == 0 && len(e.queue) == 0 {
+				delete(s.entries, k)
+			}
 		}
+		delete(s.held, txn)
+		if touchedGraph {
+			m.wfMu.Lock()
+			m.updateWaitGaugesLocked()
+			m.wfMu.Unlock()
+		}
+		s.mu.Unlock()
 	}
-	delete(m.held, txn)
-	m.updateWaitGaugesLocked()
 }
 
 // Holders returns the transactions currently holding (table, key) and their
 // modes. The map is a copy.
 func (m *Manager) Holders(table, key string) map[wal.TxnID]Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.entries[lockKey{table, key}]
+	k := lockKey{table, key}
+	s := m.stripeOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[k]
 	if e == nil {
 		return nil
 	}
@@ -383,24 +575,33 @@ func (m *Manager) Holders(table, key string) map[wal.TxnID]Mode {
 
 // HeldCount returns the number of locks held by txn.
 func (m *Manager) HeldCount(txn wal.TxnID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.held[txn])
+	n := 0
+	for _, s := range m.stripes {
+		s.mu.Lock()
+		n += len(s.held[txn])
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // TxnsOnTable returns the set of transactions holding at least one lock on
 // the given table. Used by blocking-commit synchronization to drain a table.
 func (m *Manager) TxnsOnTable(table string) []wal.TxnID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	seen := make(map[wal.TxnID]struct{})
-	for txn, keys := range m.held {
-		for k := range keys {
-			if k.table == table {
-				seen[txn] = struct{}{}
-				break
+	for _, s := range m.stripes {
+		s.mu.Lock()
+		for txn, keys := range s.held {
+			if _, dup := seen[txn]; dup {
+				continue
+			}
+			for k := range keys {
+				if k.table == table {
+					seen[txn] = struct{}{}
+					break
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	out := make([]wal.TxnID, 0, len(seen))
 	for t := range seen {

@@ -48,10 +48,12 @@ type WaitsFor struct {
 }
 
 // WaitsFor snapshots the current waits-for graph: every blocked request and
-// every blocking edge, at one instant under the manager lock.
+// every blocking edge, at one instant under wfMu. The stripes maintain the
+// cached edge set eagerly on every queue or holder mutation, so the snapshot
+// needs no stripe mutexes.
 func (m *Manager) WaitsFor() WaitsFor {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.wfMu.Lock()
+	defer m.wfMu.Unlock()
 	g := WaitsFor{At: time.Now()}
 	for _, ws := range m.waiting {
 		for _, w := range ws {
@@ -59,27 +61,40 @@ func (m *Manager) WaitsFor() WaitsFor {
 				Txn: w.txn, Table: w.key.table, Key: w.key.key,
 				Mode: w.mode, Since: w.since,
 			})
-			g.Edges = append(g.Edges, m.edgesOfLocked(w)...)
+			g.Edges = append(g.Edges, m.edges[w]...)
 		}
 	}
-	sort.Slice(g.Waiters, func(i, j int) bool { return g.Waiters[i].Txn < g.Waiters[j].Txn })
+	sort.Slice(g.Waiters, func(i, j int) bool {
+		a, b := g.Waiters[i], g.Waiters[j]
+		if a.Txn != b.Txn {
+			return a.Txn < b.Txn
+		}
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		return a.Key < b.Key
+	})
+	// Full (waiter, holder, table, key) order so repeated snapshots of the
+	// same graph — and the DOT rendering derived from them — diff cleanly.
 	sort.Slice(g.Edges, func(i, j int) bool {
 		a, b := g.Edges[i], g.Edges[j]
 		if a.Waiter != b.Waiter {
 			return a.Waiter < b.Waiter
 		}
-		return a.Holder < b.Holder
+		if a.Holder != b.Holder {
+			return a.Holder < b.Holder
+		}
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		return a.Key < b.Key
 	})
 	return g
 }
 
-// edgesOfLocked computes the outgoing waits-for edges of one blocked request.
-// Called with m.mu held.
-func (m *Manager) edgesOfLocked(w *waiter) []WaitEdge {
-	e := m.entries[w.key]
-	if e == nil {
-		return nil
-	}
+// edgesOfEntry computes the outgoing waits-for edges of one request queued
+// on e. Called with the owning stripe's mutex held.
+func edgesOfEntry(e *entry, w *waiter) []WaitEdge {
 	var out []WaitEdge
 	edge := func(to wal.TxnID, reason string) {
 		out = append(out, WaitEdge{
@@ -106,13 +121,13 @@ func (m *Manager) edgesOfLocked(w *waiter) []WaitEdge {
 	return out
 }
 
-// successorsLocked returns the distinct transactions that txn is waiting on.
-// Called with m.mu held.
+// successorsLocked returns the distinct transactions that txn is waiting on,
+// read from the cached edge sets. Called with wfMu held.
 func (m *Manager) successorsLocked(txn wal.TxnID) []wal.TxnID {
 	seen := make(map[wal.TxnID]struct{})
 	var out []wal.TxnID
 	for _, w := range m.waiting[txn] {
-		for _, e := range m.edgesOfLocked(w) {
+		for _, e := range m.edges[w] {
 			if _, dup := seen[e.Holder]; !dup {
 				seen[e.Holder] = struct{}{}
 				out = append(out, e.Holder)
@@ -126,7 +141,7 @@ func (m *Manager) successorsLocked(txn wal.TxnID) []wal.TxnID {
 // to start and returns the cycle as the transactions along it (start first),
 // or nil. Plain DFS reachability with a visited set: if a node's subtree was
 // exhausted without reaching start, later paths through it cannot reach start
-// either. Called with m.mu held.
+// either. Called with wfMu held.
 func (m *Manager) findCycleLocked(start wal.TxnID) []wal.TxnID {
 	seen := map[wal.TxnID]bool{start: true}
 	path := []wal.TxnID{start}
@@ -149,18 +164,6 @@ func (m *Manager) findCycleLocked(start wal.TxnID) []wal.TxnID {
 		return nil
 	}
 	return dfs(start)
-}
-
-// countEdgesLocked returns the number of edges in the current waits-for
-// graph. Called with m.mu held.
-func (m *Manager) countEdgesLocked() int {
-	n := 0
-	for _, ws := range m.waiting {
-		for _, w := range ws {
-			n += len(m.edgesOfLocked(w))
-		}
-	}
-	return n
 }
 
 // adjacency builds the successor map of the snapshot.
@@ -248,9 +251,11 @@ func (g WaitsFor) InCycle() map[wal.TxnID]bool {
 	return in
 }
 
-// DOT renders the snapshot as a Graphviz digraph. Nodes and edges that are
-// part of a deadlock cycle are drawn red; edge labels carry the contended
-// lock and the requested mode.
+// DOT renders the snapshot as a Graphviz digraph. Nodes are emitted in
+// sorted ID order and edges in the snapshot's (waiter, holder, table, key)
+// order, so two renderings of the same graph are byte-identical. Nodes and
+// edges that are part of a deadlock cycle are drawn red; edge labels carry
+// the contended lock and the requested mode.
 func (g WaitsFor) DOT() string {
 	in := g.InCycle()
 	var b strings.Builder
@@ -302,20 +307,24 @@ type LockInfo struct {
 	Queue   []QueuedLock       `json:"queue,omitempty"`
 }
 
-// SnapshotLocks copies the entire lock table, sorted by (table, key).
+// SnapshotLocks copies the entire lock table, sorted by (table, key). Each
+// stripe is copied under its own mutex; the set as a whole is fuzzy, like
+// every other introspection snapshot.
 func (m *Manager) SnapshotLocks() []LockInfo {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]LockInfo, 0, len(m.entries))
-	for k, e := range m.entries {
-		li := LockInfo{Table: k.table, Key: k.key, Holders: make(map[wal.TxnID]Mode, len(e.holders))}
-		for t, md := range e.holders {
-			li.Holders[t] = md
+	var out []LockInfo
+	for _, s := range m.stripes {
+		s.mu.Lock()
+		for k, e := range s.entries {
+			li := LockInfo{Table: k.table, Key: k.key, Holders: make(map[wal.TxnID]Mode, len(e.holders))}
+			for t, md := range e.holders {
+				li.Holders[t] = md
+			}
+			for _, q := range e.queue {
+				li.Queue = append(li.Queue, QueuedLock{Txn: q.txn, Mode: q.mode, Since: q.since})
+			}
+			out = append(out, li)
 		}
-		for _, q := range e.queue {
-			li.Queue = append(li.Queue, QueuedLock{Txn: q.txn, Mode: q.mode, Since: q.since})
-		}
-		out = append(out, li)
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Table != out[j].Table {
@@ -335,15 +344,17 @@ type HeldLock struct {
 
 // HeldLocks returns the locks held by txn, sorted by (table, key).
 func (m *Manager) HeldLocks(txn wal.TxnID) []HeldLock {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]HeldLock, 0, len(m.held[txn]))
-	for k := range m.held[txn] {
-		mode := Shared
-		if e := m.entries[k]; e != nil {
-			mode = e.holders[txn]
+	var out []HeldLock
+	for _, s := range m.stripes {
+		s.mu.Lock()
+		for k := range s.held[txn] {
+			mode := Shared
+			if e := s.entries[k]; e != nil {
+				mode = e.holders[txn]
+			}
+			out = append(out, HeldLock{Table: k.table, Key: k.key, Mode: mode})
 		}
-		out = append(out, HeldLock{Table: k.table, Key: k.key, Mode: mode})
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Table != out[j].Table {
@@ -357,8 +368,8 @@ func (m *Manager) HeldLocks(txn wal.TxnID) []HeldLock {
 // WaitingOn returns the blocked requests of txn (normally at most one: a
 // transaction runs one operation at a time).
 func (m *Manager) WaitingOn(txn wal.TxnID) []WaitInfo {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.wfMu.Lock()
+	defer m.wfMu.Unlock()
 	var out []WaitInfo
 	for _, w := range m.waiting[txn] {
 		out = append(out, WaitInfo{

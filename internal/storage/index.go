@@ -2,17 +2,23 @@ package storage
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"nbschema/internal/value"
 )
 
 // Index is a hash index over a subset of a table's columns. Unique indexes
 // reject duplicate keys; non-unique indexes map a key to a set of primary
-// keys. Index access is synchronized by the owning table's latch.
+// keys. Each index carries its own mutex — the serialization point for
+// uniqueness checks now that heap partitions latch independently. It is
+// always acquired after the owning partition latch(es).
 type Index struct {
 	name   string
 	cols   []int
 	unique bool
+
+	mu sync.Mutex
 	// entries maps encoded index key → set of encoded primary keys.
 	entries map[string]map[string]struct{}
 }
@@ -20,7 +26,8 @@ type Index struct {
 // CreateIndex adds an index over the given column positions to the table and
 // backfills it from existing rows. The paper's preparation step creates
 // target-table indexes before population so they are up to date when the
-// transformation completes (§3.1).
+// transformation completes (§3.1). The backfill holds every partition latch
+// (taken in ascending order) so the index is exact when published.
 func (t *Table) CreateIndex(name string, cols []int, unique bool) (*Index, error) {
 	for _, c := range cols {
 		if c < 0 || c >= len(t.def.Columns) {
@@ -33,14 +40,24 @@ func (t *Table) CreateIndex(name string, cols []int, unique bool) (*Index, error
 		unique:  unique,
 		entries: make(map[string]map[string]struct{}),
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.ixMu.Lock()
+	defer t.ixMu.Unlock()
 	if _, exists := t.indexes[name]; exists {
 		return nil, fmt.Errorf("storage: table %s already has index %s", t.def.Name, name)
 	}
-	for pk, rec := range t.rows {
-		if err := ix.insert(rec.Row, pk); err != nil {
-			return nil, err
+	for _, p := range t.parts {
+		p.mu.RLock()
+	}
+	defer func() {
+		for _, p := range t.parts {
+			p.mu.RUnlock()
+		}
+	}()
+	for _, p := range t.parts {
+		for pk, rec := range p.rows {
+			if err := ix.insertLocked(rec.Row, pk); err != nil {
+				return nil, err
+			}
 		}
 	}
 	t.indexes[name] = ix
@@ -49,8 +66,8 @@ func (t *Table) CreateIndex(name string, cols []int, unique bool) (*Index, error
 
 // Index returns a previously created index by name, or nil.
 func (t *Table) Index(name string) *Index {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.ixMu.RLock()
+	defer t.ixMu.RUnlock()
 	return t.indexes[name]
 }
 
@@ -58,8 +75,12 @@ func (ix *Index) keyOf(row value.Tuple) string {
 	return row.Project(ix.cols).Encode()
 }
 
-func (ix *Index) insert(row value.Tuple, pk string) error {
+// insertLocked adds (row's index key → pk) under the index mutex, enforcing
+// uniqueness atomically.
+func (ix *Index) insertLocked(row value.Tuple, pk string) error {
 	k := ix.keyOf(row)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	set := ix.entries[k]
 	if set == nil {
 		set = make(map[string]struct{}, 1)
@@ -74,8 +95,10 @@ func (ix *Index) insert(row value.Tuple, pk string) error {
 	return nil
 }
 
-func (ix *Index) remove(row value.Tuple, pk string) {
+func (ix *Index) removeLocked(row value.Tuple, pk string) {
 	k := ix.keyOf(row)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	set := ix.entries[k]
 	delete(set, pk)
 	if len(set) == 0 {
@@ -83,24 +106,42 @@ func (ix *Index) remove(row value.Tuple, pk string) {
 	}
 }
 
-// Lookup returns the rows whose index key equals key, as clones, together
-// with their LSNs. The table latch is taken by the caller-facing wrapper on
-// Table, so use Table.LookupIndex instead of calling this directly.
+// pksOf copies the primary-key set stored under key.
+func (ix *Index) pksOf(key string) []string {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	set := ix.entries[key]
+	out := make([]string, 0, len(set))
+	for pk := range set {
+		out = append(out, pk)
+	}
+	return out
+}
+
+// LookupIndex returns the rows whose index key equals key, as clones,
+// together with their primary keys. The index is read under its own mutex
+// and the rows under their partition latches; between the two, a concurrent
+// writer may move a row, so the result is fuzzy in exactly the way the
+// framework's fuzzy reads are (missing rows are skipped).
 func (t *Table) LookupIndex(name string, key value.Tuple) ([]value.Tuple, []string, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.ixMu.RLock()
 	ix := t.indexes[name]
+	t.ixMu.RUnlock()
 	if ix == nil {
 		return nil, nil, fmt.Errorf("storage: table %s has no index %s", t.def.Name, name)
 	}
-	set := ix.entries[key.Encode()]
-	rows := make([]value.Tuple, 0, len(set))
-	pks := make([]string, 0, len(set))
-	for pk := range set {
-		if rec, ok := t.rows[pk]; ok {
+	pksAll := ix.pksOf(key.Encode())
+	sort.Strings(pksAll)
+	rows := make([]value.Tuple, 0, len(pksAll))
+	pks := make([]string, 0, len(pksAll))
+	for _, pk := range pksAll {
+		p := t.partOf(pk)
+		p.mu.RLock()
+		if rec, ok := p.rows[pk]; ok {
 			rows = append(rows, rec.Row.Clone())
 			pks = append(pks, pk)
 		}
+		p.mu.RUnlock()
 	}
 	return rows, pks, nil
 }
@@ -108,12 +149,14 @@ func (t *Table) LookupIndex(name string, key value.Tuple) ([]value.Tuple, []stri
 // IndexCount returns the number of distinct keys in the named index (for
 // tests and stats); -1 if the index does not exist.
 func (t *Table) IndexCount(name string) int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.ixMu.RLock()
 	ix := t.indexes[name]
+	t.ixMu.RUnlock()
 	if ix == nil {
 		return -1
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	return len(ix.entries)
 }
 
@@ -122,17 +165,20 @@ func (t *Table) IndexCount(name string) int {
 // version during an update). The engine calls this before logging so that a
 // logged operation can never fail to apply.
 func (t *Table) CheckUnique(row value.Tuple, excludeKey string) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.ixMu.RLock()
+	defer t.ixMu.RUnlock()
 	for _, ix := range t.indexes {
 		if !ix.unique {
 			continue
 		}
+		ix.mu.Lock()
 		for pk := range ix.entries[ix.keyOf(row)] {
 			if pk != excludeKey {
+				ix.mu.Unlock()
 				return fmt.Errorf("storage: unique index %s violated by key %s", ix.name, row.Project(ix.cols))
 			}
 		}
+		ix.mu.Unlock()
 	}
 	return nil
 }

@@ -6,11 +6,19 @@
 // isolation (record locks) lives a layer above, in internal/engine. This is
 // exactly the split the paper relies on: a fuzzy read takes no transactional
 // locks but is physically safe.
+//
+// Each heap is split into a power-of-two number of partitions with one
+// RWMutex per partition, so operations on independent keys never contend.
+// Hash indexes carry their own mutex (the uniqueness serialization point).
+// The latch order is: index registry (ixMu) → partition(s), ascending →
+// per-index mutex.
 package storage
 
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"sync"
 
 	"nbschema/internal/catalog"
@@ -34,7 +42,14 @@ type Record struct {
 	LSN wal.LSN
 }
 
-// Table is an in-memory heap table keyed by encoded primary key.
+// partition is one shard of a table's heap.
+type partition struct {
+	mu   sync.RWMutex
+	rows map[string]*Record
+}
+
+// Table is an in-memory heap table keyed by encoded primary key, sharded
+// into partitions by key hash.
 type Table struct {
 	def    *catalog.TableDef
 	faults *fault.Registry
@@ -43,22 +58,86 @@ type Table struct {
 	mInserts, mUpdates, mDeletes *obs.Counter
 	mGets, mFuzzyChunks          *obs.Counter
 
-	mu      sync.RWMutex
-	rows    map[string]*Record
+	parts []*partition
+	mask  uint32
+
+	ixMu    sync.RWMutex
 	indexes map[string]*Index
 }
 
-// NewTable returns an empty table for the given definition.
+// DefaultPartitions returns the heap partition count used when none is
+// configured: the next power of two at or above 2×GOMAXPROCS, at least 8.
+func DefaultPartitions() int {
+	return ceilPow2(2 * runtime.GOMAXPROCS(0))
+}
+
+// ceilPow2 rounds n up to a power of two, clamped to [8, 256].
+func ceilPow2(n int) int {
+	p := 8
+	for p < n && p < 256 {
+		p <<= 1
+	}
+	return p
+}
+
+// NewTable returns an empty table for the given definition with the default
+// partition count.
 func NewTable(def *catalog.TableDef) *Table {
-	return &Table{
+	return NewTablePartitions(def, 0)
+}
+
+// NewTablePartitions returns an empty table with the given heap partition
+// count. parts <= 0 selects DefaultPartitions; other values are rounded up
+// to a power of two. Parts = 1 reproduces the single-latch heap (for
+// ablations).
+func NewTablePartitions(def *catalog.TableDef, parts int) *Table {
+	n := 1
+	if parts <= 0 {
+		n = DefaultPartitions()
+	} else {
+		for n < parts {
+			n <<= 1
+		}
+	}
+	t := &Table{
 		def:     def,
-		rows:    make(map[string]*Record),
+		parts:   make([]*partition, n),
+		mask:    uint32(n - 1),
 		indexes: make(map[string]*Index),
 	}
+	for i := range t.parts {
+		t.parts[i] = &partition{rows: make(map[string]*Record)}
+	}
+	return t
 }
 
 // Def returns the table definition.
 func (t *Table) Def() *catalog.TableDef { return t.def }
+
+// Partitions returns the number of heap partitions.
+func (t *Table) Partitions() int { return len(t.parts) }
+
+// partIndex routes an encoded primary key to its partition index.
+func (t *Table) partIndex(enc string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(enc))
+	return int(h.Sum32() & t.mask)
+}
+
+// partOf routes an encoded primary key to its partition.
+func (t *Table) partOf(enc string) *partition { return t.parts[t.partIndex(enc)] }
+
+// PartitionLens returns the number of rows per partition (for stats and
+// tests).
+func (t *Table) PartitionLens() []int {
+	out := make([]int, len(t.parts))
+	for i, p := range t.parts {
+		p.mu.RLock()
+		out[i] = len(p.rows)
+		p.mu.RUnlock()
+	}
+	return out
+}
 
 // SetFaults installs a fault registry. Insert, Update and Delete hit both a
 // generic point ("storage.insert", ...) and a table-qualified one
@@ -69,14 +148,16 @@ func (t *Table) SetFaults(reg *fault.Registry) { t.faults = reg }
 
 // SetObs wires the table's storage-operation counters: "storage.insert",
 // "storage.update", "storage.delete", "storage.get" count the respective
-// record operations across all tables, and "storage.fuzzy.chunk" counts the
-// chunks delivered by fuzzy scans. Call before the table is shared.
+// record operations across all tables, "storage.fuzzy.chunk" counts the
+// chunks delivered by fuzzy scans, and the "storage.partitions" gauge
+// reports the per-table partition count. Call before the table is shared.
 func (t *Table) SetObs(reg *obs.Registry) {
 	t.mInserts = reg.Counter("storage.insert")
 	t.mUpdates = reg.Counter("storage.update")
 	t.mDeletes = reg.Counter("storage.delete")
 	t.mGets = reg.Counter("storage.get")
 	t.mFuzzyChunks = reg.Counter("storage.fuzzy.chunk")
+	reg.Gauge("storage.partitions").Set(int64(len(t.parts)))
 }
 
 // faultHit fires the generic and table-qualified fault points for op. The
@@ -93,9 +174,13 @@ func (t *Table) faultHit(op string) error {
 
 // Len returns the number of stored records.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
+	n := 0
+	for _, p := range t.parts {
+		p.mu.RLock()
+		n += len(p.rows)
+		p.mu.RUnlock()
+	}
+	return n
 }
 
 // EncodeKey encodes a primary-key tuple the way this table keys its rows.
@@ -111,23 +196,26 @@ func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
 	}
 	t.mInserts.Add(1)
 	key := t.KeyOfRow(row)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, exists := t.rows[key]; exists {
+	t.ixMu.RLock()
+	defer t.ixMu.RUnlock()
+	p := t.partOf(key)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.rows[key]; exists {
 		return fmt.Errorf("%w: %s in table %s", ErrDuplicateKey, t.def.KeyOf(row), t.def.Name)
 	}
 	rec := &Record{Row: row.Clone(), LSN: lsn}
-	t.rows[key] = rec
+	p.rows[key] = rec
 	for _, ix := range t.indexes {
-		if err := ix.insert(rec.Row, key); err != nil {
+		if err := ix.insertLocked(rec.Row, key); err != nil {
 			// Roll the partial insert back so storage stays consistent.
 			for _, ix2 := range t.indexes {
 				if ix2 == ix {
 					break
 				}
-				ix2.remove(rec.Row, key)
+				ix2.removeLocked(rec.Row, key)
 			}
-			delete(t.rows, key)
+			delete(p.rows, key)
 			return err
 		}
 	}
@@ -137,9 +225,10 @@ func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
 // Get returns a copy of the record stored under key, or ErrNotFound.
 func (t *Table) Get(key value.Tuple) (value.Tuple, wal.LSN, error) {
 	t.mGets.Add(1)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	rec, ok := t.rows[key.Encode()]
+	p := t.partOf(key.Encode())
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	rec, ok := p.rows[key.Encode()]
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
 	}
@@ -148,7 +237,8 @@ func (t *Table) Get(key value.Tuple) (value.Tuple, wal.LSN, error) {
 
 // Update overwrites the values of the given column positions and sets the
 // record LSN. It returns the updated full row. If the primary key changes,
-// the record is re-keyed.
+// the record is re-keyed, which may move it to another partition; both
+// partitions are then latched in ascending order.
 func (t *Table) Update(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LSN) (value.Tuple, error) {
 	if err := t.faultHit("update"); err != nil {
 		return nil, err
@@ -158,50 +248,124 @@ func (t *Table) Update(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LS
 		return nil, fmt.Errorf("storage: update arity mismatch: %d cols, %d vals", len(cols), len(vals))
 	}
 	enc := key.Encode()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	rec, ok := t.rows[enc]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
-	}
-	newRow := rec.Row.Clone()
-	for i, c := range cols {
-		if c < 0 || c >= len(newRow) {
-			return nil, fmt.Errorf("storage: update of table %s: column %d out of range", t.def.Name, c)
+	t.ixMu.RLock()
+	defer t.ixMu.RUnlock()
+	pi := t.partIndex(enc)
+	p := t.parts[pi]
+	p.mu.Lock()
+	for {
+		rec, ok := p.rows[enc]
+		if !ok {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
 		}
-		newRow[c] = vals[i]
-	}
-	newEnc := t.KeyOfRow(newRow)
-	if newEnc != enc {
-		if _, exists := t.rows[newEnc]; exists {
-			return nil, fmt.Errorf("%w: update re-keys %s onto existing %s", ErrDuplicateKey, key, t.def.KeyOf(newRow))
+		newRow := rec.Row.Clone()
+		for i, c := range cols {
+			if c < 0 || c >= len(newRow) {
+				p.mu.Unlock()
+				return nil, fmt.Errorf("storage: update of table %s: column %d out of range", t.def.Name, c)
+			}
+			newRow[c] = vals[i]
 		}
-	}
-	for _, ix := range t.indexes {
-		ix.remove(rec.Row, enc)
-	}
-	rec.Row = newRow
-	rec.LSN = lsn
-	if newEnc != enc {
-		delete(t.rows, enc)
-		t.rows[newEnc] = rec
-		enc = newEnc
-	}
-	for _, ix := range t.indexes {
-		if err := ix.insert(rec.Row, enc); err != nil {
-			return nil, err
+		newEnc := t.KeyOfRow(newRow)
+		qi := t.partIndex(newEnc)
+		q := t.parts[qi]
+		if qi != pi {
+			// Latch the target partition respecting ascending order. When it
+			// sorts below the source, drop and retake both and re-validate:
+			// the record may have been mutated while unlatched (the caller's
+			// record lock normally prevents that, but storage stays correct
+			// without relying on it).
+			if qi > pi {
+				q.mu.Lock()
+			} else {
+				p.mu.Unlock()
+				q.mu.Lock()
+				p.mu.Lock()
+				cur, ok := p.rows[enc]
+				if !ok || cur != rec {
+					q.mu.Unlock()
+					continue // restart against the fresh record
+				}
+				// Recompute the new row under both latches in case the record
+				// changed while unlatched; restart if the target moved.
+				newRow = rec.Row.Clone()
+				for i, c := range cols {
+					newRow[c] = vals[i]
+				}
+				newEnc = t.KeyOfRow(newRow)
+				if t.partIndex(newEnc) != qi {
+					q.mu.Unlock()
+					continue
+				}
+			}
+			if _, exists := q.rows[newEnc]; exists {
+				q.mu.Unlock()
+				p.mu.Unlock()
+				return nil, fmt.Errorf("%w: update re-keys %s onto existing %s", ErrDuplicateKey, key, t.def.KeyOf(newRow))
+			}
+			for _, ix := range t.indexes {
+				ix.removeLocked(rec.Row, enc)
+			}
+			rec.Row = newRow
+			rec.LSN = lsn
+			delete(p.rows, enc)
+			q.rows[newEnc] = rec
+			var ixErr error
+			for _, ix := range t.indexes {
+				if err := ix.insertLocked(rec.Row, newEnc); err != nil {
+					ixErr = err
+					break
+				}
+			}
+			q.mu.Unlock()
+			p.mu.Unlock()
+			if ixErr != nil {
+				return nil, ixErr
+			}
+			return newRow.Clone(), nil
 		}
+		// Same-partition path (covers the common no-re-key case).
+		if newEnc != enc {
+			if _, exists := p.rows[newEnc]; exists {
+				p.mu.Unlock()
+				return nil, fmt.Errorf("%w: update re-keys %s onto existing %s", ErrDuplicateKey, key, t.def.KeyOf(newRow))
+			}
+		}
+		for _, ix := range t.indexes {
+			ix.removeLocked(rec.Row, enc)
+		}
+		rec.Row = newRow
+		rec.LSN = lsn
+		if newEnc != enc {
+			delete(p.rows, enc)
+			p.rows[newEnc] = rec
+			enc = newEnc
+		}
+		var ixErr error
+		for _, ix := range t.indexes {
+			if err := ix.insertLocked(rec.Row, enc); err != nil {
+				ixErr = err
+				break
+			}
+		}
+		p.mu.Unlock()
+		if ixErr != nil {
+			return nil, ixErr
+		}
+		return newRow.Clone(), nil
 	}
-	return newRow.Clone(), nil
 }
 
 // SetLSN bumps only the state identifier of an existing record. Split
 // propagation rule 10 requires this ("The LSN is changed even if no
 // attribute values ... are updated").
 func (t *Table) SetLSN(key value.Tuple, lsn wal.LSN) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	rec, ok := t.rows[key.Encode()]
+	enc := key.Encode()
+	p := t.partOf(enc)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.rows[enc]
 	if !ok {
 		return fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
 	}
@@ -216,29 +380,35 @@ func (t *Table) Delete(key value.Tuple) (value.Tuple, error) {
 	}
 	t.mDeletes.Add(1)
 	enc := key.Encode()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	rec, ok := t.rows[enc]
+	t.ixMu.RLock()
+	defer t.ixMu.RUnlock()
+	p := t.partOf(enc)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.rows[enc]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
 	}
 	for _, ix := range t.indexes {
-		ix.remove(rec.Row, enc)
+		ix.removeLocked(rec.Row, enc)
 	}
-	delete(t.rows, enc)
+	delete(p.rows, enc)
 	return rec.Row, nil
 }
 
-// Scan calls fn for every record under a read latch, in unspecified order.
-// fn must not modify the table. The row passed to fn is the live tuple; fn
-// must clone it if it retains it.
+// Scan calls fn for every record under a read latch, one partition at a
+// time, in unspecified order. fn must not modify the table. The row passed
+// to fn is the live tuple; fn must clone it if it retains it.
 func (t *Table) Scan(fn func(row value.Tuple, lsn wal.LSN) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, rec := range t.rows {
-		if !fn(rec.Row, rec.LSN) {
-			return
+	for _, p := range t.parts {
+		p.mu.RLock()
+		for _, rec := range p.rows {
+			if !fn(rec.Row, rec.LSN) {
+				p.mu.RUnlock()
+				return
+			}
 		}
+		p.mu.RUnlock()
 	}
 }
 
@@ -247,58 +417,54 @@ func (t *Table) Scan(fn func(row value.Tuple, lsn wal.LSN) bool) {
 // versions from before and during the scan, exactly the fuzziness the
 // framework's log propagation repairs. chunk <= 0 selects a default.
 func (t *Table) FuzzyScan(chunk int, fn func(row value.Tuple, lsn wal.LSN)) {
-	if chunk <= 0 {
-		chunk = 256
-	}
-	// Snapshot the key set first; records inserted after this point are
-	// missed (repaired by log propagation), records deleted after this
-	// point are skipped.
-	t.mu.RLock()
-	keys := make([]string, 0, len(t.rows))
-	for k := range t.rows {
-		keys = append(keys, k)
-	}
-	t.mu.RUnlock()
-
-	for start := 0; start < len(keys); start += chunk {
-		end := min(start+chunk, len(keys))
-		t.mFuzzyChunks.Add(1)
-		t.mu.RLock()
-		for _, k := range keys[start:end] {
-			if rec, ok := t.rows[k]; ok {
-				fn(rec.Row.Clone(), rec.LSN)
+	for pi := range t.parts {
+		t.FuzzyScanPartition(pi, chunk, func(rows []Record) {
+			for _, rec := range rows {
+				fn(rec.Row, rec.LSN)
 			}
-		}
-		t.mu.RUnlock()
+		})
 	}
 }
 
 // FuzzyScanChunks is FuzzyScan's batch form: each chunk of rows is copied
-// out under the latch and delivered to fn with no latch held, so fn may
-// block (e.g. a priority-throttle sleep) without stalling writers.
+// out under the partition latch and delivered to fn with no latch held, so
+// fn may block (e.g. a priority-throttle sleep) without stalling writers.
 func (t *Table) FuzzyScanChunks(chunk int, fn func(rows []Record)) {
+	for pi := range t.parts {
+		t.FuzzyScanPartition(pi, chunk, fn)
+	}
+}
+
+// FuzzyScanPartition fuzzy-scans a single heap partition in chunks.
+// Different partitions can be scanned concurrently from different
+// goroutines — that is how parallel initial population divides its work.
+func (t *Table) FuzzyScanPartition(pi int, chunk int, fn func(rows []Record)) {
 	if chunk <= 0 {
 		chunk = 256
 	}
-	t.mu.RLock()
-	keys := make([]string, 0, len(t.rows))
-	for k := range t.rows {
+	p := t.parts[pi]
+	// Snapshot the key set first; records inserted after this point are
+	// missed (repaired by log propagation), records deleted after this
+	// point are skipped.
+	p.mu.RLock()
+	keys := make([]string, 0, len(p.rows))
+	for k := range p.rows {
 		keys = append(keys, k)
 	}
-	t.mu.RUnlock()
+	p.mu.RUnlock()
 
 	buf := make([]Record, 0, chunk)
 	for start := 0; start < len(keys); start += chunk {
 		end := min(start+chunk, len(keys))
 		t.mFuzzyChunks.Add(1)
 		buf = buf[:0]
-		t.mu.RLock()
+		p.mu.RLock()
 		for _, k := range keys[start:end] {
-			if rec, ok := t.rows[k]; ok {
+			if rec, ok := p.rows[k]; ok {
 				buf = append(buf, Record{Row: rec.Row.Clone(), LSN: rec.LSN})
 			}
 		}
-		t.mu.RUnlock()
+		p.mu.RUnlock()
 		fn(buf)
 	}
 }
@@ -306,11 +472,13 @@ func (t *Table) FuzzyScanChunks(chunk int, fn func(rows []Record)) {
 // Rows returns a deep copy of all rows keyed by encoded primary key
 // (for tests and verification).
 func (t *Table) Rows() map[string]value.Tuple {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make(map[string]value.Tuple, len(t.rows))
-	for k, rec := range t.rows {
-		out[k] = rec.Row.Clone()
+	out := make(map[string]value.Tuple, t.Len())
+	for _, p := range t.parts {
+		p.mu.RLock()
+		for k, rec := range p.rows {
+			out[k] = rec.Row.Clone()
+		}
+		p.mu.RUnlock()
 	}
 	return out
 }

@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"nbschema/internal/obs"
+	"nbschema/internal/value"
+)
+
+// TestGroupCommitDenseLSNsUnderConcurrency: any number of concurrent appends
+// through the group-commit path yields exactly the serial log's invariants —
+// dense LSNs 1..N, each returned LSN resolving to the record that was
+// appended, and monotonically increasing LSNs per appending goroutine.
+func TestGroupCommitDenseLSNsUnderConcurrency(t *testing.T) {
+	const goroutines = 16
+	const perG = 200
+	l := NewLogGroup(0)
+	reg := obs.NewRegistry()
+	l.SetObs(reg)
+
+	lsns := make([][]LSN, goroutines)
+	recs := make([][]*Record, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		lsns[g] = make([]LSN, perG)
+		recs[g] = make([]*Record, perG)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				rec := &Record{Type: TypeInsert, Txn: TxnID(g + 1), Table: "t",
+					Key: value.Tuple{value.Int(int64(g*perG + i))}}
+				recs[g][i] = rec
+				lsns[g][i] = l.Append(rec)
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := goroutines * perG
+	if l.Len() != total {
+		t.Fatalf("Len = %d, want %d", l.Len(), total)
+	}
+	seen := make(map[LSN]bool, total)
+	for g := range lsns {
+		prev := LSN(0)
+		for i, lsn := range lsns[g] {
+			if lsn == 0 || lsn > LSN(total) {
+				t.Fatalf("goroutine %d append %d: LSN %d out of range", g, i, lsn)
+			}
+			if lsn <= prev {
+				t.Fatalf("goroutine %d: LSN %d not after %d — per-caller monotonicity broken", g, lsn, prev)
+			}
+			prev = lsn
+			if seen[lsn] {
+				t.Fatalf("LSN %d assigned twice", lsn)
+			}
+			seen[lsn] = true
+			got, err := l.Get(lsn)
+			if err != nil {
+				t.Fatalf("Get(%d): %v", lsn, err)
+			}
+			if got != recs[g][i] {
+				t.Fatalf("LSN %d resolves to a different record", lsn)
+			}
+			if got.LSN != lsn {
+				t.Fatalf("record self-LSN %d != returned %d", got.LSN, lsn)
+			}
+		}
+	}
+	// Density: every LSN in 1..total was assigned exactly once.
+	if len(seen) != total {
+		t.Fatalf("assigned %d distinct LSNs, want %d", len(seen), total)
+	}
+	s := reg.Snapshot()
+	if s.Counters["wal.group.records"] != int64(total) {
+		t.Errorf("wal.group.records = %d, want %d", s.Counters["wal.group.records"], total)
+	}
+	batches := s.Counters["wal.group.batch"]
+	if batches == 0 || batches > int64(total) {
+		t.Errorf("wal.group.batch = %d, want in [1, %d]", batches, total)
+	}
+}
+
+// TestGroupCommitBatchOneIsSerial: batch cap 1 must take the direct path and
+// behave exactly like the pre-group-commit log.
+func TestGroupCommitBatchOneIsSerial(t *testing.T) {
+	l := NewLogGroup(1)
+	if got := l.GroupCommitBatch(); got != 1 {
+		t.Fatalf("GroupCommitBatch = %d, want 1", got)
+	}
+	for i := 1; i <= 10; i++ {
+		if lsn := l.Append(&Record{Type: TypeBegin, Txn: TxnID(i)}); lsn != LSN(i) {
+			t.Fatalf("append %d got LSN %d", i, lsn)
+		}
+	}
+}
+
+// TestGroupCommitSurvivesTornTailMidBatch: a log written by concurrent
+// group-committed appends, then torn mid-frame (the crash-during-append
+// shape), must recover leniently to the dense valid prefix — group commit
+// cannot weaken the lenient-restart invariants.
+func TestGroupCommitSurvivesTornTailMidBatch(t *testing.T) {
+	l := NewLogGroup(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				l.Append(&Record{Type: TypeInsert, Txn: TxnID(g + 1), Table: "t",
+					Key: value.Tuple{value.Int(int64(g*25 + i))},
+					Row: value.Tuple{value.Int(int64(g*25 + i)), value.Str("payload")}})
+			}
+		}()
+	}
+	wg.Wait()
+
+	var buf strings.Builder
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	data := buf.String()
+
+	// Tear the tail at an arbitrary byte boundary inside the last frames —
+	// several cut points to cover torn-length and torn-payload shapes.
+	for _, back := range []int{1, 7, 31, 64} {
+		if back >= len(data) {
+			continue
+		}
+		torn := data[:len(data)-back]
+		rl, cut, err := ReadLogLenient(strings.NewReader(torn))
+		if err != nil {
+			t.Fatalf("cut %d: lenient read failed: %v", back, err)
+		}
+		if cut == nil {
+			t.Fatalf("cut %d: no corruption reported for torn tail", back)
+		}
+		if !cut.Torn() {
+			t.Errorf("cut %d: corruption not classified as torn tail", back)
+		}
+		n := rl.Len()
+		if n >= l.Len() || n == 0 {
+			t.Fatalf("cut %d: recovered %d records, want a proper non-empty prefix of %d", back, n, l.Len())
+		}
+		// The recovered prefix must be dense and byte-identical to the
+		// original records.
+		for i := 1; i <= n; i++ {
+			got, err := rl.Get(LSN(i))
+			if err != nil {
+				t.Fatalf("cut %d: Get(%d): %v", back, i, err)
+			}
+			want, _ := l.Get(LSN(i))
+			if got.LSN != LSN(i) || got.Txn != want.Txn || !got.Key.Equal(want.Key) {
+				t.Fatalf("cut %d: record %d differs after lenient recovery", back, i)
+			}
+		}
+	}
+}

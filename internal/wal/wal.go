@@ -7,6 +7,7 @@ package wal
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"nbschema/internal/fault"
@@ -135,22 +136,65 @@ func (r *Record) OpType() Type {
 	return r.Type
 }
 
-// Log is an in-memory, append-only sequential log, safe for one writer at a
-// time and any number of concurrent readers. The zero value is not usable;
-// call NewLog.
+// pendingAppend is one record staged for group commit: done is closed when
+// the record's batch has been flushed (its LSN is then assigned), lead is
+// closed to hand the staging goroutine leadership of the next batch.
+type pendingAppend struct {
+	rec  *Record
+	done chan struct{}
+	lead chan struct{}
+}
+
+// Log is an in-memory, append-only sequential log, safe for any number of
+// concurrent writers and readers. Appends group-commit: concurrent appends
+// stage into a batch, one of the appending goroutines becomes the batch
+// leader, assigns contiguous LSNs to the whole batch under the log mutex at
+// once and wakes the others — the in-memory analog of amortizing fsyncs.
+// Every Append still blocks until its record's batch is flushed and returns
+// the assigned LSN, so LSN monotonicity, CLR ordering and the dense-LSN
+// restart invariant are exactly as in the serial log. The zero value is not
+// usable; call NewLog.
 type Log struct {
 	faults *fault.Registry
 
 	// Metric handles (nil when observability is off; nil handles are no-ops).
 	mAppends, mFlushes, mFlushBytes *obs.Counter
+	mGroupBatches, mGroupRecords    *obs.Counter
 
 	mu   sync.RWMutex
 	recs []*Record
+
+	// Group-commit staging area. gcBatch is the batch cap; 1 selects the
+	// direct (serial) append path.
+	gcMu     sync.Mutex
+	staged   []*pendingAppend
+	gcActive bool
+	gcBatch  int
 }
 
-// NewLog returns an empty log.
+// DefaultGroupCommit returns the group-commit batch cap used when none is
+// configured: 4×GOMAXPROCS, at least 8.
+func DefaultGroupCommit() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// NewLog returns an empty log with the default group-commit batch cap.
 func NewLog() *Log {
-	return &Log{}
+	return NewLogGroup(0)
+}
+
+// NewLogGroup returns an empty log with the given group-commit batch cap.
+// batch <= 0 selects DefaultGroupCommit; batch = 1 disables group commit
+// (every append takes the log mutex itself — for ablations).
+func NewLogGroup(batch int) *Log {
+	if batch <= 0 {
+		batch = DefaultGroupCommit()
+	}
+	return &Log{gcBatch: batch}
 }
 
 // SetFaults installs a fault registry. The log exposes the point
@@ -167,18 +211,102 @@ func (l *Log) SetObs(reg *obs.Registry) {
 	l.mAppends = reg.Counter("wal.append")
 	l.mFlushes = reg.Counter("wal.flush")
 	l.mFlushBytes = reg.Counter("wal.flush.bytes")
+	l.mGroupBatches = reg.Counter("wal.group.batch")
+	l.mGroupRecords = reg.Counter("wal.group.records")
 }
 
-// Append assigns the next LSN to rec, stores it, and returns the LSN.
+// SetGroupCommit sets the group-commit batch cap (0 selects
+// DefaultGroupCommit, 1 disables group commit). Call before the log is
+// shared — restart uses it to re-apply the configured cap to an adopted log.
+func (l *Log) SetGroupCommit(batch int) {
+	if batch <= 0 {
+		batch = DefaultGroupCommit()
+	}
+	l.gcBatch = batch
+}
+
+// GroupCommitBatch returns the configured batch cap (1 when group commit is
+// disabled).
+func (l *Log) GroupCommitBatch() int {
+	if l.gcBatch <= 1 {
+		return 1
+	}
+	return l.gcBatch
+}
+
+// Append assigns the next LSN to rec, stores it, and returns the LSN. With
+// group commit enabled the record is staged and flushed together with other
+// concurrent appends; the call returns once its batch is flushed.
 func (l *Log) Append(rec *Record) LSN {
 	_ = l.faults.Hit("wal.append")
 	l.mAppends.Add(1)
+	if l.gcBatch <= 1 {
+		l.mu.Lock()
+		rec.LSN = LSN(len(l.recs) + 1)
+		l.recs = append(l.recs, rec)
+		lsn := rec.LSN
+		l.mu.Unlock()
+		return lsn
+	}
+	p := &pendingAppend{rec: rec, done: make(chan struct{}), lead: make(chan struct{})}
+	l.gcMu.Lock()
+	l.staged = append(l.staged, p)
+	isLeader := !l.gcActive
+	if isLeader {
+		l.gcActive = true
+	}
+	l.gcMu.Unlock()
+	if isLeader {
+		// No batch was in flight, so p is the staging head and is flushed in
+		// the batch this call leads.
+		l.leadBatch()
+		return p.rec.LSN
+	}
+	select {
+	case <-p.done:
+		return p.rec.LSN
+	case <-p.lead:
+		// Promoted: p is the staging head of the next batch.
+		l.leadBatch()
+		return p.rec.LSN
+	}
+}
+
+// leadBatch drains one batch from the staging area: assigns contiguous LSNs
+// in arrival order under the log mutex, wakes the batch's stagers, then
+// either hands leadership to the next staged append or retires. Bounding
+// each leader to one batch keeps append latency fair under load.
+func (l *Log) leadBatch() {
+	l.gcMu.Lock()
+	n := len(l.staged)
+	if n > l.gcBatch {
+		n = l.gcBatch
+	}
+	batch := l.staged[:n:n]
+	l.staged = append([]*pendingAppend(nil), l.staged[n:]...)
+	l.gcMu.Unlock()
+
 	l.mu.Lock()
-	rec.LSN = LSN(len(l.recs) + 1)
-	l.recs = append(l.recs, rec)
-	lsn := rec.LSN
+	for _, p := range batch {
+		p.rec.LSN = LSN(len(l.recs) + 1)
+		l.recs = append(l.recs, p.rec)
+	}
 	l.mu.Unlock()
-	return lsn
+	l.mGroupBatches.Add(1)
+	l.mGroupRecords.Add(int64(n))
+	for _, p := range batch {
+		close(p.done)
+	}
+
+	l.gcMu.Lock()
+	if len(l.staged) > 0 {
+		next := l.staged[0]
+		l.gcMu.Unlock()
+		close(next.lead)
+		return
+	}
+	l.gcActive = false
+	l.gcMu.Unlock()
 }
 
 // End returns the highest LSN assigned so far (0 for an empty log).

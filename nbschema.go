@@ -97,16 +97,45 @@ type Options struct {
 	// a bounded slow-transaction log (served under /debug/txns). 0 selects
 	// 100ms; negative disables the log.
 	SlowTxnThreshold time.Duration
+	// LockStripes overrides the lock manager's stripe count. Requests are
+	// routed to a stripe by (table, key) hash; each stripe has its own mutex
+	// and wait queues, so disjoint working sets never contend on a global
+	// lock-table latch. 0 derives the count from GOMAXPROCS (rounded to a
+	// power of two); 1 reproduces the single-mutex manager — the serial
+	// ablation.
+	LockStripes int
+	// StoragePartitions overrides the number of heap partitions per table.
+	// Rows are routed to a partition by primary-key hash; each partition has
+	// its own read-write latch, and fuzzy scans visit partitions
+	// independently (which is also what parallel initial population divides
+	// its work by). 0 derives the count from GOMAXPROCS (rounded to a power
+	// of two); 1 keeps one latch per table.
+	StoragePartitions int
+	// GroupCommit overrides the WAL group-commit batch cap: concurrent
+	// appends stage into a batch whose leader assigns contiguous LSNs for
+	// the whole batch under one log-mutex acquisition. 0 derives the cap
+	// from GOMAXPROCS; 1 disables group commit (every append takes the log
+	// mutex itself).
+	GroupCommit int
+	// PropagateWorkers sets the database-wide default worker count
+	// transformations use for parallel initial population and parallel log
+	// propagation. 0 selects GOMAXPROCS capped at 16; 1 runs
+	// transformations serially. TransformOptions.PropagateWorkers overrides
+	// it per transformation.
+	PropagateWorkers int
 }
 
 func (o Options) engineOptions() engine.Options {
 	return engine.Options{
-		LockTimeout:      o.LockTimeout,
-		Faults:           o.Faults,
-		LenientWAL:       o.LenientWAL,
-		Obs:              o.Metrics,
-		TxnHistory:       o.TxnHistory,
-		SlowTxnThreshold: o.SlowTxnThreshold,
+		LockTimeout:       o.LockTimeout,
+		Faults:            o.Faults,
+		LenientWAL:        o.LenientWAL,
+		Obs:               o.Metrics,
+		TxnHistory:        o.TxnHistory,
+		SlowTxnThreshold:  o.SlowTxnThreshold,
+		LockStripes:       o.LockStripes,
+		StoragePartitions: o.StoragePartitions,
+		GroupCommit:       o.GroupCommit,
 	}
 }
 
@@ -131,6 +160,9 @@ func MetricsHandler(reg *MetricsRegistry) http.Handler { return obs.Handler(reg)
 // transformations.
 type DB struct {
 	eng *engine.DB
+	// propagateWorkers is the database-wide default for
+	// TransformOptions.PropagateWorkers (0 = core's automatic default).
+	propagateWorkers int
 
 	trMu       sync.Mutex
 	transforms []*Transformation
@@ -142,7 +174,7 @@ func Open(opts ...Options) *DB {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return &DB{eng: engine.New(o.engineOptions())}
+	return &DB{eng: engine.New(o.engineOptions()), propagateWorkers: o.PropagateWorkers}
 }
 
 // Engine exposes the underlying engine for advanced integration (workload

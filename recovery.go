@@ -102,7 +102,7 @@ func Restart(r io.Reader, tables []TableSpec, opts ...Options) (*DB, *WALCorrupt
 	if err != nil {
 		return nil, nil, err
 	}
-	return &DB{eng: eng}, cut, nil
+	return &DB{eng: eng, propagateWorkers: o.PropagateWorkers}, cut, nil
 }
 
 // Recover cleans up a schema transformation interrupted by a crash: target

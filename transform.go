@@ -117,13 +117,19 @@ type TransformOptions struct {
 	KeepSources bool
 	// MaxIterations bounds propagation cycles (0 = unlimited).
 	MaxIterations int
+	// PropagateWorkers is the number of workers used for parallel initial
+	// population and (for operators that support it) parallel log
+	// propagation of independent-key batches. 0 inherits the database-wide
+	// Options.PropagateWorkers (itself defaulting to GOMAXPROCS, capped at
+	// 16); 1 runs population and propagation serially.
+	PropagateWorkers int
 	// Trace streams the transformation's structured trace events to a
 	// custom sink as they happen, in addition to the bounded in-memory ring
 	// readable via Transformation.Trace. Nil keeps just the ring.
 	Trace TraceSink
 }
 
-func (o TransformOptions) config() core.Config {
+func (o TransformOptions) config(db *DB) core.Config {
 	cfg := core.Config{
 		Priority:         o.Priority,
 		Strategy:         o.Strategy,
@@ -131,7 +137,11 @@ func (o TransformOptions) config() core.Config {
 		KeepSources:      o.KeepSources,
 		MaxIterations:    o.MaxIterations,
 		StallTimeout:     o.StallTimeout,
+		PropagateWorkers: o.PropagateWorkers,
 		Sink:             o.Trace,
+	}
+	if cfg.PropagateWorkers == 0 {
+		cfg.PropagateWorkers = db.propagateWorkers
 	}
 	if o.AbortOnStall {
 		cfg.StallPolicy = core.StallAbort
@@ -148,7 +158,7 @@ func (o TransformOptions) config() core.Config {
 // FullOuterJoin prepares a non-blocking full outer join transformation.
 // Nothing runs until Transformation.Run is called.
 func (db *DB) FullOuterJoin(spec JoinSpec, opts TransformOptions) (*Transformation, error) {
-	tr, err := core.NewFullOuterJoin(db.eng, spec, opts.config())
+	tr, err := core.NewFullOuterJoin(db.eng, spec, opts.config(db))
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +168,7 @@ func (db *DB) FullOuterJoin(spec JoinSpec, opts TransformOptions) (*Transformati
 
 // Split prepares a non-blocking vertical split transformation.
 func (db *DB) Split(spec SplitSpec, opts TransformOptions) (*Transformation, error) {
-	tr, err := core.NewSplit(db.eng, spec, opts.config())
+	tr, err := core.NewSplit(db.eng, spec, opts.config(db))
 	if err != nil {
 		return nil, err
 	}
