@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+func TestFigureCompactionSmoke(t *testing.T) {
+	p := tiny()
+	p.InsertFrac = 0.3
+	res, rep, err := FigureCompaction(p)
+	if err != nil {
+		t.Fatalf("FigureCompaction: %v", err)
+	}
+	if len(rep.Arms) != 2 || rep.Arms[0].Mode != "off" || rep.Arms[1].Mode != "on" {
+		t.Fatalf("arms = %+v, want [off on]", rep.Arms)
+	}
+	for _, arm := range rep.Arms {
+		if arm.RecordsApplied == 0 || arm.PropagationMs <= 0 {
+			t.Errorf("arm %s measured nothing: %+v", arm.Mode, arm)
+		}
+	}
+	off, on := rep.Arms[0], rep.Arms[1]
+	// The tiny config is too noisy to pin the full 3x/30% acceptance ratios
+	// (the committed BENCH_workload.json records those at default scale),
+	// but compaction must at least apply fewer records than raw replay and
+	// account scanned >= applied.
+	if on.RecordsApplied >= off.RecordsApplied {
+		t.Errorf("compacted arm applied %d records, raw arm %d — no reduction",
+			on.RecordsApplied, off.RecordsApplied)
+	}
+	if on.RecordsScanned < on.RecordsApplied {
+		t.Errorf("compacted arm scanned %d < applied %d", on.RecordsScanned, on.RecordsApplied)
+	}
+	if on.CompactRatio <= 1 {
+		t.Errorf("compact ratio %v, want > 1", on.CompactRatio)
+	}
+	if off.CompactRatio != 0 {
+		t.Errorf("raw arm has a compact ratio: %v", off.CompactRatio)
+	}
+	if !rep.ImagesEqual {
+		t.Error("scripted-history target images differ between modes")
+	}
+	if res.Figure != "compaction" || len(res.Series) != 2 {
+		t.Errorf("result malformed: %+v", res)
+	}
+}

@@ -40,6 +40,11 @@ type Params struct {
 	// SourceFrac is the fraction of updates aimed at the table(s) under
 	// transformation (paper: 0.2 and 0.8); the rest hit the dummy table.
 	SourceFrac float64
+	// InsertFrac is the fraction of source-table operations that insert or
+	// delete rows instead of updating them, so propagation exercises the
+	// insert/delete rules (8 and 9 for the split) and net-effect compaction
+	// sees annihilating pairs — not just a pure-update stream.
+	InsertFrac float64
 	// Priority of the background transformation during interference
 	// measurements.
 	Priority float64
@@ -80,6 +85,7 @@ func Default() Params {
 		BaselineDur: 250 * time.Millisecond,
 		SampleDur:   250 * time.Millisecond,
 		SourceFrac:  0.2,
+		InsertFrac:  0.1,
 		Priority:    0.3,
 		Priorities:  []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0},
 		Think:       300 * time.Microsecond,
@@ -125,6 +131,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.SourceFrac <= 0 {
 		p.SourceFrac = d.SourceFrac
+	}
+	if p.InsertFrac <= 0 {
+		p.InsertFrac = d.InsertFrac
 	}
 	if p.Priority <= 0 {
 		p.Priority = d.Priority
@@ -275,8 +284,16 @@ func (e *splitEnv) transformation(cfg core.Config) (*core.Transformation, error)
 }
 
 func (e *splitEnv) targets(sourceFrac float64) []workload.Target {
+	// MakeRow preserves the workload's functional dependency grp → info
+	// (info = grp·10, as in the initial fill), so inserted rows satisfy the
+	// split's FD assumption and exercise propagation rules 8 and 9.
+	sv := int64(e.p.SplitValues)
+	mk := func(i int64) value.Tuple {
+		grp := i % sv
+		return value.Tuple{value.Int(i), value.Int(0), value.Int(grp), value.Int(grp * 10)}
+	}
 	return []workload.Target{
-		{Table: "T", Fallback: "T_base", Keys: int64(e.p.TRows), Col: "payload", Weight: sourceFrac},
+		{Table: "T", Fallback: "T_base", Keys: int64(e.p.TRows), Col: "payload", Weight: sourceFrac, MakeRow: mk},
 		{Table: "dummy", Keys: int64(e.p.TRows), Col: "payload", Weight: 1 - sourceFrac},
 	}
 }
@@ -388,5 +405,6 @@ func calibrate(p Params, db *engine.DB, targets []workload.Target) (int, error) 
 	}
 	return workload.Calibrate(workload.Config{
 		DB: db, Targets: targets, Seed: p.Seed, Think: p.Think,
+		InsertFrac: p.InsertFrac,
 	}, p.MaxClients, p.BaselineDur/2)
 }

@@ -51,6 +51,11 @@ type WorkloadTransform struct {
 	TotalMs          float64          `json:"total_ms"`
 	Iterations       int              `json:"iterations"`
 	RecordsApplied   int64            `json:"records_applied"`
+	RecordsScanned   int64            `json:"records_scanned"`
+	CompactIn        int64            `json:"compact_in,omitempty"`
+	CompactOut       int64            `json:"compact_out,omitempty"`
+	CompactRatio     float64          `json:"compact_ratio,omitempty"`
+	CompactFenced    int64            `json:"compact_fenced_keys,omitempty"`
 	InitialImageRows int64            `json:"initial_image_rows"`
 	DoomedTxns       int              `json:"doomed_txns"`
 	Rules            map[string]int64 `json:"rules,omitempty"`
@@ -72,6 +77,9 @@ type WorkloadReport struct {
 	// Scale carries the concurrency scale figure (FigureScale) when the
 	// scale experiment ran; the CLI merges it into the same report file.
 	Scale *ScaleReport `json:"scale,omitempty"`
+	// Compaction carries the net-effect compaction ablation
+	// (FigureCompaction) when that experiment ran; merged like Scale.
+	Compaction *CompactionReport `json:"compaction,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -121,7 +129,7 @@ func RunWorkload(p Params) (*WorkloadReport, error) {
 
 	r := workload.Start(workload.Config{
 		DB: env.db, Targets: targets, Clients: clients,
-		Seed: p.Seed, Think: p.Think,
+		Seed: p.Seed, Think: p.Think, InsertFrac: p.InsertFrac,
 	})
 	report := &WorkloadReport{Rows: p.TRows, Clients: clients, Seed: p.Seed}
 
@@ -209,12 +217,19 @@ sampling:
 		TotalMs:          ms(m.TotalDuration),
 		Iterations:       m.Iterations,
 		RecordsApplied:   m.RecordsApplied,
+		RecordsScanned:   m.RecordsScanned,
+		CompactIn:        m.CompactIn,
+		CompactOut:       m.CompactOut,
+		CompactFenced:    m.CompactFencedKeys,
 		InitialImageRows: m.InitialImageRows,
 		DoomedTxns:       m.DoomedTxns,
 		Rules:            tr.RuleApplications(),
 		TraceEvents:      len(tr.Trace()),
 		TraceDropped:     tr.TraceDropped(),
 		Progress:         samples,
+	}
+	if m.CompactOut > 0 {
+		report.Transform.CompactRatio = float64(m.CompactIn) / float64(m.CompactOut)
 	}
 	report.Metrics = p.Obs.Snapshot()
 	return report, nil

@@ -7,7 +7,11 @@ import (
 )
 
 func TestRunWorkloadSmoke(t *testing.T) {
-	rep, err := RunWorkload(tiny())
+	p := tiny()
+	// The tiny windows commit few transactions; a high toggle fraction makes
+	// sure insert→delete round-trips land inside them.
+	p.InsertFrac = 0.5
+	rep, err := RunWorkload(p)
 	if err != nil {
 		t.Fatalf("RunWorkload: %v", err)
 	}
@@ -34,6 +38,24 @@ func TestRunWorkloadSmoke(t *testing.T) {
 	}
 	if tr.TraceEvents == 0 {
 		t.Error("no trace events recorded")
+	}
+	// The insert/delete mix must make the insert and delete rules fire, not
+	// just the update rule (regression: a pure-update workload reported only
+	// rule10).
+	for _, rule := range []string{"rule8", "rule9", "rule10"} {
+		if tr.Rules[rule] == 0 {
+			t.Errorf("rule counter %s never fired: %v", rule, tr.Rules)
+		}
+	}
+	// Compaction ran by default and its accounting is consistent.
+	if tr.CompactIn == 0 || tr.CompactOut == 0 || tr.CompactOut > tr.CompactIn {
+		t.Errorf("compaction accounting off: in=%d out=%d", tr.CompactIn, tr.CompactOut)
+	}
+	if tr.CompactRatio < 1 {
+		t.Errorf("compact ratio %v < 1", tr.CompactRatio)
+	}
+	if tr.RecordsScanned < tr.RecordsApplied {
+		t.Errorf("scanned %d < applied %d", tr.RecordsScanned, tr.RecordsApplied)
 	}
 	if len(tr.Progress) == 0 {
 		t.Error("no live progress samples recorded")

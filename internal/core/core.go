@@ -131,10 +131,15 @@ const (
 // Analysis summarizes one completed propagation iteration for the analyzer.
 type Analysis struct {
 	// Remaining is the number of log records generated during the iteration
-	// that are still unpropagated.
+	// that are still unpropagated (raw log records: the next iteration will
+	// scan — and, with compaction enabled, compact — all of them).
 	Remaining int
-	// Applied is the number of log records processed in the iteration.
+	// Applied is the number of log records applied in the iteration, after
+	// net-effect compaction. Without compaction it equals Scanned.
 	Applied int
+	// Scanned is the number of raw log records the iteration consumed
+	// before compaction. Zero on idle cycles.
+	Scanned int
 	// Duration is the wall-clock time of the iteration.
 	Duration time.Duration
 	// Iteration is the 1-based iteration number.
@@ -158,15 +163,41 @@ func TimeAnalyzer(limit time.Duration) Analyzer {
 
 // EstimateAnalyzer synchronizes when the estimated time to propagate the
 // remaining records (at the last iteration's observed rate) is below limit.
+// The rate is per *scanned* record: Remaining counts raw log records, and
+// the next iteration will compact them just like this one did, so the raw
+// consumption rate — which already folds in the compaction pass and the
+// cheapness of coalesced-away records — is the right per-record cost.
 func EstimateAnalyzer(limit time.Duration) Analyzer {
 	return func(a Analysis) bool {
-		if a.Applied == 0 || a.Duration == 0 {
+		processed := a.Scanned
+		if processed == 0 {
+			processed = a.Applied
+		}
+		if processed == 0 || a.Duration == 0 {
 			return a.Remaining == 0
 		}
-		perRecord := a.Duration / time.Duration(a.Applied)
+		perRecord := a.Duration / time.Duration(processed)
 		return time.Duration(a.Remaining)*perRecord <= limit
 	}
 }
+
+// CompactionMode selects whether propagation coalesces each interval's log
+// tail to its per-key net effect before rule application (see compact.go).
+type CompactionMode int
+
+const (
+	// CompactionDefault inherits the surrounding default (on, unless the
+	// database was opened with compaction disabled).
+	CompactionDefault CompactionMode = iota
+	// CompactionOn compacts every propagation interval.
+	CompactionOn
+	// CompactionOff replays the raw log tail — the ablation baseline.
+	CompactionOff
+)
+
+// enabled reports whether this mode turns compaction on; only an explicit
+// CompactionOff disables it.
+func (m CompactionMode) enabled() bool { return m != CompactionOff }
 
 // Config tunes a transformation. The zero value is usable: full priority,
 // count-based analysis with a small threshold, non-blocking abort.
@@ -222,6 +253,11 @@ type Config struct {
 	// operator supports it). 0 selects DefaultPropagateWorkers; 1 runs both
 	// serially — the ablation baseline and the deterministic-trace mode.
 	PropagateWorkers int
+	// Compaction selects net-effect compaction of each propagation
+	// interval before rule application (operators that implement netKey
+	// only; FOJ always replays raw). The zero value enables it;
+	// CompactionOff is the ablation baseline.
+	Compaction CompactionMode
 	// Sink receives the transformation's structured trace events in addition
 	// to the built-in bounded ring buffer (readable via Trace). Nil keeps
 	// just the ring.
@@ -266,8 +302,20 @@ type Metrics struct {
 	SyncLatchDuration time.Duration
 	DrainDuration     time.Duration
 	TotalDuration     time.Duration
-	Iterations        int
-	RecordsApplied    int64
+	Iterations int
+	// RecordsApplied is the number of log records propagation applied —
+	// after net-effect compaction, when enabled. RecordsScanned is the raw
+	// number of log records consumed; their ratio is the compaction win.
+	RecordsApplied int64
+	RecordsScanned int64
+	// CompactIn/CompactOut total the records entering and leaving the
+	// compactor; CompactFences counts records that passed through as
+	// global fences, CompactFencedKeys the open per-key runs those fences
+	// cut short. All zero when compaction is off or unsupported.
+	CompactIn         int64
+	CompactOut        int64
+	CompactFences     int64
+	CompactFencedKeys int64
 	InitialImageRows  int64
 	DoomedTxns        int
 	CCRounds          int64
@@ -331,6 +379,11 @@ type Transformation struct {
 	priority     atomic.Uint64 // math.Float64bits
 	cancel       atomic.Bool
 	latchTargets atomic.Bool // post-switchover: serialize rule application
+	applied      atomic.Int64 // records applied so far, live (Progress)
+
+	// comp coalesces propagation intervals to their net effect; owned by
+	// the run goroutine (lazily created on first compacted range).
+	comp *compactor
 
 	// Observability (see obs.go). sink is never nil after newTransformation;
 	// ring is the built-in bounded buffer behind Trace.
@@ -342,9 +395,12 @@ type Transformation struct {
 	lastRules  [12]int64 // baseline for per-iteration deltas (run goroutine only)
 
 	// Registry-backed metric handles (nil when the DB has no registry).
-	mPropagated *obs.Counter
-	mIterations *obs.Counter
-	mRunning    *obs.Gauge
+	mPropagated  *obs.Counter
+	mIterations  *obs.Counter
+	mRunning     *obs.Gauge
+	mCompactIn   *obs.Counter
+	mCompactOut  *obs.Counter
+	mCompactFenc *obs.Counter
 
 	mu       sync.Mutex
 	metrics  Metrics
@@ -373,6 +429,9 @@ func newTransformation(db *engine.DB, cfg Config) *Transformation {
 		tr.mPropagated = reg.Counter("core.propagated")
 		tr.mIterations = reg.Counter("core.iterations")
 		tr.mRunning = reg.Gauge("core.running")
+		tr.mCompactIn = reg.Counter("core.compact.in")
+		tr.mCompactOut = reg.Counter("core.compact.out")
+		tr.mCompactFenc = reg.Counter("core.compact.fences")
 		tr.shadow.SetObs(reg)
 	}
 	tr.setPriority(tr.cfg.Priority)

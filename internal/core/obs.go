@@ -87,12 +87,26 @@ type Progress struct {
 	// InitialImageRows is the number of rows written by the initial
 	// population so far (live during PhasePopulating).
 	InitialImageRows int64 `json:"initial_image_rows"`
-	// RecordsApplied is the total number of log records propagated so far.
+	// RecordsApplied is the total number of log records propagated so far,
+	// after net-effect compaction. Updated per record/batch, so it moves
+	// while an iteration is still in flight.
 	RecordsApplied int64 `json:"records_applied"`
-	// Remaining is the current unpropagated log backlog, in records.
+	// RecordsScanned is the total number of raw log records consumed so
+	// far, before compaction.
+	RecordsScanned int64 `json:"records_scanned"`
+	// CompactIn/CompactOut total the records entering and leaving the
+	// net-effect compactor; CompactRatio is In/Out (0 when compaction has
+	// not run). CompactFencedKeys counts coalescing runs cut short by
+	// fencing records (CC records, split-attribute/PK updates).
+	CompactIn         int64   `json:"compact_in"`
+	CompactOut        int64   `json:"compact_out"`
+	CompactRatio      float64 `json:"compact_ratio"`
+	CompactFencedKeys int64   `json:"compact_fenced_keys"`
+	// Remaining is the current unpropagated log backlog, in raw records.
 	Remaining int `json:"remaining"`
 	// Rate is the propagation rate observed in the last completed iteration,
-	// in records per second (0 until an iteration with work completes).
+	// in raw (pre-compaction) records per second, matching Remaining's unit
+	// (0 until an iteration with work completes).
 	Rate float64 `json:"rate"`
 	// ETA estimates the time to drain the current backlog at Rate — the same
 	// per-record estimate EstimateAnalyzer uses to decide synchronization
@@ -113,7 +127,9 @@ func (tr *Transformation) Progress() Progress {
 	tr.mu.Lock()
 	a := tr.lastA
 	start := tr.runStart
-	applied := tr.metrics.RecordsApplied
+	scanned := tr.metrics.RecordsScanned
+	cIn, cOut := tr.metrics.CompactIn, tr.metrics.CompactOut
+	cFenced := tr.metrics.CompactFencedKeys
 	iters := tr.metrics.Iterations
 	tr.mu.Unlock()
 
@@ -121,8 +137,17 @@ func (tr *Transformation) Progress() Progress {
 		Phase:            tr.Phase(),
 		Iteration:        iters,
 		InitialImageRows: tr.popRows.Load(),
-		RecordsApplied:   applied,
-		Remaining:        tr.Remaining(),
+		// The atomic moves per applied record/batch, so progress is live
+		// even while a (long) iteration is still in flight.
+		RecordsApplied:    tr.applied.Load(),
+		RecordsScanned:    scanned,
+		CompactIn:         cIn,
+		CompactOut:        cOut,
+		CompactFencedKeys: cFenced,
+		Remaining:         tr.Remaining(),
+	}
+	if cOut > 0 {
+		p.CompactRatio = float64(cIn) / float64(cOut)
 	}
 	if !start.IsZero() {
 		p.Elapsed = time.Since(start)
@@ -132,9 +157,16 @@ func (tr *Transformation) Progress() Progress {
 		p.ETAValid = true
 		return p
 	}
-	if a.Applied > 0 && a.Duration > 0 {
-		perRecord := a.Duration / time.Duration(a.Applied)
-		p.Rate = float64(a.Applied) / a.Duration.Seconds()
+	// Rate and ETA are in raw records, like Remaining: the per-record cost
+	// observed over the last iteration's scanned records already folds in
+	// compaction (mirroring EstimateAnalyzer).
+	processed := a.Scanned
+	if processed == 0 {
+		processed = a.Applied
+	}
+	if processed > 0 && a.Duration > 0 {
+		perRecord := a.Duration / time.Duration(processed)
+		p.Rate = float64(processed) / a.Duration.Seconds()
 		p.ETA = time.Duration(p.Remaining) * perRecord
 		p.ETAValid = true
 	} else {

@@ -67,6 +67,7 @@ func (tr *Transformation) propagateParallel(recs []*wal.Record, ck conflictKeyer
 			return err
 		}
 		applied += n
+		tr.applied.Add(int64(n))
 		th.tick(n)
 		if tr.cancel.Load() {
 			return ErrAborted
@@ -95,6 +96,7 @@ func (tr *Transformation) propagateParallel(recs []*wal.Record, ck conflictKeyer
 		}
 		if skip {
 			applied++
+			tr.applied.Add(1)
 			th.tick(1)
 			continue
 		}
@@ -108,6 +110,7 @@ func (tr *Transformation) propagateParallel(recs []*wal.Record, ck conflictKeyer
 				return applied, err
 			}
 			applied++
+			tr.applied.Add(1)
 			th.tick(1)
 			if tr.cancel.Load() {
 				return applied, ErrAborted

@@ -91,7 +91,7 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		tr.mu.Unlock()
 		end := tr.db.Log().End()
 
-		applied, err := tr.propagateRange(from, end, th)
+		applied, scanned, err := tr.propagateRange(from, end, th)
 		if err != nil {
 			return err
 		}
@@ -109,10 +109,28 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		// cycles are paced in the sub-millisecond range and would flood the
 		// trace — but the analysis is still published for Progress.
 		if applied == 0 && tr.db.Log().End() == end {
-			a := Analysis{Remaining: 0, Applied: 0, Duration: time.Since(iterStart), Iteration: iter}
+			a := Analysis{Remaining: 0, Applied: 0, Scanned: scanned, Duration: time.Since(iterStart), Iteration: iter}
 			tr.mu.Lock()
+			// With compaction, a non-empty range can coalesce to nothing
+			// (only begins, marks and non-source records); advance past it
+			// so the idle cycle does not rescan the same tail, and count it
+			// as an iteration — records were consumed, unlike the truly
+			// idle spins below.
+			if scanned > 0 {
+				tr.cursor = end + 1
+				tr.metrics.Iterations = iter
+			}
 			tr.lastA = a
 			tr.mu.Unlock()
+			if scanned > 0 {
+				tr.mIterations.Add(1)
+				tr.emit(obs.EventIteration, func(ev *obs.Event) {
+					ev.Iteration = iter
+					ev.Scanned = scanned
+					ev.Duration = a.Duration
+					ev.Rules = tr.ruleDelta()
+				})
+			}
 			if tr.cfg.Analyzer(a) && tr.op.ReadyToSync() {
 				return nil
 			}
@@ -144,6 +162,7 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		a := Analysis{
 			Remaining: remaining,
 			Applied:   applied,
+			Scanned:   scanned,
 			Duration:  time.Since(iterStart),
 			Iteration: iter,
 		}
@@ -156,6 +175,7 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		tr.emit(obs.EventIteration, func(ev *obs.Event) {
 			ev.Iteration = iter
 			ev.Applied = applied
+			ev.Scanned = scanned
 			ev.Remaining = remaining
 			ev.Duration = a.Duration
 			ev.Rules = tr.ruleDelta()
@@ -222,56 +242,97 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 	}
 }
 
-// propagateRange redoes log records [from, to] onto the target tables.
-// When the operator can declare conflict keys for its rules, more than one
-// worker is configured, and rule application is not being serialized against
-// post-switchover user transactions, the range is applied in parallel
+// propagateRange redoes log records [from, to] onto the target tables and
+// returns how many records it applied alongside how many raw records it
+// scanned. When the operator supports net-effect keys and compaction is
+// enabled, the interval is first coalesced to its net effect (compact.go) —
+// applied then counts the compacted stream. When the operator can declare
+// conflict keys for its rules, more than one worker is configured, and rule
+// application is not being serialized against post-switchover user
+// transactions, the (compacted) range is applied in parallel
 // independent-key batches; otherwise strictly in LSN order by this
-// goroutine. Both paths preserve the per-key LSN order Theorem 1's
+// goroutine. All paths preserve the per-key LSN order Theorem 1's
 // idempotence argument relies on.
-func (tr *Transformation) propagateRange(from, to wal.LSN, th *throttler) (int, error) {
+func (tr *Transformation) propagateRange(from, to wal.LSN, th *throttler) (applied, scanned int, err error) {
 	if from == 0 || from > to {
-		return 0, nil
+		return 0, 0, nil
 	}
 	recs := tr.db.Log().Scan(from, to)
+	scanned = len(recs)
+	if nk, ok := tr.op.(netKeyer); ok && tr.cfg.Compaction.enabled() {
+		if tr.comp == nil {
+			tr.comp = newCompactor()
+		}
+		var st compactStats
+		recs, st = tr.comp.compact(recs, tr.isSource, nk)
+		tr.noteCompaction(st)
+	}
+	// A range that consumed raw records fires the batch fault point at
+	// least once even when compaction coalesced it to nothing, preserving
+	// the pre-compaction guarantee crash tests rely on.
+	if len(recs) == 0 && scanned > 0 {
+		if err := tr.faultHit("propagate.batch"); err != nil {
+			return 0, scanned, err
+		}
+	}
 	if ck, ok := tr.op.(conflictKeyer); ok &&
 		tr.cfg.PropagateWorkers > 1 && th != nil && !tr.latchTargets.Load() {
-		return tr.propagateParallel(recs, ck, th)
+		applied, err = tr.propagateParallel(recs, ck, th)
+		tr.mu.Lock()
+		tr.metrics.RecordsScanned += int64(scanned)
+		tr.mu.Unlock()
+		return applied, scanned, err
 	}
-	applied := 0
 	for _, rec := range recs {
 		// A "batch" is each run of up to BatchSize records; the fault point
 		// fires at every batch start, including the range's first record.
 		if applied%tr.cfg.BatchSize == 0 {
 			if err := tr.faultHit("propagate.batch"); err != nil {
-				return applied, err
+				return applied, scanned, err
 			}
 		}
 		if err := tr.handleRecord(rec); err != nil {
-			return applied, err
+			return applied, scanned, err
 		}
 		applied++
+		tr.applied.Add(1)
 		if th != nil {
 			th.tick(1)
 			if tr.cancel.Load() {
-				return applied, ErrAborted
+				return applied, scanned, ErrAborted
 			}
 			if err := th.checkDeadline(); err != nil {
-				return applied, err
+				return applied, scanned, err
 			}
 		}
 		// Give the operator its background slot (consistency checker).
 		if tr.cfg.CheckConsistency && applied%tr.cfg.BatchSize == 0 {
 			if err := tr.op.MaintenanceTick(); err != nil {
-				return applied, err
+				return applied, scanned, err
 			}
 		}
 	}
 	tr.mu.Lock()
 	tr.metrics.RecordsApplied += int64(applied)
+	tr.metrics.RecordsScanned += int64(scanned)
 	tr.mu.Unlock()
 	tr.mPropagated.Add(int64(applied))
-	return applied, nil
+	return applied, scanned, nil
+}
+
+// noteCompaction folds one compaction pass into the metrics and registry
+// counters, before the batch is applied, so Progress polled mid-batch
+// already reflects it.
+func (tr *Transformation) noteCompaction(st compactStats) {
+	tr.mu.Lock()
+	tr.metrics.CompactIn += int64(st.In)
+	tr.metrics.CompactOut += int64(st.Out)
+	tr.metrics.CompactFences += int64(st.Fences)
+	tr.metrics.CompactFencedKeys += int64(st.FencedKeys)
+	tr.mu.Unlock()
+	tr.mCompactIn.Add(int64(st.In))
+	tr.mCompactOut.Add(int64(st.Out))
+	tr.mCompactFenc.Add(int64(st.Fences))
 }
 
 // handleRecord dispatches one log record during propagation.

@@ -99,7 +99,7 @@ func TestPropertyFOJPropagationIsIdempotent(t *testing.T) {
 		// Replay an arbitrary suffix of the already-propagated log.
 		end := db.Log().End()
 		from := end - wal.LSN(uint64(cut))%end + 1
-		if _, err := tr.propagateRange(from, end, nil); err != nil {
+		if _, _, err := tr.propagateRange(from, end, nil); err != nil {
 			t.Fatalf("replay: %v", err)
 		}
 		replayed := op.tTbl.Rows()
@@ -181,6 +181,55 @@ func TestPropertySplitCountersMatchMultiplicity(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCompactedParallelMatchesRaw: for any random split history,
+// every cell of the {workers 1, 8} × {compaction off, on} matrix produces
+// byte-identical R and S images. The raw serial run (workers=1, compaction
+// off) is the baseline; the other three cells — compacted serial, raw
+// parallel, compacted parallel — must match it exactly. This is the
+// soundness property of net-effect compaction: replaying the coalesced
+// stream is indistinguishable from replaying the raw log.
+func TestPropertyCompactedParallelMatchesRaw(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func(workers int, mode CompactionMode) (map[string]value.Tuple, map[string]value.Tuple) {
+			db := newSplitDB(t)
+			seedSplit(t, db)
+			applySplitHistory(t, db, seed*13+5, 30) // history before population
+			tr, op := preparedSplit(t, db, Config{
+				PropagateWorkers: workers, Compaction: mode, BatchSize: 8,
+			})
+			applySplitHistory(t, db, seed, 90) // history during propagation
+			propagateThrottled(t, tr)
+			return op.rTbl.Rows(), op.sTbl.Rows()
+		}
+		baseR, baseS := run(1, CompactionOff)
+		for _, cell := range []struct {
+			workers int
+			mode    CompactionMode
+		}{{1, CompactionOn}, {8, CompactionOff}, {8, CompactionOn}} {
+			gotR, gotS := run(cell.workers, cell.mode)
+			if len(gotR) != len(baseR) || len(gotS) != len(baseS) {
+				return false
+			}
+			for k, w := range baseR {
+				g, ok := gotR[k]
+				if !ok || !g.Equal(w) {
+					return false
+				}
+			}
+			for k, w := range baseS {
+				g, ok := gotS[k]
+				if !ok || !g.Equal(w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
 		t.Error(err)
 	}
 }

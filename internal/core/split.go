@@ -427,6 +427,41 @@ func txnConflictKey(id wal.TxnID) string {
 	return fmt.Sprintf("txn\x00%d", id)
 }
 
+// netKey declares, per log record, the coalescing key for net-effect
+// compaction (the netKeyer interface). The classification mirrors
+// conflictKeys, with the key narrowed to the source row: rules 8–10 are
+// keyed purely by r^y, and rule 11's S-side work for an insert or delete is
+// derived from the row's split value, which coalescing never changes —
+// updates that touch a split attribute (or the primary key) fence, exactly
+// as they barrier in conflictKeys, because their S-side touch set depends
+// on live R/S state. Consistency-checker records fence for the same reason,
+// and a payload-less CLR (no row image to classify by) degrades to a fence.
+func (op *splitOp) netKey(rec *wal.Record) (string, bool) {
+	switch rec.Type {
+	case wal.TypeCCBegin, wal.TypeCCOK:
+		return "", false
+	}
+	switch rec.OpType() {
+	case wal.TypeInsert, wal.TypeDelete:
+		if rec.Row == nil {
+			return "", false
+		}
+		return rec.Key.Encode(), true
+	case wal.TypeUpdate:
+		if touchesAny(rec.Cols, op.tDef.PrimaryKey) {
+			return "", false
+		}
+		for _, c := range rec.Cols {
+			if op.tToS[c] >= 0 {
+				return "", false
+			}
+		}
+		return rec.Key.Encode(), true
+	default:
+		return "", false
+	}
+}
+
 // rule8Insert implements Rule 8 (Insert t^y_x into T).
 func (op *splitOp) rule8Insert(rec *wal.Record) error {
 	y := rec.Key

@@ -67,7 +67,7 @@ func (tr *Transformation) finalPropagation() (wal.LSN, error) {
 	from := tr.cursor
 	tr.mu.Unlock()
 	end := tr.db.Log().End()
-	if _, err := tr.propagateRange(from, end, nil); err != nil {
+	if _, _, err := tr.propagateRange(from, end, nil); err != nil {
 		return 0, err
 	}
 	tr.mu.Lock()
@@ -115,7 +115,7 @@ func (tr *Transformation) acquireSourceLatches(ctx context.Context, latches []*l
 		from := tr.cursor
 		tr.mu.Unlock()
 		end := tr.db.Log().End()
-		if _, err := tr.propagateRange(from, end, nil); err != nil {
+		if _, _, err := tr.propagateRange(from, end, nil); err != nil {
 			return err
 		}
 		tr.mu.Lock()
@@ -291,7 +291,7 @@ func (tr *Transformation) drain(ctx context.Context, oldTxns []wal.ActiveTxn, fo
 		from := tr.cursor
 		tr.mu.Unlock()
 		end := tr.db.Log().End()
-		if _, err := tr.propagateRange(from, end, th); err != nil {
+		if _, _, err := tr.propagateRange(from, end, th); err != nil {
 			return err
 		}
 		tr.mu.Lock()

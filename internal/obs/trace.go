@@ -20,8 +20,8 @@ const (
 	// Rows carries the cumulative row count so far.
 	EventPopulateChunk
 	// EventIteration marks one completed log-propagation iteration; it
-	// carries Iteration, Applied, Remaining, Duration and the per-rule
-	// applied counts of the iteration (Rules).
+	// carries Iteration, Applied, Scanned, Remaining, Duration and the
+	// per-rule applied counts of the iteration (Rules).
 	EventIteration
 	// EventSyncRetry marks a timed source-latch pass that gave up and
 	// degraded to a catch-up propagation round (Iteration carries the 1-based
@@ -89,8 +89,13 @@ type Event struct {
 	// Iteration is the 1-based propagation iteration (EventIteration), or
 	// the latch attempt (EventSyncRetry).
 	Iteration int `json:"iteration,omitempty"`
-	// Applied is the number of log records redone in the iteration.
+	// Applied is the number of log records redone in the iteration, after
+	// net-effect compaction.
 	Applied int `json:"applied,omitempty"`
+	// Scanned is the number of raw log records the iteration consumed
+	// before compaction; Scanned−Applied is the iteration's compaction win
+	// (equal when compaction is off or unsupported).
+	Scanned int `json:"scanned,omitempty"`
 	// Remaining is the backlog left after the iteration.
 	Remaining int `json:"remaining,omitempty"`
 	// Rows is the cumulative initial-image row count (EventPopulateChunk).

@@ -192,57 +192,144 @@ func (d *decoder) val() value.Value {
 	}
 }
 
-func (d *decoder) tuple() value.Tuple {
+// tupleInto decodes a tuple reusing *buf's capacity, growing it as needed;
+// the grown buffer is written back through buf so the caller's scratch keeps
+// it. An empty tuple decodes to nil (several call sites distinguish a
+// payload-less record by Row == nil), but the scratch buffer is retained.
+// Decoded string and bytes payloads are copied by the value constructors, so
+// the result never aliases d.buf.
+func (d *decoder) tupleInto(buf *value.Tuple) value.Tuple {
 	n := d.uvarint()
 	if d.err != nil || n == 0 {
 		return nil
 	}
-	t := make(value.Tuple, 0, n)
+	if uint64(cap(*buf)) < n {
+		*buf = make(value.Tuple, 0, n)
+	}
+	t := (*buf)[:0]
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		t = append(t, d.val())
 	}
+	*buf = t
 	return t
 }
 
-func (d *decoder) ints() []int {
+func (d *decoder) tuple() value.Tuple {
+	var buf value.Tuple
+	return d.tupleInto(&buf)
+}
+
+func (d *decoder) intsInto(buf *[]int) []int {
 	n := d.uvarint()
 	if d.err != nil || n == 0 {
 		return nil
 	}
-	xs := make([]int, 0, n)
+	if uint64(cap(*buf)) < n {
+		*buf = make([]int, 0, n)
+	}
+	xs := (*buf)[:0]
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		xs = append(xs, int(d.varint()))
 	}
+	*buf = xs
 	return xs
 }
 
-// Unmarshal decodes one payload previously produced by Marshal (without the
-// frame header/trailer).
-func unmarshalPayload(payload []byte) (*Record, error) {
+func (d *decoder) ints() []int {
+	var buf []int
+	return d.intsInto(&buf)
+}
+
+// strInterned decodes a string through an intern table, so repeated table
+// names cost no allocation after the first occurrence. The map lookup keyed
+// by string(b) does not allocate (the compiler elides the conversion).
+func (d *decoder) strInterned(m map[string]string) string {
+	b := d.bytes(d.uvarint())
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	m[s] = s
+	return s
+}
+
+// scratch holds the reusable decode buffers of a streaming reader: one
+// buffer per tuple-valued record field, plus an intern table for table
+// names. With scratch, decoding a record whose values are scalars performs
+// no allocations at steady state.
+type scratch struct {
+	key, row, old, new value.Tuple
+	cols               []int
+	active             []ActiveTxn
+	tables             map[string]string
+}
+
+func newScratch() *scratch {
+	return &scratch{tables: make(map[string]string)}
+}
+
+// decodePayload decodes one payload previously produced by Marshal (without
+// the frame header/trailer) into r. With a nil scratch every field is
+// freshly allocated and r is safe to retain; with a scratch, tuple fields
+// alias the scratch buffers and r is only valid until the next decode.
+func decodePayload(payload []byte, r *Record, s *scratch) error {
 	d := decoder{buf: payload}
-	r := &Record{}
 	r.LSN = LSN(d.uvarint())
 	r.Prev = LSN(d.uvarint())
 	r.Txn = TxnID(d.uvarint())
 	r.Type = Type(d.byte())
-	r.Table = d.str()
-	r.Key = d.tuple()
-	r.Row = d.tuple()
-	r.Cols = d.ints()
-	r.Old = d.tuple()
-	r.New = d.tuple()
+	if s != nil {
+		r.Table = d.strInterned(s.tables)
+		r.Key = d.tupleInto(&s.key)
+		r.Row = d.tupleInto(&s.row)
+		r.Cols = d.intsInto(&s.cols)
+		r.Old = d.tupleInto(&s.old)
+		r.New = d.tupleInto(&s.new)
+	} else {
+		r.Table = d.str()
+		r.Key = d.tuple()
+		r.Row = d.tuple()
+		r.Cols = d.ints()
+		r.Old = d.tuple()
+		r.New = d.tuple()
+	}
 	r.Redo = Type(d.byte())
 	r.UndoNext = LSN(d.uvarint())
 	n := d.uvarint()
-	for i := uint64(0); i < n && d.err == nil; i++ {
-		a := ActiveTxn{ID: TxnID(d.uvarint()), First: LSN(d.uvarint())}
-		r.Active = append(r.Active, a)
+	r.Active = nil
+	if n > 0 && d.err == nil {
+		buf := r.Active
+		if s != nil {
+			if uint64(cap(s.active)) < n {
+				s.active = make([]ActiveTxn, 0, n)
+			}
+			buf = s.active[:0]
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			buf = append(buf, ActiveTxn{ID: TxnID(d.uvarint()), First: LSN(d.uvarint())})
+		}
+		if s != nil {
+			s.active = buf
+		}
+		r.Active = buf
 	}
 	if d.err != nil {
-		return nil, d.err
+		return d.err
 	}
 	if len(d.buf) != 0 {
-		return nil, fmt.Errorf("wal: corrupt record: %d trailing bytes", len(d.buf))
+		return fmt.Errorf("wal: corrupt record: %d trailing bytes", len(d.buf))
+	}
+	return nil
+}
+
+// unmarshalPayload decodes one payload into a fresh record.
+func unmarshalPayload(payload []byte) (*Record, error) {
+	r := &Record{}
+	if err := decodePayload(payload, r, nil); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -351,57 +438,34 @@ func ReadLogWith(r io.Reader, faults *fault.Registry) (*Log, *CorruptionError, e
 	return readLog(r, faults)
 }
 
-// readLog is the single decode loop behind both modes. It returns the valid
-// prefix, a *CorruptionError describing the first bad frame (nil if none),
-// and a non-nil error only for failures that are not data corruption.
+// readLog is the single decode loop behind both modes, a thin accumulation
+// over the streaming Tail reader in owned mode. It returns the valid prefix,
+// a *CorruptionError describing the first bad frame (nil if none), and a
+// non-nil error only for failures that are not data corruption.
 func readLog(r io.Reader, faults *fault.Registry) (*Log, *CorruptionError, error) {
-	br := bufio.NewReader(r)
+	t := NewTail(r).Own()
+	t.SetFaults(faults)
 	l := NewLog()
-	var offset int64 // byte offset of the frame being decoded
-	var header [6]byte
 	for {
-		corrupt := func(err error) (*Log, *CorruptionError, error) {
-			return l, &CorruptionError{Offset: offset, Record: l.Len() + 1, Err: err}, nil
-		}
-		if err := faults.Hit("wal.read"); err != nil {
-			return corrupt(err)
-		}
-		n, err := io.ReadFull(br, header[:])
+		rec, err := t.Next()
 		if err == io.EOF {
 			return l, nil, nil // clean end at a record boundary
 		}
 		if err != nil {
-			if err == io.ErrUnexpectedEOF {
-				return corrupt(fmt.Errorf("torn frame header (%d of 6 bytes): %w", n, io.ErrUnexpectedEOF))
+			var cerr *CorruptionError
+			if errors.As(err, &cerr) {
+				return l, cerr, nil
 			}
-			return nil, nil, fmt.Errorf("wal: reading frame header: %w", err)
-		}
-		if binary.BigEndian.Uint16(header[:]) != recordMagic {
-			return corrupt(fmt.Errorf("bad magic %#x", binary.BigEndian.Uint16(header[:])))
-		}
-		length := binary.BigEndian.Uint32(header[2:])
-		body := make([]byte, length+4)
-		if n, err := io.ReadFull(br, body); err != nil {
-			if err == io.ErrUnexpectedEOF || err == io.EOF {
-				return corrupt(fmt.Errorf("torn frame body (%d of %d bytes): %w", n, len(body), io.ErrUnexpectedEOF))
-			}
-			return nil, nil, fmt.Errorf("wal: reading frame body: %w", err)
-		}
-		payload := body[:length]
-		want := binary.BigEndian.Uint32(body[length:])
-		if got := crc32.ChecksumIEEE(payload); got != want {
-			return corrupt(fmt.Errorf("crc mismatch: %#x != %#x", got, want))
-		}
-		rec, err := unmarshalPayload(payload)
-		if err != nil {
-			return corrupt(err)
+			return nil, nil, err
 		}
 		if rec.LSN != LSN(l.Len()+1) {
-			return corrupt(fmt.Errorf("non-dense LSN %d at position %d", rec.LSN, l.Len()+1))
+			return l, &CorruptionError{
+				Offset: t.RecordOffset(), Record: l.Len() + 1,
+				Err: fmt.Errorf("non-dense LSN %d at position %d", rec.LSN, l.Len()+1),
+			}, nil
 		}
 		l.mu.Lock()
 		l.recs = append(l.recs, rec)
 		l.mu.Unlock()
-		offset += int64(6 + len(body))
 	}
 }

@@ -1,0 +1,287 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"nbschema/internal/value"
+)
+
+// workloadLog builds a serialized log shaped like the propagation backlog:
+// begin / scalar-valued updates / commit, all-int tuples with a small table
+// vocabulary, so steady-state decoding should be allocation-free in scratch
+// mode.
+func workloadLog(n int) []byte {
+	l := NewLog()
+	tables := []string{"T", "dummy0", "dummy1"}
+	txn := TxnID(0)
+	for l.Len() < n {
+		txn++
+		l.Append(&Record{Txn: txn, Type: TypeBegin})
+		for i := 0; i < 10 && l.Len() < n-1; i++ {
+			l.Append(&Record{
+				Txn: txn, Type: TypeUpdate, Table: tables[i%len(tables)],
+				Key:  value.Tuple{value.Int(int64(i))},
+				Cols: []int{1, 3},
+				Old:  value.Tuple{value.Int(int64(i)), value.Int(int64(i * 2))},
+				New:  value.Tuple{value.Int(int64(i + 1)), value.Int(int64(i * 3))},
+			})
+		}
+		l.Append(&Record{Txn: txn, Type: TypeCommit})
+	}
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTailMatchesScan decodes a serialized log record-by-record through Tail
+// (scratch mode) in lockstep with the in-memory log and checks every field.
+func TestTailMatchesScan(t *testing.T) {
+	l := NewLog()
+	l.Append(sampleRecord())
+	l.Append(&Record{Txn: 3, Type: TypeBegin})
+	l.Append(&Record{Txn: 3, Type: TypeCommit, Prev: 1})
+	l.Append(&Record{Type: TypeFuzzyMark, Active: []ActiveTxn{{ID: 3, First: 1}, {ID: 8, First: 2}}})
+	l.Append(&Record{Txn: 5, Type: TypeCLR, Redo: TypeDelete, UndoNext: 2,
+		Table: "t", Key: value.Tuple{value.Str("k")}})
+	l.Append(&Record{Type: TypeCCOK, Table: "s", Key: value.Tuple{value.Int(1)},
+		Row: value.Tuple{value.Int(1), value.Str("Trondheim")}})
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	want := l.Scan(1, 0)
+	tail := NewTail(bytes.NewReader(buf.Bytes()))
+	for i := 0; ; i++ {
+		rec, err := tail.Next()
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("EOF after %d records, want %d", i, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		assertRecordEqual(t, want[i], rec)
+	}
+	if tail.Count() != len(want) {
+		t.Errorf("Count = %d, want %d", tail.Count(), len(want))
+	}
+	if tail.Offset() != int64(buf.Len()) {
+		t.Errorf("Offset = %d, want %d", tail.Offset(), buf.Len())
+	}
+	// After EOF the reader stays done.
+	if _, err := tail.Next(); err != io.EOF {
+		t.Errorf("Next after EOF = %v, want io.EOF", err)
+	}
+}
+
+// TestTailScratchRecordIsInvalidatedByNext pins the lifetime contract:
+// scratch-mode records are overwritten by the next call; owned-mode records
+// are not.
+func TestTailScratchRecordIsInvalidatedByNext(t *testing.T) {
+	data := workloadLog(30)
+
+	tail := NewTail(bytes.NewReader(data))
+	first, err := tail.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLSN := first.LSN
+	if _, err := tail.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if first.LSN == firstLSN {
+		t.Error("scratch-mode record survived Next; expected it to be overwritten")
+	}
+
+	owned := NewTail(bytes.NewReader(data)).Own()
+	first, err = owned.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLSN = first.LSN
+	if _, err := owned.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if first.LSN != firstLSN {
+		t.Error("owned-mode record mutated by Next")
+	}
+}
+
+// TestTailTornFrameReportsOffset cuts a serialized log mid-frame and checks
+// the CorruptionError carries the exact truncation point.
+func TestTailTornFrameReportsOffset(t *testing.T) {
+	data := workloadLog(10)
+
+	// Find the frame boundaries by a clean pass.
+	var bounds []int64
+	tail := NewTail(bytes.NewReader(data))
+	for {
+		if _, err := tail.Next(); err != nil {
+			break
+		}
+		bounds = append(bounds, tail.Offset())
+	}
+
+	cutFrame := 4
+	cut := bounds[cutFrame-1] + 3 // mid-way into frame cutFrame+1's header
+	tail = NewTail(bytes.NewReader(data[:cut]))
+	var rec int
+	for {
+		_, err := tail.Next()
+		if err == nil {
+			rec++
+			continue
+		}
+		var cerr *CorruptionError
+		if !errors.As(err, &cerr) {
+			t.Fatalf("error = %T %v, want *CorruptionError", err, err)
+		}
+		if !cerr.Torn() {
+			t.Errorf("Torn() = false for a cut tail: %v", cerr)
+		}
+		if cerr.Offset != bounds[cutFrame-1] || cerr.Record != cutFrame+1 {
+			t.Errorf("corruption at offset %d record %d, want %d / %d",
+				cerr.Offset, cerr.Record, bounds[cutFrame-1], cutFrame+1)
+		}
+		break
+	}
+	if rec != cutFrame {
+		t.Errorf("decoded %d records before the tear, want %d", rec, cutFrame)
+	}
+	// A done reader reports EOF, not the corruption again.
+	if _, err := tail.Next(); err != io.EOF {
+		t.Errorf("Next after corruption = %v, want io.EOF", err)
+	}
+}
+
+// TestTailReset reuses one reader across two inputs.
+func TestTailReset(t *testing.T) {
+	data := workloadLog(12)
+	tail := NewTail(bytes.NewReader(data))
+	for {
+		if _, err := tail.Next(); err != nil {
+			break
+		}
+	}
+	n := tail.Count()
+	tail.Reset(bytes.NewReader(data))
+	if tail.Count() != 0 || tail.Offset() != 0 {
+		t.Fatalf("Reset left Count=%d Offset=%d", tail.Count(), tail.Offset())
+	}
+	for {
+		if _, err := tail.Next(); err != nil {
+			break
+		}
+	}
+	if tail.Count() != n {
+		t.Errorf("second pass decoded %d records, want %d", tail.Count(), n)
+	}
+}
+
+// TestTailIOErrorIsNotCorruption distinguishes reader failures from data
+// corruption.
+func TestTailIOErrorIsNotCorruption(t *testing.T) {
+	data := workloadLog(10)
+	boom := errors.New("boom")
+	tail := NewTail(io.MultiReader(bytes.NewReader(data[:2]), &failReader{err: boom}))
+	_, err := tail.Next()
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrapped boom", err)
+	}
+	var cerr *CorruptionError
+	if errors.As(err, &cerr) {
+		t.Errorf("I/O failure classified as corruption: %v", err)
+	}
+}
+
+type failReader struct{ err error }
+
+func (f *failReader) Read([]byte) (int, error) { return 0, f.err }
+
+// TestTailDecodeAllocations pins the steady-state allocation budget of the
+// scratch-mode decoder: at most 2 allocations per record on workload-shaped
+// scalar records (the budget CI enforces on BenchmarkPropagateDecode).
+func TestTailDecodeAllocations(t *testing.T) {
+	data := workloadLog(1000)
+	r := bytes.NewReader(data)
+	tail := NewTail(r)
+	// Warm up: grows the scratch buffers and interns the table names.
+	for {
+		if _, err := tail.Next(); err != nil {
+			break
+		}
+	}
+	n := tail.Count()
+	allocs := testing.AllocsPerRun(10, func() {
+		r.Reset(data)
+		tail.Reset(r)
+		for {
+			if _, err := tail.Next(); err != nil {
+				break
+			}
+		}
+	})
+	perRecord := allocs / float64(n)
+	if perRecord > 2 {
+		t.Errorf("decode allocates %.2f allocs/record (%.0f over %d records), budget is 2",
+			perRecord, allocs, n)
+	}
+}
+
+// TestReadLogStillStrictOverTail re-checks the strict/lenient wrapper
+// semantics now that readLog rides on Tail.
+func TestReadLogStillStrictOverTail(t *testing.T) {
+	data := workloadLog(10)
+	cut := data[:len(data)-3]
+
+	if _, err := ReadLog(bytes.NewReader(cut)); err == nil {
+		t.Error("strict ReadLog accepted a torn log")
+	}
+	l, cerr, err := ReadLogLenient(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr == nil || !cerr.Torn() {
+		t.Fatalf("lenient cut = %v, want torn CorruptionError", cerr)
+	}
+	if l.Len() != 9 {
+		t.Errorf("lenient kept %d records, want 9", l.Len())
+	}
+	if got := strings.Count(cerr.Error(), "offset"); got == 0 {
+		t.Errorf("error text lacks the offset: %q", cerr.Error())
+	}
+}
+
+// BenchmarkPropagateDecode measures steady-state streaming decode of a
+// workload-shaped serialized log. CI runs it with -benchmem and fails the
+// build if allocs/op (per record: b.N is records) exceeds 2.
+func BenchmarkPropagateDecode(b *testing.B) {
+	data := workloadLog(1000)
+	r := bytes.NewReader(data)
+	tail := NewTail(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		r.Reset(data)
+		tail.Reset(r)
+		for {
+			if _, err := tail.Next(); err != nil {
+				break
+			}
+			n++
+			if n >= b.N {
+				break
+			}
+		}
+	}
+	b.SetBytes(int64(len(data) / 1000))
+}

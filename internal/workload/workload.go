@@ -35,7 +35,29 @@ type Target struct {
 	// target. The paper's "20% of updates on T" is Weight 0.2 on T and 0.8
 	// on the dummy table.
 	Weight float64
+	// MakeRow builds a full row for key i, enabling insert/delete churn on
+	// this target: when set (and Config.InsertFrac > 0), a fraction of this
+	// target's operations toggle rows in a private per-client key range
+	// above Keys instead of updating, so a propagating transformation sees
+	// inserts and deletes, not just updates. Rows must satisfy whatever
+	// functional dependencies the transformation assumes.
+	MakeRow func(i int64) value.Tuple
 }
+
+// toggleSlab is the size of each client's private insert/delete key range:
+// client c of runner epoch e toggles keys in
+// [Keys + e·epochStride + c·toggleSlab, ... + toggleSlab). Private ranges
+// keep the committed-present bookkeeping client-local and insert/delete
+// conflicts impossible; the per-Runner epoch keeps successive runners on the
+// same database (calibration probes, then the measured run) from colliding
+// with rows a previous runner left committed.
+const (
+	toggleSlab  = 64
+	epochStride = 1 << 20
+)
+
+// slabEpoch numbers Runner instances within the process for slab placement.
+var slabEpoch atomic.Int64
 
 // Config describes a workload.
 type Config struct {
@@ -51,6 +73,10 @@ type Config struct {
 	Think time.Duration
 	// Seed for deterministic key/target choice (clients derive their own).
 	Seed int64
+	// InsertFrac is the fraction of operations on MakeRow-capable targets
+	// that insert or delete a row (toggling keys in the client's private
+	// range) instead of updating one. 0 keeps the pure-update workload.
+	InsertFrac float64
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +158,7 @@ type Runner struct {
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	epoch  int64 // slab namespace of this runner's insert/delete toggles
 
 	errMu sync.Mutex
 	err   error
@@ -141,10 +168,11 @@ type Runner struct {
 func Start(cfg Config) *Runner {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	r := &Runner{cfg: cfg, cancel: cancel, lat: obs.NewHistogram()}
+	r := &Runner{cfg: cfg, cancel: cancel, lat: obs.NewHistogram(),
+		epoch: slabEpoch.Add(1) - 1}
 	for i := 0; i < cfg.Clients; i++ {
 		r.wg.Add(1)
-		go r.client(ctx, cfg.Seed+int64(i)*7919)
+		go r.client(ctx, i, cfg.Seed+int64(i)*7919)
 	}
 	return r
 }
@@ -181,9 +209,28 @@ func (r *Runner) fail(err error) {
 	r.cancel()
 }
 
+// clientState is one client's private insert/delete bookkeeping: the
+// committed occupancy of its key slab per target, and the toggles of the
+// in-flight transaction, which are rolled back if it aborts.
+type clientState struct {
+	present [][]bool // per-target slab occupancy (nil = toggles disabled)
+	pending []pendingToggle
+}
+
+type pendingToggle struct {
+	target, slot int
+}
+
+func (st *clientState) rollback() {
+	for _, p := range st.pending {
+		st.present[p.target][p.slot] = !st.present[p.target][p.slot]
+	}
+	st.pending = st.pending[:0]
+}
+
 // client is one closed-loop client: begin, update UpdatesPerTxn random
 // records, commit; aborted transactions are retried as fresh transactions.
-func (r *Runner) client(ctx context.Context, seed int64) {
+func (r *Runner) client(ctx context.Context, id int, seed int64) {
 	defer r.wg.Done()
 	rng := rand.New(rand.NewSource(seed))
 	// Per-client view of target tables (fallback swaps are client-local,
@@ -193,6 +240,14 @@ func (r *Runner) client(ctx context.Context, seed int64) {
 	for _, tg := range targets {
 		totalWeight += tg.Weight
 	}
+	st := &clientState{present: make([][]bool, len(targets))}
+	if r.cfg.InsertFrac > 0 {
+		for i, tg := range targets {
+			if tg.MakeRow != nil {
+				st.present[i] = make([]bool, toggleSlab)
+			}
+		}
+	}
 
 	for ctx.Err() == nil {
 		if r.cfg.Think > 0 {
@@ -200,17 +255,19 @@ func (r *Runner) client(ctx context.Context, seed int64) {
 		}
 		start := time.Now()
 		tx := r.cfg.DB.Begin()
-		err := r.runTxn(tx, rng, targets, totalWeight)
+		err := r.runTxn(tx, rng, id, targets, totalWeight, st)
 		if err == nil {
 			err = tx.Commit()
 		}
 		if err == nil {
 			rt := time.Since(start)
+			st.pending = st.pending[:0] // toggles are now committed state
 			r.txns.Add(1)
 			r.latencyNs.Add(uint64(rt.Nanoseconds()))
 			r.lat.Observe(rt)
 			continue
 		}
+		st.rollback()
 		if aerr := tx.Abort(); aerr != nil && !errors.Is(aerr, engine.ErrTxnDone) {
 			r.fail(aerr)
 			return
@@ -232,6 +289,9 @@ func (r *Runner) client(ctx context.Context, seed int64) {
 				for i := range targets {
 					if targets[i].Fallback != "" {
 						targets[i].Table = targets[i].Fallback
+						// The fallback usually lacks the source's full column
+						// set; stop inserting rows shaped for the old table.
+						st.present[i] = nil
 					}
 				}
 			}
@@ -242,27 +302,46 @@ func (r *Runner) client(ctx context.Context, seed int64) {
 	}
 }
 
-func (r *Runner) runTxn(tx *engine.Txn, rng *rand.Rand, targets []Target, totalWeight float64) error {
+func (r *Runner) runTxn(tx *engine.Txn, rng *rand.Rand, id int, targets []Target, totalWeight float64, st *clientState) error {
 	for i := 0; i < r.cfg.UpdatesPerTxn; i++ {
-		tg := pick(rng, targets, totalWeight)
+		ti := pickIndex(rng, targets, totalWeight)
+		tg := &targets[ti]
+		if st.present[ti] != nil && rng.Float64() < r.cfg.InsertFrac {
+			// Toggle a key in this client's private slab: delete it if the
+			// committed state has it, insert it otherwise. The optimistic
+			// present-flip is undone by rollback() if the txn aborts.
+			slot := rng.Intn(toggleSlab)
+			key := tg.Keys + r.epoch*epochStride + int64(id)*toggleSlab + int64(slot)
+			var err error
+			if st.present[ti][slot] {
+				err = tx.Delete(tg.Table, value.Tuple{value.Int(key)})
+			} else {
+				err = tx.Insert(tg.Table, tg.MakeRow(key))
+			}
+			if err != nil {
+				return err
+			}
+			st.present[ti][slot] = !st.present[ti][slot]
+			st.pending = append(st.pending, pendingToggle{target: ti, slot: slot})
+			continue
+		}
 		key := value.Tuple{value.Int(rng.Int63n(tg.Keys))}
-		err := tx.Update(tg.Table, key, []string{tg.Col}, value.Tuple{value.Int(rng.Int63())})
-		if err != nil {
+		if err := tx.Update(tg.Table, key, []string{tg.Col}, value.Tuple{value.Int(rng.Int63())}); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func pick(rng *rand.Rand, targets []Target, totalWeight float64) *Target {
+func pickIndex(rng *rand.Rand, targets []Target, totalWeight float64) int {
 	x := rng.Float64() * totalWeight
 	for i := range targets {
 		x -= targets[i].Weight
 		if x <= 0 {
-			return &targets[i]
+			return i
 		}
 	}
-	return &targets[len(targets)-1]
+	return len(targets) - 1
 }
 
 // retryable reports whether a transaction failure is part of normal

@@ -123,6 +123,13 @@ type Options struct {
 	// transformations serially. TransformOptions.PropagateWorkers overrides
 	// it per transformation.
 	PropagateWorkers int
+	// CompactPropagation sets the database-wide default for net-effect log
+	// compaction during propagation: each propagation interval is coalesced
+	// to its per-key net effect before the rules replay it. The zero value
+	// (CompactionDefault) enables it; CompactionOff replays the raw log —
+	// the ablation baseline. TransformOptions.CompactPropagation overrides
+	// it per transformation.
+	CompactPropagation CompactionMode
 }
 
 func (o Options) engineOptions() engine.Options {
@@ -163,6 +170,9 @@ type DB struct {
 	// propagateWorkers is the database-wide default for
 	// TransformOptions.PropagateWorkers (0 = core's automatic default).
 	propagateWorkers int
+	// compactPropagation is the database-wide default for
+	// TransformOptions.CompactPropagation (CompactionDefault = on).
+	compactPropagation CompactionMode
 
 	trMu       sync.Mutex
 	transforms []*Transformation
@@ -174,7 +184,11 @@ func Open(opts ...Options) *DB {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return &DB{eng: engine.New(o.engineOptions()), propagateWorkers: o.PropagateWorkers}
+	return &DB{
+		eng:                engine.New(o.engineOptions()),
+		propagateWorkers:   o.PropagateWorkers,
+		compactPropagation: o.CompactPropagation,
+	}
 }
 
 // Engine exposes the underlying engine for advanced integration (workload

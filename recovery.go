@@ -102,7 +102,11 @@ func Restart(r io.Reader, tables []TableSpec, opts ...Options) (*DB, *WALCorrupt
 	if err != nil {
 		return nil, nil, err
 	}
-	return &DB{eng: eng, propagateWorkers: o.PropagateWorkers}, cut, nil
+	return &DB{
+		eng:                eng,
+		propagateWorkers:   o.PropagateWorkers,
+		compactPropagation: o.CompactPropagation,
+	}, cut, nil
 }
 
 // Recover cleans up a schema transformation interrupted by a crash: target

@@ -31,6 +31,19 @@ const (
 	BlockingCommit = core.BlockingCommit
 )
 
+// CompactionMode selects whether log propagation coalesces each interval's
+// backlog to its per-key net effect before replay (see
+// Options.CompactPropagation and TransformOptions.CompactPropagation).
+type CompactionMode = core.CompactionMode
+
+// Compaction modes. The zero value (CompactionDefault) inherits the
+// surrounding default, which is on.
+const (
+	CompactionDefault = core.CompactionDefault
+	CompactionOn      = core.CompactionOn
+	CompactionOff     = core.CompactionOff
+)
+
 // Phase is a transformation lifecycle phase.
 type Phase = core.Phase
 
@@ -123,6 +136,15 @@ type TransformOptions struct {
 	// Options.PropagateWorkers (itself defaulting to GOMAXPROCS, capped at
 	// 16); 1 runs population and propagation serially.
 	PropagateWorkers int
+	// CompactPropagation selects net-effect compaction of each propagation
+	// interval before replay (operators that support it; splits do, FOJ
+	// replays raw): runs of updates to one source row coalesce to a single
+	// update, and an insert that is deleted again within the interval
+	// collapses to its trailing delete. CompactionDefault inherits the
+	// database-wide Options.CompactPropagation (itself defaulting to on);
+	// CompactionOff replays the raw log — the ablation baseline, best
+	// paired with PropagateWorkers=1 for a fully serial reference run.
+	CompactPropagation CompactionMode
 	// Trace streams the transformation's structured trace events to a
 	// custom sink as they happen, in addition to the bounded in-memory ring
 	// readable via Transformation.Trace. Nil keeps just the ring.
@@ -138,10 +160,14 @@ func (o TransformOptions) config(db *DB) core.Config {
 		MaxIterations:    o.MaxIterations,
 		StallTimeout:     o.StallTimeout,
 		PropagateWorkers: o.PropagateWorkers,
+		Compaction:       o.CompactPropagation,
 		Sink:             o.Trace,
 	}
 	if cfg.PropagateWorkers == 0 {
 		cfg.PropagateWorkers = db.propagateWorkers
+	}
+	if cfg.Compaction == core.CompactionDefault {
+		cfg.Compaction = db.compactPropagation
 	}
 	if o.AbortOnStall {
 		cfg.StallPolicy = core.StallAbort
