@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|workload|scale|compaction|all]
+//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|workload|scale|compaction|recovery|all]
 //	               [-paper] [-rows N] [-sample dur] [-repeats N] [-seed N]
 //	               [-out file.json]
 //
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, workload, scale, compaction, all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, workload, scale, compaction, recovery, all")
 		paper   = flag.Bool("paper", false, "use the paper's table sizes (50k/20k records)")
 		rows    = flag.Int("rows", 0, "override row count for the transformed table(s)")
 		sample  = flag.Duration("sample", 0, "override measurement window")
@@ -119,6 +119,16 @@ func main() {
 		}
 		fmt.Printf("(compaction in %v)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
+	if want == "recovery" || want == "all" {
+		ran++
+		fmt.Println("running recovery ...")
+		t0 := time.Now()
+		if err := runRecovery(p, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "recovery: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(recovery in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		flag.Usage()
@@ -192,6 +202,39 @@ func runCompaction(p bench.Params, path string) error {
 		return err
 	}
 	fmt.Printf("compaction report merged into %s\n", path)
+	return nil
+}
+
+// runRecovery runs the checkpoint recovery-bound figure (records replayed at
+// restart vs. history length, full replay against checkpoint restart) and
+// merges the result into the workload report file the same way runScale does.
+func runRecovery(p bench.Params, path string) error {
+	res, rec, err := bench.FigureRecovery(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Format())
+
+	rep := &bench.WorkloadReport{Seed: p.Seed}
+	if data, err := os.ReadFile(path); err == nil {
+		var existing bench.WorkloadReport
+		if json.Unmarshal(data, &existing) == nil {
+			rep = &existing
+		}
+	}
+	rep.Recovery = rec
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recovery report merged into %s\n", path)
 	return nil
 }
 

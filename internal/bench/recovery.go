@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/engine"
+	"nbschema/internal/value"
+)
+
+// RecoveryPoint is one measurement of the recovery figure: restart cost after
+// a history of History committed transactions, with a fuzzy checkpoint taken
+// Delta transactions before the crash. Full* measures a restart replaying the
+// whole log; Ckpt* a restart from the checkpoint plus the log suffix.
+type RecoveryPoint struct {
+	History      int     `json:"history_txns"`
+	Delta        int     `json:"delta_txns"`
+	LogRecords   int     `json:"log_records"`
+	FullReplayed int64   `json:"full_replayed_records"`
+	FullMs       float64 `json:"full_ms"`
+	CkptReplayed int64   `json:"ckpt_replayed_records"`
+	CkptMs       float64 `json:"ckpt_ms"`
+}
+
+// RecoveryReport is the machine-readable recovery figure: as the history
+// grows, full-replay cost grows with it while checkpoint-restart cost stays
+// proportional to the post-checkpoint delta — recovery O(delta), not
+// O(history).
+type RecoveryReport struct {
+	Points []RecoveryPoint `json:"points"`
+	// BoundHolds reports that at every point the checkpoint restart replayed
+	// no more operation records than the post-checkpoint delta wrote.
+	BoundHolds bool `json:"bound_holds"`
+}
+
+// FigureRecovery measures restart cost vs. history length. For each history
+// size it builds a database whose entire state lives in the log (seed and
+// updates both run through transactions), takes a fuzzy checkpoint, commits a
+// fixed delta of further transactions, serializes the log, and restarts twice:
+// once replaying the full log and once from the checkpoint. The y-axis is
+// operation records replayed; wall time lands in the notes and the report.
+func FigureRecovery(p Params) (Result, *RecoveryReport, error) {
+	p = p.withDefaults()
+	base := p.TRows / 5
+	if base < 200 {
+		base = 200
+	}
+	histories := []int{base, base * 2, base * 4, base * 8}
+	const keys, delta = 128, 64
+
+	rep := &RecoveryReport{BoundHolds: true}
+	res := Result{
+		Figure: "recovery",
+		Title:  "records replayed at restart vs. history length (delta fixed)",
+		XLabel: "history (txns)",
+		YLabel: "records replayed",
+	}
+	full := Series{Name: "full replay"}
+	ckpt := Series{Name: fmt.Sprintf("checkpoint (delta=%d)", delta)}
+
+	for _, n := range histories {
+		pt, err := measureRecovery(n, keys, delta)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		rep.Points = append(rep.Points, pt)
+		full.Points = append(full.Points, Point{X: float64(n), Y: float64(pt.FullReplayed)})
+		ckpt.Points = append(ckpt.Points, Point{X: float64(n), Y: float64(pt.CkptReplayed)})
+		// Each delta transaction commits one update: one operation record
+		// plus its transaction bracketing. The bound the CI gate enforces.
+		if pt.CkptReplayed > int64(delta) {
+			rep.BoundHolds = false
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"history %d: full %.2fms (%d records), checkpoint %.2fms (%d records)",
+			n, pt.FullMs, pt.FullReplayed, pt.CkptMs, pt.CkptReplayed))
+	}
+	res.Series = []Series{full, ckpt}
+	res.Notes = append(res.Notes, fmt.Sprintf("bound holds (ckpt replay <= %d delta ops): %v", delta, rep.BoundHolds))
+	return res, rep, nil
+}
+
+// measureRecovery builds one history and times both restart flavours.
+func measureRecovery(history, keys, delta int) (RecoveryPoint, error) {
+	var pt RecoveryPoint
+	pt.History, pt.Delta = history, delta
+
+	def, err := catalog.NewTableDef("acct", []catalog.Column{
+		{Name: "id", Type: value.KindInt},
+		{Name: "bal", Type: value.KindInt, Nullable: true},
+	}, []string{"id"})
+	if err != nil {
+		return pt, err
+	}
+	db := engine.New(engine.Options{LockTimeout: time.Second})
+	if err := db.CreateTable(def); err != nil {
+		return pt, err
+	}
+
+	// Seed through the log so a full replay can rebuild every row.
+	tx := db.Begin()
+	for i := 0; i < keys; i++ {
+		if err := tx.Insert("acct", value.Tuple{value.Int(int64(i)), value.Int(0)}); err != nil {
+			return pt, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return pt, err
+	}
+
+	update := func(i int) error {
+		tx := db.Begin()
+		if err := tx.Update("acct", value.Tuple{value.Int(int64(i % keys))},
+			[]string{"bal"}, value.Tuple{value.Int(int64(i))}); err != nil {
+			_ = tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+	for i := 0; i < history; i++ {
+		if err := update(i); err != nil {
+			return pt, err
+		}
+	}
+
+	var snap bytes.Buffer
+	if _, err := db.Checkpoint(&snap); err != nil {
+		return pt, err
+	}
+	for i := 0; i < delta; i++ {
+		if err := update(history + i); err != nil {
+			return pt, err
+		}
+	}
+
+	var log strings.Builder
+	if _, err := db.Log().WriteTo(&log); err != nil {
+		return pt, err
+	}
+	pt.LogRecords = db.Log().Len()
+	defs := []*catalog.TableDef{def.Clone()}
+	opts := engine.Options{LockTimeout: time.Second}
+
+	t0 := time.Now()
+	dbFull, _, err := engine.RestartFrom(defs, strings.NewReader(log.String()), opts)
+	if err != nil {
+		return pt, fmt.Errorf("bench: full-replay restart: %w", err)
+	}
+	pt.FullMs = float64(time.Since(t0).Microseconds()) / 1000
+	pt.FullReplayed = dbFull.ReplayedRecords()
+
+	defs2 := []*catalog.TableDef{def.Clone()}
+	t1 := time.Now()
+	dbCkpt, _, err := engine.RestartFromSnapshot(defs2, strings.NewReader(log.String()), bytes.NewReader(snap.Bytes()), opts)
+	if err != nil {
+		return pt, fmt.Errorf("bench: checkpoint restart: %w", err)
+	}
+	pt.CkptMs = float64(time.Since(t1).Microseconds()) / 1000
+	pt.CkptReplayed = dbCkpt.ReplayedRecords()
+	if dbCkpt.RestoredCheckpoint() == nil {
+		return pt, fmt.Errorf("bench: checkpoint restart fell back to full replay")
+	}
+
+	// Both restarts must agree row for row; a figure over diverging states
+	// would be meaningless.
+	got, want := dbCkpt.Table("acct").Rows(), dbFull.Table("acct").Rows()
+	if len(got) != len(want) {
+		return pt, fmt.Errorf("bench: restart images diverge: %d vs %d rows", len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok || !g.Equal(w) {
+			return pt, fmt.Errorf("bench: restart images diverge at row %q", k)
+		}
+	}
+	return pt, nil
+}

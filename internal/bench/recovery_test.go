@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+func TestFigureRecovery(t *testing.T) {
+	p := Default()
+	p.TRows = 1000 // shrink the history ladder for test speed
+	res, rep, err := FigureRecovery(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 || len(rep.Points) != 4 {
+		t.Fatalf("unexpected shape: %d series, %d points", len(res.Series), len(rep.Points))
+	}
+	if !rep.BoundHolds {
+		t.Fatal("checkpoint restart replayed more than the delta")
+	}
+	for i, pt := range rep.Points {
+		if pt.FullReplayed <= pt.CkptReplayed {
+			t.Errorf("point %d: full replay (%d) not larger than checkpoint replay (%d)",
+				i, pt.FullReplayed, pt.CkptReplayed)
+		}
+		if i > 0 && pt.FullReplayed <= rep.Points[i-1].FullReplayed {
+			t.Errorf("full replay cost not growing with history: %+v", rep.Points)
+		}
+		if pt.CkptReplayed != rep.Points[0].CkptReplayed {
+			t.Errorf("checkpoint replay not constant across history sizes: %+v", rep.Points)
+		}
+	}
+}

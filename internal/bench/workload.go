@@ -80,6 +80,9 @@ type WorkloadReport struct {
 	// Compaction carries the net-effect compaction ablation
 	// (FigureCompaction) when that experiment ran; merged like Scale.
 	Compaction *CompactionReport `json:"compaction,omitempty"`
+	// Recovery carries the checkpoint recovery-bound figure
+	// (FigureRecovery) when that experiment ran; merged like Scale.
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.

@@ -104,7 +104,11 @@ func (c *compactor) compact(recs []*wal.Record, isSource func(string) bool, nk n
 			// orders them before any conflicting later write.
 			keep[i] = true
 			continue
-		case wal.TypeBegin, wal.TypeFuzzyMark:
+		case wal.TypeBegin, wal.TypeFuzzyMark,
+			wal.TypeCheckpointBegin, wal.TypeCheckpointEnd,
+			wal.TypeTransformStart, wal.TypeTransformPhase,
+			wal.TypeTransformProgress, wal.TypeTransformSwitch,
+			wal.TypeTransformDone:
 			continue // no-ops for propagation: dropped
 		case wal.TypeInsert, wal.TypeUpdate, wal.TypeDelete, wal.TypeCLR:
 			if !isSource(rec.Table) {

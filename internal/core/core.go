@@ -359,6 +359,13 @@ type operator interface {
 	CCStats() (rounds, repairs int64)
 	// Cleanup drops the target tables (transformation abort).
 	Cleanup() error
+	// describe returns the lifecycle metadata (kind + spec) serialized into
+	// transform-start records so crash recovery can rebuild the operator.
+	describe() transformMeta
+	// reattach re-binds the operator's target-table handles to restored
+	// storage after a checkpoint restart, recreating target indexes. The
+	// target tables must already exist (loaded from the snapshot).
+	reattach() error
 }
 
 // TargetKey names one target-table record.
@@ -520,6 +527,7 @@ func (tr *Transformation) Run(ctx context.Context) error {
 		tr.db.ClearHooks()
 		tr.shadow.SetEnforce(false)
 		cerr := tr.op.Cleanup()
+		tr.logDone(true)
 		tr.emit(obs.EventAbort, func(ev *obs.Event) {
 			ev.Err = err.Error()
 			ev.Duration = time.Since(start)
@@ -529,6 +537,7 @@ func (tr *Transformation) Run(ctx context.Context) error {
 		}
 		return err
 	}
+	tr.logDone(false)
 	tr.setPhase(PhaseDone)
 	tr.emit(obs.EventDone, func(ev *obs.Event) {
 		ev.Duration = time.Since(start)
@@ -562,6 +571,9 @@ func (tr *Transformation) run(ctx context.Context) error {
 	if err := tr.op.Prepare(); err != nil {
 		return fmt.Errorf("core: prepare: %w", err)
 	}
+	if err := tr.logStart(); err != nil {
+		return err
+	}
 	tr.installHooks()
 
 	// Step 2: initial population.
@@ -575,7 +587,9 @@ func (tr *Transformation) run(ctx context.Context) error {
 	}
 	tr.mu.Lock()
 	tr.metrics.PopulationDuration = time.Since(popStart)
+	cursor := tr.cursor
 	tr.mu.Unlock()
+	tr.logPopulated(cursor)
 
 	// Step 3: log propagation.
 	tr.setPhase(PhasePropagating)

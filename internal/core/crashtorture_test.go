@@ -43,6 +43,7 @@ type tortureCase struct {
 	newDB      func(t *testing.T, reg *fault.Registry) *engine.DB
 	seed       func(t *testing.T, db *engine.DB)
 	build      func(db *engine.DB) (*Transformation, error)
+	buildWith  func(db *engine.DB, cfg Config) (*Transformation, error)
 	loadOp     func(tx *engine.Txn, rng *rand.Rand, i int) error
 	sourceDefs func(t *testing.T) []*catalog.TableDef
 	converged  func(t *testing.T, tr *Transformation)
@@ -89,6 +90,11 @@ func fojTortureCase() tortureCase {
 			return NewFullOuterJoin(db, JoinSpec{
 				Target: "T", Left: "R", Right: "S", On: [][2]string{{"c", "c"}},
 			}, tortureConfig())
+		},
+		buildWith: func(db *engine.DB, cfg Config) (*Transformation, error) {
+			return NewFullOuterJoin(db, JoinSpec{
+				Target: "T", Left: "R", Right: "S", On: [][2]string{{"c", "c"}},
+			}, cfg)
 		},
 		loadOp: func(tx *engine.Txn, rng *rand.Rand, i int) error {
 			switch rng.Intn(4) {
@@ -150,6 +156,9 @@ func splitTortureCase() tortureCase {
 		},
 		build: func(db *engine.DB) (*Transformation, error) {
 			return NewSplit(db, splitSpec(), tortureConfig())
+		},
+		buildWith: func(db *engine.DB, cfg Config) (*Transformation, error) {
+			return NewSplit(db, splitSpec(), cfg)
 		},
 		loadOp: func(tx *engine.Txn, rng *rand.Rand, i int) error {
 			switch rng.Intn(4) {

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"nbschema/internal/engine"
+	"nbschema/internal/obs"
+	"nbschema/internal/wal"
+)
+
+// Transformation lifecycle records. A running transformation journals its
+// progress into the WAL so crash recovery can re-attach to it instead of
+// discarding all completed work:
+//
+//   - transform-start (Meta = operator kind + spec as JSON) marks target
+//     creation; everything after it belongs to this transformation attempt.
+//   - transform-phase (Mark = propagation start cursor) marks the initial
+//     population complete: every target storage write of the population
+//     happened before this record was appended.
+//   - transform-progress (Mark = cursor) is appended once per propagation
+//     iteration: every source log record with LSN below Mark has been
+//     applied to the targets before the record was appended.
+//   - transform-switch (Mark = switchover LSN) marks the catalog switchover;
+//     past it the targets are public and a crash is no longer resumable
+//     from these records alone (recovery falls back to drop-and-rerun, or to
+//     a checkpoint taken after completion).
+//   - transform-done (Meta = outcome JSON) marks the attempt finished —
+//     committed or cleanly aborted. Recovery leaves the published targets of
+//     a committed attempt alone.
+//
+// The records carry Txn 0 and are not operations: restart bookkeeping and
+// log propagation both ignore them.
+
+// transformMeta is the JSON payload of transform-start records: enough to
+// rebuild the operator after a crash.
+type transformMeta struct {
+	Kind  string     `json:"kind"` // "foj" or "split"
+	Join  *JoinSpec  `json:"join,omitempty"`
+	Split *SplitSpec `json:"split,omitempty"`
+}
+
+// doneMeta is the JSON payload of transform-done records. Sources lists the
+// source tables of a committed attempt: with Config.KeepSources they remain
+// in the dropping state on purpose, and recovery must not "reopen" them as if
+// a crash had interrupted the switchover.
+type doneMeta struct {
+	Targets []string `json:"targets,omitempty"`
+	Sources []string `json:"sources,omitempty"`
+	Aborted bool     `json:"aborted,omitempty"`
+}
+
+// logStart appends the transform-start record carrying the operator spec.
+func (tr *Transformation) logStart() error {
+	meta, err := json.Marshal(tr.op.describe())
+	if err != nil {
+		return fmt.Errorf("core: encoding transformation spec: %w", err)
+	}
+	tr.db.Log().Append(&wal.Record{Type: wal.TypeTransformStart, Meta: meta})
+	return nil
+}
+
+// logPopulated appends the transform-phase record marking the initial
+// population complete, with the propagation start cursor.
+func (tr *Transformation) logPopulated(cursor wal.LSN) {
+	tr.db.Log().Append(&wal.Record{Type: wal.TypeTransformPhase, Mark: cursor})
+}
+
+// logProgress appends a transform-progress record: every source record below
+// cursor has been applied to the targets.
+func (tr *Transformation) logProgress(cursor wal.LSN) {
+	tr.db.Log().Append(&wal.Record{Type: wal.TypeTransformProgress, Mark: cursor})
+}
+
+// logSwitch appends the transform-switch record at catalog switchover.
+func (tr *Transformation) logSwitch(at wal.LSN) {
+	tr.db.Log().Append(&wal.Record{Type: wal.TypeTransformSwitch, Mark: at})
+}
+
+// logDone appends the transform-done record closing this attempt.
+func (tr *Transformation) logDone(aborted bool) {
+	var targets, sources []string
+	if !aborted {
+		targets = append(targets, tr.op.Targets()...)
+		sources = append(sources, tr.op.Sources()...)
+	}
+	meta, err := json.Marshal(doneMeta{Targets: targets, Sources: sources, Aborted: aborted})
+	if err != nil {
+		meta = nil
+	}
+	tr.db.Log().Append(&wal.Record{Type: wal.TypeTransformDone, Meta: meta})
+}
+
+// transformLogState summarizes the lifecycle records of the latest
+// transformation attempt found in the log.
+type transformLogState struct {
+	start     *wal.Record // latest transform-start (nil: no attempt logged)
+	populated *wal.Record // latest transform-phase after start
+	// progress is the highest transform-progress Mark after start among
+	// records appended at or below bound (0 bound = no records considered).
+	progress wal.LSN
+	switched *wal.Record // transform-switch after start
+	done     *wal.Record // transform-done after start
+	doneMeta doneMeta
+}
+
+// scanTransformLog walks the log and reduces it to the lifecycle state of
+// the latest transformation attempt. Only progress records with LSN at or
+// below bound are folded into progress: a record appended after bound (the
+// restored checkpoint's begin LSN) claims work the checkpoint's fuzzy scans
+// may not have seen yet.
+func scanTransformLog(log *wal.Log, bound wal.LSN) transformLogState {
+	var st transformLogState
+	for _, rec := range log.Scan(1, 0) {
+		switch rec.Type {
+		case wal.TypeTransformStart:
+			st = transformLogState{start: rec}
+		case wal.TypeTransformPhase:
+			if st.start != nil {
+				st.populated = rec
+			}
+		case wal.TypeTransformProgress:
+			if st.start != nil && rec.LSN <= bound && rec.Mark > st.progress {
+				st.progress = rec.Mark
+			}
+		case wal.TypeTransformSwitch:
+			if st.start != nil {
+				st.switched = rec
+			}
+		case wal.TypeTransformDone:
+			if st.start != nil {
+				st.done = rec
+				st.doneMeta = doneMeta{}
+				if len(rec.Meta) > 0 {
+					_ = json.Unmarshal(rec.Meta, &st.doneMeta)
+				}
+			}
+		}
+	}
+	return st
+}
+
+// decodeTransformMeta parses a transform-start record's spec payload.
+func decodeTransformMeta(rec *wal.Record) (transformMeta, error) {
+	var meta transformMeta
+	if err := json.Unmarshal(rec.Meta, &meta); err != nil {
+		return meta, fmt.Errorf("core: decoding transformation spec at LSN %d: %w", rec.LSN, err)
+	}
+	return meta, nil
+}
+
+// rebuildTransformation reconstructs a transformation from a logged spec.
+func rebuildTransformation(db *engine.DB, meta transformMeta, cfg Config) (*Transformation, error) {
+	switch meta.Kind {
+	case "foj":
+		if meta.Join == nil {
+			return nil, fmt.Errorf("core: transform-start record of kind foj carries no join spec")
+		}
+		return NewFullOuterJoin(db, *meta.Join, cfg)
+	case "split":
+		if meta.Split == nil {
+			return nil, fmt.Errorf("core: transform-start record of kind split carries no split spec")
+		}
+		return NewSplit(db, *meta.Split, cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown transformation kind %q in transform-start record", meta.Kind)
+	}
+}
+
+// Resume re-attaches to an in-flight transformation after a checkpoint
+// restart and drives it to completion, skipping preparation and initial
+// population entirely: the restored snapshot already holds the populated
+// target image, and cursor — the logged propagation low-water mark — bounds
+// the log suffix that must be re-propagated. Re-application of records the
+// crashed process had already applied past the last logged mark is absorbed
+// by the operators' idempotent rules. On error the target tables are
+// dropped, exactly as a failed Run, so the caller can fall back to a
+// from-scratch re-run.
+func (tr *Transformation) Resume(ctx context.Context, cursor wal.LSN) error {
+	start := time.Now()
+	tr.mu.Lock()
+	tr.runStart = start
+	tr.cursor = cursor
+	tr.mu.Unlock()
+	tr.mRunning.Add(1)
+	defer tr.mRunning.Add(-1)
+	defer func() {
+		rounds, repairs := tr.op.CCStats()
+		tr.mu.Lock()
+		tr.metrics.TotalDuration = time.Since(start)
+		tr.metrics.CCRounds = rounds
+		tr.metrics.CCRepairs = repairs
+		tr.mu.Unlock()
+	}()
+
+	if err := tr.resume(ctx, cursor); err != nil {
+		tr.setPhase(PhaseAborted)
+		tr.db.ClearHooks()
+		tr.shadow.SetEnforce(false)
+		cerr := tr.op.Cleanup()
+		tr.logDone(true)
+		tr.emit(obs.EventAbort, func(ev *obs.Event) {
+			ev.Err = err.Error()
+			ev.Duration = time.Since(start)
+		})
+		if cerr != nil {
+			return errors.Join(err, cerr)
+		}
+		return err
+	}
+	tr.logDone(false)
+	tr.setPhase(PhaseDone)
+	tr.emit(obs.EventDone, func(ev *obs.Event) {
+		ev.Duration = time.Since(start)
+		ev.Rules = tr.RuleApplications()
+		ev.Tables = append([]string(nil), tr.op.Targets()...)
+	})
+	return nil
+}
+
+// resume is Run's body minus steps 1 and 2: re-bind the operator to the
+// restored storage, then propagate from the resume cursor and synchronize.
+// The fault point core.resume fires after re-attachment.
+func (tr *Transformation) resume(ctx context.Context, cursor wal.LSN) error {
+	tr.emit(obs.EventResume, func(ev *obs.Event) { ev.LSN = uint64(cursor) })
+	if err := tr.op.reattach(); err != nil {
+		return fmt.Errorf("core: reattach: %w", err)
+	}
+	tr.installHooks()
+	if err := tr.faultHit("resume"); err != nil {
+		return err
+	}
+
+	tr.setPhase(PhasePropagating)
+	if err := tr.faultHit("phase.propagating"); err != nil {
+		return err
+	}
+	propStart := time.Now()
+	if err := tr.propagateLoop(ctx); err != nil {
+		return fmt.Errorf("core: propagate: %w", err)
+	}
+	tr.mu.Lock()
+	tr.metrics.PropagationDuration = time.Since(propStart)
+	tr.mu.Unlock()
+
+	tr.setPhase(PhaseSynchronizing)
+	if err := tr.faultHit("phase.synchronizing"); err != nil {
+		return err
+	}
+	if err := tr.synchronize(ctx); err != nil {
+		return fmt.Errorf("core: synchronize: %w", err)
+	}
+	tr.db.ClearHooks()
+	tr.shadow.SetEnforce(false)
+	return nil
+}

@@ -123,6 +123,7 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 			tr.lastA = a
 			tr.mu.Unlock()
 			if scanned > 0 {
+				tr.logProgress(end + 1)
 				tr.mIterations.Add(1)
 				tr.emit(obs.EventIteration, func(ev *obs.Event) {
 					ev.Iteration = iter
@@ -171,6 +172,9 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		tr.metrics.Iterations = iter
 		tr.lastA = a
 		tr.mu.Unlock()
+		// Low-water mark for crash resume: every source record at or below
+		// end has been applied to the targets (lifecycle.go).
+		tr.logProgress(end + 1)
 		tr.mIterations.Add(1)
 		tr.emit(obs.EventIteration, func(ev *obs.Event) {
 			ev.Iteration = iter

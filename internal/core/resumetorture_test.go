@@ -1,0 +1,360 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"nbschema/internal/engine"
+	"nbschema/internal/fault"
+	"nbschema/internal/obs"
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+// Resume torture: crash a transformation mid-propagation after a fuzzy
+// checkpoint captured its populated targets, restart from checkpoint + WAL
+// suffix, and re-attach via Recover{Resume: true}. The resumed run must
+// converge without re-doing any population work, and its final user-visible
+// target image must equal a from-scratch transformation over the same
+// source history.
+
+// neverSync keeps the first run propagating forever, so the crash point is
+// guaranteed to fire mid-propagation rather than racing synchronization.
+func neverSync(Analysis) bool { return false }
+
+func resumePhaseConfig() Config {
+	c := tortureConfig()
+	c.Analyzer = neverSync
+	return c
+}
+
+// userImage projects a table down to its user-visible columns (hidden
+// bookkeeping columns start with "_") and returns the encoded row set.
+func userImage(t *testing.T, db *engine.DB, table string) map[string]bool {
+	t.Helper()
+	def, err := db.Catalog().Get(table)
+	if err != nil {
+		t.Fatalf("userImage(%s): %v", table, err)
+	}
+	var cols []int
+	for i, c := range def.Columns {
+		if !strings.HasPrefix(c.Name, "_") {
+			cols = append(cols, i)
+		}
+	}
+	img := make(map[string]bool)
+	db.Table(table).Scan(func(row value.Tuple, _ wal.LSN) bool {
+		img[row.Project(cols).Encode()] = true
+		return true
+	})
+	return img
+}
+
+func sameUserImage(t *testing.T, a, b *engine.DB, table string) {
+	t.Helper()
+	ia, ib := userImage(t, a, table), userImage(t, b, table)
+	if len(ia) != len(ib) {
+		t.Errorf("table %s: resumed image has %d rows, scratch %d", table, len(ia), len(ib))
+	}
+	for k := range ia {
+		if !ib[k] {
+			t.Errorf("table %s: row %q only in resumed image", table, k)
+		}
+	}
+	for k := range ib {
+		if !ia[k] {
+			t.Errorf("table %s: row %q only in scratch image", table, k)
+		}
+	}
+}
+
+// crashRun runs tr on its own goroutine behind the process-simulation
+// boundary and returns a channel that yields the crash (or run error).
+func crashRun(tr *Transformation) chan fault.Crash {
+	crashed := make(chan fault.Crash, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c, ok := fault.AsCrash(r)
+				if !ok {
+					panic(r)
+				}
+				crashed <- c
+			}
+		}()
+		_ = tr.Run(context.Background())
+	}()
+	return crashed
+}
+
+// runResumeTorture drives one crash-checkpoint-resume cycle and checks the
+// resume ≡ from-scratch property, returning the recovered database.
+// crashAgain additionally crashes the first resumed run and resumes a second
+// time from the same checkpoint.
+func runResumeTorture(t *testing.T, tc tortureCase, workers int, crashAgain bool) *engine.DB {
+	reg := fault.New()
+	db := tc.newDB(t, reg)
+	tc.seed(t, db)
+
+	tr, err := tc.buildWith(db, resumePhaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, wait := startLoad(db, tc.loadOp, 0x5eed)
+
+	crashed := crashRun(tr)
+
+	// Wait until propagation is past its first full iterations, then take a
+	// checkpoint: the populated record is in the log below the checkpoint
+	// begin, and progress records bound the resume cursor.
+	deadline := time.Now().Add(10 * time.Second)
+	for tr.Phase() != PhasePropagating || tr.Progress().Iteration < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("transformation never reached steady propagation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var snap bytes.Buffer
+	if _, err := db.Checkpoint(&snap); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	reg.Arm("core.propagate.batch", fault.OnHit(1), fault.CrashAction())
+	var c fault.Crash
+	select {
+	case c = <-crashed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("crash point never fired")
+	}
+	if c.Point != "core.propagate.batch" {
+		t.Fatalf("crashed at %q", c.Point)
+	}
+	stop()
+	if !wait(5 * time.Second) {
+		t.Log("workload left blocked behind crash-held latches")
+	}
+	reg.Reset()
+
+	var buf strings.Builder
+	if _, err := db.Log().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String() + tornSuffix(t)
+
+	// Restart supplies only the public source schema: the hidden targets
+	// travel inside the checkpoint snapshot.
+	reg2 := fault.New()
+	opts := engine.Options{LockTimeout: 150 * time.Millisecond, LenientWAL: true, Faults: reg2}
+	db2, cut, err := engine.RestartFromSnapshot(tc.sourceDefs(t), strings.NewReader(dump), bytes.NewReader(snap.Bytes()), opts)
+	if err != nil {
+		t.Fatalf("restart with checkpoint: %v", err)
+	}
+	if cut == nil || !cut.Torn() {
+		t.Fatalf("torn tail not reported: %+v", cut)
+	}
+	if db2.RestoredCheckpoint() == nil {
+		t.Fatal("checkpoint not restored")
+	}
+	for _, tgt := range tc.targets {
+		tbl := db2.Table(tgt)
+		if tbl == nil || tbl.Len() == 0 {
+			t.Fatalf("populated target %s not restored from the snapshot", tgt)
+		}
+	}
+
+	resumeCfg := tortureConfig()
+	resumeCfg.PropagateWorkers = workers
+
+	if crashAgain {
+		// Crash the resumed run on its first propagation batch, then resume
+		// once more from the same checkpoint.
+		reg2.Arm("core.propagate.batch", fault.OnHit(1), fault.CrashAction())
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("resumed run did not crash")
+				}
+				if c, ok := fault.AsCrash(r); !ok || c.Point != "core.propagate.batch" {
+					panic(r)
+				}
+			}()
+			_, _ = Recover(context.Background(), db2, RecoverConfig{
+				Targets: tc.targets, Resume: true, ResumeConfig: resumeCfg,
+			})
+		}()
+		reg2.Reset()
+
+		var buf2 strings.Builder
+		if _, err := db2.Log().WriteTo(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		db2, _, err = engine.RestartFromSnapshot(tc.sourceDefs(t),
+			strings.NewReader(buf2.String()+tornSuffix(t)), bytes.NewReader(snap.Bytes()),
+			engine.Options{LockTimeout: 150 * time.Millisecond, LenientWAL: true})
+		if err != nil {
+			t.Fatalf("second restart: %v", err)
+		}
+		if db2.RestoredCheckpoint() == nil {
+			t.Fatal("checkpoint not restored on second restart")
+		}
+	}
+
+	rep, err := Recover(context.Background(), db2, RecoverConfig{
+		Targets: tc.targets, Resume: true, ResumeConfig: resumeCfg,
+	})
+	if err != nil {
+		t.Fatalf("Recover with resume: %v", err)
+	}
+	if !rep.Resumed || rep.Transformation == nil {
+		t.Fatalf("not resumed: %+v", rep)
+	}
+	if rep.ResumeCursor == 0 {
+		t.Fatal("resume cursor not derived from the logged low-water marks")
+	}
+	if got := rep.Transformation.Phase(); got != PhaseDone {
+		t.Fatalf("resumed transformation phase = %v", got)
+	}
+
+	// The tentpole acceptance: a resumed transformation never re-populates.
+	var resumes int
+	for _, ev := range rep.Transformation.Trace() {
+		switch ev.Kind {
+		case obs.EventPopulateChunk:
+			t.Fatalf("resumed run re-populated: %+v", ev)
+		case obs.EventResume:
+			resumes++
+			if ev.LSN != uint64(rep.ResumeCursor) {
+				t.Errorf("resume event LSN %d != cursor %d", ev.LSN, rep.ResumeCursor)
+			}
+		}
+	}
+	if resumes != 1 {
+		t.Errorf("resume events = %d, want 1", resumes)
+	}
+	tc.converged(t, rep.Transformation)
+
+	// Resume ≡ scratch: a from-scratch transformation over the same source
+	// history produces the identical user-visible target image.
+	db3, _, err := engine.RestartFrom(tc.sourceDefs(t), strings.NewReader(dump),
+		engine.Options{LockTimeout: 150 * time.Millisecond, LenientWAL: true})
+	if err != nil {
+		t.Fatalf("control restart: %v", err)
+	}
+	scratchCfg := tortureConfig()
+	scratchCfg.PropagateWorkers = workers
+	tr3, err := tc.buildWith(db3, scratchCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr3.Run(context.Background()); err != nil {
+		t.Fatalf("scratch run: %v", err)
+	}
+	for _, tgt := range tc.targets {
+		sameUserImage(t, db2, db3, tgt)
+	}
+	return db2
+}
+
+// resumedDatabase returns a database holding a transformation completed via
+// crash-checkpoint-resume, for idempotency tests layered on top.
+func resumedDatabase(t *testing.T, tc tortureCase) *engine.DB {
+	t.Helper()
+	return runResumeTorture(t, tc, 0, false)
+}
+
+func TestCrashTortureResumeFOJ(t *testing.T) {
+	runResumeTorture(t, fojTortureCase(), 0, false)
+}
+
+func TestCrashTortureResumeSplit(t *testing.T) {
+	runResumeTorture(t, splitTortureCase(), 0, false)
+}
+
+func TestCrashTortureResumeParallel(t *testing.T) {
+	// The image-equality property must also hold under parallel propagation.
+	runResumeTorture(t, fojTortureCase(), 8, false)
+	runResumeTorture(t, splitTortureCase(), 8, false)
+}
+
+func TestCrashTortureResumeThenCrashAgain(t *testing.T) {
+	runResumeTorture(t, fojTortureCase(), 0, true)
+}
+
+// TestCrashTortureCheckpointMidSnapshot crashes the checkpointing goroutine
+// between partition writes while a workload runs: the truncated snapshot
+// must be rejected at restart and recovery falls back to full replay,
+// converging row-for-row with a control restart.
+func TestCrashTortureCheckpointMidSnapshot(t *testing.T) {
+	runCheckpointCrashTorture(t, "storage.snapshot.partition", 3)
+}
+
+// TestCrashTortureCheckpointTornEnd crashes between the checkpoint-begin and
+// checkpoint-end records: the log keeps an unmatched begin and the snapshot
+// footer is never sealed; restart must ignore the checkpoint entirely.
+func TestCrashTortureCheckpointTornEnd(t *testing.T) {
+	runCheckpointCrashTorture(t, "engine.checkpoint.end", 1)
+}
+
+func runCheckpointCrashTorture(t *testing.T, point string, hit int64) {
+	tc := fojTortureCase()
+	reg := fault.New()
+	db := tc.newDB(t, reg)
+	tc.seed(t, db)
+	stop, wait := startLoad(db, tc.loadOp, 0xc4a5)
+	time.Sleep(5 * time.Millisecond)
+
+	reg.Arm(point, fault.OnHit(hit), fault.CrashAction())
+	var snap bytes.Buffer
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("checkpoint did not crash at %s", point)
+			}
+			if c, ok := fault.AsCrash(r); !ok || c.Point != point {
+				panic(r)
+			}
+		}()
+		_, _ = db.Checkpoint(&snap)
+	}()
+	stop()
+	if !wait(5 * time.Second) {
+		t.Fatal("workload did not stop")
+	}
+	reg.Reset()
+
+	var buf strings.Builder
+	if _, err := db.Log().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String() + tornSuffix(t)
+	opts := engine.Options{LockTimeout: 150 * time.Millisecond, LenientWAL: true}
+
+	db2, _, err := engine.RestartFromSnapshot(tc.sourceDefs(t), strings.NewReader(dump), bytes.NewReader(snap.Bytes()), opts)
+	if err != nil {
+		t.Fatalf("restart with crashed checkpoint: %v", err)
+	}
+	if db2.RestoredCheckpoint() != nil {
+		t.Fatal("crashed checkpoint was accepted")
+	}
+
+	db3, _, err := engine.RestartFrom(tc.sourceDefs(t), strings.NewReader(dump), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range tc.sources {
+		got, want := db2.Table(src).Rows(), db3.Table(src).Rows()
+		if len(got) != len(want) {
+			t.Fatalf("source %s: %d rows, control %d", src, len(got), len(want))
+		}
+		for k, w := range want {
+			if g, ok := got[k]; !ok || !g.Equal(w) {
+				t.Fatalf("source %s row %q diverged", src, k)
+			}
+		}
+	}
+}

@@ -167,6 +167,9 @@ func (tr *Transformation) syncNonBlocking(ctx context.Context, forceAbort bool) 
 			return err
 		}
 	}
+	// Past this record the targets are public: a crash is no longer
+	// resumable from the propagation marks (lifecycle.go).
+	tr.logSwitch(end)
 	if err := tr.faultHit("sync.published"); err != nil {
 		for _, l := range latches {
 			l.ReleaseExclusive()
@@ -375,6 +378,7 @@ func (tr *Transformation) syncBlockingCommit(ctx context.Context) error {
 			return err
 		}
 	}
+	tr.logSwitch(tr.db.Log().End())
 	for _, s := range tr.op.Sources() {
 		if err := tr.db.MarkDropping(s, 0); err != nil { // deny everyone
 			for i := len(latches) - 1; i >= 0; i-- {

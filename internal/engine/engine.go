@@ -9,7 +9,9 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nbschema/internal/catalog"
@@ -91,6 +93,21 @@ type Options struct {
 	// wal.DefaultGroupCommit (GOMAXPROCS-derived); 1 disables group commit
 	// (every append flushes itself).
 	GroupCommit int
+	// CheckpointEvery triggers an automatic fuzzy checkpoint after this many
+	// log records have accumulated since the last one. 0 disables the
+	// record-count trigger. Automatic checkpoints also require CheckpointSink.
+	CheckpointEvery int
+	// CheckpointEveryBytes triggers an automatic fuzzy checkpoint after
+	// approximately this many log bytes have accumulated since the last one.
+	// 0 disables the byte trigger.
+	CheckpointEveryBytes int64
+	// CheckpointSink supplies the destination stream for each automatic
+	// checkpoint. It is called once per checkpoint from a background
+	// goroutine; the writer is closed when the checkpoint completes.
+	// Appending every checkpoint to the same underlying stream is valid —
+	// restart keeps the newest complete one. Manual DB.Checkpoint calls do
+	// not use the sink.
+	CheckpointSink func() (io.WriteCloser, error)
 }
 
 // engineMetrics bundles the engine-level metric handles. All handles are
@@ -102,6 +119,14 @@ type engineMetrics struct {
 	slowTxns      *obs.Counter
 	txnActive     *obs.Gauge
 	commitLatency *obs.Histogram
+
+	ckptCount   *obs.Counter
+	ckptBytes   *obs.Counter
+	ckptErrors  *obs.Counter
+	ckptLast    *obs.Gauge
+	recReplayed *obs.Counter
+	recSnapshot *obs.Counter
+	recFull     *obs.Counter
 }
 
 // DB is an in-memory transactional database.
@@ -132,6 +157,17 @@ type DB struct {
 
 	hookMu sync.RWMutex
 	hooks  Hooks
+
+	// Checkpoint state: begin LSN and approximate log size at the last
+	// completed checkpoint, and the single-flight gate for the automatic
+	// trigger. restored/replayed describe what restart recovered from.
+	ckptLastLSN   atomic.Uint64
+	ckptLastBytes atomic.Int64
+	ckptBusy      atomic.Bool
+	restoredCkpt  *RestoredCheckpoint
+	restarted     bool
+	restartLSN    wal.LSN
+	replayed      atomic.Int64
 }
 
 // New returns an empty database.
@@ -170,6 +206,13 @@ func New(opts Options) *DB {
 			slowTxns:      reg.Counter("engine.txn.slow"),
 			txnActive:     reg.Gauge("engine.txn.active"),
 			commitLatency: reg.Histogram("engine.txn.commit_latency"),
+			ckptCount:     reg.Counter("engine.checkpoint.count"),
+			ckptBytes:     reg.Counter("engine.checkpoint.bytes"),
+			ckptErrors:    reg.Counter("engine.checkpoint.errors"),
+			ckptLast:      reg.Gauge("engine.checkpoint.last"),
+			recReplayed:   reg.Counter("engine.recovery.replayed"),
+			recSnapshot:   reg.Counter("engine.recovery.snapshot"),
+			recFull:       reg.Counter("engine.recovery.full"),
 		}
 		db.log.SetObs(reg)
 		db.locks.SetObs(reg)
@@ -424,6 +467,7 @@ func (db *DB) endTxn(id wal.TxnID) {
 	if h := db.currentHooks(); h.OnTxnEnd != nil {
 		h.OnTxnEnd(id)
 	}
+	db.maybeCheckpoint()
 }
 
 // resolve returns the definition, storage and latch of a table.

@@ -54,6 +54,38 @@ type Txn struct {
 	histMu sync.Mutex
 	hist   []TxnEvent
 	histN  int64
+
+	// touched names every table this transaction has logged an operation
+	// against, recorded BEFORE the corresponding WAL append: a checkpoint
+	// that reads it after its begin record is appended therefore sees every
+	// table the transaction wrote at any LSN below the begin. Guarded by its
+	// own mutex because the checkpointer reads it from another goroutine
+	// while t.mu may be held across a blocked lock wait.
+	touchMu sync.Mutex
+	touched map[string]struct{}
+}
+
+// touch records that the transaction is about to log an operation on table.
+func (t *Txn) touch(table string) {
+	t.touchMu.Lock()
+	if t.touched == nil {
+		t.touched = make(map[string]struct{}, 4)
+	}
+	t.touched[table] = struct{}{}
+	t.touchMu.Unlock()
+}
+
+// TouchedTables returns the names of the tables the transaction has logged
+// operations against so far. Checkpointing uses it to compute per-table redo
+// low-water marks.
+func (t *Txn) TouchedTables() []string {
+	t.touchMu.Lock()
+	defer t.touchMu.Unlock()
+	out := make([]string, 0, len(t.touched))
+	for n := range t.touched {
+		out = append(out, n)
+	}
+	return out
 }
 
 // BeginLSN returns the LSN of the transaction's begin record.
@@ -149,6 +181,7 @@ func (t *Txn) Insert(table string, row value.Tuple) error {
 		Row:   row.Clone(),
 		Prev:  t.lastLSN,
 	}
+	t.touch(table)
 	lsn := t.db.log.Append(rec)
 	if err := tbl.Insert(row, lsn); err != nil {
 		// The log record is already durable; compensate it immediately so
@@ -226,6 +259,7 @@ func (t *Txn) Update(table string, key value.Tuple, cols []string, vals value.Tu
 		New:   vals.Clone(),
 		Prev:  t.lastLSN,
 	}
+	t.touch(table)
 	lsn := t.db.log.Append(rec)
 	if _, err := tbl.Update(key, colIdx, vals, lsn); err != nil {
 		t.compensate(rec, false)
@@ -270,6 +304,7 @@ func (t *Txn) Delete(table string, key value.Tuple) error {
 		Row:   before, // before-image for undo
 		Prev:  t.lastLSN,
 	}
+	t.touch(table)
 	lsn := t.db.log.Append(rec)
 	if _, err := tbl.Delete(key); err != nil {
 		t.compensate(rec, false)

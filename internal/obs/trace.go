@@ -42,6 +42,9 @@ const (
 	EventDone
 	// EventAbort marks an abandoned transformation; Err carries the cause.
 	EventAbort
+	// EventResume marks a transformation re-attached by crash recovery; LSN
+	// carries the propagation cursor it resumed from.
+	EventResume
 )
 
 // String returns the event kind name.
@@ -67,6 +70,8 @@ func (k EventKind) String() string {
 		return "done"
 	case EventAbort:
 		return "abort"
+	case EventResume:
+		return "resume"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

@@ -13,17 +13,23 @@ import (
 	"nbschema/internal/value"
 )
 
-// Binary log format, per record:
+// Binary log format, per record (version 2):
 //
-//	magic   uint16  (0x4C57, "WL")
+//	magic   uint16  (0x4C58, "WX")
 //	length  uint32  (payload bytes, excluding header and trailer)
 //	payload ...     (fields in fixed order, varint-framed)
-//	crc32   uint32  (IEEE, over payload)
+//	crc32   uint32  (IEEE, over header AND payload)
 //
-// The format is self-delimiting so a log file can be replayed sequentially
-// at restart.
+// Version 1 frames (magic 0x4C57, "WL") are still decoded: their CRC covers
+// the payload only — leaving the length field unprotected — and their payload
+// ends after the active-transaction list (no Mark/Marks/Meta fields). Writers
+// always emit version 2. The format is self-delimiting so a log file can be
+// replayed sequentially at restart, and the magic doubles as the version tag.
 
-const recordMagic = 0x4C57
+const (
+	recordMagicV1 = 0x4C57
+	recordMagicV2 = 0x4C58
+)
 
 type encoder struct {
 	buf []byte
@@ -95,14 +101,45 @@ func Marshal(r *Record) []byte {
 		e.uvarint(uint64(a.ID))
 		e.uvarint(uint64(a.First))
 	}
+	e.uvarint(uint64(r.Mark))
+	e.uvarint(uint64(len(r.Marks)))
+	for _, m := range r.Marks {
+		e.str(m.Table)
+		e.uvarint(uint64(m.Low))
+	}
+	e.uvarint(uint64(len(r.Meta)))
+	e.buf = append(e.buf, r.Meta...)
 
 	payload := e.buf
 	out := make([]byte, 0, len(payload)+10)
-	out = binary.BigEndian.AppendUint16(out, recordMagic)
+	out = binary.BigEndian.AppendUint16(out, recordMagicV2)
 	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
 	out = append(out, payload...)
-	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	// Version 2: the CRC covers the frame header too, so a corrupted length
+	// field is caught instead of desynchronizing the reader.
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
 	return out
+}
+
+// EncodeTuple appends t's binary encoding (the log codec's tuple format) to
+// buf and returns the extended buffer. The checkpoint snapshot writer reuses
+// the log's value codec for heap rows so the two on-disk formats share one
+// set of primitives.
+func EncodeTuple(buf []byte, t value.Tuple) []byte {
+	e := encoder{buf: buf}
+	e.tuple(t)
+	return e.buf
+}
+
+// DecodeTuple decodes one tuple previously produced by EncodeTuple from the
+// front of b, returning the tuple and the remaining bytes.
+func DecodeTuple(b []byte) (value.Tuple, []byte, error) {
+	d := decoder{buf: b}
+	t := d.tuple()
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return t, d.buf, nil
 }
 
 type decoder struct {
@@ -264,6 +301,8 @@ type scratch struct {
 	key, row, old, new value.Tuple
 	cols               []int
 	active             []ActiveTxn
+	marks              []TableMark
+	meta               []byte
 	tables             map[string]string
 }
 
@@ -275,7 +314,9 @@ func newScratch() *scratch {
 // the frame header/trailer) into r. With a nil scratch every field is
 // freshly allocated and r is safe to retain; with a scratch, tuple fields
 // alias the scratch buffers and r is only valid until the next decode.
-func decodePayload(payload []byte, r *Record, s *scratch) error {
+// v2 selects the version-2 payload layout (Mark/Marks/Meta trailer); a
+// version-1 payload ends after the active-transaction list.
+func decodePayload(payload []byte, r *Record, s *scratch, v2 bool) error {
 	d := decoder{buf: payload}
 	r.LSN = LSN(d.uvarint())
 	r.Prev = LSN(d.uvarint())
@@ -316,6 +357,44 @@ func decodePayload(payload []byte, r *Record, s *scratch) error {
 		}
 		r.Active = buf
 	}
+	r.Mark, r.Marks, r.Meta = 0, nil, nil
+	if v2 {
+		r.Mark = LSN(d.uvarint())
+		if n := d.uvarint(); n > 0 && d.err == nil {
+			buf := r.Marks
+			if s != nil {
+				if uint64(cap(s.marks)) < n {
+					s.marks = make([]TableMark, 0, n)
+				}
+				buf = s.marks[:0]
+			}
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				var m TableMark
+				if s != nil {
+					m.Table = d.strInterned(s.tables)
+				} else {
+					m.Table = d.str()
+				}
+				m.Low = LSN(d.uvarint())
+				buf = append(buf, m)
+			}
+			if s != nil {
+				s.marks = buf
+			}
+			r.Marks = buf
+		}
+		if n := d.uvarint(); n > 0 && d.err == nil {
+			b := d.bytes(n)
+			if d.err == nil {
+				if s != nil {
+					s.meta = append(s.meta[:0], b...)
+					r.Meta = s.meta
+				} else {
+					r.Meta = append([]byte(nil), b...)
+				}
+			}
+		}
+	}
 	if d.err != nil {
 		return d.err
 	}
@@ -326,20 +405,26 @@ func decodePayload(payload []byte, r *Record, s *scratch) error {
 }
 
 // unmarshalPayload decodes one payload into a fresh record.
-func unmarshalPayload(payload []byte) (*Record, error) {
+func unmarshalPayload(payload []byte, v2 bool) (*Record, error) {
 	r := &Record{}
-	if err := decodePayload(payload, r, nil); err != nil {
+	if err := decodePayload(payload, r, nil, v2); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-// Unmarshal decodes one framed record produced by Marshal.
+// Unmarshal decodes one framed record produced by Marshal, either frame
+// version.
 func Unmarshal(b []byte) (*Record, error) {
 	if len(b) < 10 {
 		return nil, fmt.Errorf("wal: frame too short (%d bytes)", len(b))
 	}
-	if binary.BigEndian.Uint16(b) != recordMagic {
+	var v2 bool
+	switch binary.BigEndian.Uint16(b) {
+	case recordMagicV1:
+	case recordMagicV2:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("wal: bad magic %#x", binary.BigEndian.Uint16(b))
 	}
 	n := binary.BigEndian.Uint32(b[2:])
@@ -348,15 +433,23 @@ func Unmarshal(b []byte) (*Record, error) {
 	}
 	payload := b[6 : 6+n]
 	want := binary.BigEndian.Uint32(b[6+n:])
-	if got := crc32.ChecksumIEEE(payload); got != want {
+	covered := payload
+	if v2 {
+		covered = b[:6+n]
+	}
+	if got := crc32.ChecksumIEEE(covered); got != want {
 		return nil, fmt.Errorf("wal: crc mismatch: %#x != %#x", got, want)
 	}
-	return unmarshalPayload(payload)
+	return unmarshalPayload(payload, v2)
 }
 
 // WriteTo serializes the whole log to w in replay order. The fault point
 // "wal.write" is hit once per record and may inject a write error (the flush
-// analog of a failing disk).
+// analog of a failing disk). The fault point "wal.corrupt" is also hit once
+// per record: when it fires with an error action, the record's last payload
+// byte is flipped in the serialized frame — the header stays intact, so a
+// reader sees in-place corruption (a CRC mismatch at that record's byte
+// offset), not a torn tail.
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var total int64
@@ -364,7 +457,11 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 		if err := l.faults.Hit("wal.write"); err != nil {
 			return total, err
 		}
-		n, err := bw.Write(Marshal(rec))
+		frame := Marshal(rec)
+		if err := l.faults.Hit("wal.corrupt"); err != nil {
+			frame[len(frame)-5] ^= 0x01
+		}
+		n, err := bw.Write(frame)
 		total += int64(n)
 		if err != nil {
 			return total, err
@@ -467,5 +564,6 @@ func readLog(r io.Reader, faults *fault.Registry) (*Log, *CorruptionError, error
 		l.mu.Lock()
 		l.recs = append(l.recs, rec)
 		l.mu.Unlock()
+		l.approxBytes.Add(approxSize(rec))
 	}
 }

@@ -1,0 +1,161 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"nbschema/internal/fault"
+	"nbschema/internal/value"
+)
+
+// marshalV1 encodes a record as a version-1 frame: magic 0x4C57, CRC over
+// the payload only, and no Mark/Marks/Meta fields — the format written
+// before checkpoints existed. Kept in tests only, to prove old logs decode.
+func marshalV1(r *Record) []byte {
+	var e encoder
+	e.uvarint(uint64(r.LSN))
+	e.uvarint(uint64(r.Prev))
+	e.uvarint(uint64(r.Txn))
+	e.buf = append(e.buf, byte(r.Type))
+	e.str(r.Table)
+	e.tuple(r.Key)
+	e.tuple(r.Row)
+	e.ints(r.Cols)
+	e.tuple(r.Old)
+	e.tuple(r.New)
+	e.buf = append(e.buf, byte(r.Redo))
+	e.uvarint(uint64(r.UndoNext))
+	e.uvarint(uint64(len(r.Active)))
+	for _, a := range r.Active {
+		e.uvarint(uint64(a.ID))
+		e.uvarint(uint64(a.First))
+	}
+	payload := e.buf
+	out := make([]byte, 0, len(payload)+10)
+	out = binary.BigEndian.AppendUint16(out, recordMagicV1)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+}
+
+func TestLegacyV1FramesStillDecode(t *testing.T) {
+	recs := []*Record{
+		{LSN: 1, Txn: 1, Type: TypeBegin},
+		{LSN: 2, Txn: 1, Type: TypeInsert, Table: "t",
+			Key: value.Tuple{value.Int(1)},
+			Row: value.Tuple{value.Int(1), value.Str("a")}},
+		{LSN: 3, Txn: 1, Prev: 2, Type: TypeCommit},
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		buf.Write(marshalV1(r))
+	}
+	log, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog(v1 frames): %v", err)
+	}
+	if log.Len() != len(recs) {
+		t.Fatalf("decoded %d records, want %d", log.Len(), len(recs))
+	}
+	got, err := log.Get(2)
+	if err != nil || got.Type != TypeInsert || got.Table != "t" || len(got.Row) != 2 {
+		t.Errorf("v1 insert decoded as %+v (%v)", got, err)
+	}
+	if got.Mark != 0 || got.Marks != nil || got.Meta != nil {
+		t.Errorf("v1 frame grew checkpoint fields: %+v", got)
+	}
+}
+
+func TestMixedV1V2StreamDecodes(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(marshalV1(&Record{LSN: 1, Txn: 1, Type: TypeBegin}))
+	buf.Write(Marshal(&Record{
+		LSN: 2, Type: TypeCheckpointEnd, Mark: 1,
+		Marks: []TableMark{{Table: "t", Low: 1}},
+		Meta:  []byte(`{"k":"v"}`),
+	}))
+	log, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog(mixed): %v", err)
+	}
+	got, err := log.Get(2)
+	if err != nil || got.Mark != 1 || len(got.Marks) != 1 ||
+		got.Marks[0].Table != "t" || string(got.Meta) != `{"k":"v"}` {
+		t.Errorf("v2 fields lost: %+v (%v)", got, err)
+	}
+}
+
+func TestV2RoundTripCheckpointFields(t *testing.T) {
+	in := &Record{
+		LSN: 5, Type: TypeCheckpointEnd, Mark: 3,
+		Active: []ActiveTxn{{ID: 9, First: 2}},
+		Marks:  []TableMark{{Table: "a", Low: 1}, {Table: "b", Low: 3}},
+		Meta:   []byte("opaque"),
+	}
+	out, err := Unmarshal(Marshal(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mark != in.Mark || len(out.Marks) != 2 || out.Marks[1].Low != 3 ||
+		string(out.Meta) != "opaque" || len(out.Active) != 1 {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestV1CorruptLengthFieldIsBounded(t *testing.T) {
+	// The v1 CRC does not protect the length field; a flipped length must
+	// still surface as corruption (CRC mismatch or truncated frame), never
+	// as silent misdecoding.
+	frame := marshalV1(&Record{LSN: 1, Txn: 1, Type: TypeBegin})
+	frame[3] ^= 0x01 // low byte of the length field
+	_, cut, err := ReadLogWith(bytes.NewReader(frame), nil)
+	if err == nil && cut == nil {
+		t.Fatal("flipped v1 length decoded cleanly")
+	}
+}
+
+func TestCorruptFaultPointFlipsPayload(t *testing.T) {
+	// Arm wal.corrupt: WriteTo flips one payload byte mid-stream; strict
+	// reading must report a CorruptionError with the byte offset of the
+	// damaged frame, and lenient reading must cut there.
+	log := NewLog()
+	for i := 1; i <= 8; i++ {
+		log.Append(&Record{Txn: TxnID(i), Type: TypeBegin})
+	}
+	reg := fault.New()
+	reg.Arm("wal.corrupt", fault.OnHit(4), fault.ErrorAction(nil))
+	log.SetFaults(reg)
+	var buf bytes.Buffer
+	if _, err := log.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+
+	_, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("strict read err = %v, want CorruptionError", err)
+	}
+	if ce.Torn() {
+		t.Error("in-place corruption misreported as torn tail")
+	}
+	if ce.Offset < 0 || ce.Offset >= int64(buf.Len()) {
+		t.Errorf("corruption offset %d out of range [0,%d)", ce.Offset, buf.Len())
+	}
+
+	lenient, cut, err := ReadLogLenient(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if cut == nil || cut.Offset != ce.Offset {
+		t.Errorf("lenient cut = %+v, want offset %d", cut, ce.Offset)
+	}
+	if lenient.Len() != 3 {
+		t.Errorf("lenient log kept %d records, want 3 (cut at record 4)", lenient.Len())
+	}
+	if cut.Record != 4 {
+		t.Errorf("cut at record %d, want 4", cut.Record)
+	}
+}

@@ -104,7 +104,12 @@ func (t *Tail) Next() (*Record, error) {
 		t.done = true
 		return nil, fmt.Errorf("wal: reading frame header: %w", err)
 	}
-	if binary.BigEndian.Uint16(header[:]) != recordMagic {
+	var v2 bool
+	switch binary.BigEndian.Uint16(header[:]) {
+	case recordMagicV1:
+	case recordMagicV2:
+		v2 = true
+	default:
 		return corrupt(fmt.Errorf("bad magic %#x", binary.BigEndian.Uint16(header[:])))
 	}
 	length := binary.BigEndian.Uint32(header[2:])
@@ -122,7 +127,13 @@ func (t *Tail) Next() (*Record, error) {
 	}
 	payload := body[:length]
 	want := binary.BigEndian.Uint32(body[length:])
-	if got := crc32.ChecksumIEEE(payload); got != want {
+	got := crc32.ChecksumIEEE(payload)
+	if v2 {
+		// Version 2 covers the frame header too.
+		got = crc32.ChecksumIEEE(header[:])
+		got = crc32.Update(got, crc32.IEEETable, payload)
+	}
+	if got != want {
 		return corrupt(fmt.Errorf("crc mismatch: %#x != %#x", got, want))
 	}
 	rec := &t.rec
@@ -130,7 +141,7 @@ func (t *Tail) Next() (*Record, error) {
 	if t.own {
 		rec, s = &Record{}, nil
 	}
-	if err := decodePayload(payload, rec, s); err != nil {
+	if err := decodePayload(payload, rec, s, v2); err != nil {
 		return corrupt(err)
 	}
 	t.last = t.offset

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"nbschema/internal/fault"
 	"nbschema/internal/obs"
@@ -56,6 +57,36 @@ const (
 	// TypeCCOK is written when the consistency checker found the records
 	// consistent; it carries the correct image of the S record.
 	TypeCCOK
+	// TypeCheckpointBegin opens a fuzzy checkpoint. It carries no payload:
+	// its LSN is the cut the snapshot is taken against, and the matching
+	// TypeCheckpointEnd carries the bookkeeping gathered after it.
+	TypeCheckpointBegin
+	// TypeCheckpointEnd closes a fuzzy checkpoint. Mark is the LSN of the
+	// matching begin record, Active the transactions live at begin time, and
+	// Marks the per-table redo low-water marks: replaying the log from
+	// min(Marks) over the snapshot's heap image reproduces the full-replay
+	// state.
+	TypeCheckpointEnd
+	// TypeTransformStart is written when a schema transformation starts.
+	// Meta carries the transformation spec (JSON) so recovery can rebuild
+	// the operator without out-of-band state.
+	TypeTransformStart
+	// TypeTransformPhase is written at transformation phase boundaries
+	// (Meta names the phase). The populated record's Mark is the propagation
+	// start LSN the initial population left off at.
+	TypeTransformPhase
+	// TypeTransformProgress is the transformation's propagation low-water
+	// mark: every source log record with LSN < Mark has been applied to the
+	// targets. Recovery resumes propagation from the newest safe Mark.
+	TypeTransformProgress
+	// TypeTransformSwitch is written at switchover: Mark is the
+	// synchronization point LSN. A transformation past this record cannot be
+	// resumed mid-propagation and recovery falls back to drop-and-rerun.
+	TypeTransformSwitch
+	// TypeTransformDone is written when a transformation completes, targets
+	// published. Recovery treats a matching start/done pair as finished work
+	// and leaves the published tables alone.
+	TypeTransformDone
 )
 
 // String returns the record type name.
@@ -81,6 +112,20 @@ func (t Type) String() string {
 		return "cc-begin"
 	case TypeCCOK:
 		return "cc-ok"
+	case TypeCheckpointBegin:
+		return "checkpoint-begin"
+	case TypeCheckpointEnd:
+		return "checkpoint-end"
+	case TypeTransformStart:
+		return "transform-start"
+	case TypeTransformPhase:
+		return "transform-phase"
+	case TypeTransformProgress:
+		return "transform-progress"
+	case TypeTransformSwitch:
+		return "transform-switch"
+	case TypeTransformDone:
+		return "transform-done"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -98,6 +143,14 @@ func (t Type) IsOp() bool {
 type ActiveTxn struct {
 	ID    TxnID
 	First LSN
+}
+
+// TableMark is one per-table redo low-water mark carried by a checkpoint-end
+// record: every effect of an operation on Table with LSN < Low is already in
+// the checkpoint's heap snapshot, so redo for that table may start at Low.
+type TableMark struct {
+	Table string
+	Low   LSN
 }
 
 // Record is one log record. Records are immutable once appended.
@@ -124,6 +177,16 @@ type Record struct {
 
 	// Consistency-checker payload (TypeCCBegin/TypeCCOK). Key carries the
 	// checked split value; Row carries the correct image for TypeCCOK.
+
+	// Checkpoint and transformation-lifecycle payload. For
+	// TypeCheckpointEnd, Mark is the begin record's LSN and Marks the
+	// per-table redo low-water marks. Transformation records use Mark as
+	// their cursor/switchover LSN and Meta as an opaque spec payload. These
+	// fields are only present in version-2 frames; version-1 logs decode
+	// them as zero.
+	Mark  LSN
+	Marks []TableMark
+	Meta  []byte
 }
 
 // OpType returns the effective data operation of the record: its own type
@@ -164,6 +227,10 @@ type Log struct {
 	mu   sync.RWMutex
 	recs []*Record
 
+	// approxBytes estimates the serialized size of the log so far, updated
+	// per append without marshalling. Checkpoint byte triggers read it.
+	approxBytes atomic.Int64
+
 	// Group-commit staging area. gcBatch is the batch cap; 1 selects the
 	// direct (serial) append path.
 	gcMu     sync.Mutex
@@ -171,6 +238,22 @@ type Log struct {
 	gcActive bool
 	gcBatch  int
 }
+
+// approxSize estimates a record's serialized frame size without marshalling:
+// the 10-byte frame overhead, strings and meta at full length, and a flat
+// per-element cost for tuples, column lists, active entries and marks.
+func approxSize(rec *Record) int64 {
+	n := 10 + 8 + len(rec.Table) + len(rec.Meta)
+	n += 8 * (len(rec.Key) + len(rec.Row) + len(rec.Old) + len(rec.New))
+	n += 4*len(rec.Cols) + 8*len(rec.Active)
+	for _, m := range rec.Marks {
+		n += 8 + len(m.Table)
+	}
+	return int64(n)
+}
+
+// ApproxBytes returns the running estimate of the log's serialized size.
+func (l *Log) ApproxBytes() int64 { return l.approxBytes.Load() }
 
 // DefaultGroupCommit returns the group-commit batch cap used when none is
 // configured: 4×GOMAXPROCS, at least 8.
@@ -240,6 +323,7 @@ func (l *Log) GroupCommitBatch() int {
 func (l *Log) Append(rec *Record) LSN {
 	_ = l.faults.Hit("wal.append")
 	l.mAppends.Add(1)
+	l.approxBytes.Add(approxSize(rec))
 	if l.gcBatch <= 1 {
 		l.mu.Lock()
 		rec.LSN = LSN(len(l.recs) + 1)

@@ -35,6 +35,7 @@ package nbschema
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -130,6 +131,21 @@ type Options struct {
 	// the ablation baseline. TransformOptions.CompactPropagation overrides
 	// it per transformation.
 	CompactPropagation CompactionMode
+	// CheckpointEvery takes an automatic fuzzy checkpoint whenever this many
+	// WAL records have been appended since the last one (0 disables the
+	// record trigger). Checkpoints bound restart's redo pass to the log
+	// suffix past the checkpoint; writers are never stopped. Requires
+	// CheckpointSink.
+	CheckpointEvery int
+	// CheckpointEveryBytes triggers an automatic checkpoint on approximate
+	// WAL growth in bytes since the last one (0 disables the byte trigger).
+	CheckpointEveryBytes int64
+	// CheckpointSink supplies the destination stream for each automatic
+	// checkpoint. It is called once per checkpoint from a background
+	// goroutine; the returned writer is closed when the snapshot is sealed.
+	// Returning a writer that appends to one long-lived stream is valid:
+	// restart uses the newest complete checkpoint in the stream.
+	CheckpointSink func() (io.WriteCloser, error)
 }
 
 func (o Options) engineOptions() engine.Options {
@@ -143,6 +159,10 @@ func (o Options) engineOptions() engine.Options {
 		LockStripes:       o.LockStripes,
 		StoragePartitions: o.StoragePartitions,
 		GroupCommit:       o.GroupCommit,
+
+		CheckpointEvery:      o.CheckpointEvery,
+		CheckpointEveryBytes: o.CheckpointEveryBytes,
+		CheckpointSink:       o.CheckpointSink,
 	}
 }
 

@@ -52,6 +52,12 @@ type WALCorruption = wal.CorruptionError
 // RecoverReport describes what DB.Recover found and did.
 type RecoverReport = core.RecoverReport
 
+// CheckpointStats describes one completed fuzzy checkpoint.
+type CheckpointStats = engine.CheckpointStats
+
+// RestoredCheckpoint describes the checkpoint a restart recovered from.
+type RestoredCheckpoint = engine.RestoredCheckpoint
+
 // TableSpec names one table for Restart: the schema is not logged, so a
 // restarting process supplies it.
 type TableSpec struct {
@@ -114,6 +120,93 @@ func Restart(r io.Reader, tables []TableSpec, opts ...Options) (*DB, *WALCorrupt
 // populated outside the log, so after a restart they are empty shells — and
 // sources caught mid-switchover are reopened for public use. The
 // transformation can then simply be run again (§6 of the paper).
+//
+// Recover is idempotent: targets of a transformation whose completion
+// survived (the engine is live, or a checkpoint taken after completion was
+// restored) are left alone even when named here.
 func (db *DB) Recover(ctx context.Context, targets ...string) (RecoverReport, error) {
 	return core.Recover(ctx, db.eng, core.RecoverConfig{Targets: targets})
+}
+
+// RecoverOptions configures RecoverWith.
+type RecoverOptions struct {
+	// Targets names tables known to be transformation targets (see Recover).
+	Targets []string
+	// Resume re-attaches to a transformation that was mid-flight at the
+	// crash, provided the database was restarted from a checkpoint covering
+	// its initial population (RestartWithCheckpoint). Propagation restarts
+	// from the logged low-water mark — population work is never redone. When
+	// the preconditions fail, recovery silently falls back to dropping the
+	// targets (re-run the transformation from scratch).
+	Resume bool
+	// ResumeOptions tunes the resumed transformation; function-valued knobs
+	// (analyzer thresholds, trace sinks) cannot be reconstructed from the
+	// log, so they are supplied anew here.
+	ResumeOptions TransformOptions
+}
+
+// RecoverWith is Recover with resume support: see RecoverOptions.
+func (db *DB) RecoverWith(ctx context.Context, opts RecoverOptions) (RecoverReport, error) {
+	rep, err := core.Recover(ctx, db.eng, core.RecoverConfig{
+		Targets:      opts.Targets,
+		Resume:       opts.Resume,
+		ResumeConfig: opts.ResumeOptions.config(db),
+	})
+	if rep.Transformation != nil {
+		db.track(rep.Transformation)
+	}
+	return rep, err
+}
+
+// Checkpoint takes a fuzzy checkpoint now and writes its snapshot to w.
+// Writers are never stopped; the snapshot may mix row versions, which the
+// WAL suffix past the checkpoint repairs on restart (guarded, idempotent
+// redo). Checkpoints appended to one stream accumulate; RestartWithCheckpoint
+// uses the newest complete one. Automatic checkpoints are configured with
+// Options.CheckpointEvery / CheckpointEveryBytes / CheckpointSink.
+func (db *DB) Checkpoint(w io.Writer) (CheckpointStats, error) {
+	return db.eng.Checkpoint(w)
+}
+
+// RestoredCheckpoint returns the checkpoint this database was restarted
+// from, or nil for a fresh database or a full-replay restart.
+func (db *DB) RestoredCheckpoint() *RestoredCheckpoint {
+	return db.eng.RestoredCheckpoint()
+}
+
+// ReplayedRecords returns how many operation records the restart redo pass
+// applied — the observable recovery bound: with a checkpoint it is limited
+// to the log suffix past the checkpoint's per-table low-water marks instead
+// of the full history.
+func (db *DB) ReplayedRecords() int64 { return db.eng.ReplayedRecords() }
+
+// RestartWithCheckpoint rebuilds a database from a serialized log plus a
+// checkpoint snapshot stream (as written by Checkpoint or an automatic
+// CheckpointSink). The newest complete checkpoint in snap is restored and
+// only the WAL suffix past its begin record is replayed; a torn, corrupt or
+// log-inconsistent checkpoint silently falls back to a full replay of the
+// log, so recovery always converges to the same state. A nil snap is
+// exactly Restart.
+func RestartWithCheckpoint(log, snap io.Reader, tables []TableSpec, opts ...Options) (*DB, *WALCorruption, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	defs := make([]*catalog.TableDef, len(tables))
+	for i, s := range tables {
+		def, err := s.def()
+		if err != nil {
+			return nil, nil, err
+		}
+		defs[i] = def
+	}
+	eng, cut, err := engine.RestartFromSnapshot(defs, log, snap, o.engineOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	return &DB{
+		eng:                eng,
+		propagateWorkers:   o.PropagateWorkers,
+		compactPropagation: o.CompactPropagation,
+	}, cut, nil
 }
