@@ -108,7 +108,16 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		// spinning on fuzzy marks. No iteration event is emitted — idle
 		// cycles are paced in the sub-millisecond range and would flood the
 		// trace — but the analysis is still published for Progress.
-		if applied == 0 && tr.db.Log().End() == end {
+		//
+		// A cycle whose range held nothing but the loop's own bookkeeping
+		// (fuzzy marks and progress records — handled as no-ops, but counted
+		// in applied) is idle too: without compaction it would otherwise take
+		// the busy branch and answer the previous cycle's mark-and-progress
+		// pair with a fresh pair, growing the log indefinitely while
+		// synchronization stays gated.
+		logQuiet := tr.db.Log().End() == end
+		worth := scanned > 0 && logQuiet && tr.rangeWorthLogging(from, end)
+		if logQuiet && (applied == 0 || !worth) {
 			a := Analysis{Remaining: 0, Applied: 0, Scanned: scanned, Duration: time.Since(iterStart), Iteration: iter}
 			tr.mu.Lock()
 			// With compaction, a non-empty range can coalesce to nothing
@@ -122,7 +131,14 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 			}
 			tr.lastA = a
 			tr.mu.Unlock()
-			if scanned > 0 {
+			// Log progress (and emit an iteration event) only when the
+			// coalesced range held anything besides the loop's own
+			// bookkeeping records. Otherwise every idle cycle would append a
+			// progress record covering nothing but the previous cycle's
+			// progress record, growing the log — and flooding the trace and
+			// the automatic checkpoint triggers — for as long as
+			// synchronization stays gated.
+			if worth {
 				tr.logProgress(end + 1)
 				tr.mIterations.Add(1)
 				tr.emit(obs.EventIteration, func(ev *obs.Event) {
@@ -244,6 +260,22 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 			}
 		}
 	}
+}
+
+// rangeWorthLogging reports whether [from, to] holds any record besides the
+// ones the propagation loop itself appends in steady state (fuzzy marks and
+// its own progress records). A durable low-water mark over nothing but the
+// loop's own bookkeeping advances no recovery state and would feed the next
+// cycle's scan, so it is not worth a log record.
+func (tr *Transformation) rangeWorthLogging(from, to wal.LSN) bool {
+	for _, rec := range tr.db.Log().Scan(from, to) {
+		switch rec.Type {
+		case wal.TypeFuzzyMark, wal.TypeTransformProgress:
+		default:
+			return true
+		}
+	}
+	return false
 }
 
 // propagateRange redoes log records [from, to] onto the target tables and

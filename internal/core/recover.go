@@ -130,18 +130,25 @@ func Recover(ctx context.Context, db *engine.DB, cfg RecoverConfig) (RecoverRepo
 	case st.start != nil && st.done == nil && st.switched != nil && covered(st.switched.LSN):
 		// Crashed between switchover and done with the switchover restored
 		// complete: keep the public targets, finish dropping the sources.
+		// A spec that cannot be decoded or rebuilt here is a hard error:
+		// proceeding would drop the completed public targets and reopen the
+		// doomed sources while still reporting the switchover as finished.
 		finishSwitch = true
-		if meta, err := decodeTransformMeta(st.start); err == nil {
-			if tr, err := rebuildTransformation(db, meta, cfg.ResumeConfig); err == nil {
-				for _, t := range tr.op.Targets() {
-					protect[t] = true
-				}
-				for _, s := range tr.op.Sources() {
-					if stt, err := db.Catalog().StateOf(s); err == nil && stt == catalog.StateDropping {
-						if err := db.DropTable(s); err != nil {
-							return rep, fmt.Errorf("core: recover: drop source %s: %w", s, err)
-						}
-					}
+		meta, err := decodeTransformMeta(st.start)
+		if err != nil {
+			return rep, fmt.Errorf("core: recover: finish switchover: %w", err)
+		}
+		tr, err := rebuildTransformation(db, meta, cfg.ResumeConfig)
+		if err != nil {
+			return rep, fmt.Errorf("core: recover: finish switchover: %w", err)
+		}
+		for _, t := range tr.op.Targets() {
+			protect[t] = true
+		}
+		for _, s := range tr.op.Sources() {
+			if stt, err := db.Catalog().StateOf(s); err == nil && stt == catalog.StateDropping {
+				if err := db.DropTable(s); err != nil {
+					return rep, fmt.Errorf("core: recover: drop source %s: %w", s, err)
 				}
 			}
 		}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nbschema/internal/wal"
+)
+
+// TestRecoverFinishSwitchoverBadSpecErrors pins down the finish-switchover
+// error path: when a covered transform-switch record exists but the
+// transform-start spec cannot be decoded, Recover must fail loudly. The
+// error used to be swallowed — the completed public targets were dropped,
+// the doomed sources reopened, and the report still claimed the switchover
+// was finished.
+func TestRecoverFinishSwitchoverBadSpecErrors(t *testing.T) {
+	db := newJoinDB(t)
+	seedJoin(t, db)
+	start := db.Log().Append(&wal.Record{Type: wal.TypeTransformStart, Meta: []byte("{not json")})
+	db.Log().Append(&wal.Record{Type: wal.TypeTransformSwitch, Mark: start})
+
+	rep, err := Recover(context.Background(), db, RecoverConfig{Targets: []string{"T"}})
+	if err == nil {
+		t.Fatal("Recover succeeded despite an undecodable transform-start spec in the finish-switchover path")
+	}
+	if !strings.Contains(err.Error(), "finish switchover") {
+		t.Errorf("error does not name the finish-switchover path: %v", err)
+	}
+	if rep.FinishedSwitchover {
+		t.Error("report claims the switchover was finished")
+	}
+	if len(rep.DroppedTargets) != 0 || len(rep.ReopenedSources) != 0 {
+		t.Errorf("recovery touched tables before failing: %+v", rep)
+	}
+}
+
+// TestRecoverFinishSwitchoverUnknownKindErrors is the rebuild analog: a
+// well-formed spec of an unknown transformation kind must also surface,
+// not silently fall through to dropping the completed targets.
+func TestRecoverFinishSwitchoverUnknownKindErrors(t *testing.T) {
+	db := newJoinDB(t)
+	seedJoin(t, db)
+	start := db.Log().Append(&wal.Record{Type: wal.TypeTransformStart, Meta: []byte(`{"kind":"warp"}`)})
+	db.Log().Append(&wal.Record{Type: wal.TypeTransformSwitch, Mark: start})
+
+	rep, err := Recover(context.Background(), db, RecoverConfig{})
+	if err == nil {
+		t.Fatal("Recover succeeded despite an unknown transformation kind in the finish-switchover path")
+	}
+	if rep.FinishedSwitchover {
+		t.Error("report claims the switchover was finished")
+	}
+}

@@ -70,15 +70,25 @@ func (db *DB) Checkpoint(w io.Writer) (CheckpointStats, error) {
 	db.mu.RUnlock()
 	sort.Strings(names)
 
-	sw, err := storage.BeginSnapshot(w, begin, len(names))
+	// Resolve the table handles before the header is written: the snapshot
+	// header carries the table count up front, so a table dropped between
+	// the capture and its WriteTable call must not silently reduce the
+	// number of sections (the reader would misparse the footer as a missing
+	// table and discard this and every later checkpoint in the stream). A
+	// handle resolved here keeps the heap alive even if the table is dropped
+	// mid-scan; its rows then simply travel with the snapshot, exactly as if
+	// the drop had happened just after the checkpoint ended.
+	tables := make([]*storage.Table, 0, len(names))
+	for _, n := range names {
+		if tbl := db.Table(n); tbl != nil {
+			tables = append(tables, tbl)
+		}
+	}
+	sw, err := storage.BeginSnapshot(w, begin, len(tables))
 	if err != nil {
 		return st, fmt.Errorf("engine: checkpoint: %w", err)
 	}
-	for _, n := range names {
-		tbl := db.Table(n)
-		if tbl == nil {
-			continue // dropped since the capture; the log suffix covers it
-		}
+	for _, tbl := range tables {
 		if err := sw.WriteTable(tbl, 0); err != nil {
 			return st, fmt.Errorf("engine: checkpoint: %w", err)
 		}
@@ -100,7 +110,7 @@ func (db *DB) Checkpoint(w io.Writer) (CheckpointStats, error) {
 		return st, fmt.Errorf("engine: checkpoint: %w", err)
 	}
 
-	st = CheckpointStats{Begin: begin, End: end, Tables: len(names), Bytes: sw.Bytes()}
+	st = CheckpointStats{Begin: begin, End: end, Tables: len(tables), Bytes: sw.Bytes()}
 	db.ckptLastLSN.Store(uint64(begin))
 	db.ckptLastBytes.Store(db.log.ApproxBytes())
 	db.met.ckptCount.Add(1)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -9,6 +10,13 @@ import (
 	"nbschema/internal/value"
 	"nbschema/internal/wal"
 )
+
+// errSnapshotInsufficient marks a guarded-redo situation the fuzzy snapshot
+// cannot be repaired from — e.g. a re-keying update the scan captured under
+// neither key, logged without a post-image by an older writer. Restart
+// responds by discarding the snapshot and re-running as a full replay, which
+// reconstructs every row from the log alone.
+var errSnapshotInsufficient = errors.New("engine: fuzzy snapshot insufficient for guarded redo")
 
 // Restart rebuilds a database from a write-ahead log, ARIES-style: a redo
 // pass replays every logged operation (including CLRs) in LSN order, then an
@@ -136,6 +144,12 @@ func restart(defs []*catalog.TableDef, log *wal.Log, snap *storage.Snapshot, opt
 				continue
 			}
 			if err := redoGuarded(db, rec); err != nil {
+				if errors.Is(err, errSnapshotInsufficient) {
+					// The snapshot cannot be repaired by guarded redo; fall
+					// back to a full replay from the log alone, exactly as if
+					// the checkpoint had been torn.
+					return restart(defs, log, nil, opts)
+				}
 				return nil, fmt.Errorf("engine: restart: redo LSN %d: %w", rec.LSN, err)
 			}
 		} else if err := redo(db, rec); err != nil {
@@ -325,6 +339,14 @@ func validateOp(db *DB, rec *wal.Record) error {
 				return bad("column position %d out of range (table has %d columns)", c, len(def.Columns))
 			}
 		}
+		// Re-keying updates carry the full post-image (guarded redo may need
+		// to re-create the row from it).
+		if len(rec.Row) != 0 && len(rec.Row) != len(def.Columns) {
+			return bad("post-image has %d values, table has %d columns", len(rec.Row), len(def.Columns))
+		}
+		if err := checkKinds("post-image", rec.Row, nil); err != nil {
+			return err
+		}
 		return checkKinds("update", rec.New, rec.Cols)
 	case wal.TypeDelete:
 		if len(rec.Key) != len(def.PrimaryKey) {
@@ -396,14 +418,52 @@ func redoGuarded(db *DB, rec *wal.Record) error {
 		}
 		return tbl.Insert(rec.Row, rec.LSN)
 	case wal.TypeUpdate:
-		// A miss means the snapshot saw a later version of the row — it
-		// lives under its post-update key (possibly of a later update), so
-		// there is nothing under the pre-state key to move forward.
-		if !found || have >= rec.LSN {
+		post := keyAfterUpdate(db, rec)
+		if post.Equal(key) {
+			// The update does not move the row: a miss means the snapshot saw
+			// a later version (re-keyed away by a later update), and a stored
+			// LSN at or past the record means this update is already in.
+			if !found || have >= rec.LSN {
+				return nil
+			}
+			_, err := tbl.Update(key, rec.Cols, rec.New, rec.LSN)
+			return err
+		}
+		// A re-keying update moves the row across partitions, which the fuzzy
+		// scan snapshots at different moments, so the row may have been
+		// captured under both keys or under neither. The destination decides
+		// whether the update's effect is present; the pre-state key only
+		// tells us whether a stale duplicate survived.
+		_, haveDst, errDst := tbl.Get(post)
+		if errDst == nil && haveDst >= rec.LSN {
+			// The snapshot saw this update (or a later version of the row).
+			// If it also captured the pre-state version, that row is a stale
+			// duplicate the move already consumed: remove it.
+			if found && have < rec.LSN {
+				_, err := tbl.Delete(key)
+				return err
+			}
 			return nil
 		}
-		_, err := tbl.Update(key, rec.Cols, rec.New, rec.LSN)
-		return err
+		if errDst == nil {
+			// A destination occupant older than the update cannot have
+			// survived to rec.LSN (its delete replays earlier in LSN order);
+			// be defensive and replace it.
+			if _, err := tbl.Delete(post); err != nil {
+				return err
+			}
+		}
+		if found && have < rec.LSN {
+			_, err := tbl.Update(key, rec.Cols, rec.New, rec.LSN)
+			return err
+		}
+		// Captured under neither key (the scan visited the destination
+		// partition before the move and the source partition after it):
+		// re-create the row from the logged post-image.
+		if len(rec.Row) == 0 {
+			return fmt.Errorf("re-keying update at LSN %d captured by the snapshot under neither key and carries no post-image: %w", rec.LSN, errSnapshotInsufficient)
+		}
+		return tbl.Insert(rec.Row, rec.LSN)
 	case wal.TypeDelete:
 		// A miss means the snapshot already saw the delete; a newer stored
 		// version means a later re-insert won — the delete happened before

@@ -259,6 +259,13 @@ func (t *Txn) Update(table string, key value.Tuple, cols []string, vals value.Tu
 		New:   vals.Clone(),
 		Prev:  t.lastLSN,
 	}
+	if !newKey.Equal(key) {
+		// A re-keying update moves the row across partitions, so a fuzzy
+		// checkpoint scanning those partitions at different moments can
+		// capture it zero times. Carry the full post-image so guarded redo
+		// can re-create the row when it is missing under both keys.
+		rec.Row = newRow.Clone()
+	}
 	t.touch(table)
 	lsn := t.db.log.Append(rec)
 	if _, err := tbl.Update(key, colIdx, vals, lsn); err != nil {
@@ -444,6 +451,20 @@ func (t *Txn) compensate(rec *wal.Record, applied bool) {
 		clr.Cols = rec.Cols
 		clr.Old = rec.New
 		clr.New = rec.Old // compensation restores the before-image
+		if applied && !clr.Key.Equal(rec.Key) {
+			// A re-keying compensation carries the full restored image, for
+			// the same reason a re-keying update does: a fuzzy checkpoint may
+			// capture the moved row under neither key, and guarded redo then
+			// re-creates it from this post-image.
+			if _, tbl, _, err := t.db.resolve(rec.Table); err == nil {
+				if cur, _, err := tbl.Get(clr.Key); err == nil {
+					for i, c := range rec.Cols {
+						cur[c] = rec.Old[i]
+					}
+					clr.Row = cur
+				}
+			}
+		}
 	case wal.TypeDelete:
 		clr.Redo = wal.TypeInsert
 		clr.Key = rec.Key
