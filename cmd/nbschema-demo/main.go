@@ -22,24 +22,34 @@ import (
 
 func main() {
 	var (
-		rows     = flag.Int("rows", 20000, "customer rows")
-		priority = flag.Float64("priority", 0.2, "transformation priority (0..1]")
-		clients  = flag.Int("clients", 4, "concurrent update clients")
-		metrics  = flag.String("metrics", "", "serve metrics and /debug over HTTP on this address (e.g. :8080)")
+		rows      = flag.Int("rows", 20000, "customer rows")
+		priority  = flag.Float64("priority", 0.2, "transformation priority (0..1]")
+		clients   = flag.Int("clients", 4, "concurrent update clients")
+		metrics   = flag.String("metrics", "", "serve metrics and /debug over HTTP on this address (e.g. :8080)")
+		history   = flag.Duration("history", 200*time.Millisecond, "telemetry history sampling interval (0 disables history and health)")
+		pprofOn   = flag.Bool("pprof", true, "mount /debug/pprof/ on the metrics server")
+		flightDir = flag.String("flightdir", "", "capture flight-recorder bundles into this directory on health CRITs and stalls")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
 	reg := nbschema.NewMetricsRegistry()
-	db := nbschema.Open(nbschema.Options{Metrics: reg})
+	db := nbschema.Open(nbschema.Options{
+		Metrics:           reg,
+		HistoryInterval:   *history,
+		HealthChecks:      *history > 0,
+		FlightRecorderDir: *flightDir,
+	})
+	defer db.Close()
 	if *metrics != "" {
 		go func() {
 			log.Printf("metrics: http://%s/metrics (append ?format=json for JSON)", *metrics)
-			log.Printf("debug:   http://%s/debug — txns, locks, waitsfor (?format=dot), transform, wal", *metrics)
+			log.Printf("debug:   http://%s/debug — txns, locks, waitsfor (?format=dot), transform, wal, history, health", *metrics)
 			mux := http.NewServeMux()
 			mux.Handle("/metrics", nbschema.MetricsHandler(reg))
-			mux.Handle("/debug", nbschema.DebugHandler(db))
-			mux.Handle("/debug/", nbschema.DebugHandler(db))
+			h := nbschema.DebugHandlerOpts(db, nbschema.DebugOptions{Pprof: *pprofOn})
+			mux.Handle("/debug", h)
+			mux.Handle("/debug/", h)
 			if err := http.ListenAndServe(*metrics, mux); err != nil {
 				log.Printf("metrics server: %v", err)
 			}
@@ -113,6 +123,7 @@ func main() {
 	go func() { done <- tr.Run(context.Background()) }()
 
 	last := nbschema.PhaseIdle
+	lastHealth := nbschema.HealthOK
 	ticker := time.NewTicker(25 * time.Millisecond)
 	defer ticker.Stop()
 	lineLen := 0
@@ -136,6 +147,15 @@ func main() {
 				last = pr.Phase
 			}
 			line := progressLine(pr)
+			if wd := db.Health(); wd != nil {
+				rep := wd.Report()
+				if rep.Status != lastHealth {
+					clearLine()
+					log.Printf("health: %v → %v  %s", lastHealth, rep.Status, healthDetail(rep))
+					lastHealth = rep.Status
+				}
+				line += "  health " + rep.Status.String()
+			}
 			pad := lineLen - len(line)
 			if pad < 0 {
 				pad = 0
@@ -172,6 +192,27 @@ func main() {
 			fmt.Printf("  %-12s %s\n", ev.KindName, traceDetail(ev))
 		}
 	}
+}
+
+// healthDetail names the checks that are not OK in a report.
+func healthDetail(rep nbschema.HealthReport) string {
+	s := ""
+	for _, c := range rep.Checks {
+		if c.Status == nbschema.HealthOK {
+			continue
+		}
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%v", c.Name, c.Status)
+		if c.Message != "" {
+			s += " (" + c.Message + ")"
+		}
+	}
+	if s == "" {
+		return "all checks ok"
+	}
+	return s
 }
 
 // progressLine renders one live status line from a Progress snapshot.

@@ -74,6 +74,11 @@ type WorkloadReport struct {
 	Windows   []WorkloadWindow  `json:"windows"`
 	Transform WorkloadTransform `json:"transform"`
 	Metrics   obs.Snapshot      `json:"metrics"`
+	// History is the telemetry time series sampled across the whole run:
+	// per-window rates (txn throughput, deadlocks, propagation), latency
+	// percentiles and position gauges. The bench.window gauge marks which
+	// measurement window (0 baseline, 1 during, 2 after) each sample fell in.
+	History []obs.HistorySample `json:"history,omitempty"`
 	// Scale carries the concurrency scale figure (FigureScale) when the
 	// scale experiment ran; the CLI merges it into the same report file.
 	Scale *ScaleReport `json:"scale,omitempty"`
@@ -133,14 +138,28 @@ func RunWorkload(p Params) (*WorkloadReport, error) {
 	r := workload.Start(workload.Config{
 		DB: env.db, Targets: targets, Clients: clients,
 		Seed: p.Seed, Think: p.Think, InsertFrac: p.InsertFrac,
+		Obs: p.Obs,
 	})
 	report := &WorkloadReport{Rows: p.TRows, Clients: clients, Seed: p.Seed}
+
+	// Telemetry history across all three windows: sample at 1/8 of the
+	// baseline window so the series spans baseline/during/after with 10+
+	// points, marking the active window in the bench.window gauge. The
+	// watchdog rides along so engine.health.* gauges land in the series too.
+	hist := obs.NewHistory(p.Obs, p.BaselineDur/8, 512)
+	hist.PreSample(env.db.SampleObs)
+	wd := obs.NewWatchdog(p.Obs, obs.WatchdogConfig{})
+	hist.OnSample(wd.Observe)
+	benchWindow := p.Obs.Gauge("bench.window")
+	hist.Start()
+	defer hist.Stop()
 
 	// Baseline: workload alone.
 	c0 := r.Snapshot()
 	time.Sleep(p.BaselineDur)
 	c1 := r.Snapshot()
 	report.Windows = append(report.Windows, window("baseline", c0, c1))
+	benchWindow.Set(1)
 
 	// During: the transformation runs as a background process.
 	tr, err := env.transformation(core.Config{
@@ -189,6 +208,7 @@ sampling:
 		_ = r.Stop()
 		return nil, fmt.Errorf("bench: transformation: %w", trErr)
 	}
+	benchWindow.Set(2)
 
 	// After: workload against the published tables.
 	time.Sleep(p.SampleDur)
@@ -233,6 +253,19 @@ sampling:
 	}
 	if m.CompactOut > 0 {
 		report.Transform.CompactRatio = float64(m.CompactIn) / float64(m.CompactOut)
+	}
+	// One final tick so the "after" window is represented even on very short
+	// runs, then bound the embedded series.
+	hist.Sample()
+	hist.Stop()
+	report.History = hist.Samples()
+	if len(report.History) > 128 {
+		step := float64(len(report.History)) / 128
+		thin := make([]obs.HistorySample, 0, 128)
+		for i := 0; i < 128; i++ {
+			thin = append(thin, report.History[int(float64(i)*step)])
+		}
+		report.History = thin
 	}
 	report.Metrics = p.Obs.Snapshot()
 	return report, nil

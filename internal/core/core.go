@@ -405,6 +405,7 @@ type Transformation struct {
 	mPropagated  *obs.Counter
 	mIterations  *obs.Counter
 	mRunning     *obs.Gauge
+	mBacklog     *obs.Gauge
 	mCompactIn   *obs.Counter
 	mCompactOut  *obs.Counter
 	mCompactFenc *obs.Counter
@@ -436,6 +437,7 @@ func newTransformation(db *engine.DB, cfg Config) *Transformation {
 		tr.mPropagated = reg.Counter("core.propagated")
 		tr.mIterations = reg.Counter("core.iterations")
 		tr.mRunning = reg.Gauge("core.running")
+		tr.mBacklog = reg.Gauge("core.backlog")
 		tr.mCompactIn = reg.Counter("core.compact.in")
 		tr.mCompactOut = reg.Counter("core.compact.out")
 		tr.mCompactFenc = reg.Counter("core.compact.fences")
@@ -513,6 +515,7 @@ func (tr *Transformation) Run(ctx context.Context) error {
 	tr.mu.Unlock()
 	tr.mRunning.Add(1)
 	defer tr.mRunning.Add(-1)
+	defer tr.mBacklog.Set(0)
 	defer func() {
 		rounds, repairs := tr.op.CCStats()
 		tr.mu.Lock()

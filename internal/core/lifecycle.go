@@ -187,6 +187,7 @@ func (tr *Transformation) Resume(ctx context.Context, cursor wal.LSN) error {
 	tr.mu.Unlock()
 	tr.mRunning.Add(1)
 	defer tr.mRunning.Add(-1)
+	defer tr.mBacklog.Set(0)
 	defer func() {
 		rounds, repairs := tr.op.CCStats()
 		tr.mu.Lock()

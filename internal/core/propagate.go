@@ -91,6 +91,17 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		tr.mu.Unlock()
 		end := tr.db.Log().End()
 
+		// Publish the pending range before working it: the backlog gauge must
+		// show outstanding work while a range is (possibly slowly) in flight,
+		// not only between iterations — the watchdog's stall check pairs it
+		// with a flat core.propagated to detect a propagation that stopped
+		// moving.
+		if end >= from {
+			tr.mBacklog.Set(int64(end - from + 1))
+		} else {
+			tr.mBacklog.Set(0)
+		}
+
 		applied, scanned, err := tr.propagateRange(from, end, th)
 		if err != nil {
 			return err
@@ -176,6 +187,7 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		if remaining < 0 {
 			remaining = 0
 		}
+		tr.mBacklog.Set(int64(remaining))
 		a := Analysis{
 			Remaining: remaining,
 			Applied:   applied,

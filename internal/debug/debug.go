@@ -15,7 +15,9 @@ package debug
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"nbschema/internal/core"
@@ -38,6 +40,18 @@ type Config struct {
 	// TraceTail bounds the trace events returned per transformation
 	// (0 selects 50).
 	TraceTail int
+	// History serves the telemetry time series under /debug/history; nil
+	// reports the sampler as disabled.
+	History *obs.History
+	// Watchdog backs /debug/health; nil answers healthy (200) with no
+	// checks, so the probe path is safe to point at an engine without
+	// monitoring.
+	Watchdog *obs.Watchdog
+	// Flight backs POST /debug/flightrecord; nil answers 404.
+	Flight *obs.FlightRecorder
+	// Pprof mounts net/http/pprof under /debug/pprof/ (off by default —
+	// profiles are a production-sensitive surface).
+	Pprof bool
 }
 
 // Handler returns an http.Handler serving the debug surface. The returned
@@ -55,6 +69,16 @@ func Handler(c Config) http.Handler {
 	mux.HandleFunc("/debug/waitsfor", c.waitsFor)
 	mux.HandleFunc("/debug/transform", c.transform)
 	mux.HandleFunc("/debug/wal", c.walInfo)
+	mux.HandleFunc("/debug/history", c.history)
+	mux.HandleFunc("/debug/health", c.health)
+	mux.HandleFunc("/debug/flightrecord", c.flightRecord)
+	if c.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -70,13 +94,20 @@ func (c Config) index(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	writeJSON(w, map[string]string{
-		"/debug/txns":      "active transactions: age, ops, held and awaited locks, event history, slow-txn log",
-		"/debug/locks":     "lock table: holders and queue depth per record",
-		"/debug/waitsfor":  "waits-for graph (JSON; ?format=dot for Graphviz)",
-		"/debug/transform": "running transformations: live progress, ETA, recent trace",
-		"/debug/wal":       "log position and flush statistics",
-	})
+	index := map[string]string{
+		"/debug/txns":         "active transactions: age, ops, held and awaited locks, event history, slow-txn log",
+		"/debug/locks":        "lock table: holders and queue depth per record",
+		"/debug/waitsfor":     "waits-for graph (JSON; ?format=dot for Graphviz)",
+		"/debug/transform":    "running transformations: live progress, ETA, recent trace",
+		"/debug/wal":          "log position and flush statistics",
+		"/debug/history":      "telemetry time series: per-window rates, deltas and latency percentiles",
+		"/debug/health":       "watchdog verdict (readiness probe: 200 healthy, 503 critical)",
+		"/debug/flightrecord": "POST: capture a flight-recorder diagnostic bundle now",
+	}
+	if c.Pprof {
+		index["/debug/pprof/"] = "Go runtime profiles (CPU, heap, goroutine, ...)"
+	}
+	writeJSON(w, index)
 }
 
 // txnsResponse is the /debug/txns payload.
@@ -169,6 +200,82 @@ func (c Config) transform(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, map[string]any{"at": time.Now(), "transformations": entries})
+}
+
+// historyResponse is the /debug/history payload.
+type historyResponse struct {
+	At       time.Time           `json:"at"`
+	Enabled  bool                `json:"enabled"`
+	Interval string              `json:"interval,omitempty"`
+	Taken    int64               `json:"taken"`
+	Samples  []obs.HistorySample `json:"samples"`
+}
+
+func (c Config) history(w http.ResponseWriter, _ *http.Request) {
+	resp := historyResponse{At: time.Now()}
+	if c.History != nil {
+		resp.Enabled = true
+		resp.Interval = c.History.Interval().String()
+		resp.Taken = c.History.Taken()
+		resp.Samples = c.History.Samples()
+	}
+	if resp.Samples == nil {
+		resp.Samples = []obs.HistorySample{}
+	}
+	writeJSON(w, resp)
+}
+
+// health serves the watchdog verdict as a readiness probe: HTTP 200 while
+// the overall status is OK or WARN, 503 while any check is critical. Without
+// a watchdog it answers 200 with an empty report, so the probe can be
+// configured before monitoring is.
+func (c Config) health(w http.ResponseWriter, _ *http.Request) {
+	var report obs.HealthReport
+	if c.Watchdog != nil {
+		report = c.Watchdog.Report()
+	}
+	if report.Checks == nil {
+		report.Checks = []obs.Check{}
+	}
+	if report.At.IsZero() {
+		report.At = time.Now()
+	}
+	if !report.Healthy() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(report)
+		return
+	}
+	writeJSON(w, report)
+}
+
+// flightRecord triggers a flight-recorder capture. POST only: a readiness
+// prober or browser must not be able to write disk bundles by accident.
+func (c Config) flightRecord(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if c.Flight == nil {
+		http.Error(w, "flight recorder not configured", http.StatusNotFound)
+		return
+	}
+	reason := r.URL.Query().Get("reason")
+	if reason == "" {
+		reason = "manual"
+	}
+	dir, err := c.Flight.Trigger(reason)
+	switch {
+	case errors.Is(err, obs.ErrSuppressed):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		writeJSON(w, map[string]string{"bundle": dir})
+	}
 }
 
 // walResponse is the /debug/wal payload.

@@ -127,6 +127,12 @@ type engineMetrics struct {
 	recReplayed *obs.Counter
 	recSnapshot *obs.Counter
 	recFull     *obs.Counter
+
+	// Position gauges refreshed by SampleObs (telemetry-history pre-sample
+	// hook) rather than on every append.
+	walEnd   *obs.Gauge
+	walBytes *obs.Gauge
+	ckptAge  *obs.Gauge
 }
 
 // DB is an in-memory transactional database.
@@ -213,6 +219,9 @@ func New(opts Options) *DB {
 			recReplayed:   reg.Counter("engine.recovery.replayed"),
 			recSnapshot:   reg.Counter("engine.recovery.snapshot"),
 			recFull:       reg.Counter("engine.recovery.full"),
+			walEnd:        reg.Gauge("wal.end_lsn"),
+			walBytes:      reg.Gauge("wal.bytes"),
+			ckptAge:       reg.Gauge("engine.checkpoint.age"),
 		}
 		db.log.SetObs(reg)
 		db.locks.SetObs(reg)
@@ -224,6 +233,20 @@ func New(opts Options) *DB {
 // Obs returns the observability registry the DB was opened with (nil when
 // observability is off).
 func (db *DB) Obs() *obs.Registry { return db.obs }
+
+// SampleObs refreshes the engine's derived position gauges — the current end
+// of log ("wal.end_lsn"), the approximate log size ("wal.bytes") and the
+// records accumulated since the last completed checkpoint
+// ("engine.checkpoint.age"). These are polled quantities, not event
+// counters, so they are computed on demand: register SampleObs as a
+// telemetry-history pre-sample hook instead of paying for gauge updates on
+// every append.
+func (db *DB) SampleObs() {
+	end := int64(db.log.End())
+	db.met.walEnd.Set(end)
+	db.met.walBytes.Set(db.log.ApproxBytes())
+	db.met.ckptAge.Set(end - int64(db.ckptLastLSN.Load()))
+}
 
 // Faults returns the fault registry the DB was opened with (nil when fault
 // injection is off). Transformations forward it to their own fault points.

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Flight recorder: post-mortem capture for a live engine. When something
+// goes critically wrong — the health watchdog trips, a transformation
+// aborts or stalls, or an operator asks for one — the recorder writes a
+// diagnostic bundle: one timestamped directory holding the metric history,
+// trace tail, waits-for graph, slow-transaction log, WAL/checkpoint
+// positions and a goroutine profile, each as its own JSON/text file. The
+// evidence that today evaporates with the process survives it.
+//
+// Bundles are written atomically (a temp directory renamed into place) and
+// rate-limited (one bundle per MinInterval) so a flapping watchdog cannot
+// fill the disk.
+
+// ErrSuppressed is returned by Trigger when a capture is skipped because a
+// bundle was written less than MinInterval ago.
+var ErrSuppressed = errors.New("flight recorder: capture suppressed by rate limit")
+
+// DefaultFlightMinInterval is the capture rate limit used when none is
+// configured.
+const DefaultFlightMinInterval = 30 * time.Second
+
+// Collector produces the contents of one file in a flight bundle.
+type Collector func() ([]byte, error)
+
+// FlightRecorder captures diagnostic bundles into a directory.
+type FlightRecorder struct {
+	dir         string
+	minInterval time.Duration
+
+	mu         sync.Mutex
+	last       time.Time
+	captures   int64
+	suppressed int64
+
+	colMu      sync.Mutex
+	names      []string // collector order = file order in the bundle
+	collectors map[string]Collector
+}
+
+// NewFlightRecorder returns a recorder writing bundles under dir (created on
+// first capture). minInterval <= 0 selects DefaultFlightMinInterval.
+func NewFlightRecorder(dir string, minInterval time.Duration) *FlightRecorder {
+	if minInterval <= 0 {
+		minInterval = DefaultFlightMinInterval
+	}
+	return &FlightRecorder{
+		dir:         dir,
+		minInterval: minInterval,
+		collectors:  make(map[string]Collector),
+	}
+}
+
+// Dir returns the bundle directory.
+func (f *FlightRecorder) Dir() string { return f.dir }
+
+// AddCollector registers fn to produce the file named name (e.g.
+// "metrics.json") in every future bundle. Re-registering a name replaces the
+// collector.
+func (f *FlightRecorder) AddCollector(name string, fn Collector) {
+	f.colMu.Lock()
+	defer f.colMu.Unlock()
+	if _, ok := f.collectors[name]; !ok {
+		f.names = append(f.names, name)
+	}
+	f.collectors[name] = fn
+}
+
+// Captures returns how many bundles were written; Suppressed how many
+// triggers the rate limit swallowed.
+func (f *FlightRecorder) Captures() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.captures
+}
+
+// Suppressed returns how many triggers were skipped by the rate limit.
+func (f *FlightRecorder) Suppressed() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.suppressed
+}
+
+// Trigger captures a bundle, returning the bundle directory's path. reason
+// tags the bundle (directory name and reason.txt). Returns ErrSuppressed
+// without capturing when the previous bundle is younger than MinInterval.
+// Concurrent triggers serialize; the losers are suppressed.
+func (f *FlightRecorder) Trigger(reason string) (string, error) {
+	f.mu.Lock()
+	now := time.Now()
+	if !f.last.IsZero() && now.Sub(f.last) < f.minInterval {
+		f.suppressed++
+		f.mu.Unlock()
+		return "", ErrSuppressed
+	}
+	// Claim the slot before the (slow) capture so concurrent triggers are
+	// suppressed rather than queued behind the lock.
+	f.last = now
+	f.mu.Unlock()
+
+	dir, err := f.capture(now, reason)
+	if err != nil {
+		return "", err
+	}
+	f.mu.Lock()
+	f.captures++
+	f.mu.Unlock()
+	return dir, nil
+}
+
+// capture writes one bundle: collect into a temp directory, then rename it
+// into place so readers never observe a half-written bundle.
+func (f *FlightRecorder) capture(now time.Time, reason string) (string, error) {
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return "", fmt.Errorf("flight recorder: %w", err)
+	}
+	name := fmt.Sprintf("flight-%s-%s", now.Format("20060102-150405.000"), sanitizeReason(reason))
+	final := filepath.Join(f.dir, name)
+	tmp := final + ".tmp"
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", fmt.Errorf("flight recorder: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	meta := fmt.Sprintf("reason: %s\nat: %s\n", reason, now.Format(time.RFC3339Nano))
+	if err := os.WriteFile(filepath.Join(tmp, "reason.txt"), []byte(meta), 0o644); err != nil {
+		return "", fmt.Errorf("flight recorder: %w", err)
+	}
+
+	f.colMu.Lock()
+	names := append([]string(nil), f.names...)
+	collectors := make(map[string]Collector, len(f.collectors))
+	for k, v := range f.collectors {
+		collectors[k] = v
+	}
+	f.colMu.Unlock()
+
+	for _, n := range names {
+		data, err := collectors[n]()
+		if err != nil {
+			// A failing collector must not sink the bundle — record the
+			// error in its place.
+			data = []byte(fmt.Sprintf("collector error: %v\n", err))
+			n += ".err"
+		}
+		if err := os.WriteFile(filepath.Join(tmp, n), data, 0o644); err != nil {
+			return "", fmt.Errorf("flight recorder: %w", err)
+		}
+	}
+
+	if err := os.Rename(tmp, final); err != nil {
+		return "", fmt.Errorf("flight recorder: %w", err)
+	}
+	return final, nil
+}
+
+// sanitizeReason maps a trigger reason onto a directory-name-safe slug.
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "manual"
+	}
+	out := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason) && len(out) < 48; i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.', c == '+':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

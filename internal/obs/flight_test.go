@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlightCapture checks a trigger writes a complete, atomic bundle: every
+// collector file present, JSON payloads parse, reason recorded, and no
+// leftover temp directories.
+func TestFlightCapture(t *testing.T) {
+	dir := t.TempDir()
+	fr := NewFlightRecorder(dir, time.Millisecond)
+	fr.AddCollector("metrics.json", func() ([]byte, error) {
+		return json.Marshal(map[string]int{"x": 1})
+	})
+	fr.AddCollector("notes.txt", func() ([]byte, error) {
+		return []byte("hello"), nil
+	})
+
+	bundle, err := fr.Trigger("watchdog-transform-stall")
+	if err != nil {
+		t.Fatalf("Trigger: %v", err)
+	}
+	base := filepath.Base(bundle)
+	if !strings.HasPrefix(base, "flight-") || !strings.HasSuffix(base, "watchdog-transform-stall") {
+		t.Fatalf("bundle name %q does not embed the reason", base)
+	}
+
+	var m map[string]int
+	raw, err := os.ReadFile(filepath.Join(bundle, "metrics.json"))
+	if err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil || m["x"] != 1 {
+		t.Fatalf("metrics.json parse: %v %v", err, m)
+	}
+	reason, err := os.ReadFile(filepath.Join(bundle, "reason.txt"))
+	if err != nil || !strings.Contains(string(reason), "watchdog-transform-stall") {
+		t.Fatalf("reason.txt = %q, %v", reason, err)
+	}
+	if _, err := os.Stat(filepath.Join(bundle, "notes.txt")); err != nil {
+		t.Fatalf("notes.txt: %v", err)
+	}
+
+	// The capture is atomic: no temp directories survive.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp dir %q", e.Name())
+		}
+	}
+	if got := fr.Captures(); got != 1 {
+		t.Fatalf("Captures = %d, want 1", got)
+	}
+}
+
+// TestFlightRateLimit checks back-to-back triggers inside MinInterval are
+// suppressed with ErrSuppressed, and capture resumes once the interval passes.
+func TestFlightRateLimit(t *testing.T) {
+	dir := t.TempDir()
+	fr := NewFlightRecorder(dir, 200*time.Millisecond)
+	fr.AddCollector("a.txt", func() ([]byte, error) { return []byte("a"), nil })
+
+	if _, err := fr.Trigger("one"); err != nil {
+		t.Fatalf("first trigger: %v", err)
+	}
+	_, err := fr.Trigger("two")
+	if !errors.Is(err, ErrSuppressed) {
+		t.Fatalf("second trigger err = %v, want ErrSuppressed", err)
+	}
+	if got := fr.Suppressed(); got != 1 {
+		t.Fatalf("Suppressed = %d, want 1", got)
+	}
+	time.Sleep(250 * time.Millisecond)
+	if _, err := fr.Trigger("three"); err != nil {
+		t.Fatalf("trigger after interval: %v", err)
+	}
+	if got := fr.Captures(); got != 2 {
+		t.Fatalf("Captures = %d, want 2", got)
+	}
+}
+
+// TestFlightCollectorError checks a failing collector does not sink the
+// bundle: the error lands in <name>.err and the other files are written.
+func TestFlightCollectorError(t *testing.T) {
+	fr := NewFlightRecorder(t.TempDir(), time.Millisecond)
+	fr.AddCollector("bad.json", func() ([]byte, error) { return nil, errors.New("boom") })
+	fr.AddCollector("good.txt", func() ([]byte, error) { return []byte("ok"), nil })
+
+	bundle, err := fr.Trigger("manual")
+	if err != nil {
+		t.Fatalf("Trigger: %v", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(bundle, "bad.json.err"))
+	if err != nil || !strings.Contains(string(raw), "boom") {
+		t.Fatalf("bad.json.err = %q, %v", raw, err)
+	}
+	if _, err := os.Stat(filepath.Join(bundle, "bad.json")); !os.IsNotExist(err) {
+		t.Fatalf("bad.json must not exist, stat err = %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(bundle, "good.txt")); err != nil {
+		t.Fatalf("good.txt: %v", err)
+	}
+}
+
+// TestFlightReasonSanitized checks hostile reasons cannot escape the bundle
+// directory name.
+func TestFlightReasonSanitized(t *testing.T) {
+	dir := t.TempDir()
+	fr := NewFlightRecorder(dir, time.Millisecond)
+	bundle, err := fr.Trigger("../../etc/passwd oh no")
+	if err != nil {
+		t.Fatalf("Trigger: %v", err)
+	}
+	if filepath.Dir(bundle) != dir {
+		t.Fatalf("bundle %q escaped %q", bundle, dir)
+	}
+	if strings.ContainsAny(filepath.Base(bundle), "/ ") {
+		t.Fatalf("bundle name %q not sanitized", filepath.Base(bundle))
+	}
+}

@@ -1,0 +1,475 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Health watchdog: a small rule engine evaluated once per telemetry-history
+// sample, producing an OK/WARN/CRIT status per check and an overall status —
+// the machine-checkable health signal behind /debug/health (HTTP 200/503, a
+// readiness probe) and the engine.health.* gauges. The checks encode the
+// failure modes the paper's operator must react to: a transformation whose
+// backlog stopped draining (§3.3 — "the transformation should either be
+// aborted or get higher priority"), commit-path latency collapsing, a
+// deadlock storm, a checkpoint that is no longer keeping recovery bounded,
+// and runaway goroutine/heap growth.
+
+// Status is the health of one check (or of the whole report).
+type Status int
+
+const (
+	// StatusOK means the check is within its thresholds.
+	StatusOK Status = iota
+	// StatusWarn means the check crossed its warning threshold.
+	StatusWarn
+	// StatusCrit means the check crossed its critical threshold; the overall
+	// report turns unhealthy (HTTP 503) when any check is critical.
+	StatusCrit
+)
+
+// String returns "ok", "warn" or "crit".
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusWarn:
+		return "warn"
+	case StatusCrit:
+		return "crit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the status as its string form.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Check is the result of one watchdog rule at the latest sample.
+type Check struct {
+	// Name identifies the rule (e.g. "transform-stall").
+	Name   string `json:"name"`
+	Status Status `json:"status"`
+	// Value is the observed quantity, Threshold the bound it is judged
+	// against (units depend on the check; see Message).
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// Message is a human-readable one-liner explaining the verdict.
+	Message string `json:"message,omitempty"`
+	// Since is when the check last left StatusOK (zero while OK).
+	Since time.Time `json:"since"`
+}
+
+// HealthReport is the watchdog's verdict at one sample.
+type HealthReport struct {
+	// Status is the worst check status.
+	Status Status `json:"status"`
+	// At is the evaluation time; Sample the telemetry-history sequence
+	// number it was computed from (0 before the first sample).
+	At     time.Time `json:"at"`
+	Sample int64     `json:"sample"`
+	Checks []Check   `json:"checks"`
+}
+
+// Healthy reports whether the overall status is below critical.
+func (r HealthReport) Healthy() bool { return r.Status != StatusCrit }
+
+// WatchdogConfig tunes the watchdog rules. The zero value selects the
+// defaults documented per field; individual checks can be disabled where
+// noted.
+type WatchdogConfig struct {
+	// StallWindows is how many consecutive samples with a positive
+	// propagation backlog and zero applied progress turn the
+	// transform-stall check critical (warning at half). 0 selects 4;
+	// negative disables the check.
+	StallWindows int
+	// FlushP99Factor turns the wal-flush-p99 check warning when the
+	// window's wal.append_latency p99 exceeds Factor × the rolling baseline
+	// (critical at 4×Factor). 0 selects 8; negative disables the check.
+	FlushP99Factor float64
+	// FlushP99Floor suppresses flush-latency verdicts while the window p99
+	// is below it — sub-millisecond jitter is not a spike. 0 selects 1ms.
+	FlushP99Floor time.Duration
+	// DeadlockRate is the engine.lock.deadlock per-second rate that turns
+	// the deadlock-rate check warning (critical at 4×). 0 selects 10/s;
+	// negative disables the check.
+	DeadlockRate float64
+	// CheckpointBudget is the automatic checkpoint record budget
+	// (Options.CheckpointEvery): the checkpoint-age check warns when the
+	// log has grown past 2× the budget since the last checkpoint and turns
+	// critical past 8×. 0 disables the check (no checkpointing configured).
+	CheckpointBudget int
+	// GrowthWindows is how many consecutive strictly-growing samples of
+	// go.goroutines (or go.heap.bytes) turn the growth checks warning
+	// (critical at 2×). 0 selects 8; negative disables both checks.
+	GrowthWindows int
+	// GoroutineGrowthMin is the minimum total goroutine growth over the run
+	// of growing windows before the goroutine check fires. 0 selects 64.
+	GoroutineGrowthMin int64
+	// HeapGrowthMin is the minimum total heap growth in bytes over the run
+	// of growing windows before the heap check fires. 0 selects 64 MiB.
+	HeapGrowthMin int64
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.StallWindows == 0 {
+		c.StallWindows = 4
+	}
+	if c.FlushP99Factor == 0 {
+		c.FlushP99Factor = 8
+	}
+	if c.FlushP99Floor <= 0 {
+		c.FlushP99Floor = time.Millisecond
+	}
+	if c.DeadlockRate == 0 {
+		c.DeadlockRate = 10
+	}
+	if c.GrowthWindows == 0 {
+		c.GrowthWindows = 8
+	}
+	if c.GoroutineGrowthMin <= 0 {
+		c.GoroutineGrowthMin = 64
+	}
+	if c.HeapGrowthMin <= 0 {
+		c.HeapGrowthMin = 64 << 20
+	}
+	return c
+}
+
+// flushBaselineWindows is how many recent healthy window p99s the flush
+// check's rolling baseline is the median of.
+const flushBaselineWindows = 16
+
+// flushMinCount is the fewest append observations a window needs before the
+// flush check judges it (below this, p99 degenerates to the window max).
+const flushMinCount = 16
+
+// Watchdog evaluates the health rules against each telemetry-history sample.
+// Register Observe via History.OnSample; read the verdict with Report (or
+// the engine.health.* gauges it maintains).
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	// Registry-backed gauges (nil handles when reg is nil): overall status
+	// plus one gauge per check, valued 0 (ok), 1 (warn), 2 (crit).
+	gStatus *Gauge
+	gCheck  map[string]*Gauge
+
+	mu     sync.Mutex
+	report HealthReport
+	// Per-rule state.
+	stallRuns  int
+	flushBase  []float64 // recent healthy p99s (ms), rolling
+	gor        growth
+	heap       growth
+	since      map[string]time.Time
+	critActive bool // an OK/WARN→CRIT transition fired and has not recovered
+
+	cbMu   sync.Mutex
+	onCrit []func(reason string)
+}
+
+// watchdogChecks names every check, in report order.
+var watchdogChecks = []string{
+	"transform-stall", "wal-flush-p99", "deadlock-rate",
+	"checkpoint-age", "goroutines", "heap",
+}
+
+// NewWatchdog returns a watchdog with the given config, maintaining
+// engine.health.* gauges in reg (nil reg keeps just the report).
+func NewWatchdog(reg *Registry, cfg WatchdogConfig) *Watchdog {
+	w := &Watchdog{
+		cfg:    cfg.withDefaults(),
+		since:  make(map[string]time.Time),
+		gCheck: make(map[string]*Gauge),
+	}
+	w.gStatus = reg.Gauge("engine.health.status")
+	for _, name := range watchdogChecks {
+		w.gCheck[name] = reg.Gauge("engine.health." + strings.ReplaceAll(name, "-", "_"))
+	}
+	return w
+}
+
+// OnCrit registers fn to run when the overall status transitions into
+// critical (once per episode: it re-arms only after the status recovers
+// below critical). The reason names the critical checks. Callbacks run on
+// the sampler goroutine.
+func (w *Watchdog) OnCrit(fn func(reason string)) {
+	w.cbMu.Lock()
+	w.onCrit = append(w.onCrit, fn)
+	w.cbMu.Unlock()
+}
+
+// Report returns the verdict from the latest sample.
+func (w *Watchdog) Report() HealthReport {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r := w.report
+	r.Checks = append([]Check(nil), w.report.Checks...)
+	return r
+}
+
+// Healthy reports whether the latest verdict is below critical.
+func (w *Watchdog) Healthy() bool { return w.Report().Healthy() }
+
+// Observe evaluates every rule against one sample and updates the report and
+// gauges. It is the History.OnSample hook.
+func (w *Watchdog) Observe(s HistorySample) {
+	w.mu.Lock()
+	checks := []Check{
+		w.checkStall(s),
+		w.checkFlushP99(s),
+		w.checkDeadlocks(s),
+		w.checkCheckpointAge(s),
+		w.checkGoroutines(s),
+		w.checkHeap(s),
+	}
+	overall := StatusOK
+	var critNames []string
+	for i := range checks {
+		c := &checks[i]
+		if c.Status == StatusOK {
+			delete(w.since, c.Name)
+		} else {
+			if w.since[c.Name].IsZero() {
+				w.since[c.Name] = s.At
+			}
+			c.Since = w.since[c.Name]
+		}
+		if c.Status > overall {
+			overall = c.Status
+		}
+		if c.Status == StatusCrit {
+			critNames = append(critNames, c.Name)
+		}
+		w.gCheck[c.Name].Set(int64(c.Status))
+	}
+	w.gStatus.Set(int64(overall))
+	w.report = HealthReport{Status: overall, At: s.At, Sample: s.Seq, Checks: checks}
+
+	// Episode gating: fire the CRIT callbacks on the transition into
+	// critical, then hold until the status recovers.
+	fire := overall == StatusCrit && !w.critActive
+	w.critActive = overall == StatusCrit
+	w.mu.Unlock()
+
+	if fire {
+		sort.Strings(critNames)
+		reason := strings.Join(critNames, "+")
+		w.cbMu.Lock()
+		cbs := append([]func(string){}, w.onCrit...)
+		w.cbMu.Unlock()
+		for _, fn := range cbs {
+			fn(reason)
+		}
+	}
+}
+
+// checkStall: a transformation is running, its backlog is positive, and no
+// records were applied for N consecutive windows — propagation has stopped
+// making progress while work remains.
+func (w *Watchdog) checkStall(s HistorySample) Check {
+	c := Check{Name: "transform-stall", Threshold: float64(w.cfg.StallWindows)}
+	if w.cfg.StallWindows < 0 {
+		return c
+	}
+	backlog := s.Gauge("core.backlog")
+	running := s.Gauge("core.running")
+	applied := s.Delta("core.propagated")
+	if running > 0 && backlog > 0 && applied == 0 && s.WindowMs > 0 {
+		w.stallRuns++
+	} else {
+		w.stallRuns = 0
+	}
+	c.Value = float64(w.stallRuns)
+	switch {
+	case w.stallRuns >= w.cfg.StallWindows:
+		c.Status = StatusCrit
+		c.Message = fmt.Sprintf("backlog %d unpropagated for %d windows", backlog, w.stallRuns)
+	case w.stallRuns >= (w.cfg.StallWindows+1)/2:
+		c.Status = StatusWarn
+		c.Message = fmt.Sprintf("backlog %d unpropagated for %d windows", backlog, w.stallRuns)
+	}
+	return c
+}
+
+// checkFlushP99: the window's WAL append/flush p99 spiked against a rolling
+// baseline of recent healthy windows.
+func (w *Watchdog) checkFlushP99(s HistorySample) Check {
+	c := Check{Name: "wal-flush-p99"}
+	if w.cfg.FlushP99Factor < 0 {
+		return c
+	}
+	win, ok := s.Hist["wal.append_latency"]
+	// A sparse window's p99 is just its max, so one scheduler hiccup among a
+	// handful of appends would read as a spike; only windows with enough
+	// observations are judged (or fed to the baseline).
+	if !ok || win.Count < flushMinCount {
+		return c
+	}
+	c.Value = win.P99Ms
+	base, haveBase := w.flushBaseline()
+	if haveBase {
+		c.Threshold = base * w.cfg.FlushP99Factor
+		floor := float64(w.cfg.FlushP99Floor.Nanoseconds()) / 1e6
+		if c.Threshold < floor {
+			c.Threshold = floor
+		}
+		switch {
+		case win.P99Ms > 4*c.Threshold:
+			c.Status = StatusCrit
+		case win.P99Ms > c.Threshold:
+			c.Status = StatusWarn
+		}
+		if c.Status != StatusOK {
+			c.Message = fmt.Sprintf("p99 %.2fms vs baseline %.2fms", win.P99Ms, base)
+		}
+	}
+	// Only healthy windows feed the baseline, so a sustained spike cannot
+	// normalize itself into acceptability.
+	if c.Status == StatusOK {
+		w.flushBase = append(w.flushBase, win.P99Ms)
+		if len(w.flushBase) > flushBaselineWindows {
+			w.flushBase = w.flushBase[1:]
+		}
+	}
+	return c
+}
+
+// flushBaseline returns the median of the recent healthy window p99s. At
+// least three windows are required before verdicts are made.
+func (w *Watchdog) flushBaseline() (float64, bool) {
+	if len(w.flushBase) < 3 {
+		return 0, false
+	}
+	sorted := append([]float64(nil), w.flushBase...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2], true
+}
+
+// checkDeadlocks: the deadlock rate over the window exceeded the threshold.
+func (w *Watchdog) checkDeadlocks(s HistorySample) Check {
+	c := Check{Name: "deadlock-rate", Threshold: w.cfg.DeadlockRate}
+	if w.cfg.DeadlockRate < 0 {
+		return c
+	}
+	c.Value = s.Rate("engine.lock.deadlock")
+	switch {
+	case c.Value > 4*w.cfg.DeadlockRate:
+		c.Status = StatusCrit
+	case c.Value > w.cfg.DeadlockRate:
+		c.Status = StatusWarn
+	}
+	if c.Status != StatusOK {
+		c.Message = fmt.Sprintf("%.1f deadlocks/s", c.Value)
+	}
+	return c
+}
+
+// checkCheckpointAge: the log has grown far past the automatic checkpoint
+// budget since the last completed checkpoint — restart's redo pass is no
+// longer bounded the way CheckpointEvery promises.
+func (w *Watchdog) checkCheckpointAge(s HistorySample) Check {
+	c := Check{Name: "checkpoint-age"}
+	if w.cfg.CheckpointBudget <= 0 {
+		return c
+	}
+	end := s.Gauge("wal.end_lsn")
+	last := s.Gauge("engine.checkpoint.last")
+	age := end - last // records since the last checkpoint began (last=0: ever)
+	c.Value = float64(age)
+	c.Threshold = 2 * float64(w.cfg.CheckpointBudget)
+	switch {
+	case age > int64(8*w.cfg.CheckpointBudget):
+		c.Status = StatusCrit
+	case age > int64(2*w.cfg.CheckpointBudget):
+		c.Status = StatusWarn
+	}
+	if c.Status != StatusOK {
+		c.Message = fmt.Sprintf("%d records since last checkpoint (budget %d)", age, w.cfg.CheckpointBudget)
+	}
+	return c
+}
+
+// checkGoroutines: the goroutine count grew on every one of the last N
+// samples by a meaningful total — a leak, not scheduling noise.
+func (w *Watchdog) checkGoroutines(s HistorySample) Check {
+	c := Check{Name: "goroutines", Threshold: float64(w.cfg.GrowthWindows)}
+	if w.cfg.GrowthWindows < 0 {
+		return c
+	}
+	cur, ok := s.Gauges["go.goroutines"]
+	if !ok {
+		return c
+	}
+	w.gor.observe(cur)
+	c.Value = float64(w.gor.run)
+	grown := cur - w.gor.start
+	switch {
+	case w.gor.run >= 2*w.cfg.GrowthWindows && grown >= w.cfg.GoroutineGrowthMin:
+		c.Status = StatusCrit
+	case w.gor.run >= w.cfg.GrowthWindows && grown >= w.cfg.GoroutineGrowthMin:
+		c.Status = StatusWarn
+	}
+	if c.Status != StatusOK {
+		c.Message = fmt.Sprintf("goroutines grew %d→%d over %d windows", w.gor.start, cur, w.gor.run)
+	}
+	return c
+}
+
+// checkHeap: like checkGoroutines, for live heap bytes.
+func (w *Watchdog) checkHeap(s HistorySample) Check {
+	c := Check{Name: "heap", Threshold: float64(w.cfg.GrowthWindows)}
+	if w.cfg.GrowthWindows < 0 {
+		return c
+	}
+	cur, ok := s.Gauges["go.heap.bytes"]
+	if !ok {
+		return c
+	}
+	w.heap.observe(cur)
+	c.Value = float64(w.heap.run)
+	grown := cur - w.heap.start
+	switch {
+	case w.heap.run >= 2*w.cfg.GrowthWindows && grown >= w.cfg.HeapGrowthMin:
+		c.Status = StatusCrit
+	case w.heap.run >= w.cfg.GrowthWindows && grown >= w.cfg.HeapGrowthMin:
+		c.Status = StatusWarn
+	}
+	if c.Status != StatusOK {
+		c.Message = fmt.Sprintf("heap grew %dMiB→%dMiB over %d windows", w.heap.start>>20, cur>>20, w.heap.run)
+	}
+	return c
+}
+
+// growth tracks a strictly-monotonic growth run: run counts consecutive
+// samples in which the value increased over its predecessor, start is the
+// value at the run's base. A single non-increasing sample resets the run —
+// steady-state sawtooth workloads (GC) therefore never accumulate one.
+type growth struct {
+	run   int
+	start int64
+	prev  int64
+	seen  bool
+}
+
+func (g *growth) observe(cur int64) {
+	switch {
+	case !g.seen:
+		g.seen = true
+		g.run, g.start = 0, cur
+	case cur > g.prev:
+		if g.run == 0 {
+			g.start = g.prev
+		}
+		g.run++
+	default:
+		g.run, g.start = 0, cur
+	}
+	g.prev = cur
+}

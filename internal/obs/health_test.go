@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var healthBase = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+// idleSample is a healthy engine at rest: no backlog, no transformation, a
+// trickle of commits.
+func idleSample(seq int64) HistorySample {
+	return HistorySample{
+		Seq:      seq,
+		At:       healthBase.Add(time.Duration(seq) * time.Second),
+		WindowMs: 1000,
+		Gauges:   map[string]int64{"engine.txn.active": 2, "go.goroutines": 20, "go.heap.bytes": 10 << 20},
+		Deltas:   map[string]int64{"engine.txn.commit": 100},
+		Rates:    map[string]float64{"engine.txn.commit": 100},
+	}
+}
+
+// stalledSample is a running transformation with a backlog and zero applied
+// progress in the window.
+func stalledSample(seq int64) HistorySample {
+	s := idleSample(seq)
+	s.Gauges["core.running"] = 1
+	s.Gauges["core.backlog"] = 500
+	return s
+}
+
+// progressSample is a running transformation actually draining its backlog.
+func progressSample(seq int64) HistorySample {
+	s := stalledSample(seq)
+	s.Deltas["core.propagated"] = 300
+	s.Rates["core.propagated"] = 300
+	return s
+}
+
+func TestWatchdogIdleNoFalseCrits(t *testing.T) {
+	reg := NewRegistry()
+	w := NewWatchdog(reg, WatchdogConfig{})
+	fired := 0
+	w.OnCrit(func(string) { fired++ })
+	for i := int64(1); i <= 50; i++ {
+		w.Observe(idleSample(i))
+		if r := w.Report(); r.Status != StatusOK {
+			t.Fatalf("idle sample %d: status %v, report %+v", i, r.Status, r)
+		}
+	}
+	if fired != 0 {
+		t.Fatalf("OnCrit fired %d times on an idle healthy engine", fired)
+	}
+	if got := reg.Snapshot().Gauges["engine.health.status"]; got != 0 {
+		t.Fatalf("engine.health.status gauge = %d, want 0", got)
+	}
+}
+
+// TestWatchdogStallEpisodes drives the stall rule through two full episodes
+// and checks the WARN/CRIT ladder, once-per-episode callback semantics, and
+// the gauges.
+func TestWatchdogStallEpisodes(t *testing.T) {
+	reg := NewRegistry()
+	w := NewWatchdog(reg, WatchdogConfig{StallWindows: 4})
+	var reasons []string
+	w.OnCrit(func(r string) { reasons = append(reasons, r) })
+
+	seq := int64(0)
+	next := func(s func(int64) HistorySample) HealthReport {
+		seq++
+		w.Observe(s(seq))
+		return w.Report()
+	}
+
+	// A transformation draining normally is healthy.
+	if r := next(progressSample); r.Status != StatusOK {
+		t.Fatalf("progressing transformation reported %v", r.Status)
+	}
+	// Windows 1..3 of stall: WARN from window 2 (half of 4), no CRIT yet.
+	if r := next(stalledSample); r.Status != StatusOK {
+		t.Fatalf("one stalled window already %v", r.Status)
+	}
+	if r := next(stalledSample); r.Status != StatusWarn {
+		t.Fatalf("two stalled windows: %v, want warn", r.Status)
+	}
+	next(stalledSample)
+	// Window 4: CRIT, callback fires once.
+	r := next(stalledSample)
+	if r.Status != StatusCrit {
+		t.Fatalf("four stalled windows: %v, want crit", r.Status)
+	}
+	if len(reasons) != 1 || !strings.Contains(reasons[0], "transform-stall") {
+		t.Fatalf("OnCrit reasons = %v, want one transform-stall", reasons)
+	}
+	if got := reg.Snapshot().Gauges["engine.health.transform_stall"]; got != 2 {
+		t.Fatalf("engine.health.transform_stall gauge = %d, want 2", got)
+	}
+	if got := reg.Snapshot().Gauges["engine.health.status"]; got != 2 {
+		t.Fatalf("engine.health.status gauge = %d, want 2", got)
+	}
+	// Continued stall: still CRIT, no new callback (same episode).
+	next(stalledSample)
+	next(stalledSample)
+	if len(reasons) != 1 {
+		t.Fatalf("OnCrit fired again within one episode: %v", reasons)
+	}
+	// Recovery: progress resumes, status returns to OK.
+	if r := next(progressSample); r.Status != StatusOK {
+		t.Fatalf("after recovery: %v, want ok", r.Status)
+	}
+	// Second episode: four stalled windows fire the callback once more.
+	next(stalledSample)
+	next(stalledSample)
+	next(stalledSample)
+	if r := next(stalledSample); r.Status != StatusCrit {
+		t.Fatalf("second episode did not reach crit: %v", r.Status)
+	}
+	if len(reasons) != 2 {
+		t.Fatalf("OnCrit fired %d times over two episodes, want 2 (%v)", len(reasons), reasons)
+	}
+}
+
+func TestWatchdogDeadlockRate(t *testing.T) {
+	w := NewWatchdog(nil, WatchdogConfig{DeadlockRate: 10})
+	s := idleSample(1)
+	s.Rates["engine.lock.deadlock"] = 15
+	w.Observe(s)
+	if r := w.Report(); r.Status != StatusWarn {
+		t.Fatalf("15 deadlocks/s: %v, want warn", r.Status)
+	}
+	s = idleSample(2)
+	s.Rates["engine.lock.deadlock"] = 50
+	w.Observe(s)
+	if r := w.Report(); r.Status != StatusCrit {
+		t.Fatalf("50 deadlocks/s: %v, want crit", r.Status)
+	}
+}
+
+func TestWatchdogCheckpointAge(t *testing.T) {
+	w := NewWatchdog(nil, WatchdogConfig{CheckpointBudget: 100})
+	s := idleSample(1)
+	s.Gauges["wal.end_lsn"] = 1150
+	s.Gauges["engine.checkpoint.last"] = 1000
+	w.Observe(s)
+	if r := w.Report(); r.Status != StatusOK {
+		t.Fatalf("age 150 under 2x budget: %v, want ok", r.Status)
+	}
+	s = idleSample(2)
+	s.Gauges["wal.end_lsn"] = 1300
+	s.Gauges["engine.checkpoint.last"] = 1000
+	w.Observe(s)
+	if r := w.Report(); r.Status != StatusWarn {
+		t.Fatalf("age 300 over 2x budget: %v, want warn", r.Status)
+	}
+	s = idleSample(3)
+	s.Gauges["wal.end_lsn"] = 1900
+	s.Gauges["engine.checkpoint.last"] = 1000
+	w.Observe(s)
+	if r := w.Report(); r.Status != StatusCrit {
+		t.Fatalf("age 900 over 8x budget: %v, want crit", r.Status)
+	}
+}
+
+func TestWatchdogFlushSpike(t *testing.T) {
+	w := NewWatchdog(nil, WatchdogConfig{})
+	flush := func(seq int64, p99 float64) HealthReport {
+		s := idleSample(seq)
+		s.Hist = map[string]HistWindow{
+			"wal.append_latency": {Count: 100, MeanMs: p99 / 2, P50Ms: p99 / 2, P95Ms: p99, P99Ms: p99},
+		}
+		w.Observe(s)
+		return w.Report()
+	}
+	// Build the baseline (needs >= 3 healthy windows; no verdict before).
+	for i := int64(1); i <= 4; i++ {
+		if r := flush(i, 1); r.Status != StatusOK {
+			t.Fatalf("baseline window %d: %v", i, r.Status)
+		}
+	}
+	// 100ms p99 vs 1ms baseline: over 4x(8x baseline) -> crit.
+	if r := flush(5, 100); r.Status != StatusCrit {
+		t.Fatalf("100ms p99 spike: %v, want crit", r.Status)
+	}
+	// The spike must not have polluted the baseline: a healthy window recovers.
+	if r := flush(6, 1); r.Status != StatusOK {
+		t.Fatalf("after spike: %v, want ok", r.Status)
+	}
+}
+
+func TestWatchdogGoroutineGrowth(t *testing.T) {
+	w := NewWatchdog(nil, WatchdogConfig{GrowthWindows: 3, GoroutineGrowthMin: 10})
+	grow := func(seq, n int64) HealthReport {
+		s := idleSample(seq)
+		s.Gauges["go.goroutines"] = n
+		w.Observe(s)
+		return w.Report()
+	}
+	// Strictly growing by enough total: WARN once the run reaches 3
+	// increases (the first sample is the baseline), CRIT at 6.
+	n := int64(20)
+	seq := int64(0)
+	for i := 0; i < 4; i++ {
+		seq++
+		n += 10
+		grow(seq, n)
+	}
+	if r := w.Report(); r.Status != StatusWarn {
+		t.Fatalf("3 growing windows: %v, want warn", r.Status)
+	}
+	for i := 0; i < 3; i++ {
+		seq++
+		n += 10
+		grow(seq, n)
+	}
+	if r := w.Report(); r.Status != StatusCrit {
+		t.Fatalf("6 growing windows: %v, want crit", r.Status)
+	}
+	// One flat sample resets the run.
+	seq++
+	if r := grow(seq, n); r.Status != StatusOK {
+		t.Fatalf("flat sample did not reset growth run: %v", r.Status)
+	}
+}

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Telemetry history: a background sampler that snapshots a Registry on a
+// fixed interval into a bounded ring, turning the point-in-time metrics into
+// a time series. Each sample carries the current gauge values, the per-window
+// counter deltas and rates, and windowed histogram summaries (count, mean,
+// p50/p95/p99) — exactly the derived quantities an operator supervising a
+// long-lived schema transformation wants to see over time: transaction
+// throughput, abort and deadlock rates, WAL flush latency, propagation
+// applied-rate, checkpoint age.
+//
+// The sampler is the spine of the self-monitoring layer: pre-sample hooks run
+// before each snapshot (the engine refreshes its position gauges, the runtime
+// sampler folds Go runtime telemetry into the same registry), and on-sample
+// callbacks run after (the health watchdog evaluates its rules against the
+// finished sample). Everything therefore shares one timeline.
+
+// HistWindow summarizes one histogram over one sampling window.
+type HistWindow struct {
+	// Count is the number of observations in the window.
+	Count int64 `json:"count"`
+	// MeanMs and the percentiles are in milliseconds (bucketed estimates,
+	// see HistogramSnapshot.Quantile).
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// HistorySample is one tick of the telemetry history: the state of the
+// registry at At, and the deltas/rates over the window since the previous
+// sample.
+type HistorySample struct {
+	// Seq numbers samples from 1 without gaps, surviving ring eviction — a
+	// consumer can detect how much history it missed.
+	Seq int64 `json:"seq"`
+	// At is the sample time; WindowMs the length of the window it covers
+	// (0 for the very first sample, which has no predecessor).
+	At       time.Time `json:"at"`
+	WindowMs float64   `json:"window_ms"`
+	// Gauges holds every gauge's current value.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Deltas holds each counter's increase over the window; Rates the same
+	// normalized to per-second. Counters that did not move are omitted.
+	Deltas map[string]int64   `json:"deltas,omitempty"`
+	Rates  map[string]float64 `json:"rates,omitempty"`
+	// Hist summarizes each histogram over the window; histograms with no
+	// observations in the window are omitted.
+	Hist map[string]HistWindow `json:"hist,omitempty"`
+}
+
+// Rate returns the named counter's per-second rate over the sample's window
+// (0 when it did not move).
+func (s HistorySample) Rate(name string) float64 { return s.Rates[name] }
+
+// Gauge returns the named gauge's value at the sample (0 when absent).
+func (s HistorySample) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Delta returns the named counter's increase over the window (0 when it did
+// not move).
+func (s HistorySample) Delta(name string) int64 { return s.Deltas[name] }
+
+// DefaultHistorySize is the ring capacity used when none is configured:
+// at a 1s interval, a bit over four minutes of history.
+const DefaultHistorySize = 256
+
+// History samples a Registry on an interval into a bounded ring. Create one
+// with NewHistory, register hooks, then Start it; Stop terminates the
+// background goroutine. All read methods are safe for concurrent use with a
+// running sampler.
+type History struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu      sync.Mutex
+	ring    []HistorySample
+	next    int
+	wrapped bool
+	seq     int64
+	prev    Snapshot
+	prevAt  time.Time
+	primed  bool
+
+	hookMu   sync.Mutex
+	pre      []func()
+	onSample []func(HistorySample)
+
+	startMu sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewHistory returns a sampler over reg ticking every interval (<= 0 selects
+// 1s) keeping the last size samples (<= 0 selects DefaultHistorySize). The
+// sampler is idle until Start.
+func NewHistory(reg *Registry, interval time.Duration, size int) *History {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if size <= 0 {
+		size = DefaultHistorySize
+	}
+	return &History{reg: reg, interval: interval, ring: make([]HistorySample, size)}
+}
+
+// Interval returns the sampling interval.
+func (h *History) Interval() time.Duration { return h.interval }
+
+// PreSample registers fn to run immediately before each snapshot is taken —
+// the hook refreshes derived gauges (log position, checkpoint age, runtime
+// telemetry) so they are current in the sample.
+func (h *History) PreSample(fn func()) {
+	h.hookMu.Lock()
+	h.pre = append(h.pre, fn)
+	h.hookMu.Unlock()
+}
+
+// OnSample registers fn to run with each finished sample (the health watchdog
+// hooks in here). Callbacks run on the sampler goroutine and must not block.
+func (h *History) OnSample(fn func(HistorySample)) {
+	h.hookMu.Lock()
+	h.onSample = append(h.onSample, fn)
+	h.hookMu.Unlock()
+}
+
+// Start launches the background sampling goroutine. Starting a started
+// sampler is a no-op.
+func (h *History) Start() {
+	h.startMu.Lock()
+	defer h.startMu.Unlock()
+	if h.stop != nil {
+		return
+	}
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	go h.run(h.stop, h.done)
+}
+
+// Stop terminates the sampling goroutine and waits for it. Stopping a
+// stopped (or never-started) sampler is a no-op; the buffered samples stay
+// readable.
+func (h *History) Stop() {
+	h.startMu.Lock()
+	stop, done := h.stop, h.done
+	h.stop, h.done = nil, nil
+	h.startMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (h *History) run(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			h.Sample()
+		}
+	}
+}
+
+// Sample takes one sample immediately (the ticker path calls it too): run the
+// pre-sample hooks, snapshot the registry, derive the window, store it in the
+// ring and run the on-sample callbacks. It returns the finished sample.
+func (h *History) Sample() HistorySample { return h.sampleAt(time.Now()) }
+
+// sampleAt is Sample with an explicit clock, the seam scripted tests drive.
+func (h *History) sampleAt(now time.Time) HistorySample {
+	h.hookMu.Lock()
+	pre := append([]func(){}, h.pre...)
+	cbs := append([]func(HistorySample){}, h.onSample...)
+	h.hookMu.Unlock()
+	for _, fn := range pre {
+		fn()
+	}
+	snap := h.reg.Snapshot()
+
+	h.mu.Lock()
+	h.seq++
+	s := HistorySample{Seq: h.seq, At: now, Gauges: snap.Gauges}
+	if h.primed {
+		window := now.Sub(h.prevAt)
+		s.WindowMs = float64(window.Nanoseconds()) / 1e6
+		for name, v := range snap.Counters {
+			d := v - h.prev.Counters[name]
+			if d == 0 {
+				continue
+			}
+			if s.Deltas == nil {
+				s.Deltas = make(map[string]int64)
+				s.Rates = make(map[string]float64)
+			}
+			s.Deltas[name] = d
+			if window > 0 {
+				s.Rates[name] = float64(d) / window.Seconds()
+			}
+		}
+		for name, v := range snap.Histograms {
+			w := v.Sub(h.prev.Histograms[name])
+			if w.Count <= 0 {
+				continue
+			}
+			if s.Hist == nil {
+				s.Hist = make(map[string]HistWindow)
+			}
+			s.Hist[name] = HistWindow{
+				Count:  w.Count,
+				MeanMs: float64(w.Mean().Nanoseconds()) / 1e6,
+				P50Ms:  float64(w.P50().Nanoseconds()) / 1e6,
+				P95Ms:  float64(w.P95().Nanoseconds()) / 1e6,
+				P99Ms:  float64(w.P99().Nanoseconds()) / 1e6,
+			}
+		}
+	}
+	h.prev, h.prevAt, h.primed = snap, now, true
+	h.ring[h.next] = s
+	h.next++
+	if h.next == len(h.ring) {
+		h.next = 0
+		h.wrapped = true
+	}
+	h.mu.Unlock()
+
+	for _, fn := range cbs {
+		fn(s)
+	}
+	return s
+}
+
+// Samples returns the buffered samples, oldest first.
+func (h *History) Samples() []HistorySample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.wrapped {
+		out := make([]HistorySample, h.next)
+		copy(out, h.ring[:h.next])
+		return out
+	}
+	out := make([]HistorySample, 0, len(h.ring))
+	out = append(out, h.ring[h.next:]...)
+	out = append(out, h.ring[:h.next]...)
+	return out
+}
+
+// Last returns the most recent sample (false when none was taken yet).
+func (h *History) Last() (HistorySample, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.seq == 0 {
+		return HistorySample{}, false
+	}
+	i := h.next - 1
+	if i < 0 {
+		i = len(h.ring) - 1
+	}
+	return h.ring[i], true
+}
+
+// Len returns the number of buffered samples.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.wrapped {
+		return len(h.ring)
+	}
+	return h.next
+}
+
+// Taken returns the total number of samples taken, including evicted ones.
+func (h *History) Taken() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}

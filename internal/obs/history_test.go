@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// scripted clock for sampleAt: a fixed base advanced by hand.
+var histBase = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+// TestHistoryRates drives the sampler with a scripted registry and fixed
+// clock and checks the derived windows: gauge values, counter deltas, rates
+// normalized to per-second, and histogram window percentiles.
+func TestHistoryRates(t *testing.T) {
+	reg := NewRegistry()
+	txns := reg.Counter("engine.txn.commit")
+	idle := reg.Counter("engine.idle")
+	backlog := reg.Gauge("core.backlog")
+	lat := reg.Histogram("wal.append_latency")
+
+	h := NewHistory(reg, time.Second, 16)
+
+	txns.Add(10)
+	backlog.Set(42)
+	s1 := h.sampleAt(histBase)
+	if s1.Seq != 1 {
+		t.Fatalf("first Seq = %d, want 1", s1.Seq)
+	}
+	if s1.WindowMs != 0 || s1.Deltas != nil || s1.Rates != nil {
+		t.Fatalf("first sample must have no window: %+v", s1)
+	}
+	if got := s1.Gauge("core.backlog"); got != 42 {
+		t.Fatalf("gauge in first sample = %d, want 42", got)
+	}
+
+	// 2s window: 100 more commits -> rate 50/s; 4 latency observations.
+	txns.Add(100)
+	backlog.Set(7)
+	for _, d := range []time.Duration{time.Millisecond, time.Millisecond, 2 * time.Millisecond, 10 * time.Millisecond} {
+		lat.Observe(d)
+	}
+	s2 := h.sampleAt(histBase.Add(2 * time.Second))
+	if s2.Seq != 2 {
+		t.Fatalf("Seq = %d, want 2", s2.Seq)
+	}
+	if s2.WindowMs != 2000 {
+		t.Fatalf("WindowMs = %v, want 2000", s2.WindowMs)
+	}
+	if got := s2.Delta("engine.txn.commit"); got != 100 {
+		t.Fatalf("delta = %d, want 100", got)
+	}
+	if got := s2.Rate("engine.txn.commit"); got != 50 {
+		t.Fatalf("rate = %v, want 50", got)
+	}
+	if got := s2.Gauge("core.backlog"); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	if _, moved := s2.Deltas["engine.idle"]; moved {
+		t.Fatalf("counter that did not move must be omitted from deltas")
+	}
+	w, ok := s2.Hist["wal.append_latency"]
+	if !ok {
+		t.Fatalf("histogram window missing: %+v", s2.Hist)
+	}
+	if w.Count != 4 {
+		t.Fatalf("window count = %d, want 4", w.Count)
+	}
+	if w.P99Ms < w.P50Ms || w.P50Ms <= 0 {
+		t.Fatalf("window percentiles inconsistent: %+v", w)
+	}
+	_ = idle
+
+	// Third sample with no histogram activity: the window is omitted.
+	txns.Add(1)
+	s3 := h.sampleAt(histBase.Add(3 * time.Second))
+	if _, ok := s3.Hist["wal.append_latency"]; ok {
+		t.Fatalf("quiet histogram must be omitted from the window: %+v", s3.Hist)
+	}
+}
+
+// TestHistoryWraparound fills a small ring past capacity and checks eviction
+// order and the surviving sequence numbers.
+func TestHistoryWraparound(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	h := NewHistory(reg, time.Second, 4)
+	for i := 0; i < 7; i++ {
+		c.Add(1)
+		h.sampleAt(histBase.Add(time.Duration(i) * time.Second))
+	}
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", h.Len())
+	}
+	if h.Taken() != 7 {
+		t.Fatalf("Taken = %d, want 7", h.Taken())
+	}
+	samples := h.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("Samples returned %d, want 4", len(samples))
+	}
+	for i, s := range samples {
+		if want := int64(i + 4); s.Seq != want {
+			t.Fatalf("samples[%d].Seq = %d, want %d (oldest first)", i, s.Seq, want)
+		}
+	}
+	last, ok := h.Last()
+	if !ok || last.Seq != 7 {
+		t.Fatalf("Last = %+v, %v; want Seq 7", last, ok)
+	}
+}
+
+// TestHistoryHooks checks pre-sample hooks run before the snapshot and
+// on-sample callbacks see the finished sample.
+func TestHistoryHooks(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("derived")
+	h := NewHistory(reg, time.Second, 8)
+	h.PreSample(func() { g.Set(99) })
+	var seen []int64
+	h.OnSample(func(s HistorySample) { seen = append(seen, s.Seq) })
+
+	s := h.sampleAt(histBase)
+	if got := s.Gauge("derived"); got != 99 {
+		t.Fatalf("pre-sample hook did not run before snapshot: gauge = %d", got)
+	}
+	if len(seen) != 1 || seen[0] != 1 {
+		t.Fatalf("on-sample callback saw %v, want [1]", seen)
+	}
+}
+
+// TestHistoryStartStop exercises the background goroutine: samples appear,
+// Stop terminates and is idempotent, restart works.
+func TestHistoryStartStop(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistory(reg, time.Millisecond, 64)
+	h.Start()
+	h.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Taken() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler took no samples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.Stop()
+	h.Stop() // idempotent
+	n := h.Taken()
+	time.Sleep(10 * time.Millisecond)
+	if h.Taken() != n {
+		t.Fatal("sampler kept running after Stop")
+	}
+	h.Start()
+	defer h.Stop()
+	deadline = time.Now().Add(5 * time.Second)
+	for h.Taken() == n {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler did not restart")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

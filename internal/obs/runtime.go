@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// RuntimeSampler folds Go runtime telemetry (runtime/metrics) into a
+// Registry so engine metrics and runtime pressure share one timeline:
+//
+//	go.heap.bytes   gauge      live heap (bytes of live objects)
+//	go.goroutines   gauge      current goroutine count
+//	go.gc.count     counter    completed GC cycles
+//	go.gc.pause     histogram  individual GC stop-the-world pauses
+//
+// Register Sample as a History pre-sample hook; each tick then carries the
+// runtime gauges next to the engine's own.
+type RuntimeSampler struct {
+	heap       *Gauge
+	goroutines *Gauge
+	gcCount    *Counter
+
+	pause *Histogram
+	// prevPause remembers the cumulative runtime pause histogram so each
+	// Sample only feeds the new pauses into the registry histogram.
+	prevPause  metrics.Float64Histogram
+	pausePrime bool
+	gcPrev     uint64
+	gcPrime    bool
+
+	samples  []metrics.Sample
+	pauseIdx int // index of the pause histogram in samples, -1 when absent
+	gcIdx    int // index of the GC cycle counter, -1 when absent
+}
+
+// runtimePauseNames lists the runtime/metrics pause-distribution names to
+// try, newest first (the older name remains as a deprecated alias).
+var runtimePauseNames = []string{
+	"/sched/pauses/total/gc:seconds",
+	"/gc/pauses:seconds",
+}
+
+// NewRuntimeSampler returns a sampler reporting into reg.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	s := &RuntimeSampler{
+		heap:       reg.Gauge("go.heap.bytes"),
+		goroutines: reg.Gauge("go.goroutines"),
+		gcCount:    reg.Counter("go.gc.count"),
+		pause:      reg.Histogram("go.gc.pause"),
+		pauseIdx:   -1,
+		gcIdx:      -1,
+	}
+	s.samples = []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/sched/goroutines:goroutines"},
+	}
+	// Resolve the pause-distribution name supported by this runtime.
+	for _, name := range runtimePauseNames {
+		probe := []metrics.Sample{{Name: name}}
+		metrics.Read(probe)
+		if probe[0].Value.Kind() == metrics.KindFloat64Histogram {
+			s.pauseIdx = len(s.samples)
+			s.samples = append(s.samples, metrics.Sample{Name: name})
+			break
+		}
+	}
+	probe := []metrics.Sample{{Name: "/gc/cycles/total:gc-cycles"}}
+	metrics.Read(probe)
+	if probe[0].Value.Kind() == metrics.KindUint64 {
+		s.gcIdx = len(s.samples)
+		s.samples = append(s.samples, metrics.Sample{Name: "/gc/cycles/total:gc-cycles"})
+	}
+	return s
+}
+
+// Sample reads the runtime metrics and updates the registry.
+func (s *RuntimeSampler) Sample() {
+	metrics.Read(s.samples)
+	if v := s.samples[0].Value; v.Kind() == metrics.KindUint64 {
+		s.heap.Set(int64(v.Uint64()))
+	}
+	if v := s.samples[1].Value; v.Kind() == metrics.KindUint64 {
+		s.goroutines.Set(int64(v.Uint64()))
+	}
+	if s.gcIdx >= 0 {
+		if v := s.samples[s.gcIdx].Value; v.Kind() == metrics.KindUint64 {
+			cur := v.Uint64()
+			if s.gcPrime && cur > s.gcPrev {
+				s.gcCount.Add(int64(cur - s.gcPrev))
+			}
+			s.gcPrev, s.gcPrime = cur, true
+		}
+	}
+	if s.pauseIdx >= 0 {
+		if v := s.samples[s.pauseIdx].Value; v.Kind() == metrics.KindFloat64Histogram {
+			s.feedPauses(v.Float64Histogram())
+		}
+	}
+}
+
+// feedPauses observes the pauses added since the previous call into the
+// registry histogram, using each runtime bucket's midpoint as the pause
+// duration. GC pauses arrive a handful per cycle, so replaying the per-bucket
+// count deltas one observation at a time is cheap; a paranoid cap bounds the
+// work if the runtime ever reports a huge jump.
+func (s *RuntimeSampler) feedPauses(h *metrics.Float64Histogram) {
+	const maxObservations = 1024
+	fed := 0
+	for i, c := range h.Counts {
+		var prev uint64
+		if s.pausePrime && i < len(s.prevPause.Counts) {
+			prev = s.prevPause.Counts[i]
+		}
+		d := int64(c - prev)
+		if !s.pausePrime {
+			// First read: the histogram holds the process's whole pause
+			// history; adopt it as the baseline without observing.
+			continue
+		}
+		if d <= 0 {
+			continue
+		}
+		mid := bucketMidpoint(h.Buckets, i)
+		for ; d > 0 && fed < maxObservations; d-- {
+			s.pause.Observe(mid)
+			fed++
+		}
+	}
+	// Keep a private copy: the runtime may reuse the returned histogram.
+	if cap(s.prevPause.Counts) < len(h.Counts) {
+		s.prevPause.Counts = make([]uint64, len(h.Counts))
+	}
+	s.prevPause.Counts = s.prevPause.Counts[:len(h.Counts)]
+	copy(s.prevPause.Counts, h.Counts)
+	s.pausePrime = true
+}
+
+// bucketMidpoint returns the midpoint duration of runtime histogram bucket i
+// (buckets has len(counts)+1 boundaries; the ends may be infinite).
+func bucketMidpoint(buckets []float64, i int) time.Duration {
+	if i+1 >= len(buckets) {
+		return 0
+	}
+	lo, hi := buckets[i], buckets[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		lo = 0
+	case math.IsInf(hi, 1):
+		hi = lo
+	}
+	return time.Duration((lo + hi) / 2 * float64(time.Second))
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nbschema/internal/fault"
 	"nbschema/internal/obs"
@@ -223,6 +224,7 @@ type Log struct {
 	// Metric handles (nil when observability is off; nil handles are no-ops).
 	mAppends, mFlushes, mFlushBytes *obs.Counter
 	mGroupBatches, mGroupRecords    *obs.Counter
+	mAppendLatency                  *obs.Histogram
 
 	mu   sync.RWMutex
 	recs []*Record
@@ -288,14 +290,18 @@ func (l *Log) SetFaults(reg *fault.Registry) { l.faults = reg }
 
 // SetObs wires the log's metrics: "wal.append" counts appended records,
 // "wal.flush" counts whole-log flushes (WriteTo, the in-memory analog of an
-// fsync) and "wal.flush.bytes" the bytes they wrote. Call before the log is
-// shared; a nil registry yields no-op handles.
+// fsync), "wal.flush.bytes" the bytes they wrote, and "wal.append_latency"
+// times each append from staging to batch flush — the in-memory analog of
+// commit-path fsync latency, and the quantity the health watchdog's
+// flush-spike check watches. Call before the log is shared; a nil registry
+// yields no-op handles.
 func (l *Log) SetObs(reg *obs.Registry) {
 	l.mAppends = reg.Counter("wal.append")
 	l.mFlushes = reg.Counter("wal.flush")
 	l.mFlushBytes = reg.Counter("wal.flush.bytes")
 	l.mGroupBatches = reg.Counter("wal.group.batch")
 	l.mGroupRecords = reg.Counter("wal.group.records")
+	l.mAppendLatency = reg.Histogram("wal.append_latency")
 }
 
 // SetGroupCommit sets the group-commit batch cap (0 selects
@@ -323,6 +329,10 @@ func (l *Log) GroupCommitBatch() int {
 func (l *Log) Append(rec *Record) LSN {
 	_ = l.faults.Hit("wal.append")
 	l.mAppends.Add(1)
+	if l.mAppendLatency.Enabled() {
+		start := time.Now()
+		defer func() { l.mAppendLatency.Observe(time.Since(start)) }()
+	}
 	l.approxBytes.Add(approxSize(rec))
 	if l.gcBatch <= 1 {
 		l.mu.Lock()

@@ -77,6 +77,12 @@ type Config struct {
 	// that insert or delete a row (toggling keys in the client's private
 	// range) instead of updating one. 0 keeps the pure-update workload.
 	InsertFrac float64
+	// Obs optionally mirrors workload progress into a metrics registry as
+	// "workload.txn", "workload.abort" counters and a "workload.latency"
+	// histogram, so a telemetry-history sampler over the same registry sees
+	// client-side throughput next to the engine's own counters. Nil keeps
+	// the runner's private counters only.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +162,11 @@ type Runner struct {
 	latencyNs atomic.Uint64
 	lat       *obs.Histogram
 
+	// Registry mirrors (nil handles are no-ops; see Config.Obs).
+	mTxns   *obs.Counter
+	mAborts *obs.Counter
+	mLat    *obs.Histogram
+
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	epoch  int64 // slab namespace of this runner's insert/delete toggles
@@ -170,6 +181,9 @@ func Start(cfg Config) *Runner {
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Runner{cfg: cfg, cancel: cancel, lat: obs.NewHistogram(),
 		epoch: slabEpoch.Add(1) - 1}
+	r.mTxns = cfg.Obs.Counter("workload.txn")
+	r.mAborts = cfg.Obs.Counter("workload.abort")
+	r.mLat = cfg.Obs.Histogram("workload.latency")
 	for i := 0; i < cfg.Clients; i++ {
 		r.wg.Add(1)
 		go r.client(ctx, i, cfg.Seed+int64(i)*7919)
@@ -265,6 +279,8 @@ func (r *Runner) client(ctx context.Context, id int, seed int64) {
 			r.txns.Add(1)
 			r.latencyNs.Add(uint64(rt.Nanoseconds()))
 			r.lat.Observe(rt)
+			r.mTxns.Add(1)
+			r.mLat.Observe(rt)
 			continue
 		}
 		st.rollback()
@@ -273,6 +289,7 @@ func (r *Runner) client(ctx context.Context, id int, seed int64) {
 			return
 		}
 		r.aborts.Add(1)
+		r.mAborts.Add(1)
 		switch {
 		case isDeadlock(err):
 			r.deadlocks.Add(1)

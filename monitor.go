@@ -1,0 +1,173 @@
+// Self-monitoring: the telemetry history sampler, health watchdog and flight
+// recorder a database opens alongside itself when Options asks for them. The
+// paper's premise is a DBA supervising a long-lived transformation under live
+// load; this file is the machinery that supervision runs on — a time series
+// of the engine's own metrics, a machine-checkable health verdict, and
+// automatic post-mortem capture when something goes critically wrong.
+
+package nbschema
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime/pprof"
+	"time"
+
+	"nbschema/internal/obs"
+)
+
+// TelemetryHistory is the background metrics sampler (Options.HistoryInterval):
+// a bounded ring of per-window samples with counter deltas, rates and latency
+// percentiles.
+type TelemetryHistory = obs.History
+
+// HistorySample is one tick of the telemetry history.
+type HistorySample = obs.HistorySample
+
+// HealthWatchdog evaluates the health rules against each telemetry sample
+// (Options.HealthChecks).
+type HealthWatchdog = obs.Watchdog
+
+// HealthReport is the watchdog's verdict: overall OK/WARN/CRIT plus one
+// entry per check.
+type HealthReport = obs.HealthReport
+
+// HealthStatus is an OK/WARN/CRIT health level.
+type HealthStatus = obs.Status
+
+// Health statuses.
+const (
+	HealthOK   = obs.StatusOK
+	HealthWarn = obs.StatusWarn
+	HealthCrit = obs.StatusCrit
+)
+
+// FlightRecorder captures post-mortem diagnostic bundles
+// (Options.FlightRecorderDir).
+type FlightRecorder = obs.FlightRecorder
+
+// History returns the telemetry history sampler (nil when
+// Options.HistoryInterval was 0).
+func (db *DB) History() *TelemetryHistory { return db.history }
+
+// Health returns the health watchdog (nil when Options.HealthChecks was off
+// or the history sampler is disabled).
+func (db *DB) Health() *HealthWatchdog { return db.watchdog }
+
+// FlightRecorder returns the flight recorder (nil when
+// Options.FlightRecorderDir was empty).
+func (db *DB) FlightRecorder() *FlightRecorder { return db.flight }
+
+// initMonitor builds the monitoring stack Open was asked for: flight
+// recorder (works standalone via manual triggers), history sampler with the
+// engine-position and Go-runtime pre-sample hooks, and the watchdog observing
+// every sample — wired so a CRIT transition captures a bundle.
+func (db *DB) initMonitor(o Options) {
+	if o.FlightRecorderDir != "" {
+		db.flight = obs.NewFlightRecorder(o.FlightRecorderDir, o.FlightMinInterval)
+		db.addFlightCollectors()
+	}
+	if o.HistoryInterval <= 0 {
+		return
+	}
+	reg := db.eng.Obs()
+	db.history = obs.NewHistory(reg, o.HistoryInterval, o.HistorySize)
+	db.history.PreSample(db.eng.SampleObs)
+	rt := obs.NewRuntimeSampler(reg)
+	db.history.PreSample(rt.Sample)
+	if o.HealthChecks {
+		db.watchdog = obs.NewWatchdog(reg, obs.WatchdogConfig{
+			CheckpointBudget: o.CheckpointEvery,
+		})
+		db.history.OnSample(db.watchdog.Observe)
+		if db.flight != nil {
+			db.watchdog.OnCrit(func(reason string) {
+				_, _ = db.flight.Trigger("watchdog-" + reason)
+			})
+		}
+	}
+	db.history.Start()
+}
+
+// flightJSON marshals v for a bundle file, degrading to an error note rather
+// than failing the bundle.
+func flightJSON(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}
+
+// addFlightCollectors registers the standard bundle contents: everything an
+// engineer reading a post-mortem wants on disk before the process is gone.
+func (db *DB) addFlightCollectors() {
+	f := db.flight
+	f.AddCollector("metrics.json", func() ([]byte, error) {
+		var buf bytes.Buffer
+		if err := db.eng.Obs().Snapshot().WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	f.AddCollector("history.json", func() ([]byte, error) {
+		if db.history == nil {
+			return []byte("{}"), nil
+		}
+		return flightJSON(db.history.Samples())
+	})
+	f.AddCollector("health.json", func() ([]byte, error) {
+		if db.watchdog == nil {
+			return []byte("{}"), nil
+		}
+		return flightJSON(db.watchdog.Report())
+	})
+	f.AddCollector("txns.json", func() ([]byte, error) {
+		slow, slowTotal := db.eng.SlowTxns()
+		return flightJSON(map[string]any{
+			"at":         time.Now(),
+			"active":     db.eng.TxnInfos(),
+			"slow":       slow,
+			"slow_total": slowTotal,
+		})
+	})
+	f.AddCollector("waitsfor.dot", func() ([]byte, error) {
+		return []byte(db.eng.Locks().WaitsFor().DOT()), nil
+	})
+	f.AddCollector("wal.json", func() ([]byte, error) {
+		s := db.eng.Obs().Snapshot()
+		return flightJSON(map[string]any{
+			"end_lsn":         db.eng.Log().End(),
+			"approx_bytes":    db.eng.Log().ApproxBytes(),
+			"checkpoint_last": s.Gauges["engine.checkpoint.last"],
+			"checkpoints":     s.Counters["engine.checkpoint.count"],
+		})
+	})
+	f.AddCollector("transform.json", func() ([]byte, error) {
+		type entry struct {
+			Phase    string           `json:"phase"`
+			Progress Progress         `json:"progress"`
+			Rules    map[string]int64 `json:"rules,omitempty"`
+			Trace    []TraceEvent     `json:"trace,omitempty"`
+		}
+		var entries []entry
+		for _, tr := range db.Transformations() {
+			pr := tr.Progress()
+			trace := tr.Trace()
+			const tail = 200
+			if len(trace) > tail {
+				trace = trace[len(trace)-tail:]
+			}
+			entries = append(entries, entry{
+				Phase:    pr.Phase.String(),
+				Progress: pr,
+				Rules:    tr.RuleApplications(),
+				Trace:    trace,
+			})
+		}
+		return flightJSON(entries)
+	})
+	f.AddCollector("goroutines.txt", func() ([]byte, error) {
+		var buf bytes.Buffer
+		if err := pprof.Lookup("goroutine").WriteTo(&buf, 2); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}

@@ -1,0 +1,343 @@
+package nbschema
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMonitoringDisabled checks the self-monitoring stack stays entirely off
+// by default: no sampler goroutine, nil accessors, and the debug endpoints
+// degrade gracefully.
+func TestMonitoringDisabled(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	if db.History() != nil || db.Health() != nil || db.FlightRecorder() != nil {
+		t.Fatal("monitoring accessors must be nil when monitoring is off")
+	}
+
+	srv := httptest.NewServer(DebugHandler(db))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist struct {
+		Enabled bool `json:"enabled"`
+		Taken   int64
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hist.Enabled {
+		t.Fatal("/debug/history reports enabled without a sampler")
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/health without watchdog: %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/debug/flightrecord", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /debug/flightrecord without recorder: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFlightRecordEndpoint checks the manual trigger: POST captures a bundle,
+// GET is rejected, and the rate limit answers 429.
+func TestFlightRecordEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	db := Open(Options{FlightRecorderDir: dir})
+	defer db.Close()
+
+	srv := httptest.NewServer(DebugHandler(db))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/flightrecord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /debug/flightrecord: %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Fatalf("Allow header = %q, want POST", allow)
+	}
+
+	resp, err = http.Post(srv.URL+"/debug/flightrecord?reason=ops-check", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /debug/flightrecord: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Bundle string `json:"bundle"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || out.Bundle == "" {
+		t.Fatalf("flightrecord response %s: %v", body, err)
+	}
+	if !strings.Contains(filepath.Base(out.Bundle), "ops-check") {
+		t.Fatalf("bundle %q does not embed the reason", out.Bundle)
+	}
+	// Every standard collector produced its file (or an .err note).
+	for _, name := range []string{"reason.txt", "metrics.json", "history.json", "health.json", "txns.json", "waitsfor.dot", "wal.json", "transform.json", "goroutines.txt"} {
+		if _, err := os.Stat(filepath.Join(out.Bundle, name)); err != nil {
+			if _, err2 := os.Stat(filepath.Join(out.Bundle, name+".err")); err2 != nil {
+				t.Fatalf("bundle missing %s: %v (and no .err)", name, err)
+			}
+		}
+	}
+
+	// The default MinInterval (30s) suppresses an immediate second trigger.
+	resp, err = http.Post(srv.URL+"/debug/flightrecord", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited POST: %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestWatchdogStallE2E is the end-to-end observability scenario: a split
+// transformation under live write load is stalled with an injected fault, the
+// watchdog flips /debug/health to 503 and captures a flight bundle whose
+// history shows the stall window; disarming the fault lets the
+// transformation finish and health return to 200.
+func TestWatchdogStallE2E(t *testing.T) {
+	const rows = 2000
+	// CI points NBSCHEMA_FLIGHT_DIR at a workspace path so bundles survive
+	// the run and can be uploaded as artifacts when the job fails.
+	dir := os.Getenv("NBSCHEMA_FLIGHT_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	faults := NewFaultRegistry()
+	db := Open(Options{
+		Metrics:           reg,
+		Faults:            faults,
+		HistoryInterval:   5 * time.Millisecond,
+		HistorySize:       4096,
+		HealthChecks:      true,
+		FlightRecorderDir: dir,
+		FlightMinInterval: time.Millisecond,
+		LockTimeout:       time.Second,
+	})
+	defer db.Close()
+
+	if err := db.CreateTable("customer", []Column{
+		{Name: "id", Type: Int},
+		{Name: "name", Type: String, Nullable: true},
+		{Name: "zip", Type: Int},
+		{Name: "city", Type: String, Nullable: true},
+	}, "id"); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for i := 0; i < rows; i++ {
+		if err := tx.Insert("customer", i, fmt.Sprintf("c-%d", i), 1000+i%100, "city"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(DebugHandler(db))
+	defer srv.Close()
+	healthStatus := func() int {
+		resp, err := http.Get(srv.URL + "/debug/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := healthStatus(); got != http.StatusOK {
+		t.Fatalf("health before the stall: %d, want 200", got)
+	}
+
+	// A background writer keeps the propagation backlog non-empty for the
+	// whole transformation; it tolerates the doomed-transaction aborts the
+	// sync latch inflicts and the source table disappearing at switchover.
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := db.Begin()
+			var err error
+			for i := 0; i < 5 && err == nil; i++ {
+				err = tx.Update("customer", []any{rng.Intn(rows)},
+					[]string{"name"}, []any{fmt.Sprintf("r-%d", rng.Int())})
+			}
+			if err == nil {
+				err = tx.Commit()
+			}
+			if err != nil {
+				_ = tx.Abort()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	defer func() { close(stop); <-writerDone }()
+
+	// Every propagation batch sleeps 75ms: the backlog sits still for many
+	// 5ms history windows while core.backlog stays > 0 — the watchdog's
+	// transform-stall signature. Serial propagation (PropagateWorkers 1)
+	// keeps applied progress at zero until a whole range completes.
+	faults.Arm("core.propagate.batch", FaultAlways(), FaultSleep(75*time.Millisecond))
+
+	tr, err := db.Split(SplitSpec{
+		Source: "customer", Left: "customer_base", Right: "place",
+		SplitOn: []string{"zip"}, RightOnly: []string{"city"},
+	}, TransformOptions{PropagateWorkers: 1, SyncThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tr.Run(context.Background()) }()
+
+	// The stall must flip /debug/health to 503.
+	deadline := time.Now().Add(20 * time.Second)
+	for healthStatus() != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatalf("health never reached 503; report: %+v", db.Health().Report())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Un-stall: the transformation finishes and health recovers.
+	faults.Disarm("core.propagate.batch")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("transformation: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("transformation did not finish; progress: %+v", tr.Progress())
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for healthStatus() != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatalf("health never recovered to 200; report: %+v", db.Health().Report())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The CRIT transition captured at least one watchdog flight bundle.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp dir %q", e.Name())
+		}
+		if e.IsDir() && strings.HasPrefix(e.Name(), "flight-") && strings.Contains(e.Name(), "watchdog") {
+			bundle = filepath.Join(dir, e.Name())
+		}
+	}
+	if bundle == "" {
+		t.Fatalf("no watchdog flight bundle in %v", entries)
+	}
+
+	// Every JSON file in the bundle parses, and the captured history shows
+	// the stall window: a running transformation with a backlog and no
+	// applied progress.
+	var history []HistorySample
+	for _, name := range []string{"metrics.json", "history.json", "health.json", "txns.json", "wal.json", "transform.json"} {
+		raw, err := os.ReadFile(filepath.Join(bundle, name))
+		if err != nil {
+			t.Fatalf("bundle %s: %v", name, err)
+		}
+		var v any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("bundle %s does not parse: %v", name, err)
+		}
+		if name == "history.json" {
+			if err := json.Unmarshal(raw, &history); err != nil {
+				t.Fatalf("history.json shape: %v", err)
+			}
+		}
+	}
+	stalled := false
+	for _, s := range history {
+		if s.Gauge("core.running") > 0 && s.Gauge("core.backlog") > 0 && s.Delta("core.propagated") == 0 && s.WindowMs > 0 {
+			stalled = true
+			break
+		}
+	}
+	if !stalled {
+		t.Fatalf("bundle history (%d samples) shows no stall window", len(history))
+	}
+	for _, name := range []string{"reason.txt", "goroutines.txt", "waitsfor.dot"} {
+		if _, err := os.Stat(filepath.Join(bundle, name)); err != nil {
+			t.Fatalf("bundle %s: %v", name, err)
+		}
+	}
+
+	// The live /debug/history series also recorded the episode; the sampler
+	// keeps ticking, so a short run just needs a moment to reach 10 samples.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/debug/history")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hist struct {
+			Enabled bool            `json:"enabled"`
+			Taken   int64           `json:"taken"`
+			Samples []HistorySample `json:"samples"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !hist.Enabled {
+			t.Fatal("/debug/history reports disabled")
+		}
+		if hist.Taken >= 10 && len(hist.Samples) >= 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/debug/history: taken=%d samples=%d, want >= 10", hist.Taken, len(hist.Samples))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -146,6 +146,34 @@ type Options struct {
 	// Returning a writer that appends to one long-lived stream is valid:
 	// restart uses the newest complete checkpoint in the stream.
 	CheckpointSink func() (io.WriteCloser, error)
+	// HistoryInterval enables the telemetry history sampler: a background
+	// goroutine snapshots the metrics registry every interval into a bounded
+	// ring, computing per-window deltas, rates and latency percentiles
+	// (DB.History, /debug/history). Go runtime telemetry (heap, goroutines,
+	// GC pauses) is folded into the same timeline as go.* metrics. 0 (the
+	// default) disables the sampler entirely — no goroutine is started. If
+	// Metrics is nil, a registry is created automatically. Stop the sampler
+	// with DB.Close.
+	HistoryInterval time.Duration
+	// HistorySize bounds the history ring (0 selects 256 samples).
+	HistorySize int
+	// HealthChecks enables the health watchdog: every history sample is run
+	// through a rule engine (transformation stall, WAL latency spike,
+	// deadlock rate, checkpoint age, goroutine/heap growth) producing an
+	// OK/WARN/CRIT verdict served at /debug/health (200/503, a readiness
+	// probe) and as engine.health.* gauges. Requires HistoryInterval > 0.
+	HealthChecks bool
+	// FlightRecorderDir enables the post-mortem flight recorder: on a
+	// watchdog CRIT transition, a transformation stall or abort, or a manual
+	// POST /debug/flightrecord, a diagnostic bundle (metric history, health
+	// report, transformation traces, waits-for graph, slow transactions, WAL
+	// positions, goroutine dump) is captured atomically into a timestamped
+	// directory under this path. Empty (the default) disables the recorder.
+	FlightRecorderDir string
+	// FlightMinInterval rate-limits flight-recorder captures: triggers
+	// arriving closer than this to the previous bundle are suppressed.
+	// 0 selects 30s.
+	FlightMinInterval time.Duration
 }
 
 func (o Options) engineOptions() engine.Options {
@@ -196,6 +224,11 @@ type DB struct {
 
 	trMu       sync.Mutex
 	transforms []*Transformation
+
+	// Self-monitoring (see monitor.go): all nil when disabled.
+	history  *obs.History
+	watchdog *obs.Watchdog
+	flight   *obs.FlightRecorder
 }
 
 // Open creates an empty database.
@@ -204,11 +237,28 @@ func Open(opts ...Options) *DB {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return &DB{
+	if o.HistoryInterval > 0 && o.Metrics == nil {
+		// The sampler is pointless without a registry; create one rather
+		// than silently sampling nothing.
+		o.Metrics = NewMetricsRegistry()
+	}
+	db := &DB{
 		eng:                engine.New(o.engineOptions()),
 		propagateWorkers:   o.PropagateWorkers,
 		compactPropagation: o.CompactPropagation,
 	}
+	db.initMonitor(o)
+	return db
+}
+
+// Close stops the database's background monitoring (the telemetry history
+// sampler). The database itself is in-memory and needs no other teardown;
+// Close on a database opened without monitoring is a no-op.
+func (db *DB) Close() error {
+	if db.history != nil {
+		db.history.Stop()
+	}
+	return nil
 }
 
 // Engine exposes the underlying engine for advanced integration (workload
@@ -291,20 +341,40 @@ func (db *DB) Transformations() []*Transformation {
 	return append([]*Transformation(nil), db.transforms...)
 }
 
+// DebugOptions tunes DebugHandlerOpts.
+type DebugOptions struct {
+	// Pprof additionally mounts the Go runtime profiling endpoints
+	// (net/http/pprof) under /debug/pprof/. Off by default: profiles are a
+	// production-sensitive surface and should be an explicit choice.
+	Pprof bool
+}
+
 // DebugHandler serves the database's live introspection surface: active
 // transactions with held and awaited locks (/debug/txns), the lock table
 // (/debug/locks), the waits-for graph as JSON or Graphviz DOT
 // (/debug/waitsfor, ?format=dot), live transformation progress and trace
-// (/debug/transform), and WAL position and flush statistics (/debug/wal).
-// Mount it next to MetricsHandler:
+// (/debug/transform), WAL position and flush statistics (/debug/wal), the
+// telemetry history (/debug/history), the health watchdog's verdict
+// (/debug/health — 200 healthy, 503 critical, a readiness probe) and manual
+// flight-recorder capture (POST /debug/flightrecord). Mount it next to
+// MetricsHandler:
 //
 //	mux.Handle("/debug/", nbschema.DebugHandler(db))
 func DebugHandler(db *DB) http.Handler {
+	return DebugHandlerOpts(db, DebugOptions{})
+}
+
+// DebugHandlerOpts is DebugHandler with extras (pprof) enabled explicitly.
+func DebugHandlerOpts(db *DB, o DebugOptions) http.Handler {
 	return debug.Handler(debug.Config{
 		DB:  db.eng,
 		Obs: db.eng.Obs(),
 		Transforms: func() []*core.Transformation {
 			return db.Transformations()
 		},
+		History:  db.history,
+		Watchdog: db.watchdog,
+		Flight:   db.flight,
+		Pprof:    o.Pprof,
 	})
 }

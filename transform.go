@@ -178,6 +178,23 @@ func (o TransformOptions) config(db *DB) core.Config {
 	case o.SyncThreshold > 0:
 		cfg.Analyzer = core.CountAnalyzer(o.SyncThreshold)
 	}
+	if db.flight != nil {
+		// A stalling or aborting transformation is a flight-recorder trigger:
+		// the trace and backlog that explain it are gone once the run ends.
+		trigger := obs.FuncSink(func(ev obs.Event) {
+			switch ev.Kind {
+			case obs.EventStall:
+				_, _ = db.flight.Trigger("transform-stall")
+			case obs.EventAbort:
+				_, _ = db.flight.Trigger("transform-abort")
+			}
+		})
+		if cfg.Sink != nil {
+			cfg.Sink = obs.MultiSink{cfg.Sink, trigger}
+		} else {
+			cfg.Sink = trigger
+		}
+	}
 	return cfg
 }
 
