@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|workload|scale|compaction|recovery|all]
+//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|workload|scale|compaction|recovery|lag|all]
 //	               [-paper] [-rows N] [-sample dur] [-repeats N] [-seed N]
-//	               [-out file.json]
+//	               [-out file.json] [-timeline file.json]
 //
 // The workload experiment additionally writes a machine-readable JSON report
 // (-out, default BENCH_workload.json): per-window throughput and response-time
@@ -29,13 +29,14 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, workload, scale, compaction, recovery, all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, workload, scale, compaction, recovery, lag, all")
 		paper   = flag.Bool("paper", false, "use the paper's table sizes (50k/20k records)")
 		rows    = flag.Int("rows", 0, "override row count for the transformed table(s)")
 		sample  = flag.Duration("sample", 0, "override measurement window")
 		repeats = flag.Int("repeats", 0, "measurements per point (median reported)")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		out     = flag.String("out", "BENCH_workload.json", "output file for the workload JSON report")
+		tlOut   = flag.String("timeline", "BENCH_timeline.json", "output file for the lag figure's Chrome-trace timeline JSON")
 	)
 	flag.Parse()
 
@@ -128,6 +129,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(recovery in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if want == "lag" || want == "all" {
+		ran++
+		fmt.Println("running lag ...")
+		t0 := time.Now()
+		if err := runLag(p, *out, *tlOut); err != nil {
+			fmt.Fprintf(os.Stderr, "lag: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(lag in %v)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
@@ -235,6 +246,44 @@ func runRecovery(p bench.Params, path string) error {
 		return err
 	}
 	fmt.Printf("recovery report merged into %s\n", path)
+	return nil
+}
+
+// runLag runs the freshness-lag figure (lag watermark time series around a
+// background split, switchover verdict against the SLO, per-phase timeline
+// summary), merges the result into the workload report file the same way
+// runScale does, and writes the run's Chrome-trace timeline to tlPath.
+func runLag(p bench.Params, path, tlPath string) error {
+	res, lag, trace, err := bench.FigureLag(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Format())
+
+	rep := &bench.WorkloadReport{Seed: p.Seed}
+	if data, err := os.ReadFile(path); err == nil {
+		var existing bench.WorkloadReport
+		if json.Unmarshal(data, &existing) == nil {
+			rep = &existing
+		}
+	}
+	rep.Lag = lag
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("lag report merged into %s\n", path)
+	if err := os.WriteFile(tlPath, trace, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("timeline trace written to %s\n", tlPath)
 	return nil
 }
 

@@ -29,6 +29,7 @@ func main() {
 		history   = flag.Duration("history", 200*time.Millisecond, "telemetry history sampling interval (0 disables history and health)")
 		pprofOn   = flag.Bool("pprof", true, "mount /debug/pprof/ on the metrics server")
 		flightDir = flag.String("flightdir", "", "capture flight-recorder bundles into this directory on health CRITs and stalls")
+		lagSLO    = flag.Duration("lag-slo", 100*time.Millisecond, "freshness SLO: watchdog warns when propagation lag exceeds it; the status line reports switchover readiness against it (0 disables)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -39,12 +40,14 @@ func main() {
 		HistoryInterval:   *history,
 		HealthChecks:      *history > 0,
 		FlightRecorderDir: *flightDir,
+		LagSLO:            *lagSLO,
+		Timeline:          *metrics != "", // /debug/timeline needs the span recorder
 	})
 	defer db.Close()
 	if *metrics != "" {
 		go func() {
 			log.Printf("metrics: http://%s/metrics (append ?format=json for JSON)", *metrics)
-			log.Printf("debug:   http://%s/debug — txns, locks, waitsfor (?format=dot), transform, wal, history, health", *metrics)
+			log.Printf("debug:   http://%s/debug — txns, locks, waitsfor (?format=dot), transform, wal, history, health, lag, timeline", *metrics)
 			mux := http.NewServeMux()
 			mux.Handle("/metrics", nbschema.MetricsHandler(reg))
 			h := nbschema.DebugHandlerOpts(db, nbschema.DebugOptions{Pprof: *pprofOn})
@@ -146,7 +149,7 @@ func main() {
 				log.Printf("phase: %v  (committed so far: %d)", pr.Phase, committed.Load())
 				last = pr.Phase
 			}
-			line := progressLine(pr)
+			line := progressLine(pr, *lagSLO)
 			if wd := db.Health(); wd != nil {
 				rep := wd.Report()
 				if rep.Status != lastHealth {
@@ -215,21 +218,37 @@ func healthDetail(rep nbschema.HealthReport) string {
 	return s
 }
 
-// progressLine renders one live status line from a Progress snapshot.
-func progressLine(pr nbschema.Progress) string {
+// progressLine renders one live status line from a Progress snapshot,
+// including the freshness watermark and switchover readiness against slo.
+func progressLine(pr nbschema.Progress, slo time.Duration) string {
 	switch pr.Phase {
 	case nbschema.PhasePopulating:
-		return fmt.Sprintf("  populating: %d rows copied (fuzzy, lock-free)", pr.InitialImageRows)
+		return fmt.Sprintf("  populating: %d rows copied (fuzzy, lock-free)%s",
+			pr.InitialImageRows, lagNote(pr, slo))
 	case nbschema.PhasePropagating:
 		eta := "eta —"
 		if pr.ETAValid {
 			eta = "eta " + pr.ETA.Round(time.Millisecond).String()
 		}
-		return fmt.Sprintf("  propagating: iter %d  applied %d  backlog %d  %.0f rec/s  %s",
-			pr.Iteration, pr.RecordsApplied, pr.Remaining, pr.Rate, eta)
+		return fmt.Sprintf("  propagating: iter %d  applied %d  backlog %d  %.0f rec/s  %s%s",
+			pr.Iteration, pr.RecordsApplied, pr.Remaining, pr.Rate, eta, lagNote(pr, slo))
 	default:
 		return fmt.Sprintf("  %v: %v elapsed", pr.Phase, pr.Elapsed.Round(time.Millisecond))
 	}
+}
+
+// lagNote renders the lag watermark and, when an SLO is set, whether an
+// application could switch over now without reading stale targets.
+func lagNote(pr nbschema.Progress, slo time.Duration) string {
+	s := fmt.Sprintf("  lag %v", pr.Lag.Round(time.Millisecond))
+	switch {
+	case slo <= 0:
+	case pr.Lag <= slo:
+		s += " (switchover ready)"
+	default:
+		s += fmt.Sprintf(" (> SLO %v)", slo)
+	}
+	return s
 }
 
 func traceDetail(ev nbschema.TraceEvent) string {

@@ -1,6 +1,7 @@
 package nbschema
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -156,5 +157,146 @@ func TestDebugHandlerPublicAPI(t *testing.T) {
 
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLagAndTimelineEndpoints runs a split to completion on a timeline-enabled
+// database and checks the two observability endpoints end to end: /debug/lag
+// serves the freshness watermarks with a switchover verdict, and
+// /debug/timeline serves valid Chrome trace-event JSON whose spans are
+// monotonic and whose phase spans nest consistently (sequential, never
+// overlapping on the coordinator track).
+func TestLagAndTimelineEndpoints(t *testing.T) {
+	db := Open(Options{Metrics: NewMetricsRegistry(), Timeline: true, LagSLO: time.Second})
+	if err := db.CreateTable("customer", []Column{
+		{Name: "id", Type: Int},
+		{Name: "zip", Type: Int},
+		{Name: "city", Type: String, Nullable: true},
+	}, "id"); err != nil {
+		t.Fatal(err)
+	}
+	setup := db.Begin()
+	for i := 1; i <= 200; i++ {
+		if err := setup.Insert("customer", i, 1000+i%50, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := db.Split(SplitSpec{
+		Source: "customer", Left: "customer_base", Right: "place",
+		SplitOn: []string{"zip"}, RightOnly: []string{"city"},
+	}, TransformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(DebugHandler(db))
+	defer srv.Close()
+	fetch := func(path string) []byte {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, b)
+		}
+		return b
+	}
+
+	var lag struct {
+		SLONs           int64 `json:"slo_ns"`
+		Transformations []struct {
+			Phase     string `json:"phase"`
+			Freshness struct {
+				AppliedLSN uint64 `json:"applied_lsn"`
+				Backlog    int    `json:"backlog"`
+				LagNs      int64  `json:"lag_ns"`
+			} `json:"freshness"`
+			Ready *bool `json:"switchover_ready"`
+		} `json:"transformations"`
+	}
+	if err := json.Unmarshal(fetch("/debug/lag?slo=100ms"), &lag); err != nil {
+		t.Fatalf("/debug/lag is not valid JSON: %v", err)
+	}
+	if lag.SLONs != (100 * time.Millisecond).Nanoseconds() {
+		t.Errorf("slo_ns = %d", lag.SLONs)
+	}
+	if len(lag.Transformations) != 1 {
+		t.Fatalf("lag entries = %d, want 1", len(lag.Transformations))
+	}
+	e := lag.Transformations[0]
+	if e.Phase != "done" || e.Freshness.LagNs != 0 || e.Freshness.AppliedLSN == 0 {
+		t.Errorf("lag entry = %+v, want done/fresh with an applied watermark", e)
+	}
+	if e.Ready == nil || !*e.Ready {
+		t.Errorf("switchover_ready = %v, want true for a finished transformation", e.Ready)
+	}
+	if resp, err := srv.Client().Get(srv.URL + "/debug/lag?slo=nonsense"); err != nil || resp.StatusCode != 400 {
+		t.Errorf("bad slo must 400, got %v/%v", resp.StatusCode, err)
+	}
+
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Pid  int64  `json:"pid"`
+			Tid  int64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(fetch("/debug/timeline"), &trace); err != nil {
+		t.Fatalf("/debug/timeline is not valid Chrome trace JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("timeline trace is empty after a full transformation")
+	}
+	type span struct{ start, end int64 }
+	var phases []span
+	phaseNames := map[string]bool{}
+	lastTs := int64(-1 << 62)
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X", "i":
+		default:
+			t.Fatalf("unexpected event phase %q in %+v", ev.Ph, ev)
+		}
+		if ev.Pid != 1 || ev.Name == "" {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		if ev.Ts < lastTs {
+			t.Fatalf("event %q ts %d breaks monotonic order (prev %d)", ev.Name, ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+		if ev.Ph == "X" && ev.Cat == "phase" {
+			phases = append(phases, span{ev.Ts, ev.Ts + ev.Dur})
+			phaseNames[ev.Name] = true
+		}
+	}
+	if len(phases) < 2 {
+		t.Fatalf("want at least populate+propagate phase spans, got %d", len(phases))
+	}
+	for _, want := range []string{"populating", "propagating"} {
+		if !phaseNames[want] {
+			t.Errorf("phase span %q missing (have %v)", want, phaseNames)
+		}
+	}
+	// Lifecycle phases are sequential: spans on the coordinator track must
+	// not overlap (1µs slack for the trace's microsecond rounding).
+	for i := 1; i < len(phases); i++ {
+		if phases[i].start < phases[i-1].end-1 {
+			t.Errorf("phase span %d (ts %d) overlaps previous (end %d)",
+				i, phases[i].start, phases[i-1].end)
+		}
 	}
 }

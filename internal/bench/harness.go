@@ -66,6 +66,10 @@ type Params struct {
 	// Obs is an optional observability registry the experiment's engine
 	// reports into (used by the workload report; nil = no metrics).
 	Obs *obs.Registry
+	// Timeline is an optional span recorder the experiment's engine and
+	// transformation report into (the lag figure uses it for the per-phase
+	// timeline summary and Chrome-trace export; nil = recording off).
+	Timeline *obs.Timeline
 	// LockStripes, StoragePartitions and GroupCommit configure the engine's
 	// concurrency knobs for the experiment (0 = the engine's GOMAXPROCS-
 	// derived defaults; 1 = the serial ablation). PropagateWorkers does the
@@ -241,6 +245,7 @@ func (p Params) engineOptions() engine.Options {
 	return engine.Options{
 		LockTimeout:       p.LockTimeout,
 		Obs:               p.Obs,
+		Timeline:          p.Timeline,
 		LockStripes:       p.LockStripes,
 		StoragePartitions: p.StoragePartitions,
 		GroupCommit:       p.GroupCommit,

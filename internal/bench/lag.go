@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"nbschema/internal/core"
+	"nbschema/internal/obs"
+	"nbschema/internal/workload"
+)
+
+// LagSample is one freshness-watermark snapshot taken while the background
+// transformation ran: the source-commit→target-apply lag, the record backlog
+// and the applied-LSN high-water mark (see core.Freshness).
+type LagSample struct {
+	AtMs       float64 `json:"at_ms"` // since the transformation started
+	Phase      string  `json:"phase"`
+	LagMs      float64 `json:"lag_ms"`
+	Backlog    int     `json:"backlog"`
+	AppliedLSN uint64  `json:"applied_lsn"`
+}
+
+// LagReport is the machine-readable result of the lag figure: the freshness
+// lag time series sampled across a background split under live load, the
+// switchover verdict against the SLO, and the per-phase timeline summary.
+type LagReport struct {
+	// SLOMs is the freshness SLO the run was judged against.
+	SLOMs float64 `json:"slo_ms"`
+	// Samples is the lag time series: rises while propagation trails the
+	// workload, drains as the analyzer closes in on synchronization.
+	Samples []LagSample `json:"samples"`
+	// MaxLagMs is the worst lag watermark observed during the run.
+	MaxLagMs float64 `json:"max_lag_ms"`
+	// LagAtSyncMs is the lag watermark at the switchover decision: the last
+	// live measurement before the transformation entered synchronization.
+	LagAtSyncMs float64 `json:"lag_at_sync_ms"`
+	// SwitchoverReady reports whether LagAtSyncMs ≤ SLOMs — the probe an
+	// operator would run (Freshness.SwitchoverReady) at that moment.
+	SwitchoverReady bool `json:"switchover_ready"`
+	// CommitLagP50Ms/P99Ms are the per-record commit-lag histogram
+	// percentiles over the whole run (core.commit_lag).
+	CommitLagP50Ms float64 `json:"commit_lag_p50_ms"`
+	CommitLagP99Ms float64 `json:"commit_lag_p99_ms"`
+	// Timeline aggregates the run's span recorder by category: phases,
+	// populate chunks, propagation groups, WAL group-commit batches,
+	// checkpoints and lock stalls.
+	Timeline []obs.TimelineSummary `json:"timeline,omitempty"`
+}
+
+// FigureLag runs the freshness-lag experiment: a closed-loop update workload
+// around a background split at reduced priority, with the lag watermark
+// (Transformation.Freshness) sampled continuously. The returned bytes are the
+// run's Chrome-trace timeline JSON (load in Perfetto / chrome://tracing).
+func FigureLag(p Params) (Result, *LagReport, []byte, error) {
+	p = p.withDefaults()
+	if p.Obs == nil {
+		p.Obs = obs.NewRegistry()
+	}
+	if p.Timeline == nil {
+		p.Timeline = obs.NewTimeline(0)
+	}
+	env, err := newSplitEnv(p)
+	if err != nil {
+		return Result{}, nil, nil, err
+	}
+	targets := env.targets(p.SourceFrac)
+	clients, err := calibrate(p, env.db, targets)
+	if err != nil {
+		return Result{}, nil, nil, err
+	}
+	// Run at a 50% workload: at 100% a low-priority transformation never
+	// catches up (cf. Figure 4d) and the lag series would only ever rise —
+	// the figure's point is the full arc: rise during population, drain
+	// below the SLO before the switchover decision.
+	clients = (clients + 1) / 2
+
+	r := workload.Start(workload.Config{
+		DB: env.db, Targets: targets, Clients: clients,
+		Seed: p.Seed, Think: p.Think, InsertFrac: p.InsertFrac,
+		Obs: p.Obs,
+	})
+	// Let the workload build a little committed history before the
+	// transformation starts, so population already has lag to measure.
+	time.Sleep(p.BaselineDur / 4)
+
+	// The SLO the run is judged against: one sample window. The estimate
+	// analyzer enters synchronization when the remaining propagation time
+	// drops below half of it, so a healthy run drains below the SLO first.
+	slo := p.SampleDur
+	// Freshness needs headroom: give the transformation at least half the
+	// machine so propagation outruns the (halved) workload and drains.
+	prio := max(p.Priority, 0.5)
+	tr, err := env.transformation(core.Config{
+		Priority:     prio,
+		Strategy:     core.NonBlockingAbort,
+		Analyzer:     core.EstimateAnalyzer(slo / 2),
+		StallTimeout: 8 * p.SampleDur,
+		LagSLO:       slo,
+	})
+	if err != nil {
+		_ = r.Stop()
+		return Result{}, nil, nil, err
+	}
+
+	trStart := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- tr.Run(context.Background()) }()
+
+	rep := &LagReport{SLOMs: ms(slo)}
+	var lastLiveLag float64 // last lag measured before synchronization
+	syncSeen := false
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	var trErr error
+sampling:
+	for {
+		select {
+		case trErr = <-done:
+			break sampling
+		case <-tick.C:
+			ph := tr.Phase()
+			f := tr.Freshness()
+			s := LagSample{
+				AtMs:       ms(time.Since(trStart)),
+				Phase:      ph.String(),
+				LagMs:      ms(f.Lag),
+				Backlog:    f.Backlog,
+				AppliedLSN: f.AppliedLSN,
+			}
+			rep.Samples = append(rep.Samples, s)
+			if s.LagMs > rep.MaxLagMs {
+				rep.MaxLagMs = s.LagMs
+			}
+			switch ph {
+			case core.PhasePopulating, core.PhasePropagating:
+				lastLiveLag = s.LagMs
+			case core.PhaseSynchronizing, core.PhaseDraining:
+				// First synchronization sample still measures honestly
+				// (terminal phases report zero); prefer it if seen.
+				if !syncSeen {
+					lastLiveLag, syncSeen = s.LagMs, true
+				}
+			}
+		}
+	}
+	stopErr := r.Stop()
+	if trErr != nil {
+		return Result{}, nil, nil, fmt.Errorf("bench: transformation: %w", trErr)
+	}
+	if stopErr != nil {
+		return Result{}, nil, nil, stopErr
+	}
+
+	rep.LagAtSyncMs = lastLiveLag
+	rep.SwitchoverReady = lastLiveLag <= rep.SLOMs
+	snap := p.Obs.Snapshot()
+	if h, ok := snap.Histograms["core.commit_lag"]; ok {
+		rep.CommitLagP50Ms = ms(h.Quantile(0.50))
+		rep.CommitLagP99Ms = ms(h.Quantile(0.99))
+	}
+	rep.Timeline = p.Timeline.Summarize()
+
+	var trace bytes.Buffer
+	if err := p.Timeline.WriteChromeTrace(&trace); err != nil {
+		return Result{}, nil, nil, err
+	}
+
+	// Bound the embedded series.
+	if len(rep.Samples) > 128 {
+		step := float64(len(rep.Samples)) / 128
+		thin := make([]LagSample, 0, 128)
+		for i := 0; i < 128; i++ {
+			thin = append(thin, rep.Samples[int(float64(i)*step)])
+		}
+		rep.Samples = thin
+	}
+
+	res := Result{
+		Figure: "lag",
+		Title:  "freshness lag of a background split under live load",
+		XLabel: "time (ms)",
+		YLabel: "lag (ms)",
+	}
+	lagSeries := Series{Name: "lag (ms)"}
+	backlogSeries := Series{Name: "backlog"}
+	// The printed table shows at most 24 rows of the series.
+	pts := rep.Samples
+	if len(pts) > 24 {
+		step := float64(len(pts)) / 24
+		thin := make([]LagSample, 0, 24)
+		for i := 0; i < 24; i++ {
+			thin = append(thin, pts[int(float64(i)*step)])
+		}
+		pts = thin
+	}
+	for _, s := range pts {
+		lagSeries.Points = append(lagSeries.Points, Point{X: s.AtMs, Y: s.LagMs})
+		backlogSeries.Points = append(backlogSeries.Points, Point{X: s.AtMs, Y: float64(s.Backlog)})
+	}
+	res.Series = []Series{lagSeries, backlogSeries}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("SLO %.1fms, max lag %.1fms, lag at sync %.1fms, switchover ready: %v",
+			rep.SLOMs, rep.MaxLagMs, rep.LagAtSyncMs, rep.SwitchoverReady),
+		fmt.Sprintf("commit lag p50 %.2fms p99 %.2fms over the whole run",
+			rep.CommitLagP50Ms, rep.CommitLagP99Ms))
+	for _, ts := range rep.Timeline {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("timeline %-10s %5d spans, %8.1fms total", ts.Cat, ts.Count, ts.TotalMs))
+	}
+	return res, rep, trace.Bytes(), nil
+}

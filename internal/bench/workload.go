@@ -88,6 +88,10 @@ type WorkloadReport struct {
 	// Recovery carries the checkpoint recovery-bound figure
 	// (FigureRecovery) when that experiment ran; merged like Scale.
 	Recovery *RecoveryReport `json:"recovery,omitempty"`
+	// Lag carries the freshness-lag figure (FigureLag) when that experiment
+	// ran — the lag time series, switchover verdict and per-phase timeline
+	// summary; merged like Scale.
+	Lag *LagReport `json:"lag,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.

@@ -262,6 +262,17 @@ type Config struct {
 	// to the built-in bounded ring buffer (readable via Trace). Nil keeps
 	// just the ring.
 	Sink obs.Sink
+	// Timeline records transformation spans (phases, iterations, worker
+	// groups, populate partitions) for the Chrome trace-event export. Nil
+	// falls back to the database's timeline (engine.Options.Timeline); a nil
+	// or disabled recorder costs one atomic load per instrumented site.
+	Timeline *obs.Timeline
+	// LagSLO is the freshness service-level objective: the maximum
+	// source-commit→target-apply lag considered healthy. Synchronization
+	// logs an EventFreshness trace event naming the violation when the lag
+	// watermark exceeds it; 0 disables the check (the event still reports
+	// the watermarks).
+	LagSLO time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -409,6 +420,21 @@ type Transformation struct {
 	mCompactIn   *obs.Counter
 	mCompactOut  *obs.Counter
 	mCompactFenc *obs.Counter
+	mLag         *obs.Histogram // core.commit_lag: source-commit→target-apply
+	mAppliedLSN  *obs.Gauge     // core.applied_lsn: high-water mark
+	mLagMs       *obs.Gauge     // core.lag_ms: low-water freshness lag
+
+	// Freshness watermarks (freshness.go). appliedLSN is the high-water
+	// mark: every log record at or below it has been applied to the targets.
+	// lastLagNs is the commit lag observed at the most recently applied
+	// timestamped commit record.
+	appliedLSN atomic.Uint64
+	lastLagNs  atomic.Int64
+	fresh      freshCache
+
+	// tl records timeline spans; nil-safe and shared with the engine unless
+	// Config.Timeline overrides it.
+	tl *obs.Timeline
 
 	mu       sync.Mutex
 	metrics  Metrics
@@ -428,10 +454,23 @@ func newTransformation(db *engine.DB, cfg Config) *Transformation {
 		faults:    db.Faults(),
 		ccPending: make(map[string]wal.LSN),
 	}
+	tr.tl = tr.cfg.Timeline
+	if tr.tl == nil {
+		tr.tl = db.Timeline()
+	}
 	tr.ring = obs.NewRingSink(0)
-	tr.sink = obs.Sink(tr.ring)
+	sinks := obs.MultiSink{tr.ring}
 	if tr.cfg.Sink != nil {
-		tr.sink = obs.MultiSink{tr.ring, tr.cfg.Sink}
+		sinks = append(sinks, tr.cfg.Sink)
+	}
+	if tr.tl != nil {
+		// Phase transitions, iterations and lifecycle instants become
+		// timeline spans on the coordinator track for free.
+		sinks = append(sinks, obs.TimelineSink(tr.tl))
+	}
+	tr.sink = obs.Sink(tr.ring)
+	if len(sinks) > 1 {
+		tr.sink = sinks
 	}
 	if reg := db.Obs(); reg != nil {
 		tr.mPropagated = reg.Counter("core.propagated")
@@ -441,6 +480,9 @@ func newTransformation(db *engine.DB, cfg Config) *Transformation {
 		tr.mCompactIn = reg.Counter("core.compact.in")
 		tr.mCompactOut = reg.Counter("core.compact.out")
 		tr.mCompactFenc = reg.Counter("core.compact.fences")
+		tr.mLag = reg.Histogram("core.commit_lag")
+		tr.mAppliedLSN = reg.Gauge("core.applied_lsn")
+		tr.mLagMs = reg.Gauge("core.lag_ms")
 		tr.shadow.SetObs(reg)
 	}
 	tr.setPriority(tr.cfg.Priority)
@@ -637,6 +679,10 @@ func (tr *Transformation) populate(ctx context.Context) error {
 	tr.mu.Lock()
 	tr.cursor = start
 	tr.mu.Unlock()
+	// Records below the propagation start position are covered by the fuzzy
+	// initial image; freshness lag during population is therefore measured
+	// from the population-start cut (see DESIGN.md).
+	tr.noteApplied(start - 1)
 	tr.emit(obs.EventFuzzyMark, func(ev *obs.Event) { ev.LSN = uint64(mark) })
 
 	// The tick callback cannot return an error to the operator, so an

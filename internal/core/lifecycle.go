@@ -185,6 +185,8 @@ func (tr *Transformation) Resume(ctx context.Context, cursor wal.LSN) error {
 	tr.runStart = start
 	tr.cursor = cursor
 	tr.mu.Unlock()
+	// The logged low-water mark guarantees records below cursor are applied.
+	tr.noteApplied(cursor - 1)
 	tr.mRunning.Add(1)
 	defer tr.mRunning.Add(-1)
 	defer tr.mBacklog.Set(0)

@@ -119,6 +119,15 @@ type Progress struct {
 	ETAValid bool `json:"eta_valid"`
 	// Elapsed is the wall time since Run started.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// AppliedLSN is the freshness high-water mark: every log record at or
+	// below it has been applied to the targets (freshness.go).
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// Lag is the freshness low-water mark's age: how stale the target tables
+	// are right now in wall-clock terms (0 when fresh; see Freshness).
+	Lag time.Duration `json:"lag_ns"`
+	// LastCommitLag is the source-commit→target-apply lag observed at the
+	// most recently applied timestamped commit record.
+	LastCommitLag time.Duration `json:"last_commit_lag_ns"`
 }
 
 // Progress returns a live snapshot of the transformation's progress. It may
@@ -146,6 +155,10 @@ func (tr *Transformation) Progress() Progress {
 		CompactFencedKeys: cFenced,
 		Remaining:         tr.Remaining(),
 	}
+	f := tr.Freshness()
+	p.AppliedLSN = f.AppliedLSN
+	p.Lag = f.Lag
+	p.LastCommitLag = f.LastCommitLag
 	if cOut > 0 {
 		p.CompactRatio = float64(cIn) / float64(cOut)
 	}

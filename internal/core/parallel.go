@@ -3,7 +3,9 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
+	"nbschema/internal/obs"
 	"nbschema/internal/storage"
 	"nbschema/internal/wal"
 )
@@ -186,11 +188,20 @@ func groupByConflicts(recs []*wal.Record, keys [][]string) [][]*wal.Record {
 // each group's records in LSN order. The first error stops all workers from
 // picking up further groups and is returned.
 func (tr *Transformation) runGroups(groups [][]*wal.Record, workers int) error {
+	timed := tr.tl.Enabled()
 	if len(groups) == 1 {
+		start := time.Time{}
+		if timed {
+			start = time.Now()
+		}
 		for _, rec := range groups[0] {
 			if err := tr.handleRecord(rec); err != nil {
 				return err
 			}
+		}
+		if timed {
+			tr.tl.Span("group", obs.CatGroup, obs.TidWorkerBase,
+				start, time.Since(start), int64(len(groups[0])))
 		}
 		return nil
 	}
@@ -203,7 +214,7 @@ func (tr *Transformation) runGroups(groups [][]*wal.Record, workers int) error {
 	var firstErr error
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for g := range work {
 				mu.Lock()
@@ -211,6 +222,10 @@ func (tr *Transformation) runGroups(groups [][]*wal.Record, workers int) error {
 				mu.Unlock()
 				if stop {
 					continue
+				}
+				start := time.Time{}
+				if timed {
+					start = time.Now()
 				}
 				for _, rec := range g {
 					if err := tr.handleRecord(rec); err != nil {
@@ -222,8 +237,14 @@ func (tr *Transformation) runGroups(groups [][]*wal.Record, workers int) error {
 						break
 					}
 				}
+				if timed {
+					// One span per conflict group on the applying worker's
+					// track; N carries the group's record count.
+					tr.tl.Span("group", obs.CatGroup, obs.TidWorkerBase+int64(w),
+						start, time.Since(start), int64(len(g)))
+				}
 			}
-		}()
+		}(w)
 	}
 	for _, g := range groups {
 		work <- g
@@ -243,10 +264,19 @@ func (tr *Transformation) forEachPartition(tbl *storage.Table, fn func(pi int) e
 	if workers > n {
 		workers = n
 	}
+	timed := tr.tl.Enabled()
 	if workers <= 1 {
 		for pi := 0; pi < n; pi++ {
+			start := time.Time{}
+			if timed {
+				start = time.Now()
+			}
 			if err := fn(pi); err != nil {
 				return err
+			}
+			if timed {
+				tr.tl.Span("populate partition "+tbl.Def().Name, obs.CatPopulate,
+					obs.TidWorkerBase, start, time.Since(start), int64(pi))
 			}
 		}
 		return nil
@@ -257,7 +287,7 @@ func (tr *Transformation) forEachPartition(tbl *storage.Table, fn func(pi int) e
 	var firstErr error
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for pi := range work {
 				mu.Lock()
@@ -266,15 +296,24 @@ func (tr *Transformation) forEachPartition(tbl *storage.Table, fn func(pi int) e
 				if stop {
 					continue
 				}
+				start := time.Time{}
+				if timed {
+					start = time.Now()
+				}
 				if err := fn(pi); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
+				} else if timed {
+					// One span per scanned heap partition on the scanning
+					// worker's track; N carries the partition index.
+					tr.tl.Span("populate partition "+tbl.Def().Name, obs.CatPopulate,
+						obs.TidWorkerBase+int64(w), start, time.Since(start), int64(pi))
 				}
 			}
-		}()
+		}(w)
 	}
 	for pi := 0; pi < n; pi++ {
 		work <- pi

@@ -142,6 +142,9 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 			}
 			tr.lastA = a
 			tr.mu.Unlock()
+			if scanned > 0 {
+				tr.noteApplied(end)
+			}
 			// Log progress (and emit an iteration event) only when the
 			// coalesced range held anything besides the loop's own
 			// bookkeeping records. Otherwise every idle cycle would append a
@@ -200,6 +203,7 @@ func (tr *Transformation) propagateLoop(ctx context.Context) error {
 		tr.metrics.Iterations = iter
 		tr.lastA = a
 		tr.mu.Unlock()
+		tr.noteApplied(end)
 		// Low-water mark for crash resume: every source record at or below
 		// end has been applied to the targets (lifecycle.go).
 		tr.logProgress(end + 1)
@@ -387,6 +391,12 @@ func (tr *Transformation) noteCompaction(st compactStats) {
 func (tr *Transformation) handleRecord(rec *wal.Record) error {
 	switch rec.Type {
 	case wal.TypeCommit, wal.TypeAbort:
+		// A timestamped commit measures the source-commit→target-apply lag
+		// right here, where both apply paths (serial and parallel) converge
+		// (freshness.go).
+		if rec.Type == wal.TypeCommit && rec.Time != 0 {
+			tr.observeCommitLag(rec)
+		}
 		// Locks transferred to the new tables are released when the
 		// propagator processes the owner's end-of-transaction record (§4.3).
 		tr.shadow.ReleaseTxn(rec.Txn)

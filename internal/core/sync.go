@@ -16,6 +16,10 @@ import (
 // latches for one final log-propagation iteration, switch the catalog over,
 // then deal with the transactions that were still active on the sources.
 func (tr *Transformation) synchronize(ctx context.Context) error {
+	// Log the freshness watermarks at the moment the switchover decision is
+	// taken; a configured LagSLO turns a stale target into a named violation
+	// on the event (freshness.go).
+	tr.emitFreshness()
 	switch tr.cfg.Strategy {
 	case BlockingCommit:
 		return tr.syncBlockingCommit(ctx)
@@ -73,6 +77,7 @@ func (tr *Transformation) finalPropagation() (wal.LSN, error) {
 	tr.mu.Lock()
 	tr.cursor = end + 1
 	tr.mu.Unlock()
+	tr.noteApplied(end)
 	return end, nil
 }
 
@@ -121,6 +126,7 @@ func (tr *Transformation) acquireSourceLatches(ctx context.Context, latches []*l
 		tr.mu.Lock()
 		tr.cursor = end + 1
 		tr.mu.Unlock()
+		tr.noteApplied(end)
 		time.Sleep(backoff)
 		backoff *= 2
 	}
@@ -300,6 +306,7 @@ func (tr *Transformation) drain(ctx context.Context, oldTxns []wal.ActiveTxn, fo
 		tr.mu.Lock()
 		tr.cursor = end + 1
 		tr.mu.Unlock()
+		tr.noteApplied(end)
 
 		if tr.shadow.LockedKeys() == 0 && !tr.anyOldAlive(oldTxns) {
 			return nil

@@ -52,6 +52,9 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ (off by default —
 	// profiles are a production-sensitive surface).
 	Pprof bool
+	// Timeline backs /debug/timeline with Chrome trace-event JSON (loadable
+	// in Perfetto or chrome://tracing); nil answers 404.
+	Timeline *obs.Timeline
 }
 
 // Handler returns an http.Handler serving the debug surface. The returned
@@ -72,6 +75,8 @@ func Handler(c Config) http.Handler {
 	mux.HandleFunc("/debug/history", c.history)
 	mux.HandleFunc("/debug/health", c.health)
 	mux.HandleFunc("/debug/flightrecord", c.flightRecord)
+	mux.HandleFunc("/debug/lag", c.lag)
+	mux.HandleFunc("/debug/timeline", c.timeline)
 	if c.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -103,6 +108,8 @@ func (c Config) index(w http.ResponseWriter, r *http.Request) {
 		"/debug/history":      "telemetry time series: per-window rates, deltas and latency percentiles",
 		"/debug/health":       "watchdog verdict (readiness probe: 200 healthy, 503 critical)",
 		"/debug/flightrecord": "POST: capture a flight-recorder diagnostic bundle now",
+		"/debug/lag":          "freshness watermarks per transformation: applied LSN, backlog, wall-clock lag, switchover readiness",
+		"/debug/timeline":     "transformation timeline as Chrome trace-event JSON (open in Perfetto)",
 	}
 	if c.Pprof {
 		index["/debug/pprof/"] = "Go runtime profiles (CPU, heap, goroutine, ...)"
@@ -276,6 +283,58 @@ func (c Config) flightRecord(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, map[string]string{"bundle": dir})
 	}
+}
+
+// lagEntry is one transformation in the /debug/lag payload.
+type lagEntry struct {
+	Phase     string         `json:"phase"`
+	Freshness core.Freshness `json:"freshness"`
+	// Ready answers "is it safe to switch over?" against the SLO passed as
+	// ?slo=<duration> (only present when one was).
+	Ready *bool `json:"switchover_ready,omitempty"`
+}
+
+// lag serves the freshness watermarks of every known transformation. With
+// ?slo=<duration> (e.g. ?slo=100ms) each entry additionally answers the
+// SwitchoverReady predicate against that SLO.
+func (c Config) lag(w http.ResponseWriter, r *http.Request) {
+	var slo time.Duration
+	haveSLO := false
+	if s := r.URL.Query().Get("slo"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			http.Error(w, "bad slo: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		slo, haveSLO = d, true
+	}
+	entries := []lagEntry{}
+	if c.Transforms != nil {
+		for _, tr := range c.Transforms() {
+			e := lagEntry{Phase: tr.Phase().String(), Freshness: tr.Freshness()}
+			if haveSLO {
+				ready := e.Freshness.SwitchoverReady(slo)
+				e.Ready = &ready
+			}
+			entries = append(entries, e)
+		}
+	}
+	resp := map[string]any{"at": time.Now(), "transformations": entries}
+	if haveSLO {
+		resp["slo_ns"] = slo.Nanoseconds()
+	}
+	writeJSON(w, resp)
+}
+
+// timeline serves the span recorder as Chrome trace-event JSON, directly
+// loadable in Perfetto or chrome://tracing.
+func (c Config) timeline(w http.ResponseWriter, _ *http.Request) {
+	if c.Timeline == nil {
+		http.Error(w, "timeline not configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = c.Timeline.WriteChromeTrace(w)
 }
 
 // walResponse is the /debug/wal payload.

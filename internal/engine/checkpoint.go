@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
+	"nbschema/internal/obs"
 	"nbschema/internal/storage"
 	"nbschema/internal/wal"
 )
@@ -56,6 +58,10 @@ func (db *DB) Checkpoint(w io.Writer) (CheckpointStats, error) {
 	var st CheckpointStats
 	if err := db.faults.Hit("engine.checkpoint.begin"); err != nil {
 		return st, fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	var spanStart time.Time
+	if db.timeline.Enabled() {
+		spanStart = time.Now()
 	}
 	begin := db.log.Append(&wal.Record{Type: wal.TypeCheckpointBegin})
 
@@ -116,6 +122,10 @@ func (db *DB) Checkpoint(w io.Writer) (CheckpointStats, error) {
 	db.met.ckptCount.Add(1)
 	db.met.ckptBytes.Add(st.Bytes)
 	db.met.ckptLast.Set(int64(begin))
+	if !spanStart.IsZero() {
+		db.timeline.Span("checkpoint", obs.CatCheckpoint, obs.TidCheckpoint,
+			spanStart, time.Since(spanStart), st.Bytes)
+	}
 	return st, nil
 }
 

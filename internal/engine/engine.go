@@ -108,6 +108,11 @@ type Options struct {
 	// restart keeps the newest complete one. Manual DB.Checkpoint calls do
 	// not use the sink.
 	CheckpointSink func() (io.WriteCloser, error)
+	// Timeline is an optional span recorder: WAL group-commit batches,
+	// fuzzy checkpoints, and slow lock waits are recorded as spans for the
+	// Chrome-trace timeline export. A nil (or disabled) recorder costs one
+	// atomic load per instrumented site.
+	Timeline *obs.Timeline
 }
 
 // engineMetrics bundles the engine-level metric handles. All handles are
@@ -137,13 +142,14 @@ type engineMetrics struct {
 
 // DB is an in-memory transactional database.
 type DB struct {
-	cat    *catalog.Catalog
-	log    *wal.Log
-	locks  *lock.Manager
-	faults *fault.Registry
-	obs    *obs.Registry
-	met    engineMetrics
-	opts   Options
+	cat      *catalog.Catalog
+	log      *wal.Log
+	locks    *lock.Manager
+	faults   *fault.Registry
+	obs      *obs.Registry
+	timeline *obs.Timeline
+	met      engineMetrics
+	opts     Options
 
 	mu      sync.RWMutex
 	tables  map[string]*storage.Table
@@ -203,6 +209,10 @@ func New(opts Options) *DB {
 	}
 	db.log.SetFaults(opts.Faults)
 	db.locks.SetFaults(opts.Faults)
+	if opts.Timeline != nil {
+		db.timeline = opts.Timeline
+		db.log.SetTimeline(opts.Timeline)
+	}
 	if reg := opts.Obs; reg != nil {
 		db.obs = reg
 		db.met = engineMetrics{
@@ -233,6 +243,11 @@ func New(opts Options) *DB {
 // Obs returns the observability registry the DB was opened with (nil when
 // observability is off).
 func (db *DB) Obs() *obs.Registry { return db.obs }
+
+// Timeline returns the span recorder the DB was opened with (nil when
+// timeline recording is off). Transformations forward it to their own
+// instrumentation.
+func (db *DB) Timeline() *obs.Timeline { return db.timeline }
 
 // SampleObs refreshes the engine's derived position gauges — the current end
 // of log ("wal.end_lsn"), the approximate log size ("wal.bytes") and the

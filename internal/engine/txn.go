@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nbschema/internal/lock"
+	"nbschema/internal/obs"
 	"nbschema/internal/storage"
 	"nbschema/internal/value"
 	"nbschema/internal/wal"
@@ -111,28 +112,42 @@ func (t *Txn) checkUsable() error {
 }
 
 // lockAndCheck acquires a record lock and runs the transformation hook.
-// With history on, slow or failed lock waits land in the event history.
+// With history on, slow or failed lock waits land in the event history;
+// with a timeline recorder, they also land as lock-stall spans.
 func (t *Txn) lockAndCheck(table string, key value.Tuple, mode lock.Mode) error {
 	var start time.Time
-	if t.db.histBound > 0 {
+	timed := t.db.histBound > 0
+	if timed || t.db.timeline.Enabled() {
 		start = time.Now()
+	}
+	stall := func(wait time.Duration) {
+		if wait >= slowLockWaitFloor {
+			t.db.timeline.Span("lock-stall "+table, obs.CatLock, obs.TidLocks,
+				start, wait, int64(t.id))
+		}
 	}
 	if err := t.db.locks.Acquire(t.id, table, key.Encode(), mode); err != nil {
 		if !start.IsZero() {
-			t.record(TxnEvent{
-				Kind: "lock-wait", Table: table, Key: key.Encode(),
-				Mode: mode.String(), Duration: time.Since(start), Err: err.Error(),
-			})
+			wait := time.Since(start)
+			if timed {
+				t.record(TxnEvent{
+					Kind: "lock-wait", Table: table, Key: key.Encode(),
+					Mode: mode.String(), Duration: wait, Err: err.Error(),
+				})
+			}
+			stall(wait)
 		}
 		return err
 	}
 	if !start.IsZero() {
-		if wait := time.Since(start); wait >= slowLockWaitFloor {
+		wait := time.Since(start)
+		if timed && wait >= slowLockWaitFloor {
 			t.record(TxnEvent{
 				Kind: "lock-wait", Table: table, Key: key.Encode(),
 				Mode: mode.String(), Duration: wait,
 			})
 		}
+		stall(wait)
 	}
 	if h := t.db.currentHooks(); h.CheckLock != nil {
 		if err := h.CheckLock(t.id, table, key, mode); err != nil {
@@ -370,7 +385,13 @@ func (t *Txn) Commit() error {
 		t.mu.Unlock()
 		return fmt.Errorf("%w (txn %d)", ErrTxnDoomed, t.id)
 	}
-	lsn := t.db.log.Append(&wal.Record{Txn: t.id, Type: wal.TypeCommit, Prev: t.lastLSN})
+	// Stamp the commit's wall-clock time into the record (a v3 frame field):
+	// the log propagator subtracts it from its apply time to measure how far
+	// the transformation targets trail the sources.
+	lsn := t.db.log.Append(&wal.Record{
+		Txn: t.id, Type: wal.TypeCommit, Prev: t.lastLSN,
+		Time: time.Now().UnixNano(),
+	})
 	t.state = txnCommitted
 	t.mu.Unlock()
 	t.db.met.txnCommit.Add(1)

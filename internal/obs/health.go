@@ -114,6 +114,12 @@ type WatchdogConfig struct {
 	// HeapGrowthMin is the minimum total heap growth in bytes over the run
 	// of growing windows before the heap check fires. 0 selects 64 MiB.
 	HeapGrowthMin int64
+	// LagSLO is the freshness service-level objective: the freshness-lag
+	// check warns while a running transformation's source-commit→target-apply
+	// lag (the worse of the window's core.commit_lag p99 and the core.lag_ms
+	// watermark gauge) exceeds it, and turns critical past 4×. 0 disables the
+	// check (no SLO configured).
+	LagSLO time.Duration
 }
 
 func (c WatchdogConfig) withDefaults() WatchdogConfig {
@@ -177,7 +183,7 @@ type Watchdog struct {
 // watchdogChecks names every check, in report order.
 var watchdogChecks = []string{
 	"transform-stall", "wal-flush-p99", "deadlock-rate",
-	"checkpoint-age", "goroutines", "heap",
+	"checkpoint-age", "goroutines", "heap", "freshness-lag",
 }
 
 // NewWatchdog returns a watchdog with the given config, maintaining
@@ -228,6 +234,7 @@ func (w *Watchdog) Observe(s HistorySample) {
 		w.checkCheckpointAge(s),
 		w.checkGoroutines(s),
 		w.checkHeap(s),
+		w.checkFreshness(s),
 	}
 	overall := StatusOK
 	var critNames []string
@@ -443,6 +450,37 @@ func (w *Watchdog) checkHeap(s HistorySample) Check {
 	}
 	if c.Status != StatusOK {
 		c.Message = fmt.Sprintf("heap grew %dMiB→%dMiB over %d windows", w.heap.start>>20, cur>>20, w.heap.run)
+	}
+	return c
+}
+
+// checkFreshness: a running transformation's target tables are staler than
+// the configured SLO. The judged value is the worse of the window's
+// core.commit_lag p99 (lag measured at applied commits) and the core.lag_ms
+// watermark gauge (age of the oldest unapplied commit) — the gauge keeps the
+// check honest when propagation stops applying records entirely, where the
+// histogram would go silent exactly as the target goes stale.
+func (w *Watchdog) checkFreshness(s HistorySample) Check {
+	c := Check{Name: "freshness-lag", Threshold: float64(w.cfg.LagSLO.Nanoseconds()) / 1e6}
+	if w.cfg.LagSLO <= 0 {
+		return c
+	}
+	if s.Gauge("core.running") <= 0 {
+		return c
+	}
+	lagMs := float64(s.Gauge("core.lag_ms"))
+	if win, ok := s.Hist["core.commit_lag"]; ok && win.Count > 0 && win.P99Ms > lagMs {
+		lagMs = win.P99Ms
+	}
+	c.Value = lagMs
+	switch {
+	case lagMs > 4*c.Threshold:
+		c.Status = StatusCrit
+	case lagMs > c.Threshold:
+		c.Status = StatusWarn
+	}
+	if c.Status != StatusOK {
+		c.Message = fmt.Sprintf("lag %.1fms exceeds SLO %.1fms", lagMs, c.Threshold)
 	}
 	return c
 }

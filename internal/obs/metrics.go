@@ -17,7 +17,6 @@
 package obs
 
 import (
-	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -87,11 +86,43 @@ func (g *Gauge) Load() int64 {
 	return g.v.Load()
 }
 
-// histBuckets is the number of histogram buckets. Bucket 0 holds observations
-// below 1µs; bucket i (1 ≤ i < histBuckets-1) holds [2^(i-1), 2^i) µs; the
-// last bucket is the +Inf overflow (≥ ~16.8s). The bounds are fixed so two
-// snapshots can be subtracted and merged without negotiation.
-const histBuckets = 26
+// histBuckets is the number of histogram buckets. The bounds are fixed so two
+// snapshots can be subtracted and merged without negotiation. Bucket i holds
+// observations in [histBoundsNs[i-1], histBoundsNs[i]) nanoseconds (bucket 0
+// holds everything below 1µs); the last bucket is the +Inf overflow
+// (≥ ~16.8s). Plain powers of two double from one bound to the next, which
+// at sub-millisecond scale is too coarse to distinguish real latency shifts
+// (everything between 128µs and 1ms lands in three buckets and distinct
+// workload phases report identical percentiles), so the 16µs–1024µs range is
+// subdivided into four steps per octave (20, 24, 28, 32, 40, 48, ... µs) —
+// ~12–25% resolution exactly where closed-loop transaction latencies live.
+// Above 1ms the bounds go back to doubling.
+const histBuckets = 44
+
+// histBoundsNs holds the exclusive upper bounds of buckets 0..histBuckets-2
+// in nanoseconds: 1, 2, 4, 8, 16µs, then four substeps per octave up to
+// 1024µs, then powers of two up to ~16.8s.
+var histBoundsNs = func() [histBuckets - 1]int64 {
+	var b [histBuckets - 1]int64
+	i := 0
+	add := func(us int64) { b[i] = us * 1000; i++ }
+	for us := int64(1); us <= 16; us *= 2 {
+		add(us)
+	}
+	for oct := int64(16); oct < 1024; oct *= 2 {
+		step := oct / 4
+		for us := oct + step; us <= oct*2; us += step {
+			add(us)
+		}
+	}
+	for us := int64(2048); us <= 16777216; us *= 2 {
+		add(us)
+	}
+	if i != len(b) {
+		panic("obs: histogram bound table size mismatch")
+	}
+	return b
+}()
 
 // HistogramBound returns the exclusive upper bound of bucket i as a duration;
 // the last bucket returns a negative duration meaning +Inf.
@@ -99,19 +130,23 @@ func HistogramBound(i int) time.Duration {
 	if i >= histBuckets-1 {
 		return -1 // +Inf
 	}
-	return time.Microsecond << i
+	return time.Duration(histBoundsNs[i])
 }
 
 func bucketIndex(d time.Duration) int {
 	ns := d.Nanoseconds()
-	if ns < 1000 {
-		return 0
+	// Binary search for the first bound above ns; falling off the end is the
+	// +Inf overflow bucket.
+	lo, hi := 0, len(histBoundsNs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ns < histBoundsNs[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
 	}
-	idx := bits.Len64(uint64(ns / 1000)) // 2^(idx-1) ≤ µs < 2^idx
-	if idx > histBuckets-1 {
-		idx = histBuckets - 1
-	}
-	return idx
+	return lo
 }
 
 // Histogram is a fixed-bucket latency histogram with exponential bounds from
@@ -186,8 +221,8 @@ func (s HistogramSnapshot) Mean() time.Duration {
 
 // Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of the
 // bucket in which the quantile falls — a conservative (over-) estimate with
-// at most 2× resolution error, which the exponential bounds make acceptable
-// for latency reporting. Returns 0 when the histogram is empty.
+// at most one bucket step of resolution error (≤25% in the sub-millisecond
+// range, ≤2× elsewhere). Returns 0 when the histogram is empty.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
 		return 0
@@ -204,10 +239,10 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 				return bound
 			}
 			// Overflow bucket: all we know is "at least the last bound".
-			return time.Microsecond << (histBuckets - 2)
+			return time.Duration(histBoundsNs[histBuckets-2])
 		}
 	}
-	return time.Microsecond << (histBuckets - 2)
+	return time.Duration(histBoundsNs[histBuckets-2])
 }
 
 // P50 returns the median estimate.

@@ -123,6 +123,50 @@ func TestHistogramBucketBounds(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileResolution is the regression test for the coarse
+// sub-millisecond buckets that once reported identical p50/p95/p99 for
+// visibly different windows: with plain doubling bounds, everything between
+// 32µs and 64µs was one bucket, so a workload whose median moved from 40µs to
+// 55µs reported no change at all. The sub-octave bounds must (a) separate the
+// percentiles of one spread distribution and (b) distinguish two nearby
+// distributions.
+func TestHistogramPercentileResolution(t *testing.T) {
+	// (a) A tri-modal distribution with its modes one octave apart — the
+	// shape of a closed-loop workload with a contended tail — must report
+	// three strictly ordered percentiles, not one shared bucket bound.
+	spread := NewHistogram()
+	for i := 0; i < 100; i++ {
+		switch {
+		case i < 50:
+			spread.Observe(100 * time.Microsecond)
+		case i < 95:
+			spread.Observe(200 * time.Microsecond)
+		default:
+			spread.Observe(400 * time.Microsecond)
+		}
+	}
+	s := spread.Snapshot()
+	if !(s.P50() < s.P95() && s.P95() < s.P99()) {
+		t.Errorf("tri-modal percentiles collapsed: p50=%v p95=%v p99=%v",
+			s.P50(), s.P95(), s.P99())
+	}
+
+	// (b) Two clusters inside the same power-of-two octave (32µs..64µs) must
+	// report different medians.
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Observe(40 * time.Microsecond)
+		b.Observe(55 * time.Microsecond)
+	}
+	pa, pb := a.Snapshot().P50(), b.Snapshot().P50()
+	if pa == pb {
+		t.Errorf("40µs and 55µs clusters report the same p50 (%v): bucket resolution regressed", pa)
+	}
+	if pa > pb {
+		t.Errorf("p50 ordering inverted: %v for 40µs vs %v for 55µs", pa, pb)
+	}
+}
+
 func TestQuantileEmptyAndEdge(t *testing.T) {
 	var s HistogramSnapshot
 	if s.Quantile(0.99) != 0 || s.Mean() != 0 {

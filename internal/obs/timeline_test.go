@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTimelineNilAndDisabledAreNoOps(t *testing.T) {
+	var nilTL *Timeline
+	nilTL.Span("x", CatPhase, TidTransform, time.Now(), time.Millisecond, 0)
+	nilTL.Instant("x", CatPhase, TidTransform, time.Now(), 0)
+	nilTL.SetEnabled(true)
+	if nilTL.Enabled() || nilTL.Recorded() != 0 || nilTL.Events() != nil {
+		t.Error("nil timeline not inert")
+	}
+	var buf bytes.Buffer
+	if err := nilTL.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+
+	tl := NewTimeline(4)
+	tl.SetEnabled(false)
+	tl.Span("x", CatPhase, TidTransform, time.Now(), time.Millisecond, 0)
+	if tl.Recorded() != 0 {
+		t.Error("disabled timeline recorded an event")
+	}
+	tl.SetEnabled(true)
+	tl.Span("x", CatPhase, TidTransform, time.Now(), time.Millisecond, 0)
+	if tl.Recorded() != 1 {
+		t.Error("re-enabled timeline dropped an event")
+	}
+}
+
+func TestTimelineRingKeepsNewest(t *testing.T) {
+	tl := NewTimeline(4)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		tl.Span("s", CatWAL, TidWAL, base.Add(time.Duration(i)*time.Millisecond), time.Microsecond, int64(i))
+	}
+	if tl.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", tl.Recorded())
+	}
+	evs := tl.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.N != int64(6+i) {
+			t.Errorf("event %d is #%d, want newest four (6..9) in order", i, ev.N)
+		}
+	}
+}
+
+func TestTimelineChromeTraceFormat(t *testing.T) {
+	tl := NewTimeline(16)
+	base := time.Now()
+	tl.Span("populating", CatPhase, TidTransform, base, 3*time.Millisecond, 0)
+	tl.Span("group", CatGroup, TidWorkerBase+1, base.Add(time.Millisecond), time.Millisecond, 42)
+	tl.Instant("fuzzy-mark", CatTrace, TidTransform, base.Add(2*time.Millisecond), 7)
+
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Pid  int64          `json:"pid"`
+			Tid  int64          `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	var meta, spans, instants int
+	lastTs := int64(-1 << 62)
+	for _, ev := range trace.TraceEvents {
+		if ev.Pid != 1 {
+			t.Errorf("event %q pid = %d, want 1", ev.Name, ev.Pid)
+		}
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Args["name"] == "" {
+				t.Errorf("metadata event without thread name: %+v", ev)
+			}
+		case "X":
+			spans++
+			if ev.Dur < 0 {
+				t.Errorf("span %q negative dur %d", ev.Name, ev.Dur)
+			}
+			if ev.Ts < lastTs {
+				t.Errorf("span %q ts %d not monotonic (prev %d)", ev.Name, ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+		case "i":
+			instants++
+			if ev.S != "t" {
+				t.Errorf("instant %q scope = %q, want t", ev.Name, ev.S)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || spans != 2 || instants != 1 {
+		t.Errorf("event mix meta=%d spans=%d instants=%d, want 2/2/1", meta, spans, instants)
+	}
+}
+
+func TestTimelineSummarize(t *testing.T) {
+	tl := NewTimeline(16)
+	base := time.Now()
+	tl.Span("a", CatPhase, TidTransform, base, 2*time.Millisecond, 0)
+	tl.Span("b", CatPhase, TidTransform, base, 4*time.Millisecond, 0)
+	tl.Instant("c", CatTrace, TidTransform, base, 0)
+	sum := tl.Summarize()
+	if len(sum) != 2 {
+		t.Fatalf("got %d categories, want 2", len(sum))
+	}
+	if sum[0].Cat != CatPhase || sum[0].Count != 2 || sum[0].TotalMs != 6 || sum[0].MaxMs != 4 {
+		t.Errorf("phase summary = %+v", sum[0])
+	}
+	if sum[1].Cat != CatTrace || sum[1].Count != 1 || sum[1].TotalMs != 0 {
+		t.Errorf("trace summary = %+v", sum[1])
+	}
+}
+
+func TestTimelineSinkClosesPhaseSpans(t *testing.T) {
+	tl := NewTimeline(16)
+	sink := TimelineSink(tl)
+	base := time.Now()
+	sink.Emit(Event{Kind: EventPhase, Phase: "populating", Time: base})
+	sink.Emit(Event{Kind: EventPhase, Phase: "propagating", Time: base.Add(5 * time.Millisecond)})
+	sink.Emit(Event{Kind: EventIteration, Iteration: 1, Applied: 10,
+		Time: base.Add(8 * time.Millisecond), Duration: 2 * time.Millisecond})
+	sink.Emit(Event{Kind: EventDone, Time: base.Add(9 * time.Millisecond)})
+
+	var phases, iters int
+	for _, ev := range tl.Events() {
+		switch ev.Cat {
+		case CatPhase:
+			phases++
+			if ev.Name == "populating" && ev.Dur != 5*time.Millisecond {
+				t.Errorf("populating span dur = %v, want 5ms", ev.Dur)
+			}
+		case CatPropagate:
+			iters++
+			if ev.Dur != 2*time.Millisecond || ev.N != 10 {
+				t.Errorf("iteration span = %+v", ev)
+			}
+		}
+	}
+	if phases != 2 || iters != 1 {
+		t.Errorf("phases=%d iterations=%d, want 2/1", phases, iters)
+	}
+}
+
+// BenchmarkTimelineSpanDisabled is the disabled-cost budget for the always-in-
+// place span instrumentation: a disabled recorder must cost one atomic load
+// and zero allocations per site (CI gates on allocs/op = 0).
+func BenchmarkTimelineSpanDisabled(b *testing.B) {
+	tl := NewTimeline(64)
+	tl.SetEnabled(false)
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Span("s", CatWAL, TidWAL, start, time.Microsecond, 1)
+	}
+}
+
+// BenchmarkTimelineSpanNil is the same budget for the nil recorder (timeline
+// recording not configured at all).
+func BenchmarkTimelineSpanNil(b *testing.B) {
+	var tl *Timeline
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Span("s", CatWAL, TidWAL, start, time.Microsecond, 1)
+	}
+}
+
+func BenchmarkTimelineSpanEnabled(b *testing.B) {
+	tl := NewTimeline(1024)
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Span("s", CatWAL, TidWAL, start, time.Microsecond, 1)
+	}
+}

@@ -45,6 +45,13 @@ const (
 	// EventResume marks a transformation re-attached by crash recovery; LSN
 	// carries the propagation cursor it resumed from.
 	EventResume
+	// EventFreshness reports the freshness watermarks as the transformation
+	// enters synchronization: LSN carries the applied-LSN high-water mark,
+	// Duration the current lag (age of the oldest unapplied timestamped
+	// commit), Remaining the record backlog. Err is empty when the lag was
+	// within the configured SLO (SwitchoverReady), and names the violation
+	// otherwise.
+	EventFreshness
 )
 
 // String returns the event kind name.
@@ -72,6 +79,8 @@ func (k EventKind) String() string {
 		return "abort"
 	case EventResume:
 		return "resume"
+	case EventFreshness:
+		return "freshness"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

@@ -13,22 +13,27 @@ import (
 	"nbschema/internal/value"
 )
 
-// Binary log format, per record (version 2):
+// Binary log format, per record (version 3):
 //
-//	magic   uint16  (0x4C58, "WX")
+//	magic   uint16  (0x4C59, "WY")
 //	length  uint32  (payload bytes, excluding header and trailer)
 //	payload ...     (fields in fixed order, varint-framed)
 //	crc32   uint32  (IEEE, over header AND payload)
 //
-// Version 1 frames (magic 0x4C57, "WL") are still decoded: their CRC covers
-// the payload only — leaving the length field unprotected — and their payload
-// ends after the active-transaction list (no Mark/Marks/Meta fields). Writers
-// always emit version 2. The format is self-delimiting so a log file can be
-// replayed sequentially at restart, and the magic doubles as the version tag.
+// Version 3 appends a commit wall-clock timestamp (unix nanoseconds, uvarint)
+// after the Meta field; it is the frame emitted by writers. Version 2 frames
+// (magic 0x4C58, "WX") are identical minus the timestamp — readers decode
+// Time as zero. Version 1 frames (magic 0x4C57, "WL") are still decoded too:
+// their CRC covers the payload only — leaving the length field unprotected —
+// and their payload ends after the active-transaction list (no
+// Mark/Marks/Meta/Time fields). The format is self-delimiting so a log file
+// can be replayed sequentially at restart, and the magic doubles as the
+// version tag.
 
 const (
 	recordMagicV1 = 0x4C57
 	recordMagicV2 = 0x4C58
+	recordMagicV3 = 0x4C59
 )
 
 type encoder struct {
@@ -109,13 +114,14 @@ func Marshal(r *Record) []byte {
 	}
 	e.uvarint(uint64(len(r.Meta)))
 	e.buf = append(e.buf, r.Meta...)
+	e.uvarint(uint64(r.Time))
 
 	payload := e.buf
 	out := make([]byte, 0, len(payload)+10)
-	out = binary.BigEndian.AppendUint16(out, recordMagicV2)
+	out = binary.BigEndian.AppendUint16(out, recordMagicV3)
 	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
 	out = append(out, payload...)
-	// Version 2: the CRC covers the frame header too, so a corrupted length
+	// Versions 2+: the CRC covers the frame header too, so a corrupted length
 	// field is caught instead of desynchronizing the reader.
 	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
 	return out
@@ -314,9 +320,11 @@ func newScratch() *scratch {
 // the frame header/trailer) into r. With a nil scratch every field is
 // freshly allocated and r is safe to retain; with a scratch, tuple fields
 // alias the scratch buffers and r is only valid until the next decode.
-// v2 selects the version-2 payload layout (Mark/Marks/Meta trailer); a
-// version-1 payload ends after the active-transaction list.
-func decodePayload(payload []byte, r *Record, s *scratch, v2 bool) error {
+// ver selects the payload layout: a version-1 payload ends after the
+// active-transaction list, version 2 adds the Mark/Marks/Meta trailer, and
+// version 3 appends the commit timestamp. Fields absent from older versions
+// decode as zero.
+func decodePayload(payload []byte, r *Record, s *scratch, ver int) error {
 	d := decoder{buf: payload}
 	r.LSN = LSN(d.uvarint())
 	r.Prev = LSN(d.uvarint())
@@ -357,8 +365,8 @@ func decodePayload(payload []byte, r *Record, s *scratch, v2 bool) error {
 		}
 		r.Active = buf
 	}
-	r.Mark, r.Marks, r.Meta = 0, nil, nil
-	if v2 {
+	r.Mark, r.Marks, r.Meta, r.Time = 0, nil, nil, 0
+	if ver >= 2 {
 		r.Mark = LSN(d.uvarint())
 		if n := d.uvarint(); n > 0 && d.err == nil {
 			buf := r.Marks
@@ -395,6 +403,9 @@ func decodePayload(payload []byte, r *Record, s *scratch, v2 bool) error {
 			}
 		}
 	}
+	if ver >= 3 {
+		r.Time = int64(d.uvarint())
+	}
 	if d.err != nil {
 		return d.err
 	}
@@ -405,26 +416,35 @@ func decodePayload(payload []byte, r *Record, s *scratch, v2 bool) error {
 }
 
 // unmarshalPayload decodes one payload into a fresh record.
-func unmarshalPayload(payload []byte, v2 bool) (*Record, error) {
+func unmarshalPayload(payload []byte, ver int) (*Record, error) {
 	r := &Record{}
-	if err := decodePayload(payload, r, nil, v2); err != nil {
+	if err := decodePayload(payload, r, nil, ver); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-// Unmarshal decodes one framed record produced by Marshal, either frame
+// frameVersion maps a frame magic to its format version (0 = unknown).
+func frameVersion(magic uint16) int {
+	switch magic {
+	case recordMagicV1:
+		return 1
+	case recordMagicV2:
+		return 2
+	case recordMagicV3:
+		return 3
+	}
+	return 0
+}
+
+// Unmarshal decodes one framed record produced by Marshal, any frame
 // version.
 func Unmarshal(b []byte) (*Record, error) {
 	if len(b) < 10 {
 		return nil, fmt.Errorf("wal: frame too short (%d bytes)", len(b))
 	}
-	var v2 bool
-	switch binary.BigEndian.Uint16(b) {
-	case recordMagicV1:
-	case recordMagicV2:
-		v2 = true
-	default:
+	ver := frameVersion(binary.BigEndian.Uint16(b))
+	if ver == 0 {
 		return nil, fmt.Errorf("wal: bad magic %#x", binary.BigEndian.Uint16(b))
 	}
 	n := binary.BigEndian.Uint32(b[2:])
@@ -434,13 +454,13 @@ func Unmarshal(b []byte) (*Record, error) {
 	payload := b[6 : 6+n]
 	want := binary.BigEndian.Uint32(b[6+n:])
 	covered := payload
-	if v2 {
+	if ver >= 2 {
 		covered = b[:6+n]
 	}
 	if got := crc32.ChecksumIEEE(covered); got != want {
 		return nil, fmt.Errorf("wal: crc mismatch: %#x != %#x", got, want)
 	}
-	return unmarshalPayload(payload, v2)
+	return unmarshalPayload(payload, ver)
 }
 
 // WriteTo serializes the whole log to w in replay order. The fault point

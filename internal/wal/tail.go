@@ -104,12 +104,8 @@ func (t *Tail) Next() (*Record, error) {
 		t.done = true
 		return nil, fmt.Errorf("wal: reading frame header: %w", err)
 	}
-	var v2 bool
-	switch binary.BigEndian.Uint16(header[:]) {
-	case recordMagicV1:
-	case recordMagicV2:
-		v2 = true
-	default:
+	ver := frameVersion(binary.BigEndian.Uint16(header[:]))
+	if ver == 0 {
 		return corrupt(fmt.Errorf("bad magic %#x", binary.BigEndian.Uint16(header[:])))
 	}
 	length := binary.BigEndian.Uint32(header[2:])
@@ -128,8 +124,8 @@ func (t *Tail) Next() (*Record, error) {
 	payload := body[:length]
 	want := binary.BigEndian.Uint32(body[length:])
 	got := crc32.ChecksumIEEE(payload)
-	if v2 {
-		// Version 2 covers the frame header too.
+	if ver >= 2 {
+		// Versions 2+ cover the frame header too.
 		got = crc32.ChecksumIEEE(header[:])
 		got = crc32.Update(got, crc32.IEEETable, payload)
 	}
@@ -141,7 +137,7 @@ func (t *Tail) Next() (*Record, error) {
 	if t.own {
 		rec, s = &Record{}, nil
 	}
-	if err := decodePayload(payload, rec, s, v2); err != nil {
+	if err := decodePayload(payload, rec, s, ver); err != nil {
 		return corrupt(err)
 	}
 	t.last = t.offset

@@ -1,0 +1,142 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+	"time"
+
+	"nbschema/internal/value"
+)
+
+// marshalV2 encodes a record as a version-2 frame: magic 0x4C58, CRC over
+// header and payload, Mark/Marks/Meta present but no commit timestamp — the
+// format written before freshness watermarks existed. Kept in tests only, to
+// prove mid-vintage logs decode.
+func marshalV2(r *Record) []byte {
+	var e encoder
+	e.uvarint(uint64(r.LSN))
+	e.uvarint(uint64(r.Prev))
+	e.uvarint(uint64(r.Txn))
+	e.buf = append(e.buf, byte(r.Type))
+	e.str(r.Table)
+	e.tuple(r.Key)
+	e.tuple(r.Row)
+	e.ints(r.Cols)
+	e.tuple(r.Old)
+	e.tuple(r.New)
+	e.buf = append(e.buf, byte(r.Redo))
+	e.uvarint(uint64(r.UndoNext))
+	e.uvarint(uint64(len(r.Active)))
+	for _, a := range r.Active {
+		e.uvarint(uint64(a.ID))
+		e.uvarint(uint64(a.First))
+	}
+	e.uvarint(uint64(r.Mark))
+	e.uvarint(uint64(len(r.Marks)))
+	for _, m := range r.Marks {
+		e.str(m.Table)
+		e.uvarint(uint64(m.Low))
+	}
+	e.uvarint(uint64(len(r.Meta)))
+	e.buf = append(e.buf, r.Meta...)
+	payload := e.buf
+	out := make([]byte, 0, len(payload)+10)
+	out = binary.BigEndian.AppendUint16(out, recordMagicV2)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+func TestV3RoundTripCommitTime(t *testing.T) {
+	now := time.Now().UnixNano()
+	in := &Record{LSN: 7, Txn: 3, Prev: 6, Type: TypeCommit, Time: now}
+	out, err := Unmarshal(Marshal(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Time != now {
+		t.Errorf("Time round trip = %d, want %d", out.Time, now)
+	}
+}
+
+// TestCrossVersionStreamDecodes replays one log holding all three frame
+// vintages back to back — the shape of a log carried across two upgrades.
+// Older frames must decode with Time (and the v2 checkpoint fields, for v1)
+// zero, newer frames must keep every field.
+func TestCrossVersionStreamDecodes(t *testing.T) {
+	now := time.Now().UnixNano()
+	var buf bytes.Buffer
+	buf.Write(marshalV1(&Record{LSN: 1, Txn: 1, Type: TypeBegin}))
+	buf.Write(marshalV2(&Record{LSN: 2, Txn: 1, Type: TypeInsert, Table: "t",
+		Key: value.Tuple{value.Int(1)},
+		Row: value.Tuple{value.Int(1), value.Str("a")}}))
+	buf.Write(marshalV2(&Record{LSN: 3, Txn: 1, Prev: 2, Type: TypeCommit}))
+	buf.Write(Marshal(&Record{LSN: 4, Txn: 2, Type: TypeBegin, Time: now}))
+	buf.Write(Marshal(&Record{LSN: 5, Txn: 2, Prev: 4, Type: TypeCommit, Time: now,
+		Mark: 1, Marks: []TableMark{{Table: "t", Low: 1}}}))
+
+	log, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog(mixed v1/v2/v3): %v", err)
+	}
+	if log.Len() != 5 {
+		t.Fatalf("decoded %d records, want 5", log.Len())
+	}
+	for lsn := 1; lsn <= 3; lsn++ {
+		got, err := log.Get(LSN(lsn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Time != 0 {
+			t.Errorf("pre-v3 record %d decoded Time %d, want 0", lsn, got.Time)
+		}
+	}
+	got, err := log.Get(2)
+	if err != nil || got.Table != "t" || len(got.Row) != 2 {
+		t.Errorf("v2 insert decoded as %+v (%v)", got, err)
+	}
+	for lsn := 4; lsn <= 5; lsn++ {
+		got, err := log.Get(LSN(lsn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Time != now {
+			t.Errorf("v3 record %d decoded Time %d, want %d", lsn, got.Time, now)
+		}
+	}
+	if got, _ := log.Get(5); got.Mark != 1 || len(got.Marks) != 1 {
+		t.Errorf("v3 checkpoint fields lost: %+v", got)
+	}
+}
+
+// TestV3TornTailLenientTruncation cuts a v3 frame mid-timestamp: the lenient
+// reader must keep every whole record and report the torn tail at the exact
+// byte offset, same as for older vintages.
+func TestV3TornTailLenientTruncation(t *testing.T) {
+	now := time.Now().UnixNano()
+	var whole bytes.Buffer
+	whole.Write(Marshal(&Record{LSN: 1, Txn: 1, Type: TypeBegin, Time: now}))
+	whole.Write(Marshal(&Record{LSN: 2, Txn: 1, Prev: 1, Type: TypeCommit, Time: now}))
+	cutAt := whole.Len()
+	whole.Write(Marshal(&Record{LSN: 3, Txn: 2, Type: TypeBegin, Time: now}))
+
+	torn := whole.Bytes()[:whole.Len()-3] // ends inside the last frame
+	log, cut, err := ReadLogLenient(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if cut == nil || !cut.Torn() {
+		t.Fatalf("cut = %+v, want torn tail", cut)
+	}
+	if cut.Offset != int64(cutAt) {
+		t.Errorf("cut offset %d, want %d", cut.Offset, cutAt)
+	}
+	if log.Len() != 2 {
+		t.Errorf("kept %d records, want 2", log.Len())
+	}
+	if got, _ := log.Get(2); got.Time != now {
+		t.Errorf("surviving v3 record lost Time: %d", got.Time)
+	}
+}

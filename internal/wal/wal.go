@@ -188,6 +188,13 @@ type Record struct {
 	Mark  LSN
 	Marks []TableMark
 	Meta  []byte
+
+	// Time is the record's wall-clock timestamp in unix nanoseconds, stamped
+	// on commit records when the transaction commits (0 = unstamped). The
+	// propagation apply path subtracts it from the apply time to measure
+	// source-commit→target-apply lag. Only present in version-3 frames;
+	// version-1/2 logs decode it as zero.
+	Time int64
 }
 
 // OpType returns the effective data operation of the record: its own type
@@ -226,6 +233,10 @@ type Log struct {
 	mGroupBatches, mGroupRecords    *obs.Counter
 	mAppendLatency                  *obs.Histogram
 
+	// Timeline recorder (nil or disabled = no-op): group-commit batches are
+	// recorded as spans on the WAL track.
+	tl *obs.Timeline
+
 	mu   sync.RWMutex
 	recs []*Record
 
@@ -250,6 +261,9 @@ func approxSize(rec *Record) int64 {
 	n += 4*len(rec.Cols) + 8*len(rec.Active)
 	for _, m := range rec.Marks {
 		n += 8 + len(m.Table)
+	}
+	if rec.Time != 0 {
+		n += 9 // uvarint of a unix-nanosecond timestamp
 	}
 	return int64(n)
 }
@@ -303,6 +317,12 @@ func (l *Log) SetObs(reg *obs.Registry) {
 	l.mGroupRecords = reg.Counter("wal.group.records")
 	l.mAppendLatency = reg.Histogram("wal.append_latency")
 }
+
+// SetTimeline installs a timeline recorder: each group-commit batch is
+// recorded as one span on the WAL track (leader takeover to batch flushed,
+// args = records in the batch). Call before the log is shared; a nil or
+// disabled recorder costs one atomic load per batch.
+func (l *Log) SetTimeline(t *obs.Timeline) { l.tl = t }
 
 // SetGroupCommit sets the group-commit batch cap (0 selects
 // DefaultGroupCommit, 1 disables group commit). Call before the log is
@@ -371,6 +391,10 @@ func (l *Log) Append(rec *Record) LSN {
 // either hands leadership to the next staged append or retires. Bounding
 // each leader to one batch keeps append latency fair under load.
 func (l *Log) leadBatch() {
+	var spanStart time.Time
+	if l.tl.Enabled() {
+		spanStart = time.Now()
+	}
 	l.gcMu.Lock()
 	n := len(l.staged)
 	if n > l.gcBatch {
@@ -388,6 +412,10 @@ func (l *Log) leadBatch() {
 	l.mu.Unlock()
 	l.mGroupBatches.Add(1)
 	l.mGroupRecords.Add(int64(n))
+	if !spanStart.IsZero() {
+		l.tl.Span("group-commit batch", obs.CatWAL, obs.TidWAL, spanStart,
+			time.Since(spanStart), int64(n))
+	}
 	for _, p := range batch {
 		close(p.done)
 	}

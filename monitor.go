@@ -75,9 +75,14 @@ func (db *DB) initMonitor(o Options) {
 	db.history.PreSample(db.eng.SampleObs)
 	rt := obs.NewRuntimeSampler(reg)
 	db.history.PreSample(rt.Sample)
+	// Refresh each live transformation's freshness watermarks right before
+	// the sample is cut, so core.lag_ms / core.applied_lsn land in the series
+	// (and feed the watchdog's freshness rule) even when nobody else polls.
+	db.history.PreSample(db.sampleFreshness)
 	if o.HealthChecks {
 		db.watchdog = obs.NewWatchdog(reg, obs.WatchdogConfig{
 			CheckpointBudget: o.CheckpointEvery,
+			LagSLO:           o.LagSLO,
 		})
 		db.history.OnSample(db.watchdog.Observe)
 		if db.flight != nil {
@@ -87,6 +92,16 @@ func (db *DB) initMonitor(o Options) {
 		}
 	}
 	db.history.Start()
+}
+
+// sampleFreshness refreshes the freshness gauges of every non-terminal
+// transformation (Freshness updates core.lag_ms as a side effect).
+func (db *DB) sampleFreshness() {
+	for _, tr := range db.Transformations() {
+		if ph := tr.Phase(); ph != PhaseDone && ph != PhaseAborted && ph != PhaseIdle {
+			tr.Freshness()
+		}
+	}
 }
 
 // flightJSON marshals v for a bundle file, degrading to an error note rather
@@ -162,6 +177,17 @@ func (db *DB) addFlightCollectors() {
 			})
 		}
 		return flightJSON(entries)
+	})
+	f.AddCollector("timeline.json", func() ([]byte, error) {
+		tl := db.eng.Timeline()
+		if tl == nil {
+			return []byte("{}"), nil
+		}
+		var buf bytes.Buffer
+		if err := tl.WriteChromeTrace(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
 	})
 	f.AddCollector("goroutines.txt", func() ([]byte, error) {
 		var buf bytes.Buffer

@@ -174,10 +174,34 @@ type Options struct {
 	// arriving closer than this to the previous bundle are suppressed.
 	// 0 selects 30s.
 	FlightMinInterval time.Duration
+	// Timeline enables the span-based timeline recorder: WAL group-commit
+	// batches, fuzzy checkpoints, lock-stall episodes, and every
+	// transformation's phases, propagation iterations, parallel worker groups
+	// and populate partitions are recorded into a bounded ring, exportable as
+	// Chrome trace-event JSON (DB.Timeline, /debug/timeline — open the output
+	// in Perfetto or chrome://tracing). Off (the default), every instrumented
+	// site costs a single atomic load.
+	Timeline bool
+	// TimelineSize bounds the timeline ring (0 selects 8192 events; older
+	// events are evicted).
+	TimelineSize int
+	// LagSLO is the freshness service-level objective: the maximum
+	// source-commit→target-apply lag considered healthy. It arms the health
+	// watchdog's freshness-lag rule (WARN past the SLO, CRIT past 4×; needs
+	// HealthChecks) and is the SLO transformations judge switchover readiness
+	// against when they enter synchronization (the EventFreshness trace
+	// event). 0 disables both; TransformOptions.LagSLO overrides it per
+	// transformation.
+	LagSLO time.Duration
 }
 
 func (o Options) engineOptions() engine.Options {
+	var tl *obs.Timeline
+	if o.Timeline {
+		tl = obs.NewTimeline(o.TimelineSize)
+	}
 	return engine.Options{
+		Timeline: tl,
 		LockTimeout:       o.LockTimeout,
 		Faults:            o.Faults,
 		LenientWAL:        o.LenientWAL,
@@ -221,6 +245,8 @@ type DB struct {
 	// compactPropagation is the database-wide default for
 	// TransformOptions.CompactPropagation (CompactionDefault = on).
 	compactPropagation CompactionMode
+	// lagSLO is the database-wide default for TransformOptions.LagSLO.
+	lagSLO time.Duration
 
 	trMu       sync.Mutex
 	transforms []*Transformation
@@ -246,6 +272,7 @@ func Open(opts ...Options) *DB {
 		eng:                engine.New(o.engineOptions()),
 		propagateWorkers:   o.PropagateWorkers,
 		compactPropagation: o.CompactPropagation,
+		lagSLO:             o.LagSLO,
 	}
 	db.initMonitor(o)
 	return db
@@ -268,6 +295,17 @@ func (db *DB) Engine() *engine.DB { return db.eng }
 // Metrics returns the registry the database was opened with (nil when
 // Options.Metrics was not set).
 func (db *DB) Metrics() *MetricsRegistry { return db.eng.Obs() }
+
+// Timeline is the span-based timeline recorder behind Options.Timeline: a
+// bounded ring of spans and instants across the engine and its
+// transformations, exportable as Chrome trace-event JSON via
+// WriteChromeTrace (loadable in Perfetto or chrome://tracing) and served at
+// /debug/timeline by DebugHandler.
+type Timeline = obs.Timeline
+
+// Timeline returns the timeline recorder (nil when Options.Timeline was
+// off).
+func (db *DB) Timeline() *Timeline { return db.eng.Timeline() }
 
 // CreateTable registers a new table with the given columns and primary key.
 func (db *DB) CreateTable(name string, cols []Column, primaryKey ...string) error {
@@ -355,9 +393,11 @@ type DebugOptions struct {
 // (/debug/waitsfor, ?format=dot), live transformation progress and trace
 // (/debug/transform), WAL position and flush statistics (/debug/wal), the
 // telemetry history (/debug/history), the health watchdog's verdict
-// (/debug/health — 200 healthy, 503 critical, a readiness probe) and manual
-// flight-recorder capture (POST /debug/flightrecord). Mount it next to
-// MetricsHandler:
+// (/debug/health — 200 healthy, 503 critical, a readiness probe), manual
+// flight-recorder capture (POST /debug/flightrecord), per-transformation
+// freshness watermarks (/debug/lag, ?slo=100ms for a switchover-readiness
+// verdict) and the timeline as Chrome trace-event JSON (/debug/timeline,
+// with Options.Timeline). Mount it next to MetricsHandler:
 //
 //	mux.Handle("/debug/", nbschema.DebugHandler(db))
 func DebugHandler(db *DB) http.Handler {
@@ -376,5 +416,6 @@ func DebugHandlerOpts(db *DB, o DebugOptions) http.Handler {
 		Watchdog: db.watchdog,
 		Flight:   db.flight,
 		Pprof:    o.Pprof,
+		Timeline: db.eng.Timeline(),
 	})
 }

@@ -62,6 +62,14 @@ const (
 // Metrics reports what a transformation did.
 type Metrics = core.Metrics
 
+// Freshness is a snapshot of a transformation's freshness watermarks: the
+// applied-LSN high-water mark, the record backlog, and the wall-clock lag
+// (age of the oldest unapplied timestamped commit) — the number an operator
+// reads before deciding it is safe to switch applications over. Obtain one
+// from Transformation.Freshness; Freshness.SwitchoverReady(maxLag) is the
+// probe. Served per transformation at /debug/lag.
+type Freshness = core.Freshness
+
 // Progress is a live snapshot of a running transformation: phase, iteration,
 // backlog, observed propagation rate, and an ETA derived the same way
 // EstimateAnalyzer decides synchronization (§3.3). Obtain one from
@@ -149,6 +157,13 @@ type TransformOptions struct {
 	// custom sink as they happen, in addition to the bounded in-memory ring
 	// readable via Transformation.Trace. Nil keeps just the ring.
 	Trace TraceSink
+	// LagSLO is the freshness service-level objective this transformation is
+	// judged against: entering synchronization logs an EventFreshness trace
+	// event that names a violation when the source-commit→target-apply lag
+	// watermark exceeds it (see Transformation.Freshness and
+	// Transformation.SwitchoverReady). 0 inherits the database-wide
+	// Options.LagSLO.
+	LagSLO time.Duration
 }
 
 func (o TransformOptions) config(db *DB) core.Config {
@@ -162,6 +177,10 @@ func (o TransformOptions) config(db *DB) core.Config {
 		PropagateWorkers: o.PropagateWorkers,
 		Compaction:       o.CompactPropagation,
 		Sink:             o.Trace,
+		LagSLO:           o.LagSLO,
+	}
+	if cfg.LagSLO == 0 {
+		cfg.LagSLO = db.lagSLO
 	}
 	if cfg.PropagateWorkers == 0 {
 		cfg.PropagateWorkers = db.propagateWorkers
