@@ -30,6 +30,7 @@ func main() {
 		pprofOn   = flag.Bool("pprof", true, "mount /debug/pprof/ on the metrics server")
 		flightDir = flag.String("flightdir", "", "capture flight-recorder bundles into this directory on health CRITs and stalls")
 		lagSLO    = flag.Duration("lag-slo", 100*time.Millisecond, "freshness SLO: watchdog warns when propagation lag exceeds it; the status line reports switchover readiness against it (0 disables)")
+		si        = flag.Bool("si", false, "enable MVCC snapshot-isolation reads: lock-free snapshot readers run alongside the update clients and the initial population scans a consistent snapshot")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -42,6 +43,7 @@ func main() {
 		FlightRecorderDir: *flightDir,
 		LagSLO:            *lagSLO,
 		Timeline:          *metrics != "", // /debug/timeline needs the span recorder
+		SnapshotReads:     *si,
 	})
 	defer db.Close()
 	if *metrics != "" {
@@ -76,7 +78,7 @@ func main() {
 	// A stream of user transactions, each updating 10 customers, runs for
 	// the entire transformation — this is the traffic the method must not
 	// block.
-	var committed, aborted atomic.Uint64
+	var committed, aborted, conflicts, snapReads atomic.Uint64
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
@@ -103,6 +105,9 @@ func main() {
 				if err != nil {
 					_ = tx.Abort()
 					aborted.Add(1)
+					if errors.Is(err, nbschema.ErrWriteConflict) {
+						conflicts.Add(1) // first-committer-wins loser; retried
+					}
 					if errors.Is(err, nbschema.ErrNoAccess) || errors.Is(err, nbschema.ErrNoSuchTable) {
 						table = "customer_base" // the application switches over
 						log.Printf("client: switched to %s", table)
@@ -115,12 +120,56 @@ func main() {
 		}(int64(c))
 	}
 
+	// With -si, lock-free snapshot readers run alongside the writers: each
+	// opens an MVCC snapshot, reads a consistent batch of customers without
+	// taking a single lock, and closes it. They never block a writer and
+	// never wait on one — not even during the switchover latch window.
+	if *si {
+		log.Printf("snapshot readers: 2 clients reading via MVCC snapshots (no locks)")
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				table := "customer"
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					snap, err := db.Snapshot()
+					if err != nil {
+						log.Printf("snapshot reader: %v", err)
+						return
+					}
+					for i := 0; i < 10; i++ {
+						if _, err := snap.Get(table, rng.Intn(*rows)); err != nil {
+							if errors.Is(err, nbschema.ErrNoAccess) || errors.Is(err, nbschema.ErrNoSuchTable) {
+								table = "customer_base"
+								log.Printf("snapshot reader: switched to %s", table)
+							}
+							break
+						}
+						snapReads.Add(1)
+					}
+					_ = snap.Close()
+					time.Sleep(100 * time.Microsecond)
+				}
+			}(int64(1000 + c))
+		}
+	}
+
 	tr, err := db.Split(nbschema.SplitSpec{
 		Source: "customer", Left: "customer_base", Right: "place",
 		SplitOn: []string{"zip"}, RightOnly: []string{"city"},
 	}, nbschema.TransformOptions{Priority: *priority, SyncThreshold: 32})
 	must(err)
 
+	popMode := "fuzzy, lock-free"
+	if *si {
+		popMode = "consistent snapshot, lock-free"
+	}
 	log.Printf("starting non-blocking split (priority %.0f%%): customer → customer_base ⋈ place", *priority*100)
 	done := make(chan error, 1)
 	go func() { done <- tr.Run(context.Background()) }()
@@ -149,7 +198,7 @@ func main() {
 				log.Printf("phase: %v  (committed so far: %d)", pr.Phase, committed.Load())
 				last = pr.Phase
 			}
-			line := progressLine(pr, *lagSLO)
+			line := progressLine(pr, *lagSLO, popMode)
 			if wd := db.Health(); wd != nil {
 				rep := wd.Report()
 				if rep.Status != lastHealth {
@@ -183,6 +232,10 @@ func main() {
 	fmt.Printf("result: customer_base=%d rows, place=%d rows\n", base, place)
 	fmt.Printf("user transactions:  %d committed, %d retried/aborted — never blocked\n",
 		committed.Load(), aborted.Load())
+	if *si {
+		fmt.Printf("snapshot isolation: %d lock-free snapshot reads, %d write-write conflicts retried — readers never blocked\n",
+			snapReads.Load(), conflicts.Load())
+	}
 
 	if rules := tr.RuleApplications(); len(rules) > 0 {
 		fmt.Printf("propagation rules:  %v\n", rules)
@@ -220,11 +273,11 @@ func healthDetail(rep nbschema.HealthReport) string {
 
 // progressLine renders one live status line from a Progress snapshot,
 // including the freshness watermark and switchover readiness against slo.
-func progressLine(pr nbschema.Progress, slo time.Duration) string {
+func progressLine(pr nbschema.Progress, slo time.Duration, popMode string) string {
 	switch pr.Phase {
 	case nbschema.PhasePopulating:
-		return fmt.Sprintf("  populating: %d rows copied (fuzzy, lock-free)%s",
-			pr.InitialImageRows, lagNote(pr, slo))
+		return fmt.Sprintf("  populating: %d rows copied (%s)%s",
+			pr.InitialImageRows, popMode, lagNote(pr, slo))
 	case nbschema.PhasePropagating:
 		eta := "eta —"
 		if pr.ETAValid {

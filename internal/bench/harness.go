@@ -78,6 +78,9 @@ type Params struct {
 	StoragePartitions int
 	GroupCommit       int
 	PropagateWorkers  int
+	// SnapshotReads enables MVCC version chains and snapshot-isolation
+	// reads on the experiment's engine (the SI arm of the mvcc figure).
+	SnapshotReads bool
 }
 
 // Default returns laptop-scale parameters (seconds per figure).
@@ -249,6 +252,7 @@ func (p Params) engineOptions() engine.Options {
 		LockStripes:       p.LockStripes,
 		StoragePartitions: p.StoragePartitions,
 		GroupCommit:       p.GroupCommit,
+		SnapshotReads:     p.SnapshotReads,
 	}
 }
 

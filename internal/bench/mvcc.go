@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/core"
+	"nbschema/internal/engine"
+	"nbschema/internal/lock"
+	"nbschema/internal/obs"
+	"nbschema/internal/storage"
+	"nbschema/internal/value"
+	"nbschema/internal/workload"
+)
+
+// MVCCArm is one arm of the snapshot-isolation figure: the read-side
+// latency distribution and throughput measured while a split transformation
+// and a closed-loop update workload ran, with the readers using either 2PL
+// locking transactions ("2pl") or MVCC snapshots ("si").
+type MVCCArm struct {
+	Mode           string  `json:"mode"`
+	ReadTxns       uint64  `json:"read_txns"`
+	ReadRetries    uint64  `json:"read_retries"`
+	ReadThroughput float64 `json:"read_throughput_tps"`
+	ReadP50Ms      float64 `json:"read_p50_ms"`
+	ReadP95Ms      float64 `json:"read_p95_ms"`
+	ReadP99Ms      float64 `json:"read_p99_ms"`
+	WriteTxns      uint64  `json:"write_txns"`
+	WriteAborts    uint64  `json:"write_aborts"`
+	Deadlocks      uint64  `json:"deadlocks"`
+	Timeouts       uint64  `json:"timeouts"`
+	// Conflicts counts first-committer-wins write-write conflicts among the
+	// update clients — nonzero only in the SI arm, where overlapping
+	// writers racing on a record are aborted and retried.
+	Conflicts   uint64  `json:"conflicts"`
+	WindowMs    float64 `json:"window_ms"`
+	TransformMs float64 `json:"transform_ms"`
+}
+
+// MVCCReport is the machine-readable snapshot-isolation figure: the same
+// read-heavy probe run against a 2PL-only engine and an MVCC engine while a
+// split transformation churns in the background. The headline is P99Ratio —
+// how much lower the snapshot readers' tail latency is.
+type MVCCReport struct {
+	Readers     int       `json:"readers"`
+	ReadsPerTxn int       `json:"reads_per_txn"`
+	Writers     int       `json:"writers"`
+	Arms        []MVCCArm `json:"arms"`
+	// P99Ratio is 2PL read p99 over SI read p99 during the transformation
+	// (>1 means snapshot readers had the lower tail).
+	P99Ratio float64 `json:"p99_ratio"`
+}
+
+// FigureMVCC measures what snapshot-isolation reads buy during an online
+// transformation: a pool of read-only clients (point reads against the
+// split source, falling back to the target after switchover) measured while
+// update clients and a background split run. The 2PL arm's readers take
+// shared locks and queue behind the writers' exclusive locks; the SI arm's
+// readers use MVCC snapshots and never touch the lock manager.
+func FigureMVCC(p Params) (Result, *MVCCReport, error) {
+	p = p.withDefaults()
+	rep := &MVCCReport{
+		Readers:     4,
+		ReadsPerTxn: 8,
+		Writers:     4,
+	}
+	res := Result{
+		Figure: "mvcc",
+		Title:  "read latency, 2PL locking readers vs MVCC snapshot readers, during a live split",
+		XLabel: "percentile",
+		YLabel: "read latency (ms)",
+	}
+	for _, si := range []bool{false, true} {
+		arm, err := measureMVCCArm(p, si, rep.Readers, rep.ReadsPerTxn, rep.Writers)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		rep.Arms = append(rep.Arms, arm)
+		res.Series = append(res.Series, Series{Name: arm.Mode, Points: []Point{
+			{X: 50, Y: arm.ReadP50Ms},
+			{X: 95, Y: arm.ReadP95Ms},
+			{X: 99, Y: arm.ReadP99Ms},
+		}})
+	}
+	if si := rep.Arms[1]; si.ReadP99Ms > 0 {
+		rep.P99Ratio = rep.Arms[0].ReadP99Ms / si.ReadP99Ms
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d readers (%d gets/txn) vs %d update clients during a background split",
+			rep.Readers, rep.ReadsPerTxn, rep.Writers),
+		fmt.Sprintf("2PL/SI read-p99 ratio: %.2fx (SI write conflicts: %d)",
+			rep.P99Ratio, rep.Arms[1].Conflicts))
+	return res, rep, nil
+}
+
+// measureMVCCArm runs one arm: build the split environment (MVCC on for the
+// SI arm), start the update workload and the readers, kick off the split,
+// and measure the readers' latency window while the transformation runs.
+func measureMVCCArm(p Params, si bool, readers, readsPerTxn, writers int) (MVCCArm, error) {
+	q := p
+	q.SnapshotReads = si
+	q.Obs = nil // per-arm registry noise is not part of this figure
+	env, err := newSplitEnv(q)
+	if err != nil {
+		return MVCCArm{}, err
+	}
+	arm := MVCCArm{Mode: "2pl"}
+	if si {
+		arm.Mode = "si"
+	}
+
+	wr := workload.Start(workload.Config{
+		DB: env.db, Targets: env.targets(q.SourceFrac), Clients: writers,
+		Seed: q.Seed, Think: q.Think, InsertFrac: q.InsertFrac,
+	})
+
+	var stop atomic.Bool
+	var failMu sync.Mutex
+	var failErr error
+	hist := obs.NewHistogram()
+	var reads, retries atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			err := readClient(env.db, si, seed, readsPerTxn, int64(q.TRows), &stop, hist, &reads, &retries)
+			if err != nil {
+				failMu.Lock()
+				if failErr == nil {
+					failErr = err
+				}
+				failMu.Unlock()
+			}
+		}(q.Seed + int64(i)*104729)
+	}
+	stopAll := func() error {
+		stop.Store(true)
+		wg.Wait()
+		werr := wr.Stop()
+		failMu.Lock()
+		defer failMu.Unlock()
+		if failErr != nil {
+			return failErr
+		}
+		return werr
+	}
+
+	time.Sleep(q.BaselineDur / 4) // warm-up: populate lock queues and caches
+
+	tr, err := env.transformation(core.Config{
+		Priority:     q.Priority,
+		Strategy:     core.NonBlockingAbort,
+		StallTimeout: 8 * q.SampleDur,
+	})
+	if err != nil {
+		_ = stopAll()
+		return MVCCArm{}, err
+	}
+	trStart := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- tr.Run(context.Background()) }()
+
+	// The measurement window is the overlap of SampleDur with the
+	// transformation's run: read latency *during* the change is the figure.
+	h0 := hist.Snapshot()
+	r0 := reads.Load()
+	w0 := wr.Snapshot()
+	t0 := time.Now()
+	var trErr error
+	finished := false
+	select {
+	case trErr = <-done:
+		finished = true
+	case <-time.After(q.SampleDur):
+	}
+	win := hist.Snapshot().Sub(h0)
+	window := time.Since(t0)
+	w1 := wr.Snapshot()
+	if !finished {
+		trErr = <-done
+	}
+	arm.TransformMs = ms(time.Since(trStart))
+	if stopErr := stopAll(); stopErr != nil && trErr == nil {
+		trErr = stopErr
+	}
+	if trErr != nil {
+		return MVCCArm{}, fmt.Errorf("bench: mvcc %s arm: %w", arm.Mode, trErr)
+	}
+
+	arm.ReadTxns = reads.Load() - r0
+	arm.ReadRetries = retries.Load()
+	arm.WindowMs = ms(window)
+	if window > 0 {
+		arm.ReadThroughput = float64(win.Count) / window.Seconds()
+	}
+	if win.Count > 0 {
+		arm.ReadP50Ms = ms(win.P50())
+		arm.ReadP95Ms = ms(win.P95())
+		arm.ReadP99Ms = ms(win.P99())
+	}
+	ws := workload.Between(w0, w1)
+	arm.WriteTxns = ws.Txns
+	arm.WriteAborts = ws.Aborts
+	arm.Deadlocks = ws.Deadlocks
+	arm.Timeouts = ws.Timeouts
+	arm.Conflicts = ws.Conflicts
+	return arm, nil
+}
+
+// readClient is one read-only client: point reads of readsPerTxn random
+// source keys per transaction, via a 2PL transaction (shared locks held to
+// commit) or an MVCC snapshot. After the split's switchover closes the
+// source it falls back to the left target, like the update clients do.
+func readClient(db *engine.DB, si bool, seed int64, readsPerTxn int, keys int64,
+	stop *atomic.Bool, hist *obs.Histogram, reads, retries *atomic.Uint64) error {
+	rng := rand.New(rand.NewSource(seed))
+	table := "T"
+	for !stop.Load() {
+		begin := time.Now()
+		var err error
+		if si {
+			err = readOnceSnapshot(db, rng, table, readsPerTxn, keys)
+		} else {
+			err = readOnce2PL(db, rng, table, readsPerTxn, keys)
+		}
+		if err == nil {
+			hist.Observe(time.Since(begin))
+			reads.Add(1)
+			continue
+		}
+		if errors.Is(err, engine.ErrNoAccess) || errors.Is(err, catalog.ErrNotFound) {
+			table = "T_base"
+		}
+		if readRetryable(err) {
+			retries.Add(1)
+			continue
+		}
+		return err
+	}
+	return nil
+}
+
+func readOnce2PL(db *engine.DB, rng *rand.Rand, table string, n int, keys int64) error {
+	txn := db.Begin()
+	for i := 0; i < n; i++ {
+		k := value.Tuple{value.Int(rng.Int63n(keys))}
+		if _, err := txn.Get(table, k); err != nil && !errors.Is(err, storage.ErrNotFound) {
+			_ = txn.Abort()
+			return err
+		}
+	}
+	return txn.Commit()
+}
+
+func readOnceSnapshot(db *engine.DB, rng *rand.Rand, table string, n int, keys int64) error {
+	snap, err := db.BeginSnapshot()
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	for i := 0; i < n; i++ {
+		k := value.Tuple{value.Int(rng.Int63n(keys))}
+		if _, err := snap.Get(table, k); err != nil && !errors.Is(err, storage.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// readRetryable mirrors the update clients' classification: failures that
+// are part of normal operation under a running transformation.
+func readRetryable(err error) bool {
+	return errors.Is(err, engine.ErrTxnDoomed) ||
+		errors.Is(err, engine.ErrNoAccess) ||
+		errors.Is(err, engine.ErrTxnDone) ||
+		errors.Is(err, catalog.ErrNotFound) ||
+		errors.Is(err, lock.ErrTimeout) ||
+		errors.Is(err, lock.ErrShadowConflict) ||
+		errors.Is(err, lock.ErrDeadlock) ||
+		errors.Is(err, storage.ErrWriteConflict)
+}

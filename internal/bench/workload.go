@@ -20,6 +20,7 @@ type WorkloadWindow struct {
 	Aborts     uint64  `json:"aborts"`
 	Deadlocks  uint64  `json:"deadlocks"`
 	Timeouts   uint64  `json:"timeouts"`
+	Conflicts  uint64  `json:"conflicts"`
 	Throughput float64 `json:"throughput_tps"`
 	MeanRTMs   float64 `json:"mean_rt_ms"`
 	P50Ms      float64 `json:"p50_ms"`
@@ -92,6 +93,10 @@ type WorkloadReport struct {
 	// ran — the lag time series, switchover verdict and per-phase timeline
 	// summary; merged like Scale.
 	Lag *LagReport `json:"lag,omitempty"`
+	// MVCC carries the snapshot-isolation figure (FigureMVCC) — read
+	// latency and throughput of 2PL locking readers vs MVCC snapshot
+	// readers during a live transformation; merged like Scale.
+	MVCC *MVCCReport `json:"mvcc,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -110,6 +115,7 @@ func window(name string, a, b workload.Counters) WorkloadWindow {
 		Aborts:     s.Aborts,
 		Deadlocks:  s.Deadlocks,
 		Timeouts:   s.Timeouts,
+		Conflicts:  s.Conflicts,
 		Throughput: s.Throughput,
 		MeanRTMs:   ms(s.MeanRT),
 		P50Ms:      ms(s.P50),

@@ -28,6 +28,7 @@ import (
 	"nbschema/internal/fault"
 	"nbschema/internal/lock"
 	"nbschema/internal/obs"
+	"nbschema/internal/storage"
 	"nbschema/internal/value"
 	"nbschema/internal/wal"
 )
@@ -229,6 +230,16 @@ type Config struct {
 	BatchSize int
 	// FuzzyChunk is the chunk size of fuzzy scans (0 selects 256).
 	FuzzyChunk int
+	// SnapshotPopulate builds the initial image from a snapshot-isolation
+	// read view instead of a fuzzy scan: population opens a snapshot right
+	// after the begin fuzzy mark and every source scan reads the newest
+	// versions committed at or before its timestamp — a transactionally
+	// consistent cut, with no mid-scan updates mixed in. Propagation still
+	// starts from the same fuzzy-mark position; the idempotent LSN-guarded
+	// rules absorb the overlap. Requires engine.Options.SnapshotReads;
+	// without it population falls back to the fuzzy scan (the 2PL ablation
+	// arm, and the default).
+	SnapshotPopulate bool
 	// CheckConsistency enables §5.3 handling for split transformations:
 	// C/U flags and the background consistency checker. Ignored by FOJ.
 	CheckConsistency bool
@@ -435,6 +446,12 @@ type Transformation struct {
 	// tl records timeline spans; nil-safe and shared with the engine unless
 	// Config.Timeline overrides it.
 	tl *obs.Timeline
+
+	// Population read view (Config.SnapshotPopulate). Written by populate
+	// before the scan workers start and cleared after they join, so the
+	// worker goroutines read it race-free via their start edge.
+	popSnapOn bool
+	popTS     uint64
 
 	mu       sync.Mutex
 	metrics  Metrics
@@ -685,6 +702,29 @@ func (tr *Transformation) populate(ctx context.Context) error {
 	tr.noteApplied(start - 1)
 	tr.emit(obs.EventFuzzyMark, func(ev *obs.Event) { ev.LSN = uint64(mark) })
 
+	// Snapshot-based population: open the read view after the fuzzy mark so
+	// any commit the snapshot misses (stamped after its begin) has all its
+	// log records at or above the propagation start position — either the
+	// transaction was active at the mark (its First bounds start) or it
+	// began after the mark. Commits the snapshot does include may be
+	// replayed too; the LSN-guarded rules make that a no-op.
+	if tr.cfg.SnapshotPopulate {
+		snap, err := tr.db.BeginSnapshot()
+		switch {
+		case errors.Is(err, engine.ErrSnapshotsOff):
+			// MVCC disabled on this database: degrade to the fuzzy scan.
+		case err != nil:
+			return fmt.Errorf("core: population snapshot: %w", err)
+		default:
+			tr.popSnapOn = true
+			tr.popTS = snap.TS()
+			defer func() {
+				tr.popSnapOn = false
+				snap.Close()
+			}()
+		}
+	}
+
 	// The tick callback cannot return an error to the operator, so an
 	// injected chunk fault is carried out of the scan in chunkErr and
 	// surfaces once Populate returns. A crash action still fires in place,
@@ -730,6 +770,19 @@ func (tr *Transformation) populate(ctx context.Context) error {
 		return ErrAborted
 	}
 	return nil
+}
+
+// scanPartition reads one source heap partition for initial population:
+// a snapshot scan at the population read view's timestamp when one is
+// active (Config.SnapshotPopulate on an MVCC-enabled database), otherwise
+// the classic fuzzy scan. Both deliver chunked row copies with no latch
+// held across the callback.
+func (tr *Transformation) scanPartition(tbl *storage.Table, pi int, fn func(recs []storage.Record)) {
+	if tr.popSnapOn {
+		tbl.SnapshotScanPartition(pi, tr.popTS, tr.cfg.FuzzyChunk, fn)
+		return
+	}
+	tbl.FuzzyScanPartition(pi, tr.cfg.FuzzyChunk, fn)
 }
 
 // installHooks wires transferred-lock enforcement and lock mirroring into

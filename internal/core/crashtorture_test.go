@@ -40,13 +40,21 @@ type crashSpec struct {
 type tortureCase struct {
 	sources    []string
 	targets    []string
-	newDB      func(t *testing.T, reg *fault.Registry) *engine.DB
+	newDB      func(t *testing.T, o engine.Options) *engine.DB
 	seed       func(t *testing.T, db *engine.DB)
-	build      func(db *engine.DB) (*Transformation, error)
 	buildWith  func(db *engine.DB, cfg Config) (*Transformation, error)
 	loadOp     func(tx *engine.Txn, rng *rand.Rand, i int) error
 	sourceDefs func(t *testing.T) []*catalog.TableDef
 	converged  func(t *testing.T, tr *Transformation)
+	// si runs the whole scenario with MVCC snapshot reads enabled — crashing
+	// process, restarted process, and control alike — with snapshot-based
+	// initial population and lock-free snapshot readers racing the crash.
+	si bool
+}
+
+// engineOpts are the crashing process's engine options for this case.
+func (tc tortureCase) engineOpts(reg *fault.Registry) engine.Options {
+	return engine.Options{LockTimeout: 150 * time.Millisecond, Faults: reg, SnapshotReads: tc.si}
 }
 
 func tortureConfig() Config {
@@ -62,8 +70,8 @@ func fojTortureCase() tortureCase {
 	return tortureCase{
 		sources: []string{"R", "S"},
 		targets: []string{"T"},
-		newDB: func(t *testing.T, reg *fault.Registry) *engine.DB {
-			db := engine.New(engine.Options{LockTimeout: 150 * time.Millisecond, Faults: reg})
+		newDB: func(t *testing.T, o engine.Options) *engine.DB {
+			db := engine.New(o)
 			for _, def := range joinDefs(t) {
 				if err := db.CreateTable(def); err != nil {
 					t.Fatal(err)
@@ -85,11 +93,6 @@ func fojTortureCase() tortureCase {
 				}
 				return nil
 			})
-		},
-		build: func(db *engine.DB) (*Transformation, error) {
-			return NewFullOuterJoin(db, JoinSpec{
-				Target: "T", Left: "R", Right: "S", On: [][2]string{{"c", "c"}},
-			}, tortureConfig())
 		},
 		buildWith: func(db *engine.DB, cfg Config) (*Transformation, error) {
 			return NewFullOuterJoin(db, JoinSpec{
@@ -135,8 +138,8 @@ func splitTortureCase() tortureCase {
 	return tortureCase{
 		sources: []string{"T"},
 		targets: []string{"R", "S"},
-		newDB: func(t *testing.T, reg *fault.Registry) *engine.DB {
-			db := engine.New(engine.Options{LockTimeout: 150 * time.Millisecond, Faults: reg})
+		newDB: func(t *testing.T, o engine.Options) *engine.DB {
+			db := engine.New(o)
 			for _, def := range splitTortureDefs(t) {
 				if err := db.CreateTable(def); err != nil {
 					t.Fatal(err)
@@ -153,9 +156,6 @@ func splitTortureCase() tortureCase {
 				}
 				return nil
 			})
-		},
-		build: func(db *engine.DB) (*Transformation, error) {
-			return NewSplit(db, splitSpec(), tortureConfig())
 		},
 		buildWith: func(db *engine.DB, cfg Config) (*Transformation, error) {
 			return NewSplit(db, splitSpec(), cfg)
@@ -225,6 +225,40 @@ func startLoad(db *engine.DB, op func(tx *engine.Txn, rng *rand.Rand, i int) err
 	}
 }
 
+// startSnapshotLoad runs two lock-free snapshot readers over the source
+// tables until stop is called. They never hold locks, so unlike the update
+// load they cannot deadlock against the transformation — but a reader caught
+// behind a latch the crashed process still holds may wedge, so stop does not
+// wait for them (mirroring the update load's crash-held-latch escape hatch).
+func startSnapshotLoad(db *engine.DB, sources []string) (stop func()) {
+	stopCh := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		go func() {
+			for {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				snap, err := db.BeginSnapshot()
+				if err != nil {
+					return
+				}
+				for _, src := range sources {
+					n := 0
+					_ = snap.Scan(src, func(value.Tuple) bool {
+						n++
+						return n < 16
+					})
+				}
+				_ = snap.Close()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}()
+	}
+	return func() { close(stopCh) }
+}
+
 // tornSuffix returns the first half of one serialized WAL frame — the bytes
 // a crash mid-append leaves at the end of the file.
 func tornSuffix(t *testing.T) string {
@@ -257,10 +291,12 @@ func harvestDefs(t *testing.T, db *engine.DB) []*catalog.TableDef {
 // runCrashTorture is the process-simulation harness for one seeded crash.
 func runCrashTorture(t *testing.T, tc tortureCase, spec crashSpec) {
 	reg := fault.New()
-	db := tc.newDB(t, reg)
+	db := tc.newDB(t, tc.engineOpts(reg))
 	tc.seed(t, db)
 
-	tr, err := tc.build(db)
+	cfg := tortureConfig()
+	cfg.SnapshotPopulate = tc.si
+	tr, err := tc.buildWith(db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,6 +308,10 @@ func runCrashTorture(t *testing.T, tc tortureCase, spec crashSpec) {
 		// Let the workload open transactions and append log records so the
 		// transformation starts with real concurrent traffic.
 		time.Sleep(5 * time.Millisecond)
+	}
+	var stopSnap func()
+	if tc.si && spec.load {
+		stopSnap = startSnapshotLoad(db, tc.sources)
 	}
 
 	reg.Arm(spec.point, fault.OnHit(spec.hit), fault.CrashAction())
@@ -317,6 +357,9 @@ func runCrashTorture(t *testing.T, tc tortureCase, spec crashSpec) {
 			t.Logf("workload left blocked behind crash-held latches")
 		}
 	}
+	if stopSnap != nil {
+		stopSnap()
+	}
 	reg.Reset()
 
 	// The surviving state of the crashed process is its WAL. Serialize it
@@ -328,7 +371,7 @@ func runCrashTorture(t *testing.T, tc tortureCase, spec crashSpec) {
 	dump := buf.String()
 
 	// Restart with the full schema (sources + orphaned targets), lenient.
-	opts := engine.Options{LockTimeout: 150 * time.Millisecond, LenientWAL: true}
+	opts := engine.Options{LockTimeout: 150 * time.Millisecond, LenientWAL: true, SnapshotReads: tc.si}
 	db2, cut, err := engine.RestartFrom(harvestDefs(t, db), strings.NewReader(dump+tornSuffix(t)), opts)
 	if err != nil {
 		t.Fatalf("restart after crash: %v", err)
@@ -384,7 +427,7 @@ func runCrashTorture(t *testing.T, tc tortureCase, spec crashSpec) {
 	}
 
 	// Re-running the transformation on the recovered database converges.
-	tr2, err := tc.build(db2)
+	tr2, err := tc.buildWith(db2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,6 +502,30 @@ func TestCrashTortureSplit(t *testing.T) {
 	for _, spec := range reduceSpecs(splitCrashSpecs()) {
 		t.Run(spec.name, func(t *testing.T) {
 			runCrashTorture(t, splitTortureCase(), spec)
+		})
+	}
+}
+
+// The SI arms run the same crash matrix with MVCC snapshot reads enabled end
+// to end: snapshot-based initial population, snapshot readers racing the
+// crash, and first-committer-wins conflicts in the load — recovery must hold
+// with version chains in play exactly as it does under plain 2PL.
+func TestCrashTortureFOJSI(t *testing.T) {
+	tc := fojTortureCase()
+	tc.si = true
+	for _, spec := range reduceSpecs(fojCrashSpecs()) {
+		t.Run(spec.name, func(t *testing.T) {
+			runCrashTorture(t, tc, spec)
+		})
+	}
+}
+
+func TestCrashTortureSplitSI(t *testing.T) {
+	tc := splitTortureCase()
+	tc.si = true
+	for _, spec := range reduceSpecs(splitCrashSpecs()) {
+		t.Run(spec.name, func(t *testing.T) {
+			runCrashTorture(t, tc, spec)
 		})
 	}
 }

@@ -33,7 +33,7 @@ func (op *fojOp) populateM2M(tick func(int)) (int64, error) {
 	matched := make(map[string]bool)
 	if err := op.tr.forEachPartition(sTbl, func(pi int) error {
 		local := make(map[string][]storage.Record)
-		sTbl.FuzzyScanPartition(pi, op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
+		op.tr.scanPartition(sTbl, pi, func(recs []storage.Record) {
 			for _, rec := range recs {
 				jk := rec.Row.Project(op.sJoin).Encode()
 				local[jk] = append(local[jk], rec)
@@ -53,7 +53,7 @@ func (op *fojOp) populateM2M(tick func(int)) (int64, error) {
 	err := op.tr.forEachPartition(rTbl, func(pi int) error {
 		localMatched := make(map[string]bool)
 		var werr error
-		rTbl.FuzzyScanPartition(pi, op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
+		op.tr.scanPartition(rTbl, pi, func(recs []storage.Record) {
 			if werr != nil {
 				return
 			}

@@ -16,8 +16,12 @@ import (
 // key c, joined on c into T(a, b, c, d).
 
 func newJoinDB(t *testing.T) *engine.DB {
+	return newJoinDBOpts(t, engine.Options{LockTimeout: 150 * time.Millisecond})
+}
+
+func newJoinDBOpts(t *testing.T, o engine.Options) *engine.DB {
 	t.Helper()
-	db := engine.New(engine.Options{LockTimeout: 150 * time.Millisecond})
+	db := engine.New(o)
 	r, err := catalog.NewTableDef("R", []catalog.Column{
 		{Name: "a", Type: value.KindInt},
 		{Name: "b", Type: value.KindString, Nullable: true},

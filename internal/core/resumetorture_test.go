@@ -96,7 +96,7 @@ func crashRun(tr *Transformation) chan fault.Crash {
 // time from the same checkpoint.
 func runResumeTorture(t *testing.T, tc tortureCase, workers int, crashAgain bool) *engine.DB {
 	reg := fault.New()
-	db := tc.newDB(t, reg)
+	db := tc.newDB(t, tc.engineOpts(reg))
 	tc.seed(t, db)
 
 	tr, err := tc.buildWith(db, resumePhaseConfig())
@@ -302,7 +302,7 @@ func TestCrashTortureCheckpointTornEnd(t *testing.T) {
 func runCheckpointCrashTorture(t *testing.T, point string, hit int64) {
 	tc := fojTortureCase()
 	reg := fault.New()
-	db := tc.newDB(t, reg)
+	db := tc.newDB(t, tc.engineOpts(reg))
 	tc.seed(t, db)
 	stop, wait := startLoad(db, tc.loadOp, 0xc4a5)
 	time.Sleep(5 * time.Millisecond)

@@ -285,7 +285,7 @@ func (op *splitOp) Populate(tick func(int)) (int64, error) {
 	var rows atomic.Int64
 	err := op.tr.forEachPartition(src, func(pi int) error {
 		var werr error
-		src.FuzzyScanPartition(pi, op.tr.cfg.FuzzyChunk, func(recs []storage.Record) {
+		op.tr.scanPartition(src, pi, func(recs []storage.Record) {
 			if werr != nil {
 				return
 			}

@@ -18,8 +18,12 @@ import (
 // T(id, name, zip, city) split on zip into R(id, name, zip) and S(zip, city).
 
 func newSplitDB(t *testing.T) *engine.DB {
+	return newSplitDBOpts(t, engine.Options{LockTimeout: 150 * time.Millisecond})
+}
+
+func newSplitDBOpts(t *testing.T, o engine.Options) *engine.DB {
 	t.Helper()
-	db := engine.New(engine.Options{LockTimeout: 150 * time.Millisecond})
+	db := engine.New(o)
 	def, err := catalog.NewTableDef("T", []catalog.Column{
 		{Name: "id", Type: value.KindInt},
 		{Name: "name", Type: value.KindString, Nullable: true},

@@ -77,6 +77,7 @@ func Handler(c Config) http.Handler {
 	mux.HandleFunc("/debug/flightrecord", c.flightRecord)
 	mux.HandleFunc("/debug/lag", c.lag)
 	mux.HandleFunc("/debug/timeline", c.timeline)
+	mux.HandleFunc("/debug/mvcc", c.mvcc)
 	if c.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -110,6 +111,7 @@ func (c Config) index(w http.ResponseWriter, r *http.Request) {
 		"/debug/flightrecord": "POST: capture a flight-recorder diagnostic bundle now",
 		"/debug/lag":          "freshness watermarks per transformation: applied LSN, backlog, wall-clock lag, switchover readiness",
 		"/debug/timeline":     "transformation timeline as Chrome trace-event JSON (open in Perfetto)",
+		"/debug/mvcc":         "MVCC state: commit clock, active snapshots, per-table version-chain statistics",
 	}
 	if c.Pprof {
 		index["/debug/pprof/"] = "Go runtime profiles (CPU, heap, goroutine, ...)"
@@ -297,6 +299,16 @@ type lagEntry struct {
 // lag serves the freshness watermarks of every known transformation. With
 // ?slo=<duration> (e.g. ?slo=100ms) each entry additionally answers the
 // SwitchoverReady predicate against that SLO.
+// mvccResponse is the /debug/mvcc payload.
+type mvccResponse struct {
+	At   time.Time        `json:"at"`
+	MVCC engine.MVCCStats `json:"mvcc"`
+}
+
+func (c Config) mvcc(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, mvccResponse{At: time.Now(), MVCC: c.DB.MVCCStats()})
+}
+
 func (c Config) lag(w http.ResponseWriter, r *http.Request) {
 	var slo time.Duration
 	haveSLO := false

@@ -34,6 +34,13 @@ var (
 	// ErrNoAccess is returned when a transaction may not access a table
 	// because of its lifecycle state (hidden target, dropped source).
 	ErrNoAccess = errors.New("engine: table not accessible")
+	// ErrWriteConflict is the first-committer-wins write-write conflict
+	// surfaced in SnapshotReads mode: another transaction committed a newer
+	// version of the record after this transaction began. Retryable.
+	ErrWriteConflict = storage.ErrWriteConflict
+	// ErrSnapshotsOff is returned by BeginSnapshot when the DB was opened
+	// without SnapshotReads.
+	ErrSnapshotsOff = errors.New("engine: snapshot reads disabled (Options.SnapshotReads)")
 )
 
 // Hooks lets an active schema transformation intercept engine activity.
@@ -113,6 +120,14 @@ type Options struct {
 	// Chrome-trace timeline export. A nil (or disabled) recorder costs one
 	// atomic load per instrumented site.
 	Timeline *obs.Timeline
+	// SnapshotReads enables MVCC: every table keeps per-record version
+	// chains, transactions get begin/commit timestamps, BeginSnapshot opens
+	// read-only snapshot-isolation transactions that skip the lock manager,
+	// and writes enforce first-committer-wins (a committed newer version
+	// after the writer's begin surfaces the retryable ErrWriteConflict).
+	// Off by default; the disabled mode costs one branch per write and
+	// nothing on the read path.
+	SnapshotReads bool
 }
 
 // engineMetrics bundles the engine-level metric handles. All handles are
@@ -138,6 +153,12 @@ type engineMetrics struct {
 	walEnd   *obs.Gauge
 	walBytes *obs.Gauge
 	ckptAge  *obs.Gauge
+
+	// MVCC / snapshot-isolation counters (SnapshotReads mode).
+	snapBegin  *obs.Counter
+	snapActive *obs.Gauge
+	wconflicts *obs.Counter
+	gcRuns     *obs.Counter
 }
 
 // DB is an in-memory transactional database.
@@ -169,6 +190,21 @@ type DB struct {
 
 	hookMu sync.RWMutex
 	hooks  Hooks
+
+	// MVCC state (SnapshotReads mode). commitTS is the commit clock: the
+	// last assigned commit timestamp. Commit stamps the transaction's cell
+	// and then advances the clock, both under commitMu, so BeginSnapshot
+	// reading the clock never observes a timestamp whose versions are still
+	// unstamped. snaps refcounts the active snapshot timestamps; oldestSnap
+	// caches their minimum (MaxUint64 when none) and is shared with every
+	// table as the chain-GC watermark.
+	mvcc        bool
+	commitMu    sync.Mutex
+	commitTS    atomic.Uint64
+	snapMu      sync.Mutex
+	snaps       map[uint64]int
+	oldestSnap  atomic.Uint64
+	endsSinceGC atomic.Uint64
 
 	// Checkpoint state: begin LSN and approximate log size at the last
 	// completed checkpoint, and the single-flight gate for the automatic
@@ -207,6 +243,11 @@ func New(opts Options) *DB {
 	case opts.SlowTxnThreshold == 0:
 		db.slowThresh = DefaultSlowTxnThreshold
 	}
+	if opts.SnapshotReads {
+		db.mvcc = true
+		db.snaps = make(map[uint64]int)
+		db.oldestSnap.Store(^uint64(0))
+	}
 	db.log.SetFaults(opts.Faults)
 	db.locks.SetFaults(opts.Faults)
 	if opts.Timeline != nil {
@@ -232,6 +273,10 @@ func New(opts Options) *DB {
 			walEnd:        reg.Gauge("wal.end_lsn"),
 			walBytes:      reg.Gauge("wal.bytes"),
 			ckptAge:       reg.Gauge("engine.checkpoint.age"),
+			snapBegin:     reg.Counter("engine.snapshot.begin"),
+			snapActive:    reg.Gauge("engine.snapshot.active"),
+			wconflicts:    reg.Counter("engine.mvcc.conflict"),
+			gcRuns:        reg.Counter("engine.mvcc.gc.runs"),
 		}
 		db.log.SetObs(reg)
 		db.locks.SetObs(reg)
@@ -300,6 +345,9 @@ func (db *DB) CreateTable(def *catalog.TableDef) error {
 	db.mu.Lock()
 	tbl := storage.NewTablePartitions(def, db.opts.StoragePartitions)
 	tbl.SetFaults(db.faults)
+	if db.mvcc {
+		tbl.SetMVCC(&db.oldestSnap)
+	}
 	latch := lock.NewLatch(def.Name)
 	if db.obs != nil {
 		tbl.SetObs(db.obs)
@@ -317,6 +365,9 @@ func (db *DB) DropTable(name string) error {
 		return err
 	}
 	db.mu.Lock()
+	if tbl := db.tables[name]; tbl != nil {
+		tbl.DetachObs()
+	}
 	delete(db.tables, name)
 	delete(db.latches, name)
 	delete(db.dropAt, name)
@@ -389,10 +440,11 @@ func (db *DB) Reopen(name string) error {
 	return nil
 }
 
-// accessible reports whether txn may operate on the table right now. The
-// state is re-read under the catalog lock: a synchronization step may flip
-// it concurrently (Publish/MarkDropping).
-func (db *DB) accessible(def *catalog.TableDef, txn *Txn) error {
+// accessibleAt reports whether a transaction that began at beginLSN may
+// operate on the table right now. The state is re-read under the catalog
+// lock: a synchronization step may flip it concurrently
+// (Publish/MarkDropping).
+func (db *DB) accessibleAt(def *catalog.TableDef, beginLSN wal.LSN) error {
 	state, err := db.cat.StateOf(def.Name)
 	if err != nil {
 		return fmt.Errorf("%w: %s", ErrNoAccess, def.Name)
@@ -406,13 +458,28 @@ func (db *DB) accessible(def *catalog.TableDef, txn *Txn) error {
 		db.mu.RLock()
 		at := db.dropAt[def.Name]
 		db.mu.RUnlock()
-		if txn != nil && txn.BeginLSN() < at {
+		if beginLSN < at {
 			return nil // an "old" transaction may finish its work
 		}
 		return fmt.Errorf("%w: %s is being dropped by a schema transformation", ErrNoAccess, def.Name)
 	default:
 		return fmt.Errorf("%w: %s in unknown state", ErrNoAccess, def.Name)
 	}
+}
+
+// openTable is the single resolution path every transactional read and write
+// goes through — 2PL operations and snapshot reads alike: resolve the
+// definition, storage and latch of a table, then gate on its lifecycle state
+// against the caller's begin LSN. The caller acquires the returned latch.
+func (db *DB) openTable(name string, beginLSN wal.LSN) (*catalog.TableDef, *storage.Table, *lock.Latch, error) {
+	def, tbl, latch, err := db.resolve(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := db.accessibleAt(def, beginLSN); err != nil {
+		return nil, nil, nil, err
+	}
+	return def, tbl, latch, nil
 }
 
 // Begin starts a transaction. Its begin record is logged immediately so the
@@ -423,6 +490,11 @@ func (db *DB) Begin() *Txn {
 	db.nextTxn++
 	id := db.nextTxn
 	txn := &Txn{db: db, id: id}
+	if db.mvcc {
+		// The commit clock advances only after cells are stamped, so every
+		// commit at or below this read is fully visible.
+		txn.beginTS = db.commitTS.Load()
+	}
 	if db.met.commitLatency.Enabled() || db.histBound > 0 || db.slowThresh > 0 {
 		txn.started = time.Now()
 	}
@@ -504,6 +576,11 @@ func (db *DB) endTxn(id wal.TxnID) {
 	db.locks.ReleaseAll(id)
 	if h := db.currentHooks(); h.OnTxnEnd != nil {
 		h.OnTxnEnd(id)
+	}
+	if db.mvcc && db.endsSinceGC.Add(1)%1024 == 0 {
+		// Periodic full sweep: the on-write trim keeps hot chains short, but
+		// keys never written again (and dead-map tombstones) need a sweep.
+		db.RunGC()
 	}
 	db.maybeCheckpoint()
 }

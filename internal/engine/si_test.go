@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/storage"
+	"nbschema/internal/value"
+)
+
+func newMVCCTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := New(Options{LockTimeout: 200 * time.Millisecond, SnapshotReads: true})
+	def, err := catalog.NewTableDef("acct", []catalog.Column{
+		{Name: "id", Type: value.KindInt},
+		{Name: "owner", Type: value.KindString, Nullable: true},
+		{Name: "balance", Type: value.KindInt, Nullable: true},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(def); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func mustCommit(t *testing.T, tx *Txn) {
+	t.Helper()
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestSnapshotsOffByDefault(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.BeginSnapshot(); !errors.Is(err, ErrSnapshotsOff) {
+		t.Fatalf("BeginSnapshot on a 2PL-only DB = %v, want ErrSnapshotsOff", err)
+	}
+	if st := db.MVCCStats(); st.Enabled {
+		t.Fatal("MVCCStats.Enabled on a 2PL-only DB")
+	}
+}
+
+// TestSnapshotStableAcrossCommits is the core SI guarantee: a snapshot keeps
+// returning the images committed at its begin timestamp no matter what
+// commits afterwards, while a fresh snapshot sees the new state.
+func TestSnapshotStableAcrossCommits(t *testing.T) {
+	db := newMVCCTestDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("acct", acct(1, "ann", 100)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	snap, err := db.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	// Overwrite, delete-and-reinsert, and add a new row after the snapshot.
+	tx = db.Begin()
+	if err := tx.Update("acct", key(1), []string{"balance"}, value.Tuple{value.Int(999)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("acct", acct(2, "bob", 50)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	got, err := snap.Get("acct", key(1))
+	if err != nil || got[2].AsInt() != 100 {
+		t.Fatalf("snapshot Get(1) = %v, %v; want balance 100", got, err)
+	}
+	if _, err := snap.Get("acct", key(2)); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("snapshot Get(2) = %v, want ErrNotFound (inserted after snapshot)", err)
+	}
+
+	snap2, err := db.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap2.Close()
+	if got, err := snap2.Get("acct", key(1)); err != nil || got[2].AsInt() != 999 {
+		t.Fatalf("fresh snapshot Get(1) = %v, %v; want balance 999", got, err)
+	}
+	if got, err := snap2.Get("acct", key(2)); err != nil || got[2].AsInt() != 50 {
+		t.Fatalf("fresh snapshot Get(2) = %v, %v; want balance 50", got, err)
+	}
+}
+
+// TestSnapshotSeesDeletedRow: a row deleted after the snapshot opened remains
+// visible to it; a snapshot opened after the delete sees ErrNotFound.
+func TestSnapshotSeesDeletedRow(t *testing.T) {
+	db := newMVCCTestDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("acct", acct(1, "ann", 100)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	snap, err := db.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	tx = db.Begin()
+	if err := tx.Delete("acct", key(1)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	if got, err := snap.Get("acct", key(1)); err != nil || got[1].AsString() != "ann" {
+		t.Fatalf("snapshot Get after delete = %v, %v; want the pre-delete image", got, err)
+	}
+	after, err := db.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer after.Close()
+	if _, err := after.Get("acct", key(1)); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("post-delete snapshot Get = %v, want ErrNotFound", err)
+	}
+}
+
+// TestSnapshotReadDoesNotBlockOnWriteLock: a 2PL writer holds an exclusive
+// record lock with an uncommitted change; a snapshot read of the same key
+// must return the old committed image immediately instead of queueing.
+func TestSnapshotReadDoesNotBlockOnWriteLock(t *testing.T) {
+	db := newMVCCTestDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("acct", acct(1, "ann", 100)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	writer := db.Begin()
+	if err := writer.Update("acct", key(1), []string{"balance"}, value.Tuple{value.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	// The lock is held and the new version is uncommitted. A 2PL reader
+	// would block until LockTimeout; the snapshot must not.
+	snap, err := db.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	begin := time.Now()
+	got, err := snap.Get("acct", key(1))
+	if err != nil || got[2].AsInt() != 100 {
+		t.Fatalf("snapshot Get under write lock = %v, %v; want balance 100", got, err)
+	}
+	if d := time.Since(begin); d > 100*time.Millisecond {
+		t.Fatalf("snapshot Get blocked for %v behind a write lock", d)
+	}
+	mustCommit(t, writer)
+}
+
+// TestWriteConflictFirstCommitterWins: two overlapping 2PL writers race on
+// one record; the loser's write fails with ErrWriteConflict once the
+// winner's commit lands.
+func TestWriteConflictFirstCommitterWins(t *testing.T) {
+	db := newMVCCTestDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("acct", acct(1, "ann", 100)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	loser := db.Begin() // begins before the winner commits
+	winner := db.Begin()
+	if err := winner.Update("acct", key(1), []string{"balance"}, value.Tuple{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, winner)
+
+	err := loser.Update("acct", key(1), []string{"balance"}, value.Tuple{value.Int(2)})
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("overlapping update = %v, want ErrWriteConflict", err)
+	}
+	if err := loser.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// A retry in a fresh transaction succeeds.
+	retry := db.Begin()
+	if err := retry.Update("acct", key(1), []string{"balance"}, value.Tuple{value.Int(2)}); err != nil {
+		t.Fatalf("retry update = %v", err)
+	}
+	mustCommit(t, retry)
+}
+
+// TestSnapshotScanConsistentUnderWrites: Scan at a snapshot returns exactly
+// the rows committed at its begin timestamp even while writers churn.
+func TestSnapshotScanConsistentUnderWrites(t *testing.T) {
+	db := newMVCCTestDB(t)
+	tx := db.Begin()
+	for i := int64(0); i < 20; i++ {
+		if err := tx.Insert("acct", acct(i, "base", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+
+	snap, err := db.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := db.Begin()
+			_ = tx.Update("acct", key(i%20), []string{"balance"}, value.Tuple{value.Int(1000 + i)})
+			_ = tx.Insert("acct", acct(100+i, "new", 0))
+			if err := tx.Commit(); err != nil {
+				_ = tx.Abort()
+			}
+		}
+	}()
+
+	for round := 0; round < 50; round++ {
+		n, sum := 0, int64(0)
+		err := snap.Scan("acct", func(row value.Tuple) bool {
+			n++
+			sum += row[2].AsInt()
+			return true
+		})
+		if err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		if n != 20 || sum != 20 {
+			t.Fatalf("snapshot scan saw %d rows with balance sum %d; want 20 rows, sum 20", n, sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotCloseIdempotentAndDone: Close twice is fine; reads after Close
+// fail with ErrTxnDone.
+func TestSnapshotCloseIdempotentAndDone(t *testing.T) {
+	db := newMVCCTestDB(t)
+	snap, err := db.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	if _, err := snap.Get("acct", key(1)); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Get after Close = %v, want ErrTxnDone", err)
+	}
+	if err := snap.Scan("acct", func(value.Tuple) bool { return true }); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Scan after Close = %v, want ErrTxnDone", err)
+	}
+}
+
+// TestSnapshotPinsVersionsAgainstGC: with a snapshot active the chain keeps
+// the old versions it needs; closing it lets RunGC reclaim them.
+func TestSnapshotPinsVersionsAgainstGC(t *testing.T) {
+	db := newMVCCTestDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("acct", acct(1, "ann", 0)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	snap, err := db.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 8; i++ {
+		tx := db.Begin()
+		if err := tx.Update("acct", key(1), []string{"balance"}, value.Tuple{value.Int(i)}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	db.RunGC()
+	if got, err := snap.Get("acct", key(1)); err != nil || got[2].AsInt() != 0 {
+		t.Fatalf("pinned snapshot Get = %v, %v; want balance 0", got, err)
+	}
+	st := db.MVCCStats()
+	if st.ActiveSnapshots != 1 || st.OldestSnapshot == nil || *st.OldestSnapshot != snap.TS() {
+		t.Fatalf("MVCCStats with one snapshot = %+v", st)
+	}
+
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if freed := db.RunGC(); freed == 0 {
+		t.Fatal("RunGC after Close reclaimed nothing")
+	}
+	st = db.MVCCStats()
+	if st.ActiveSnapshots != 0 || st.OldestSnapshot != nil {
+		t.Fatalf("MVCCStats after Close = %+v", st)
+	}
+	if st.CommitTS == 0 || st.CommitTS == math.MaxUint64 {
+		t.Fatalf("CommitTS = %d", st.CommitTS)
+	}
+}
+
+// TestSnapshotConcurrentReadersAndWriters hammers snapshots, 2PL readers,
+// and writers together; run with -race this doubles as a data-race probe on
+// the version-chain publication protocol.
+func TestSnapshotConcurrentReadersAndWriters(t *testing.T) {
+	db := newMVCCTestDB(t)
+	tx := db.Begin()
+	for i := int64(0); i < 32; i++ {
+		if err := tx.Insert("acct", acct(i, "w", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := seed; ; i += 5 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := db.Begin()
+				err := tx.Update("acct", key(i%32), []string{"balance"}, value.Tuple{value.Int(i)})
+				if err == nil {
+					err = tx.Commit()
+				}
+				if err != nil {
+					_ = tx.Abort()
+				}
+			}
+		}(int64(w))
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := seed; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := db.BeginSnapshot()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := int64(0); j < 8; j++ {
+					if _, err := snap.Get("acct", key((i+j)%32)); err != nil {
+						t.Errorf("snapshot Get: %v", err)
+						_ = snap.Close()
+						return
+					}
+				}
+				_ = snap.Close()
+			}
+		}(int64(r))
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	db.RunGC()
+}

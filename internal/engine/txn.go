@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"nbschema/internal/catalog"
 	"nbschema/internal/lock"
 	"nbschema/internal/obs"
 	"nbschema/internal/storage"
@@ -40,6 +42,14 @@ type Txn struct {
 	// operation of this very transaction may be blocked on, so dooming must
 	// never need t.mu.
 	doomed atomic.Bool
+
+	// MVCC (SnapshotReads mode): beginTS is the commit-clock reading at
+	// Begin, the reference point for first-committer-wins checks; wctx
+	// carries the commit cell shared by every version this transaction
+	// writes, allocated lazily on the first write (a transaction that never
+	// writes advances no clock). Both are used only under t.mu.
+	beginTS uint64
+	wctx    *storage.WriteCtx
 
 	mu      sync.Mutex
 	state   txnState
@@ -99,6 +109,35 @@ func (t *Txn) doom() { t.doomed.Store(true) }
 
 // Doomed reports whether the transaction has been marked for forced abort.
 func (t *Txn) Doomed() bool { return t.doomed.Load() }
+
+// open resolves a table for this transaction — definition, storage, latch —
+// and gates on its lifecycle state against the transaction's begin LSN. It
+// is the one resolution path shared by every 2PL operation (snapshot reads
+// go through the same db.openTable with their own begin LSN). Called with
+// t.mu held; the caller acquires the latch.
+func (t *Txn) open(table string) (*catalog.TableDef, *storage.Table, *lock.Latch, error) {
+	return t.db.openTable(table, t.BeginLSN())
+}
+
+// writeCtx returns the transaction's MVCC write identity, allocating the
+// shared commit cell on first use; nil when MVCC is off (the zero-cost
+// disabled mode). Called with t.mu held.
+func (t *Txn) writeCtx() *storage.WriteCtx {
+	if !t.db.mvcc {
+		return nil
+	}
+	if t.wctx == nil {
+		t.wctx = &storage.WriteCtx{Cell: &storage.CommitCell{}, BeginTS: t.beginTS}
+	}
+	return t.wctx
+}
+
+// noteConflict counts a first-committer-wins rejection surfaced by storage.
+func (t *Txn) noteConflict(err error) {
+	if errors.Is(err, storage.ErrWriteConflict) {
+		t.db.met.wconflicts.Add(1)
+	}
+}
 
 // checkUsable must be called with t.mu held.
 func (t *Txn) checkUsable() error {
@@ -165,11 +204,8 @@ func (t *Txn) Insert(table string, row value.Tuple) error {
 	if err := t.checkUsable(); err != nil {
 		return err
 	}
-	def, tbl, latch, err := t.db.resolve(table)
+	def, tbl, latch, err := t.open(table)
 	if err != nil {
-		return err
-	}
-	if err := t.db.accessible(def, t); err != nil {
 		return err
 	}
 	if err := def.ValidateRow(row); err != nil {
@@ -198,9 +234,10 @@ func (t *Txn) Insert(table string, row value.Tuple) error {
 	}
 	t.touch(table)
 	lsn := t.db.log.Append(rec)
-	if err := tbl.Insert(row, lsn); err != nil {
+	if err := tbl.InsertW(row, lsn, t.writeCtx()); err != nil {
 		// The log record is already durable; compensate it immediately so
 		// the log never claims an insert that storage rejected.
+		t.noteConflict(err)
 		t.compensate(rec, false)
 		return err
 	}
@@ -218,11 +255,8 @@ func (t *Txn) Update(table string, key value.Tuple, cols []string, vals value.Tu
 	if err := t.checkUsable(); err != nil {
 		return err
 	}
-	def, tbl, latch, err := t.db.resolve(table)
+	def, tbl, latch, err := t.open(table)
 	if err != nil {
-		return err
-	}
-	if err := t.db.accessible(def, t); err != nil {
 		return err
 	}
 	colIdx, err := def.ColIndexes(cols)
@@ -283,7 +317,8 @@ func (t *Txn) Update(table string, key value.Tuple, cols []string, vals value.Tu
 	}
 	t.touch(table)
 	lsn := t.db.log.Append(rec)
-	if _, err := tbl.Update(key, colIdx, vals, lsn); err != nil {
+	if _, err := tbl.UpdateW(key, colIdx, vals, lsn, t.writeCtx()); err != nil {
+		t.noteConflict(err)
 		t.compensate(rec, false)
 		return err
 	}
@@ -301,11 +336,8 @@ func (t *Txn) Delete(table string, key value.Tuple) error {
 	if err := t.checkUsable(); err != nil {
 		return err
 	}
-	def, tbl, latch, err := t.db.resolve(table)
+	_, tbl, latch, err := t.open(table)
 	if err != nil {
-		return err
-	}
-	if err := t.db.accessible(def, t); err != nil {
 		return err
 	}
 	latch.AcquireShared()
@@ -328,7 +360,8 @@ func (t *Txn) Delete(table string, key value.Tuple) error {
 	}
 	t.touch(table)
 	lsn := t.db.log.Append(rec)
-	if _, err := tbl.Delete(key); err != nil {
+	if _, err := tbl.DeleteW(key, t.writeCtx()); err != nil {
+		t.noteConflict(err)
 		t.compensate(rec, false)
 		return err
 	}
@@ -347,11 +380,8 @@ func (t *Txn) Get(table string, key value.Tuple) (value.Tuple, error) {
 	if err := t.checkUsable(); err != nil {
 		return nil, err
 	}
-	def, tbl, latch, err := t.db.resolve(table)
+	_, tbl, latch, err := t.open(table)
 	if err != nil {
-		return nil, err
-	}
-	if err := t.db.accessible(def, t); err != nil {
 		return nil, err
 	}
 	latch.AcquireShared()
@@ -392,6 +422,20 @@ func (t *Txn) Commit() error {
 		Txn: t.id, Type: wal.TypeCommit, Prev: t.lastLSN,
 		Time: time.Now().UnixNano(),
 	})
+	if t.wctx != nil {
+		// Publish every version this transaction wrote to snapshot readers:
+		// stamp the shared cell, then advance the commit clock — in that
+		// order, under commitMu, so a snapshot beginning at the new clock
+		// value can never observe the commit as still pending. This happens
+		// before endTxn releases the record locks, so the next writer's
+		// first-committer-wins check sees the committed timestamp.
+		db := t.db
+		db.commitMu.Lock()
+		ts := db.commitTS.Load() + 1
+		t.wctx.Cell.Commit(ts)
+		db.commitTS.Store(ts)
+		db.commitMu.Unlock()
+	}
 	t.state = txnCommitted
 	t.mu.Unlock()
 	t.db.met.txnCommit.Add(1)
@@ -505,13 +549,18 @@ func (t *Txn) compensate(rec *wal.Record, applied bool) {
 	}
 	latch.AcquireShared()
 	defer latch.ReleaseShared()
+	// Compensations carry the aborting transaction's own commit cell: the
+	// cell is never stamped, so the restored images are invisible to
+	// snapshot readers, which walk past them to the committed versions —
+	// with contents identical to what the compensation restored.
+	w := t.writeCtx()
 	switch clr.Redo {
 	case wal.TypeDelete:
-		_, _ = tbl.Delete(clr.Key)
+		_, _ = tbl.DeleteW(clr.Key, w)
 	case wal.TypeUpdate:
-		_, _ = tbl.Update(clr.Key, clr.Cols, clr.New, lsn)
+		_, _ = tbl.UpdateW(clr.Key, clr.Cols, clr.New, lsn, w)
 	case wal.TypeInsert:
-		_ = tbl.Insert(clr.Row, lsn)
+		_ = tbl.InsertW(clr.Row, lsn, w)
 	}
 }
 

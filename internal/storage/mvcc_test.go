@@ -1,0 +1,430 @@
+package storage
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/value"
+	"nbschema/internal/wal"
+)
+
+// mvccTable returns an MVCC-enabled table over testDef and the shared
+// oldest-active-snapshot watermark, pinned to 0 (nothing trimmable) so
+// visibility tests see full chains.
+func mvccTable(t *testing.T) (*Table, *atomic.Uint64) {
+	t.Helper()
+	tbl := NewTable(testDef(t))
+	var oldest atomic.Uint64
+	tbl.SetMVCC(&oldest)
+	return tbl, &oldest
+}
+
+func writer(begin uint64) *WriteCtx {
+	return &WriteCtx{Cell: &CommitCell{}, BeginTS: begin}
+}
+
+func key(id int64) value.Tuple { return value.Tuple{value.Int(id)} }
+
+func TestMVCCVisibilityAcrossCommit(t *testing.T) {
+	tbl, _ := mvccTable(t)
+	// System write: visible to every snapshot, even ts 0.
+	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := tbl.GetAt(key(1), 0); err != nil || !got.Equal(row(1, "eng", 100)) {
+		t.Fatalf("GetAt(0) = %v, %v", got, err)
+	}
+
+	w := writer(0)
+	if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(200)}, 2, w); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted: every snapshot still reads the old image (the current
+	// image is already the new one).
+	if got, _, err := tbl.GetAt(key(1), 99); err != nil || !got.Equal(row(1, "eng", 100)) {
+		t.Fatalf("uncommitted GetAt = %v, %v", got, err)
+	}
+	if got, _, err := tbl.Get(key(1)); err != nil || !got.Equal(row(1, "eng", 200)) {
+		t.Fatalf("current Get = %v, %v", got, err)
+	}
+
+	w.Cell.Commit(5)
+	if got, _, err := tbl.GetAt(key(1), 4); err != nil || !got.Equal(row(1, "eng", 100)) {
+		t.Fatalf("GetAt(4) = %v, %v", got, err)
+	}
+	if got, _, err := tbl.GetAt(key(1), 5); err != nil || !got.Equal(row(1, "eng", 200)) {
+		t.Fatalf("GetAt(5) = %v, %v", got, err)
+	}
+}
+
+func TestMVCCAbortedWritesInvisible(t *testing.T) {
+	tbl, _ := mvccTable(t)
+	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	// A writer updates, then its undo compensates back to the old image —
+	// both versions carry the same never-committed cell.
+	w := writer(0)
+	if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(999)}, 2, w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(100)}, 3, w); err != nil {
+		t.Fatal(err)
+	}
+	// The cell is never stamped: snapshots at every ts walk past both
+	// versions to the committed base image.
+	for _, ts := range []uint64{0, 1, 100} {
+		if got, _, err := tbl.GetAt(key(1), ts); err != nil || !got.Equal(row(1, "eng", 100)) {
+			t.Fatalf("GetAt(%d) after abort = %v, %v", ts, got, err)
+		}
+	}
+}
+
+func TestMVCCFirstCommitterWins(t *testing.T) {
+	tbl, _ := mvccTable(t)
+	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	w1 := writer(0)
+	if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(1)}, 2, w1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-writing a key the transaction already wrote passes.
+	if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(2)}, 3, w1); err != nil {
+		t.Fatalf("own re-write: %v", err)
+	}
+	w1.Cell.Commit(5)
+
+	// A writer that began before w1's commit conflicts.
+	w2 := writer(0)
+	if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(3)}, 4, w2); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("stale writer err = %v, want ErrWriteConflict", err)
+	}
+	if _, err := tbl.DeleteW(key(1), w2); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("stale delete err = %v, want ErrWriteConflict", err)
+	}
+
+	// A writer that began at or after the commit passes.
+	w3 := writer(5)
+	if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(4)}, 5, w3); err != nil {
+		t.Fatalf("fresh writer: %v", err)
+	}
+}
+
+func TestMVCCDeleteTombstoneAndReinsert(t *testing.T) {
+	tbl, _ := mvccTable(t)
+	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	w1 := writer(0)
+	if _, err := tbl.DeleteW(key(1), w1); err != nil {
+		t.Fatal(err)
+	}
+	w1.Cell.Commit(3)
+
+	if got, _, err := tbl.GetAt(key(1), 2); err != nil || !got.Equal(row(1, "eng", 100)) {
+		t.Fatalf("pre-delete GetAt = %v, %v", got, err)
+	}
+	if _, _, err := tbl.GetAt(key(1), 3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("post-delete GetAt err = %v", err)
+	}
+
+	// Insert over the committed delete: a stale writer conflicts with the
+	// tombstone, a fresh one links the prior life back onto its chain.
+	stale := writer(0)
+	if err := tbl.InsertW(row(1, "ops", 50), 4, stale); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("stale reinsert err = %v, want ErrWriteConflict", err)
+	}
+	fresh := writer(3)
+	if err := tbl.InsertW(row(1, "ops", 50), 5, fresh); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Cell.Commit(7)
+	if got, _, err := tbl.GetAt(key(1), 2); err != nil || !got.Equal(row(1, "eng", 100)) {
+		t.Fatalf("old life GetAt = %v, %v", got, err)
+	}
+	if _, _, err := tbl.GetAt(key(1), 6); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("tombstone window GetAt err = %v", err)
+	}
+	if got, _, err := tbl.GetAt(key(1), 7); err != nil || !got.Equal(row(1, "ops", 50)) {
+		t.Fatalf("new life GetAt = %v, %v", got, err)
+	}
+	st := tbl.VersionStats()
+	if st.DeadKeys != 0 {
+		t.Errorf("dead keys after reinsert = %d, want 0", st.DeadKeys)
+	}
+}
+
+func TestMVCCRekeyingUpdate(t *testing.T) {
+	tbl, _ := mvccTable(t)
+	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	w := writer(0)
+	// Change the primary key 1 → 2: old key tombstoned, new chain started.
+	if _, err := tbl.UpdateW(key(1), []int{0}, value.Tuple{value.Int(2)}, 2, w); err != nil {
+		t.Fatal(err)
+	}
+	w.Cell.Commit(4)
+
+	if got, _, err := tbl.GetAt(key(1), 3); err != nil || !got.Equal(row(1, "eng", 100)) {
+		t.Fatalf("old key pre-commit GetAt = %v, %v", got, err)
+	}
+	if _, _, err := tbl.GetAt(key(2), 3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("new key pre-commit err = %v", err)
+	}
+	if _, _, err := tbl.GetAt(key(1), 4); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("old key post-commit err = %v", err)
+	}
+	if got, _, err := tbl.GetAt(key(2), 4); err != nil || !got.Equal(row(2, "eng", 100)) {
+		t.Fatalf("new key post-commit GetAt = %v, %v", got, err)
+	}
+
+	// The snapshot scan must see exactly one row at both timestamps.
+	for _, ts := range []uint64{3, 4} {
+		n := 0
+		for pi := 0; pi < tbl.Partitions(); pi++ {
+			tbl.SnapshotScanPartition(pi, ts, 0, func(rows []Record) { n += len(rows) })
+		}
+		if n != 1 {
+			t.Errorf("snapshot scan at ts %d saw %d rows, want 1", ts, n)
+		}
+	}
+}
+
+func TestMVCCSnapshotScanConsistentCut(t *testing.T) {
+	tbl, _ := mvccTable(t)
+	for i := int64(0); i < 10; i++ {
+		if err := tbl.Insert(row(i, "eng", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := writer(0)
+	if _, err := tbl.UpdateW(key(3), []int{2}, value.Tuple{value.Int(333)}, 2, w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.DeleteW(key(4), w); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.InsertW(row(10, "new", 10), 3, w); err != nil {
+		t.Fatal(err)
+	}
+	w.Cell.Commit(2)
+
+	collect := func(ts uint64) map[int64]int64 {
+		got := map[int64]int64{}
+		for pi := 0; pi < tbl.Partitions(); pi++ {
+			tbl.SnapshotScanPartition(pi, ts, 3, func(rows []Record) {
+				for _, r := range rows {
+					got[r.Row[0].AsInt()] = r.Row[2].AsInt()
+				}
+			})
+		}
+		return got
+	}
+	before := collect(1)
+	if len(before) != 10 || before[3] != 3 || before[4] != 4 {
+		t.Fatalf("scan at ts 1 = %v", before)
+	}
+	after := collect(2)
+	if len(after) != 10 {
+		t.Fatalf("scan at ts 2 has %d rows: %v", len(after), after)
+	}
+	if after[3] != 333 {
+		t.Errorf("updated row at ts 2 = %d", after[3])
+	}
+	if _, ok := after[4]; ok {
+		t.Error("deleted row still visible at ts 2")
+	}
+	if after[10] != 10 {
+		t.Error("inserted row missing at ts 2")
+	}
+}
+
+func TestMVCCChainTrimAndGC(t *testing.T) {
+	tbl, oldest := mvccTable(t)
+	if err := tbl.Insert(row(1, "eng", 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Build a chain of 5 committed updates while everything is pinned.
+	for i := uint64(1); i <= 5; i++ {
+		w := writer(i - 1)
+		if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(int64(i))}, 2, w); err != nil {
+			t.Fatal(err)
+		}
+		w.Cell.Commit(i)
+	}
+	if st := tbl.VersionStats(); st.MaxChain < 5 {
+		t.Fatalf("pinned chain length = %d, want >= 5", st.MaxChain)
+	}
+
+	// Raise the watermark: everything below the newest committed version
+	// (ts 5 <= oldest) is unreachable and must be reclaimed.
+	oldest.Store(5)
+	freed := tbl.GC(5)
+	if freed == 0 {
+		t.Fatal("GC freed nothing")
+	}
+	if st := tbl.VersionStats(); st.MaxChain != 1 || st.Versions != 1 {
+		t.Fatalf("post-GC stats = %+v", st)
+	}
+	// The surviving version is still the right image.
+	if got, _, err := tbl.GetAt(key(1), 5); err != nil || got[2].AsInt() != 5 {
+		t.Fatalf("post-GC GetAt = %v, %v", got, err)
+	}
+}
+
+func TestMVCCGCDeadChains(t *testing.T) {
+	tbl, oldest := mvccTable(t)
+	if err := tbl.Insert(row(1, "eng", 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	w := writer(0)
+	if _, err := tbl.DeleteW(key(1), w); err != nil {
+		t.Fatal(err)
+	}
+	w.Cell.Commit(2)
+
+	// Pinned below the delete: the dead chain must survive.
+	oldest.Store(1)
+	tbl.GC(1)
+	if st := tbl.VersionStats(); st.DeadKeys != 1 {
+		t.Fatalf("dead keys at oldest=1: %+v", st)
+	}
+	// Once every snapshot sees the tombstone, the whole entry goes.
+	oldest.Store(2)
+	tbl.GC(2)
+	if st := tbl.VersionStats(); st.DeadKeys != 0 || st.Versions != 0 {
+		t.Fatalf("dead keys at oldest=2: %+v", st)
+	}
+}
+
+func TestMVCCOnWriteTrim(t *testing.T) {
+	tbl, oldest := mvccTable(t)
+	// No active snapshot: the watermark sits at MaxUint64 and each write
+	// trims the chain behind itself.
+	oldest.Store(^uint64(0))
+	if err := tbl.Insert(row(1, "eng", 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		w := writer(i - 1)
+		if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(int64(i))}, 2, w); err != nil {
+			t.Fatal(err)
+		}
+		w.Cell.Commit(i)
+	}
+	if st := tbl.VersionStats(); st.MaxChain > 2 {
+		t.Fatalf("unpinned chain grew to %d, want <= 2", st.MaxChain)
+	}
+}
+
+func TestMVCCDisabledZeroOverhead(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MVCCEnabled() {
+		t.Fatal("MVCC enabled without SetMVCC")
+	}
+	if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(1)}, 2, writer(0)); err != nil {
+		t.Fatal(err)
+	}
+	// No chains are maintained; GetAt degenerates to the current image.
+	if st := tbl.VersionStats(); st.Versions != 0 {
+		t.Fatalf("disabled table has %d versions", st.Versions)
+	}
+	if got, _, err := tbl.GetAt(key(1), 0); err != nil || got[2].AsInt() != 1 {
+		t.Fatalf("disabled GetAt = %v, %v", got, err)
+	}
+	if freed := tbl.GC(^uint64(0)); freed != 0 {
+		t.Fatalf("disabled GC freed %d", freed)
+	}
+}
+
+// BenchmarkMVCCDisabledScan is the disabled-cost gate for the read path: a
+// full latched scan of a table that never called SetMVCC must not allocate —
+// MVCC off adds no work to reads.
+func BenchmarkMVCCDisabledScan(b *testing.B) {
+	benchScan(b, false)
+}
+
+// BenchmarkMVCCEnabledScan is the same scan with version chains enabled:
+// the plain scan path is identical (the chain hangs off the record and the
+// scan never touches it).
+func BenchmarkMVCCEnabledScan(b *testing.B) {
+	benchScan(b, true)
+}
+
+func benchScan(b *testing.B, mvcc bool) {
+	tbl := NewTable(benchDef(b))
+	if mvcc {
+		var oldest atomic.Uint64
+		oldest.Store(^uint64(0))
+		tbl.SetMVCC(&oldest)
+	}
+	for i := int64(0); i < 1024; i++ {
+		if err := tbl.Insert(row(i, "eng", i), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		tbl.Scan(func(r value.Tuple, _ wal.LSN) bool {
+			n += r[0].AsInt()
+			return true
+		})
+	}
+	_ = n
+}
+
+// BenchmarkMVCCDisabledUpdate measures the write path with MVCC off: one
+// branch on t.mvcc and nothing else — no cells, versions or trims.
+func BenchmarkMVCCDisabledUpdate(b *testing.B) {
+	benchUpdate(b, false)
+}
+
+// BenchmarkMVCCEnabledUpdate is the same update with version chains on, for
+// an eyeball of the enabled-mode cost (one version push + on-write trim).
+func BenchmarkMVCCEnabledUpdate(b *testing.B) {
+	benchUpdate(b, true)
+}
+
+func benchUpdate(b *testing.B, mvcc bool) {
+	tbl := NewTable(benchDef(b))
+	if mvcc {
+		var oldest atomic.Uint64
+		oldest.Store(^uint64(0))
+		tbl.SetMVCC(&oldest)
+	}
+	if err := tbl.Insert(row(1, "eng", 0), 1); err != nil {
+		b.Fatal(err)
+	}
+	k := key(1)
+	cols := []int{2}
+	vals := value.Tuple{value.Int(7)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Update(k, cols, vals, wal.LSN(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDef(b *testing.B) *catalog.TableDef {
+	b.Helper()
+	d, err := catalog.NewTableDef("emp", []catalog.Column{
+		{Name: "id", Type: value.KindInt},
+		{Name: "dept", Type: value.KindString, Nullable: true},
+		{Name: "salary", Type: value.KindInt, Nullable: true},
+	}, []string{"id"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}

@@ -20,6 +20,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"nbschema/internal/catalog"
 	"nbschema/internal/fault"
@@ -40,12 +41,30 @@ var (
 type Record struct {
 	Row value.Tuple
 	LSN wal.LSN
+
+	// vc heads the record's version chain in MVCC mode (nil otherwise). The
+	// head describes the current contents (row aliases Row); prev links
+	// reach older versions for snapshot readers.
+	vc *version
 }
 
 // partition is one shard of a table's heap.
 type partition struct {
 	mu   sync.RWMutex
 	rows map[string]*Record
+	// dead holds the version chains of deleted keys in MVCC mode, headed by
+	// a tombstone, so snapshot readers can still reach the older versions.
+	// Lazily allocated; GC removes entries once no snapshot can see them.
+	dead map[string]*version
+}
+
+// deadChain records head as the dead chain of key, allocating the map on
+// first use. Call with the partition latch held exclusively.
+func (p *partition) deadChain(key string, head *version) {
+	if p.dead == nil {
+		p.dead = make(map[string]*version)
+	}
+	p.dead[key] = head
 }
 
 // Table is an in-memory heap table keyed by encoded primary key, sharded
@@ -57,6 +76,19 @@ type Table struct {
 	// Metric handles (nil when observability is off; nil handles are no-ops).
 	mInserts, mUpdates, mDeletes *obs.Counter
 	mGets, mFuzzyChunks          *obs.Counter
+	mSnapGets, mSnapChunks       *obs.Counter
+	mVersions                    *obs.Gauge
+	mChainLen                    *obs.Histogram
+	mGCReclaim                   *obs.Counter
+
+	// MVCC mode: a plain bool so the disabled hot paths pay one branch and
+	// no atomic loads. oldest is the engine-owned oldest-active-snapshot
+	// watermark (MaxUint64 when no snapshot is active); nVersions tracks the
+	// table's retained version structs so DetachObs can settle the shared
+	// gauge when the table is dropped.
+	mvcc      bool
+	oldest    *atomic.Uint64
+	nVersions atomic.Int64
 
 	parts []*partition
 	mask  uint32
@@ -157,7 +189,21 @@ func (t *Table) SetObs(reg *obs.Registry) {
 	t.mDeletes = reg.Counter("storage.delete")
 	t.mGets = reg.Counter("storage.get")
 	t.mFuzzyChunks = reg.Counter("storage.fuzzy.chunk")
+	t.mSnapGets = reg.Counter("storage.snapshot.get")
+	t.mSnapChunks = reg.Counter("storage.snapshot.chunk")
+	t.mVersions = reg.Gauge("storage.versions")
+	t.mChainLen = reg.Histogram("storage.mvcc.chain_len")
+	t.mGCReclaim = reg.Counter("storage.mvcc.gc.reclaimed")
 	reg.Gauge("storage.partitions").Set(int64(len(t.parts)))
+}
+
+// DetachObs settles the table's contribution to the shared storage.versions
+// gauge; the engine calls it when the table is dropped so retained-version
+// accounting does not leak across drops.
+func (t *Table) DetachObs() {
+	if n := t.nVersions.Swap(0); n != 0 {
+		t.mVersions.Add(-n)
+	}
 }
 
 // faultHit fires the generic and table-qualified fault points for op. The
@@ -190,7 +236,16 @@ func (t *Table) EncodeKey(key value.Tuple) string { return key.Encode() }
 func (t *Table) KeyOfRow(row value.Tuple) string { return t.def.KeyOf(row).Encode() }
 
 // Insert stores a new row version with the given LSN. The row is cloned.
+// In MVCC mode the write is a system write, visible to every snapshot.
 func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
+	return t.InsertW(row, lsn, nil)
+}
+
+// InsertW is Insert carrying the writing transaction's MVCC identity: the
+// new version joins w's commit cell and the insert is checked
+// first-committer-wins against any tombstoned prior life of the key. A nil w
+// marks a system write.
+func (t *Table) InsertW(row value.Tuple, lsn wal.LSN, w *WriteCtx) error {
 	if err := t.faultHit("insert"); err != nil {
 		return err
 	}
@@ -203,6 +258,13 @@ func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
 	defer p.mu.Unlock()
 	if _, exists := p.rows[key]; exists {
 		return fmt.Errorf("%w: %s in table %s", ErrDuplicateKey, t.def.KeyOf(row), t.def.Name)
+	}
+	if t.mvcc {
+		// A committed delete of this key after w began is a write-write
+		// conflict, exactly like a committed update would be.
+		if err := fcwCheck(p.dead[key], w); err != nil {
+			return err
+		}
 	}
 	rec := &Record{Row: row.Clone(), LSN: lsn}
 	p.rows[key] = rec
@@ -218,6 +280,13 @@ func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
 			delete(p.rows, key)
 			return err
 		}
+	}
+	if t.mvcc {
+		// Link any tombstoned prior life of the key so snapshots older than
+		// this insert still see the pre-delete versions.
+		rec.vc = t.pushVersion(rec.Row, lsn, w, p.dead[key])
+		delete(p.dead, key)
+		t.trimLocked(rec.vc)
 	}
 	return nil
 }
@@ -238,8 +307,19 @@ func (t *Table) Get(key value.Tuple) (value.Tuple, wal.LSN, error) {
 // Update overwrites the values of the given column positions and sets the
 // record LSN. It returns the updated full row. If the primary key changes,
 // the record is re-keyed, which may move it to another partition; both
-// partitions are then latched in ascending order.
+// partitions are then latched in ascending order. In MVCC mode the write is
+// a system write, visible to every snapshot.
 func (t *Table) Update(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LSN) (value.Tuple, error) {
+	return t.UpdateW(key, cols, vals, lsn, nil)
+}
+
+// UpdateW is Update carrying the writing transaction's MVCC identity: the
+// old image stays reachable on the version chain, and the write is checked
+// first-committer-wins against the chain's newest committed version. A
+// re-keying update tombstones the old key (snapshots keep finding the
+// pre-move image there) and starts the new key's chain, linked to any
+// tombstoned prior life of that key. A nil w marks a system write.
+func (t *Table) UpdateW(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LSN, w *WriteCtx) (value.Tuple, error) {
 	if err := t.faultHit("update"); err != nil {
 		return nil, err
 	}
@@ -304,8 +384,29 @@ func (t *Table) Update(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LS
 				p.mu.Unlock()
 				return nil, fmt.Errorf("%w: update re-keys %s onto existing %s", ErrDuplicateKey, key, t.def.KeyOf(newRow))
 			}
+			if t.mvcc {
+				err := fcwCheck(rec.vc, w)
+				if err == nil {
+					err = fcwCheck(q.dead[newEnc], w)
+				}
+				if err != nil {
+					q.mu.Unlock()
+					p.mu.Unlock()
+					return nil, err
+				}
+			}
 			for _, ix := range t.indexes {
 				ix.removeLocked(rec.Row, enc)
+			}
+			if t.mvcc {
+				// Tombstone the old key so snapshots keep finding the
+				// pre-move image, then start the new key's chain.
+				dead := t.pushVersion(nil, lsn, w, rec.vc)
+				p.deadChain(enc, dead)
+				t.trimLocked(dead)
+				rec.vc = t.pushVersion(newRow, lsn, w, q.dead[newEnc])
+				delete(q.dead, newEnc)
+				t.trimLocked(rec.vc)
 			}
 			rec.Row = newRow
 			rec.LSN = lsn
@@ -332,8 +433,31 @@ func (t *Table) Update(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LS
 				return nil, fmt.Errorf("%w: update re-keys %s onto existing %s", ErrDuplicateKey, key, t.def.KeyOf(newRow))
 			}
 		}
+		if t.mvcc {
+			err := fcwCheck(rec.vc, w)
+			if err == nil && newEnc != enc {
+				err = fcwCheck(p.dead[newEnc], w)
+			}
+			if err != nil {
+				p.mu.Unlock()
+				return nil, err
+			}
+		}
 		for _, ix := range t.indexes {
 			ix.removeLocked(rec.Row, enc)
+		}
+		if t.mvcc {
+			if newEnc != enc {
+				dead := t.pushVersion(nil, lsn, w, rec.vc)
+				p.deadChain(enc, dead)
+				t.trimLocked(dead)
+				rec.vc = t.pushVersion(newRow, lsn, w, p.dead[newEnc])
+				delete(p.dead, newEnc)
+				t.trimLocked(rec.vc)
+			} else {
+				rec.vc = t.pushVersion(newRow, lsn, w, rec.vc)
+				t.trimLocked(rec.vc)
+			}
 		}
 		rec.Row = newRow
 		rec.LSN = lsn
@@ -370,11 +494,27 @@ func (t *Table) SetLSN(key value.Tuple, lsn wal.LSN) error {
 		return fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
 	}
 	rec.LSN = lsn
+	if rec.vc != nil {
+		// An LSN-only bump mutates the head version in place (no new chain
+		// entry: the row did not change, and the head is what the current
+		// image aliases). Safe under the exclusive partition latch.
+		rec.vc.lsn = lsn
+	}
 	return nil
 }
 
 // Delete removes the record stored under key and returns its last row image.
+// In MVCC mode the write is a system write, visible to every snapshot.
 func (t *Table) Delete(key value.Tuple) (value.Tuple, error) {
+	return t.DeleteW(key, nil)
+}
+
+// DeleteW is Delete carrying the writing transaction's MVCC identity: the
+// record's chain moves to the partition's dead map under a tombstone, so
+// snapshot readers still reach the older versions; the delete is checked
+// first-committer-wins against the chain's newest committed version. A nil w
+// marks a system write.
+func (t *Table) DeleteW(key value.Tuple, w *WriteCtx) (value.Tuple, error) {
 	if err := t.faultHit("delete"); err != nil {
 		return nil, err
 	}
@@ -389,10 +529,20 @@ func (t *Table) Delete(key value.Tuple) (value.Tuple, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
 	}
+	if t.mvcc {
+		if err := fcwCheck(rec.vc, w); err != nil {
+			return nil, err
+		}
+	}
 	for _, ix := range t.indexes {
 		ix.removeLocked(rec.Row, enc)
 	}
 	delete(p.rows, enc)
+	if t.mvcc {
+		dead := t.pushVersion(nil, 0, w, rec.vc)
+		p.deadChain(enc, dead)
+		t.trimLocked(dead)
+	}
 	return rec.Row, nil
 }
 

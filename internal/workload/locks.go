@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"nbschema/internal/lock"
+	"nbschema/internal/storage"
 )
 
 // isLockTimeout reports a lock-wait timeout or a transferred-lock conflict —
@@ -17,4 +18,12 @@ func isLockTimeout(err error) bool {
 // transaction as a deadlock victim; clients retry it as a fresh transaction.
 func isDeadlock(err error) bool {
 	return errors.Is(err, lock.ErrDeadlock)
+}
+
+// isWriteConflict reports a first-committer-wins write-write conflict under
+// snapshot isolation (engine.Options.SnapshotReads); clients retry it as a
+// fresh transaction, which picks up a begin timestamp past the conflicting
+// commit.
+func isWriteConflict(err error) bool {
+	return errors.Is(err, storage.ErrWriteConflict)
 }

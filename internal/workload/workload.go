@@ -102,9 +102,12 @@ type Counters struct {
 	Aborts uint64
 	// Deadlocks counts aborts caused by the waits-for cycle detector
 	// choosing the transaction as a victim; Timeouts counts aborts from lock
-	// waits that ran out the clock (both subsets of Aborts).
+	// waits that ran out the clock; Conflicts counts first-committer-wins
+	// write-write conflicts under snapshot isolation (all subsets of
+	// Aborts).
 	Deadlocks uint64
 	Timeouts  uint64
+	Conflicts uint64
 	LatencyNs uint64
 	// Latency is the response-time histogram at snapshot time; subtracting
 	// two snapshots' histograms yields the window's distribution.
@@ -118,6 +121,7 @@ type Stats struct {
 	Aborts    uint64
 	Deadlocks uint64
 	Timeouts  uint64
+	Conflicts uint64
 	Duration  time.Duration
 	Throughput float64       // committed transactions per second
 	MeanRT     time.Duration // mean response time of committed transactions
@@ -134,6 +138,7 @@ func Between(a, b Counters) Stats {
 		Aborts:    b.Aborts - a.Aborts,
 		Deadlocks: b.Deadlocks - a.Deadlocks,
 		Timeouts:  b.Timeouts - a.Timeouts,
+		Conflicts: b.Conflicts - a.Conflicts,
 		Duration:  d,
 	}
 	if d > 0 {
@@ -159,6 +164,7 @@ type Runner struct {
 	aborts    atomic.Uint64
 	deadlocks atomic.Uint64
 	timeouts  atomic.Uint64
+	conflicts atomic.Uint64
 	latencyNs atomic.Uint64
 	lat       *obs.Histogram
 
@@ -208,6 +214,7 @@ func (r *Runner) Snapshot() Counters {
 		Aborts:    r.aborts.Load(),
 		Deadlocks: r.deadlocks.Load(),
 		Timeouts:  r.timeouts.Load(),
+		Conflicts: r.conflicts.Load(),
 		LatencyNs: r.latencyNs.Load(),
 		Latency:   r.lat.Snapshot(),
 		At:        time.Now(),
@@ -295,6 +302,8 @@ func (r *Runner) client(ctx context.Context, id int, seed int64) {
 			r.deadlocks.Add(1)
 		case isLockTimeout(err):
 			r.timeouts.Add(1)
+		case isWriteConflict(err):
+			r.conflicts.Add(1)
 		}
 		// Back off briefly after a failure: a tight retry loop against a
 		// closed table would flood the log with begin/abort records.
@@ -369,7 +378,8 @@ func retryable(err error) bool {
 		errors.Is(err, engine.ErrTxnDone) ||
 		errors.Is(err, catalog.ErrNotFound) ||
 		isLockTimeout(err) ||
-		isDeadlock(err)
+		isDeadlock(err) ||
+		isWriteConflict(err)
 }
 
 // Measure runs the workload for the given duration and returns its stats.

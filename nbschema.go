@@ -193,6 +193,18 @@ type Options struct {
 	// event). 0 disables both; TransformOptions.LagSLO overrides it per
 	// transformation.
 	LagSLO time.Duration
+	// SnapshotReads enables MVCC version chains and snapshot-isolation
+	// reads: DB.Snapshot opens a read-only transaction that sees the newest
+	// versions committed at or before its begin timestamp without touching
+	// the lock manager — readers never block writers and never block on
+	// them. Writes keep strict 2PL and additionally enforce
+	// first-committer-wins: overlapping writers racing on a record surface
+	// the retryable ErrWriteConflict. Transformations on an MVCC database
+	// build their initial image from a consistent snapshot instead of a
+	// fuzzy scan (TransformOptions.FuzzyPopulation forces the ablation
+	// arm). Off by default; when off the engine maintains no version chains
+	// and the read/write paths pay nothing.
+	SnapshotReads bool
 }
 
 func (o Options) engineOptions() engine.Options {
@@ -211,6 +223,7 @@ func (o Options) engineOptions() engine.Options {
 		LockStripes:       o.LockStripes,
 		StoragePartitions: o.StoragePartitions,
 		GroupCommit:       o.GroupCommit,
+		SnapshotReads:     o.SnapshotReads,
 
 		CheckpointEvery:      o.CheckpointEvery,
 		CheckpointEveryBytes: o.CheckpointEveryBytes,
@@ -247,6 +260,9 @@ type DB struct {
 	compactPropagation CompactionMode
 	// lagSLO is the database-wide default for TransformOptions.LagSLO.
 	lagSLO time.Duration
+	// snapshotReads records Options.SnapshotReads: transformations default
+	// to snapshot-based initial population on an MVCC database.
+	snapshotReads bool
 
 	trMu       sync.Mutex
 	transforms []*Transformation
@@ -273,6 +289,7 @@ func Open(opts ...Options) *DB {
 		propagateWorkers:   o.PropagateWorkers,
 		compactPropagation: o.CompactPropagation,
 		lagSLO:             o.LagSLO,
+		snapshotReads:      o.SnapshotReads,
 	}
 	db.initMonitor(o)
 	return db

@@ -157,6 +157,11 @@ type TransformOptions struct {
 	// custom sink as they happen, in addition to the bounded in-memory ring
 	// readable via Transformation.Trace. Nil keeps just the ring.
 	Trace TraceSink
+	// FuzzyPopulation forces the fuzzy-scan initial population — the 2PL
+	// ablation arm — on a database opened with Options.SnapshotReads, which
+	// otherwise builds the initial image from a transactionally consistent
+	// snapshot. Ignored (population is always fuzzy) without SnapshotReads.
+	FuzzyPopulation bool
 	// LagSLO is the freshness service-level objective this transformation is
 	// judged against: entering synchronization logs an EventFreshness trace
 	// event that names a violation when the source-commit→target-apply lag
@@ -178,6 +183,7 @@ func (o TransformOptions) config(db *DB) core.Config {
 		Compaction:       o.CompactPropagation,
 		Sink:             o.Trace,
 		LagSLO:           o.LagSLO,
+		SnapshotPopulate: db.snapshotReads && !o.FuzzyPopulation,
 	}
 	if cfg.LagSLO == 0 {
 		cfg.LagSLO = db.lagSLO

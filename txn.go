@@ -30,6 +30,13 @@ var (
 	// ErrNoSuchTable reports a reference to a missing table — possibly one
 	// a completed transformation dropped; retry against the new table.
 	ErrNoSuchTable = catalog.ErrNotFound
+	// ErrWriteConflict reports a first-committer-wins write-write conflict
+	// (Options.SnapshotReads only): another transaction committed a newer
+	// version of the record after this transaction began. Abort and retry.
+	ErrWriteConflict = engine.ErrWriteConflict
+	// ErrSnapshotsOff reports DB.Snapshot on a database opened without
+	// Options.SnapshotReads.
+	ErrSnapshotsOff = engine.ErrSnapshotsOff
 )
 
 // Txn is a transaction handle. A Txn is intended for a single goroutine.
@@ -152,10 +159,10 @@ func fromTuple(t value.Tuple) []any {
 }
 
 // IsRetryable reports whether err indicates the transaction should be
-// aborted and retried (deadlock victim, lock timeout, or a transformation
-// dooming/denying it).
+// aborted and retried (deadlock victim, lock timeout, snapshot write-write
+// conflict, or a transformation dooming/denying it).
 func IsRetryable(err error) bool {
 	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrLockTimeout) ||
 		errors.Is(err, ErrTxnDoomed) || errors.Is(err, ErrNoAccess) ||
-		errors.Is(err, ErrNoSuchTable)
+		errors.Is(err, ErrNoSuchTable) || errors.Is(err, ErrWriteConflict)
 }
