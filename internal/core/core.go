@@ -779,7 +779,10 @@ func (tr *Transformation) populate(ctx context.Context) error {
 // held across the callback.
 func (tr *Transformation) scanPartition(tbl *storage.Table, pi int, fn func(recs []storage.Record)) {
 	if tr.popSnapOn {
-		tbl.SnapshotScanPartition(pi, tr.popTS, tr.cfg.FuzzyChunk, fn)
+		tbl.SnapshotScanPartition(pi, tr.popTS, tr.cfg.FuzzyChunk, func(recs []storage.Record) bool {
+			fn(recs)
+			return true
+		})
 		return
 	}
 	tbl.FuzzyScanPartition(pi, tr.cfg.FuzzyChunk, fn)

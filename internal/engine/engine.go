@@ -346,7 +346,7 @@ func (db *DB) CreateTable(def *catalog.TableDef) error {
 	tbl := storage.NewTablePartitions(def, db.opts.StoragePartitions)
 	tbl.SetFaults(db.faults)
 	if db.mvcc {
-		tbl.SetMVCC(&db.oldestSnap)
+		tbl.SetMVCC(&db.commitTS, &db.oldestSnap)
 	}
 	latch := lock.NewLatch(def.Name)
 	if db.obs != nil {

@@ -40,7 +40,12 @@ func (db *DB) BeginSnapshot() (*Snap, error) {
 	db.snapMu.Lock()
 	// Pre-publish a conservative GC floor before reading the final
 	// timestamp: without it, a commit landing between the clock read and the
-	// registry update could trim the very versions this snapshot needs.
+	// registry update could trim the very versions this snapshot needs. The
+	// floor-store-then-clock-read order here pairs with the clock-read-then-
+	// watermark-read order in storage.Table.gcFloor: a trim that could cut
+	// versions this snapshot needs must have observed a commit newer than our
+	// timestamp on the clock, which means its watermark read happens after
+	// this store and sees the floor.
 	if f := db.commitTS.Load(); f < db.oldestSnap.Load() {
 		db.oldestSnap.Store(f)
 	}
@@ -103,16 +108,14 @@ func (s *Snap) Scan(table string, fn func(row value.Tuple) bool) error {
 	defer latch.ReleaseShared()
 	stop := false
 	for pi := 0; pi < tbl.Partitions() && !stop; pi++ {
-		tbl.SnapshotScanPartition(pi, s.ts, 0, func(rows []storage.Record) {
+		tbl.SnapshotScanPartition(pi, s.ts, 0, func(rows []storage.Record) bool {
 			for _, rec := range rows {
-				if stop {
-					return
-				}
 				if !fn(rec.Row) {
 					stop = true
-					return
+					return false
 				}
 			}
+			return true
 		})
 	}
 	return nil
@@ -138,15 +141,16 @@ func (s *Snap) Close() error {
 	return nil
 }
 
-// RunGC sweeps every table's version chains against the oldest active
-// snapshot, returning the number of versions reclaimed. The engine also runs
-// it periodically from transaction end; tests and the debug surface call it
-// directly.
+// RunGC sweeps every table's version chains, returning the number of
+// versions reclaimed. Each table re-derives the reclamation floor — the
+// oldest active snapshot bounded by the commit clock — per partition under
+// the partition latch (storage.Table.GC), so a snapshot beginning mid-sweep
+// is never trimmed out from under. The engine also runs it periodically from
+// transaction end; tests and the debug surface call it directly.
 func (db *DB) RunGC() int64 {
 	if !db.mvcc {
 		return 0
 	}
-	oldest := db.oldestSnap.Load()
 	db.mu.RLock()
 	tables := make([]*storage.Table, 0, len(db.tables))
 	for _, tbl := range db.tables {
@@ -155,7 +159,7 @@ func (db *DB) RunGC() int64 {
 	db.mu.RUnlock()
 	var freed int64
 	for _, tbl := range tables {
-		freed += tbl.GC(oldest)
+		freed += tbl.GC()
 	}
 	db.met.gcRuns.Add(1)
 	return freed

@@ -385,3 +385,84 @@ func TestSnapshotConcurrentReadersAndWriters(t *testing.T) {
 	wg.Wait()
 	db.RunGC()
 }
+
+// TestSnapshotNotTrimmedByConcurrentGC hammers the race REVIEW found in
+// RunGC: a sweep that loads the oldest-snapshot watermark while no snapshot
+// is active (MaxUint64), interleaved with a snapshot beginning at ts T and a
+// commit at T+1, used to trim the ts<=T version the snapshot still needs —
+// surfacing as a spurious ErrNotFound or a stale/missing row. With the
+// clock-bounded per-partition floor, every snapshot Get must succeed.
+func TestSnapshotNotTrimmedByConcurrentGC(t *testing.T) {
+	db := newMVCCTestDB(t)
+	const keys = 4
+	tx := db.Begin()
+	for i := int64(0); i < keys; i++ {
+		if err := tx.Insert("acct", acct(i, "w", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	running := func() bool {
+		select {
+		case <-stop:
+			return false
+		default:
+			return true
+		}
+	}
+	// Writers: keep committing new versions of every key.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := seed; running(); i++ {
+				tx := db.Begin()
+				err := tx.Update("acct", key(i%keys), []string{"balance"}, value.Tuple{value.Int(i)})
+				if err == nil {
+					err = tx.Commit()
+				}
+				if err != nil {
+					_ = tx.Abort()
+				}
+			}
+		}(int64(w))
+	}
+	// GC: sweep as fast as possible, maximizing the begin/commit/sweep
+	// interleavings.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for running() {
+			db.RunGC()
+		}
+	}()
+	// Snapshot readers: every key existed before any snapshot began and is
+	// never deleted, so a snapshot must always find all of them.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for running() {
+				snap, err := db.BeginSnapshot()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := int64(0); j < keys; j++ {
+					if _, err := snap.Get("acct", key(j)); err != nil {
+						t.Errorf("snapshot at ts %d lost key %d to GC: %v", snap.TS(), j, err)
+						_ = snap.Close()
+						return
+					}
+				}
+				_ = snap.Close()
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -12,8 +12,9 @@
 // System writes — log propagation into transformation targets, recovery
 // replay, bulk loads through the direct storage API — carry a nil cell and
 // are visible to every snapshot. Chains are trimmed opportunistically on
-// write and swept by Table.GC, both bounded below by the oldest active
-// snapshot timestamp the engine shares via SetMVCC.
+// write and swept by Table.GC, both bounded below by the reclamation floor
+// gcFloor computes from the commit clock and oldest-active-snapshot
+// watermark the engine shares via SetMVCC.
 package storage
 
 import (
@@ -137,11 +138,40 @@ func fcwCheck(head *version, w *WriteCtx) error {
 }
 
 // SetMVCC enables version-chain maintenance on this table, sharing the
-// engine-owned oldest-active-snapshot watermark that bounds chain trimming.
-// Call before the table is shared; tables without it pay nothing for MVCC.
-func (t *Table) SetMVCC(oldest *atomic.Uint64) {
+// engine-owned commit clock (the last assigned commit timestamp) and
+// oldest-active-snapshot watermark that together bound chain trimming (see
+// gcFloor). Call before the table is shared; tables without it pay nothing
+// for MVCC.
+func (t *Table) SetMVCC(clock, oldest *atomic.Uint64) {
 	t.mvcc = true
+	t.clock = clock
 	t.oldest = oldest
+}
+
+// gcFloor returns the trim watermark: the oldest active snapshot bounded
+// above by the commit clock — and the clock is read FIRST. Both matter for
+// correctness against a snapshot registering concurrently:
+//
+//   - The clock bound means a trim never keys on a version committed after
+//     the floor was computed, so a snapshot that begins mid-sweep at the
+//     current clock value can only need versions the trim retained.
+//   - The read order closes the remaining window for snapshots that began
+//     just before such a commit: a snapshot whose ts predates a commit at C
+//     read the clock before C was published, and it pre-published its GC
+//     floor (BeginSnapshot, under snapMu) before that clock read. A floor
+//     computation whose clock read observed C therefore happens after the
+//     snapshot's floor store, and its watermark read must see it.
+//
+// Reading the pair in the opposite order re-opens the race: watermark read
+// (no snapshot yet), snapshot registers at T, commit at T+1 advances the
+// clock, clock read returns T+1 — and the floor T+1 would let a trim cut the
+// version the snapshot at T needs.
+func (t *Table) gcFloor() uint64 {
+	c := t.clock.Load()
+	if w := t.oldest.Load(); w < c {
+		return w
+	}
+	return c
 }
 
 // MVCCEnabled reports whether the table maintains version chains.
@@ -186,18 +216,27 @@ func trimChain(head *version, oldest uint64) int64 {
 	return 0
 }
 
-// trimLocked is the on-write trim: cut the chain against the current oldest
-// snapshot and account the freed versions. Call with the partition latch held.
+// trimLocked is the on-write trim: cut the chain against the current
+// reclamation floor and account the freed versions. Call with the partition
+// latch held.
 func (t *Table) trimLocked(head *version) {
-	t.reclaim(trimChain(head, t.oldest.Load()))
+	t.reclaim(trimChain(head, t.gcFloor()))
 }
 
+// reclaim accounts n freed versions. After DetachObs (table dropped) it
+// leaves the version accounting alone: the drop already settled the table's
+// contribution to the shared gauge, and a GC sweep still holding the table
+// must not subtract it again.
 func (t *Table) reclaim(n int64) {
 	if n == 0 {
 		return
 	}
-	t.nVersions.Add(-n)
-	t.mVersions.Add(-n)
+	t.detachMu.Lock()
+	if !t.detached {
+		t.nVersions.Add(-n)
+		t.mVersions.Add(-n)
+	}
+	t.detachMu.Unlock()
 	t.mGCReclaim.Add(n)
 }
 
@@ -225,30 +264,35 @@ func deadRemovable(head *version, oldest uint64) bool {
 	return true
 }
 
-// GC sweeps every version chain against the oldest active snapshot
-// timestamp: live chains are trimmed and dead-map entries whose key is
+// GC sweeps every version chain against the current reclamation floor
+// (gcFloor): live chains are trimmed and dead-map entries whose key is
 // invisible to every current and future snapshot are removed. It returns the
-// number of versions reclaimed. Safe to run concurrently with reads and
-// writes (it takes each partition latch in turn).
-func (t *Table) GC(oldest uint64) int64 {
+// number of versions reclaimed. Safe to run concurrently with reads, writes
+// and BeginSnapshot: it takes each partition latch in turn and re-reads the
+// floor under each latch rather than threading one stale value through the
+// whole sweep, so a snapshot opened mid-sweep lowers the floor for every
+// partition not yet visited (gcFloor's clock bound covers the ones already
+// in flight).
+func (t *Table) GC() int64 {
 	if !t.mvcc {
 		return 0
 	}
 	var freed int64
 	for _, p := range t.parts {
 		p.mu.Lock()
+		floor := t.gcFloor()
 		for _, rec := range p.rows {
 			if rec.vc != nil {
-				freed += trimChain(rec.vc, oldest)
+				freed += trimChain(rec.vc, floor)
 			}
 		}
 		for k, head := range p.dead {
-			if deadRemovable(head, oldest) {
+			if deadRemovable(head, floor) {
 				freed += chainLen(head)
 				delete(p.dead, k)
 				continue
 			}
-			freed += trimChain(head, oldest)
+			freed += trimChain(head, floor)
 		}
 		p.mu.Unlock()
 	}
@@ -285,16 +329,24 @@ func (t *Table) GetAt(key value.Tuple, ts uint64) (value.Tuple, wal.LSN, error) 
 // key's newest version committed at or before ts, a transactionally
 // consistent view. Like the fuzzy scan it works in chunks, copying rows out
 // under the partition latch and delivering them to fn with no latch held;
-// unlike the fuzzy scan the result mixes no mid-scan updates. Different
-// partitions can be scanned concurrently. chunk <= 0 selects a default.
-func (t *Table) SnapshotScanPartition(pi int, ts uint64, chunk int, fn func(rows []Record)) {
+// unlike the fuzzy scan the result mixes no mid-scan updates. fn returning
+// false aborts the remaining chunks of the partition. Different partitions
+// can be scanned concurrently. chunk <= 0 selects a default.
+//
+// System writes (nil-cell versions, visible to every snapshot) have their
+// visibility bounded at listing time: one landing in this partition after
+// the scan listed its keys is not delivered, even though a point GetAt would
+// already return it. Transactional writes need no such caveat — a key
+// absent from the listing can only carry versions committed after ts.
+func (t *Table) SnapshotScanPartition(pi int, ts uint64, chunk int, fn func(rows []Record) bool) {
 	if chunk <= 0 {
 		chunk = 256
 	}
 	p := t.parts[pi]
 	// The key list includes dead-map keys: a record deleted after ts is
 	// still visible to the snapshot through its tombstoned chain. Keys
-	// inserted after the listing are committed after ts and thus invisible.
+	// inserted after the listing are committed after ts and thus invisible
+	// (system writes excepted — see above).
 	p.mu.RLock()
 	keys := make([]string, 0, len(p.rows)+len(p.dead))
 	for k := range p.rows {
@@ -327,7 +379,9 @@ func (t *Table) SnapshotScanPartition(pi int, ts uint64, chunk int, fn func(rows
 			}
 		}
 		p.mu.RUnlock()
-		fn(buf)
+		if !fn(buf) {
+			return
+		}
 	}
 }
 

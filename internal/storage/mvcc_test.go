@@ -10,15 +10,15 @@ import (
 	"nbschema/internal/wal"
 )
 
-// mvccTable returns an MVCC-enabled table over testDef and the shared
-// oldest-active-snapshot watermark, pinned to 0 (nothing trimmable) so
-// visibility tests see full chains.
-func mvccTable(t *testing.T) (*Table, *atomic.Uint64) {
+// mvccTable returns an MVCC-enabled table over testDef plus the shared
+// commit clock and oldest-active-snapshot watermark, both pinned to 0
+// (nothing trimmable) so visibility tests see full chains.
+func mvccTable(t *testing.T) (*Table, *atomic.Uint64, *atomic.Uint64) {
 	t.Helper()
 	tbl := NewTable(testDef(t))
-	var oldest atomic.Uint64
-	tbl.SetMVCC(&oldest)
-	return tbl, &oldest
+	var clock, oldest atomic.Uint64
+	tbl.SetMVCC(&clock, &oldest)
+	return tbl, &clock, &oldest
 }
 
 func writer(begin uint64) *WriteCtx {
@@ -28,7 +28,7 @@ func writer(begin uint64) *WriteCtx {
 func key(id int64) value.Tuple { return value.Tuple{value.Int(id)} }
 
 func TestMVCCVisibilityAcrossCommit(t *testing.T) {
-	tbl, _ := mvccTable(t)
+	tbl, _, _ := mvccTable(t)
 	// System write: visible to every snapshot, even ts 0.
 	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
 		t.Fatal(err)
@@ -60,7 +60,7 @@ func TestMVCCVisibilityAcrossCommit(t *testing.T) {
 }
 
 func TestMVCCAbortedWritesInvisible(t *testing.T) {
-	tbl, _ := mvccTable(t)
+	tbl, _, _ := mvccTable(t)
 	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestMVCCAbortedWritesInvisible(t *testing.T) {
 }
 
 func TestMVCCFirstCommitterWins(t *testing.T) {
-	tbl, _ := mvccTable(t)
+	tbl, _, _ := mvccTable(t)
 	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestMVCCFirstCommitterWins(t *testing.T) {
 }
 
 func TestMVCCDeleteTombstoneAndReinsert(t *testing.T) {
-	tbl, _ := mvccTable(t)
+	tbl, _, _ := mvccTable(t)
 	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestMVCCDeleteTombstoneAndReinsert(t *testing.T) {
 }
 
 func TestMVCCRekeyingUpdate(t *testing.T) {
-	tbl, _ := mvccTable(t)
+	tbl, _, _ := mvccTable(t)
 	if err := tbl.Insert(row(1, "eng", 100), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestMVCCRekeyingUpdate(t *testing.T) {
 	for _, ts := range []uint64{3, 4} {
 		n := 0
 		for pi := 0; pi < tbl.Partitions(); pi++ {
-			tbl.SnapshotScanPartition(pi, ts, 0, func(rows []Record) { n += len(rows) })
+			tbl.SnapshotScanPartition(pi, ts, 0, func(rows []Record) bool { n += len(rows); return true })
 		}
 		if n != 1 {
 			t.Errorf("snapshot scan at ts %d saw %d rows, want 1", ts, n)
@@ -195,7 +195,7 @@ func TestMVCCRekeyingUpdate(t *testing.T) {
 }
 
 func TestMVCCSnapshotScanConsistentCut(t *testing.T) {
-	tbl, _ := mvccTable(t)
+	tbl, _, _ := mvccTable(t)
 	for i := int64(0); i < 10; i++ {
 		if err := tbl.Insert(row(i, "eng", i), 1); err != nil {
 			t.Fatal(err)
@@ -216,10 +216,11 @@ func TestMVCCSnapshotScanConsistentCut(t *testing.T) {
 	collect := func(ts uint64) map[int64]int64 {
 		got := map[int64]int64{}
 		for pi := 0; pi < tbl.Partitions(); pi++ {
-			tbl.SnapshotScanPartition(pi, ts, 3, func(rows []Record) {
+			tbl.SnapshotScanPartition(pi, ts, 3, func(rows []Record) bool {
 				for _, r := range rows {
 					got[r.Row[0].AsInt()] = r.Row[2].AsInt()
 				}
+				return true
 			})
 		}
 		return got
@@ -244,11 +245,13 @@ func TestMVCCSnapshotScanConsistentCut(t *testing.T) {
 }
 
 func TestMVCCChainTrimAndGC(t *testing.T) {
-	tbl, oldest := mvccTable(t)
+	tbl, clock, oldest := mvccTable(t)
 	if err := tbl.Insert(row(1, "eng", 0), 1); err != nil {
 		t.Fatal(err)
 	}
-	// Build a chain of 5 committed updates while everything is pinned.
+	// Build a chain of 5 committed updates while everything is pinned
+	// (clock at 0 floors every trim at 0, mimicking an engine whose commit
+	// clock the table must not run ahead of).
 	for i := uint64(1); i <= 5; i++ {
 		w := writer(i - 1)
 		if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(int64(i))}, 2, w); err != nil {
@@ -260,10 +263,17 @@ func TestMVCCChainTrimAndGC(t *testing.T) {
 		t.Fatalf("pinned chain length = %d, want >= 5", st.MaxChain)
 	}
 
-	// Raise the watermark: everything below the newest committed version
-	// (ts 5 <= oldest) is unreachable and must be reclaimed.
+	// The floor is min(clock, oldest): raising only the watermark must not
+	// unpin anything while the clock still reads 0.
 	oldest.Store(5)
-	freed := tbl.GC(5)
+	if freed := tbl.GC(); freed != 0 {
+		t.Fatalf("GC freed %d with clock at 0", freed)
+	}
+
+	// Advance the clock too: everything below the newest committed version
+	// (ts 5 <= floor) is unreachable and must be reclaimed.
+	clock.Store(5)
+	freed := tbl.GC()
 	if freed == 0 {
 		t.Fatal("GC freed nothing")
 	}
@@ -277,7 +287,7 @@ func TestMVCCChainTrimAndGC(t *testing.T) {
 }
 
 func TestMVCCGCDeadChains(t *testing.T) {
-	tbl, oldest := mvccTable(t)
+	tbl, clock, oldest := mvccTable(t)
 	if err := tbl.Insert(row(1, "eng", 0), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -286,25 +296,27 @@ func TestMVCCGCDeadChains(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Cell.Commit(2)
+	clock.Store(2)
 
 	// Pinned below the delete: the dead chain must survive.
 	oldest.Store(1)
-	tbl.GC(1)
+	tbl.GC()
 	if st := tbl.VersionStats(); st.DeadKeys != 1 {
 		t.Fatalf("dead keys at oldest=1: %+v", st)
 	}
 	// Once every snapshot sees the tombstone, the whole entry goes.
 	oldest.Store(2)
-	tbl.GC(2)
+	tbl.GC()
 	if st := tbl.VersionStats(); st.DeadKeys != 0 || st.Versions != 0 {
 		t.Fatalf("dead keys at oldest=2: %+v", st)
 	}
 }
 
 func TestMVCCOnWriteTrim(t *testing.T) {
-	tbl, oldest := mvccTable(t)
-	// No active snapshot: the watermark sits at MaxUint64 and each write
-	// trims the chain behind itself.
+	tbl, clock, oldest := mvccTable(t)
+	// No active snapshot: the watermark sits at MaxUint64, the floor tracks
+	// the advancing commit clock, and each write trims the chain behind
+	// itself.
 	oldest.Store(^uint64(0))
 	if err := tbl.Insert(row(1, "eng", 0), 1); err != nil {
 		t.Fatal(err)
@@ -315,6 +327,7 @@ func TestMVCCOnWriteTrim(t *testing.T) {
 			t.Fatal(err)
 		}
 		w.Cell.Commit(i)
+		clock.Store(i)
 	}
 	if st := tbl.VersionStats(); st.MaxChain > 2 {
 		t.Fatalf("unpinned chain grew to %d, want <= 2", st.MaxChain)
@@ -339,8 +352,102 @@ func TestMVCCDisabledZeroOverhead(t *testing.T) {
 	if got, _, err := tbl.GetAt(key(1), 0); err != nil || got[2].AsInt() != 1 {
 		t.Fatalf("disabled GetAt = %v, %v", got, err)
 	}
-	if freed := tbl.GC(^uint64(0)); freed != 0 {
+	if freed := tbl.GC(); freed != 0 {
 		t.Fatalf("disabled GC freed %d", freed)
+	}
+}
+
+// TestMVCCGCFloorBoundedByClock pins the fix for the GC/BeginSnapshot race:
+// the reclamation floor is min(clock, watermark) with the clock read first,
+// so a sweep never keys a trim on a version committed past the clock value
+// it observed — exactly the versions a snapshot registering mid-sweep (at a
+// timestamp the sweep's stale watermark read missed) may still need.
+func TestMVCCGCFloorBoundedByClock(t *testing.T) {
+	tbl, clock, oldest := mvccTable(t)
+	if err := tbl.Insert(row(1, "eng", 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	w1 := writer(0)
+	if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(1)}, 2, w1); err != nil {
+		t.Fatal(err)
+	}
+	w1.Cell.Commit(3)
+	clock.Store(3)
+	// A commit the sweep's clock read did NOT observe: stamped at 4 while
+	// the shared clock still reads 3 (commit stamps the cell before it
+	// advances the clock; GC may interleave exactly here).
+	w2 := writer(3)
+	if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(2)}, 3, w2); err != nil {
+		t.Fatal(err)
+	}
+	w2.Cell.Commit(4)
+
+	// No active snapshot: the watermark reads MaxUint64. The old floor
+	// (watermark alone) would cut below the ts-4 version, dropping the ts-3
+	// image a snapshot beginning "now" at clock 3 must still read.
+	oldest.Store(^uint64(0))
+	tbl.GC()
+	if got, _, err := tbl.GetAt(key(1), 3); err != nil || got[2].AsInt() != 1 {
+		t.Fatalf("GetAt(3) after clock-bounded GC = %v, %v (version needed by a snapshot at the current clock was trimmed)", got, err)
+	}
+	// Once the clock catches up, the same sweep reclaims the chain.
+	clock.Store(4)
+	if freed := tbl.GC(); freed == 0 {
+		t.Fatal("GC freed nothing after clock advanced")
+	}
+	if got, _, err := tbl.GetAt(key(1), 4); err != nil || got[2].AsInt() != 2 {
+		t.Fatalf("GetAt(4) after GC = %v, %v", got, err)
+	}
+}
+
+// TestMVCCReclaimAfterDetachObs pins the DropTable/RunGC race: a sweep that
+// still holds a dropped table keeps freeing memory, but once DetachObs has
+// settled the table's contribution to the shared gauge, the sweep's reclaim
+// must not subtract it again (driving the count negative).
+func TestMVCCReclaimAfterDetachObs(t *testing.T) {
+	tbl, clock, oldest := mvccTable(t)
+	if err := tbl.Insert(row(1, "eng", 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		w := writer(i - 1)
+		if _, err := tbl.UpdateW(key(1), []int{2}, value.Tuple{value.Int(int64(i))}, 2, w); err != nil {
+			t.Fatal(err)
+		}
+		w.Cell.Commit(i)
+	}
+	tbl.DetachObs()
+	if n := tbl.nVersions.Load(); n != 0 {
+		t.Fatalf("nVersions after DetachObs = %d, want 0", n)
+	}
+	clock.Store(3)
+	oldest.Store(^uint64(0))
+	if freed := tbl.GC(); freed == 0 {
+		t.Fatal("GC on detached table freed nothing")
+	}
+	if n := tbl.nVersions.Load(); n != 0 {
+		t.Fatalf("nVersions after post-detach GC = %d, want 0 (double-subtracted)", n)
+	}
+}
+
+// TestMVCCSnapshotScanEarlyStop verifies fn returning false aborts the
+// remaining chunks of the partition.
+func TestMVCCSnapshotScanEarlyStop(t *testing.T) {
+	tbl, _, _ := mvccTable(t)
+	for i := int64(0); i < 64; i++ {
+		if err := tbl.Insert(row(i, "eng", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pi := 0; pi < tbl.Partitions(); pi++ {
+		calls := 0
+		tbl.SnapshotScanPartition(pi, 0, 1, func(rows []Record) bool {
+			calls++
+			return false
+		})
+		if calls > 1 {
+			t.Fatalf("partition %d delivered %d chunks after fn returned false", pi, calls)
+		}
 	}
 }
 
@@ -361,9 +468,10 @@ func BenchmarkMVCCEnabledScan(b *testing.B) {
 func benchScan(b *testing.B, mvcc bool) {
 	tbl := NewTable(benchDef(b))
 	if mvcc {
-		var oldest atomic.Uint64
+		var clock, oldest atomic.Uint64
+		clock.Store(^uint64(0))
 		oldest.Store(^uint64(0))
-		tbl.SetMVCC(&oldest)
+		tbl.SetMVCC(&clock, &oldest)
 	}
 	for i := int64(0); i < 1024; i++ {
 		if err := tbl.Insert(row(i, "eng", i), 1); err != nil {
@@ -397,9 +505,10 @@ func BenchmarkMVCCEnabledUpdate(b *testing.B) {
 func benchUpdate(b *testing.B, mvcc bool) {
 	tbl := NewTable(benchDef(b))
 	if mvcc {
-		var oldest atomic.Uint64
+		var clock, oldest atomic.Uint64
+		clock.Store(^uint64(0))
 		oldest.Store(^uint64(0))
-		tbl.SetMVCC(&oldest)
+		tbl.SetMVCC(&clock, &oldest)
 	}
 	if err := tbl.Insert(row(1, "eng", 0), 1); err != nil {
 		b.Fatal(err)

@@ -82,13 +82,18 @@ type Table struct {
 	mGCReclaim                   *obs.Counter
 
 	// MVCC mode: a plain bool so the disabled hot paths pay one branch and
-	// no atomic loads. oldest is the engine-owned oldest-active-snapshot
-	// watermark (MaxUint64 when no snapshot is active); nVersions tracks the
-	// table's retained version structs so DetachObs can settle the shared
-	// gauge when the table is dropped.
+	// no atomic loads. clock is the engine-owned commit clock and oldest the
+	// oldest-active-snapshot watermark (MaxUint64 when no snapshot is
+	// active); gcFloor combines them into the trim bound. nVersions tracks
+	// the table's retained version structs so DetachObs can settle the
+	// shared gauge when the table is dropped; detachMu orders that settling
+	// against a concurrent GC sweep's reclaim.
 	mvcc      bool
+	clock     *atomic.Uint64
 	oldest    *atomic.Uint64
 	nVersions atomic.Int64
+	detachMu  sync.Mutex
+	detached  bool
 
 	parts []*partition
 	mask  uint32
@@ -199,11 +204,17 @@ func (t *Table) SetObs(reg *obs.Registry) {
 
 // DetachObs settles the table's contribution to the shared storage.versions
 // gauge; the engine calls it when the table is dropped so retained-version
-// accounting does not leak across drops.
+// accounting does not leak across drops. A GC sweep that still holds the
+// dropped table keeps reclaiming memory, but its accounting becomes a no-op
+// (reclaim checks the detached flag under the same mutex), so the gauge is
+// neither double-subtracted nor driven negative.
 func (t *Table) DetachObs() {
+	t.detachMu.Lock()
+	t.detached = true
 	if n := t.nVersions.Swap(0); n != 0 {
 		t.mVersions.Add(-n)
 	}
+	t.detachMu.Unlock()
 }
 
 // faultHit fires the generic and table-qualified fault points for op. The
