@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|workload|scale|compaction|recovery|lag|mvcc|all]
+//	nbschema-bench [-fig 4a|4b|4c|4d|4a-foj|4c-foj|cc|sync|ablation|workload|scale|compaction|recovery|lag|mvcc|hotpath|all]
 //	               [-paper] [-rows N] [-sample dur] [-repeats N] [-seed N]
 //	               [-out file.json] [-timeline file.json]
 //
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, workload, scale, compaction, recovery, lag, mvcc, all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 4c, 4d, 4a-foj, 4c-foj, cc, sync, ablation, workload, scale, compaction, recovery, lag, mvcc, hotpath, all")
 		paper   = flag.Bool("paper", false, "use the paper's table sizes (50k/20k records)")
 		rows    = flag.Int("rows", 0, "override row count for the transformed table(s)")
 		sample  = flag.Duration("sample", 0, "override measurement window")
@@ -149,6 +149,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(mvcc in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if want == "hotpath" || want == "all" {
+		ran++
+		fmt.Println("running hotpath ...")
+		t0 := time.Now()
+		if err := runHotpath(p, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(hotpath in %v)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
@@ -327,6 +337,40 @@ func runMVCC(p bench.Params, path string) error {
 		return err
 	}
 	fmt.Printf("mvcc report merged into %s\n", path)
+	return nil
+}
+
+// runHotpath runs the hot-path memory-discipline figure (single-thread txn
+// throughput and allocations per transaction, shared read-only rows vs the
+// clone-on-read ablation) and merges the result into the workload report
+// file the same way runScale does.
+func runHotpath(p bench.Params, path string) error {
+	res, hp, err := bench.FigureHotpath(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Format())
+
+	rep := &bench.WorkloadReport{Seed: p.Seed}
+	if data, err := os.ReadFile(path); err == nil {
+		var existing bench.WorkloadReport
+		if json.Unmarshal(data, &existing) == nil {
+			rep = &existing
+		}
+	}
+	rep.Hotpath = hp
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("hotpath report merged into %s\n", path)
 	return nil
 }
 

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nbschema/internal/catalog"
+	"nbschema/internal/engine"
+	"nbschema/internal/storage"
+	"nbschema/internal/value"
+)
+
+// HotpathArm is one arm of the hot-path memory-discipline figure: a
+// single-threaded closed-loop transaction mix measured with either shared
+// read-only rows (the default) or the clone-on-read ablation
+// (engine.SharedReadsOff).
+type HotpathArm struct {
+	Mode         string  `json:"mode"`
+	Txns         uint64  `json:"txns"`
+	TxnsPerSec   float64 `json:"txns_per_sec"`
+	NsPerTxn     float64 `json:"ns_per_txn"`
+	AllocsPerTxn float64 `json:"allocs_per_txn"`
+	BytesPerTxn  float64 `json:"bytes_per_txn"`
+	WindowMs     float64 `json:"window_ms"`
+}
+
+// HotpathReport is the machine-readable hot-path figure: the same mix run
+// against both read disciplines. The headlines are SpeedupPct (single-thread
+// throughput gain of shared reads over clone-on-read) and AllocReductionPct
+// (heap allocations per transaction saved).
+type HotpathReport struct {
+	Rows         int `json:"rows"`
+	ReadsPerTxn  int `json:"reads_per_txn"`
+	WritesPerTxn int `json:"writes_per_txn"`
+	// ScanEvery: every Nth transaction additionally runs a chunked fuzzy
+	// scan over the whole table, the read-mostly analytics slice of the mix.
+	ScanEvery         int          `json:"scan_every"`
+	Arms              []HotpathArm `json:"arms"`
+	SpeedupPct        float64      `json:"speedup_pct"`
+	AllocReductionPct float64      `json:"alloc_reduction_pct"`
+}
+
+// FigureHotpath measures what the zero-allocation read path buys: a
+// single-threaded closed loop of point reads, column updates and periodic
+// fuzzy scans, run once with shared read-only rows and once with the
+// clone-on-read ablation. Allocations are counted exactly (runtime.MemStats
+// mallocs delta over the measurement window divided by transactions); the
+// loop is single-threaded so the delta is attributable.
+func FigureHotpath(p Params) (Result, *HotpathReport, error) {
+	p = p.withDefaults()
+	rep := &HotpathReport{
+		Rows:         1024,
+		ReadsPerTxn:  8,
+		WritesPerTxn: 2,
+		ScanEvery:    4,
+	}
+	res := Result{
+		Figure: "hotpath",
+		Title:  "single-thread txn mix, shared read-only rows vs clone-on-read ablation",
+		XLabel: "metric (1 = ktxn/s, 2 = allocs/txn)",
+		YLabel: "value",
+	}
+	for _, clone := range []bool{false, true} {
+		arm, err := measureHotpathArm(rep, clone)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		rep.Arms = append(rep.Arms, arm)
+		res.Series = append(res.Series, Series{Name: arm.Mode, Points: []Point{
+			{X: 1, Y: arm.TxnsPerSec / 1000},
+			{X: 2, Y: arm.AllocsPerTxn},
+		}})
+	}
+	shared, cloned := rep.Arms[0], rep.Arms[1]
+	if cloned.TxnsPerSec > 0 {
+		rep.SpeedupPct = (shared.TxnsPerSec/cloned.TxnsPerSec - 1) * 100
+	}
+	if cloned.AllocsPerTxn > 0 {
+		rep.AllocReductionPct = (1 - shared.AllocsPerTxn/cloned.AllocsPerTxn) * 100
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d rows; per txn: %d point reads, %d column updates, full chunked scan every %d txns",
+			rep.Rows, rep.ReadsPerTxn, rep.WritesPerTxn, rep.ScanEvery),
+		fmt.Sprintf("shared reads vs clone-on-read: throughput +%.1f%%, allocs/txn -%.1f%% (%.0f → %.0f)",
+			rep.SpeedupPct, rep.AllocReductionPct, cloned.AllocsPerTxn, shared.AllocsPerTxn))
+	return res, rep, nil
+}
+
+const (
+	hotpathWarmup  = 256
+	hotpathMeasure = 2048
+)
+
+// measureHotpathArm runs one arm: build a fresh single-table DB with the
+// requested read discipline, warm caches, pools and the scratch buffers,
+// then run the mix with the clock and the allocation counters around it.
+func measureHotpathArm(rep *HotpathReport, clone bool) (HotpathArm, error) {
+	mode := engine.SharedReadsOn
+	arm := HotpathArm{Mode: "shared"}
+	if clone {
+		mode = engine.SharedReadsOff
+		arm.Mode = "clone-reads"
+	}
+	db := engine.New(engine.Options{
+		LockTimeout:      2 * time.Second,
+		TxnHistory:       -1,
+		SlowTxnThreshold: -1,
+		SharedReads:      mode,
+	})
+	def, err := catalog.NewTableDef("H", []catalog.Column{
+		{Name: "id", Type: value.KindInt},
+		{Name: "payload", Type: value.KindString, Nullable: true},
+		{Name: "n", Type: value.KindInt, Nullable: true},
+	}, []string{"id"})
+	if err != nil {
+		return HotpathArm{}, err
+	}
+	if err := db.CreateTable(def); err != nil {
+		return HotpathArm{}, err
+	}
+	seed := db.Begin()
+	for i := 0; i < rep.Rows; i++ {
+		if err := seed.Insert("H", value.Tuple{
+			value.Int(int64(i)), value.Str("payload-row"), value.Int(int64(i)),
+		}); err != nil {
+			return HotpathArm{}, err
+		}
+	}
+	if err := seed.Commit(); err != nil {
+		return HotpathArm{}, err
+	}
+
+	tbl := db.Table("H")
+	scanned := 0
+	scan := func(rows []storage.Record) { scanned += len(rows) }
+	cols := []string{"n"}
+	vals := value.Tuple{value.Int(0)}
+	k := value.Tuple{value.Int(0)}
+	rows := int64(rep.Rows)
+	// xorshift instead of math/rand: the key sequence must cost the same in
+	// both arms and nothing on the heap.
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() int64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int64(rng % uint64(rows))
+	}
+	oneTxn := func(i int) error {
+		txn := db.Begin()
+		for r := 0; r < rep.ReadsPerTxn; r++ {
+			k[0] = value.Int(next())
+			if _, err := txn.Get("H", k); err != nil {
+				_ = txn.Abort()
+				return err
+			}
+		}
+		for w := 0; w < rep.WritesPerTxn; w++ {
+			k[0] = value.Int(next())
+			vals[0] = value.Int(int64(i + w))
+			if err := txn.Update("H", k, cols, vals); err != nil {
+				_ = txn.Abort()
+				return err
+			}
+		}
+		if i%rep.ScanEvery == 0 {
+			scanned = 0
+			tbl.FuzzyScanChunks(0, scan)
+			if scanned != rep.Rows {
+				_ = txn.Abort()
+				return fmt.Errorf("bench: hotpath scan saw %d rows, want %d", scanned, rep.Rows)
+			}
+		}
+		return txn.Commit()
+	}
+
+	for i := 0; i < hotpathWarmup; i++ {
+		if err := oneTxn(i); err != nil {
+			return HotpathArm{}, err
+		}
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < hotpathMeasure; i++ {
+		if err := oneTxn(i); err != nil {
+			return HotpathArm{}, err
+		}
+	}
+	window := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	arm.Txns = hotpathMeasure
+	arm.WindowMs = ms(window)
+	if window > 0 {
+		arm.TxnsPerSec = hotpathMeasure / window.Seconds()
+	}
+	arm.NsPerTxn = float64(window.Nanoseconds()) / hotpathMeasure
+	arm.AllocsPerTxn = float64(m1.Mallocs-m0.Mallocs) / hotpathMeasure
+	arm.BytesPerTxn = float64(m1.TotalAlloc-m0.TotalAlloc) / hotpathMeasure
+	return arm, nil
+}

@@ -63,9 +63,10 @@ func (cc *ccState) forget(key value.Tuple) {
 	if cc == nil {
 		return
 	}
+	enc := key.Encode()
 	cc.mu.Lock()
-	delete(cc.unknown, key.Encode())
-	delete(cc.pending, key.Encode())
+	delete(cc.unknown, enc)
+	delete(cc.pending, enc)
 	cc.mu.Unlock()
 }
 

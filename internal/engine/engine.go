@@ -128,7 +128,27 @@ type Options struct {
 	// Off by default; the disabled mode costs one branch per write and
 	// nothing on the read path.
 	SnapshotReads bool
+	// SharedReads selects the read-path row-sharing discipline for every
+	// table created on this DB. The default (SharedReadsOn, the zero value)
+	// hands out the stored tuples themselves: reads and scans allocate
+	// nothing, and correctness rests on the engine-wide copy-on-write
+	// invariant that writers replace rows wholesale and never mutate a
+	// tuple in place. SharedReadsOff restores the historical clone-on-read
+	// behavior — every read deep-copies — and exists as the ablation arm
+	// for benchmarks and as a belt-and-braces mode for embedders that
+	// mutate returned rows.
+	SharedReads SharedReadsMode
 }
+
+// SharedReadsMode selects how reads return rows; see Options.SharedReads.
+type SharedReadsMode int
+
+const (
+	// SharedReadsOn (the default) returns shared read-only tuples.
+	SharedReadsOn SharedReadsMode = iota
+	// SharedReadsOff clones every row a read or scan returns.
+	SharedReadsOff
+)
 
 // engineMetrics bundles the engine-level metric handles. All handles are
 // nil (and therefore no-ops) when the DB was opened without a registry.
@@ -345,6 +365,9 @@ func (db *DB) CreateTable(def *catalog.TableDef) error {
 	db.mu.Lock()
 	tbl := storage.NewTablePartitions(def, db.opts.StoragePartitions)
 	tbl.SetFaults(db.faults)
+	if db.opts.SharedReads == SharedReadsOff {
+		tbl.SetCloneReads(true)
+	}
 	if db.mvcc {
 		tbl.SetMVCC(&db.commitTS, &db.oldestSnap)
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that the race detector is active: allocation-count
+// assertions are skipped because instrumentation changes escape analysis.
+const raceEnabled = true

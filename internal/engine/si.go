@@ -28,6 +28,10 @@ type Snap struct {
 
 	mu   sync.Mutex
 	done bool
+
+	// keyBuf is the snapshot's key-encoding scratch, reused across Gets
+	// (guarded by mu like everything else).
+	keyBuf []byte
 }
 
 // BeginSnapshot opens a snapshot-isolation read transaction at the current
@@ -88,12 +92,15 @@ func (s *Snap) Get(table string, key value.Tuple) (value.Tuple, error) {
 	}
 	latch.AcquireShared()
 	defer latch.ReleaseShared()
-	row, _, err := tbl.GetAt(key, s.ts)
+	s.keyBuf = key.AppendEncode(s.keyBuf[:0])
+	row, _, err := tbl.GetAtEnc(key, s.keyBuf, s.ts)
 	return row, err
 }
 
 // Scan calls fn for every record visible at the snapshot, in unspecified
-// order, stopping early when fn returns false. The rows are copies.
+// order, stopping early when fn returns false. The rows are shared read-only
+// tuples (copies under SharedReadsOff); fn must not mutate them, but may
+// retain them — version tuples are immutable once published.
 func (s *Snap) Scan(table string, fn func(row value.Tuple) bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -66,6 +66,13 @@ type Txn struct {
 	hist   []TxnEvent
 	histN  int64
 
+	// keyBuf and keyBuf2 are scratch buffers for primary-key encodings, reused
+	// across operations so steady-state key encoding allocates nothing. Both
+	// are used only under t.mu; keyBuf2 exists because a re-keying update
+	// needs the old and new encodings live at the same time.
+	keyBuf  []byte
+	keyBuf2 []byte
+
 	// touched names every table this transaction has logged an operation
 	// against, recorded BEFORE the corresponding WAL append: a checkpoint
 	// that reads it after its begin record is appended therefore sees every
@@ -150,43 +157,41 @@ func (t *Txn) checkUsable() error {
 	return nil
 }
 
-// lockAndCheck acquires a record lock and runs the transformation hook.
-// With history on, slow or failed lock waits land in the event history;
-// with a timeline recorder, they also land as lock-stall spans.
-func (t *Txn) lockAndCheck(table string, key value.Tuple, mode lock.Mode) error {
+// lockAndCheck acquires a record lock and runs the transformation hook. The
+// caller supplies the key's encoding (enc), already derived into one of the
+// transaction's scratch buffers, so the lock manager never re-encodes — on
+// the already-holder fast path the whole call is allocation-free. With
+// history on, slow or failed lock waits land in the event history; with a
+// timeline recorder, they also land as lock-stall spans. Event and span
+// construction is gated on those sinks being live, so the disabled mode
+// never materializes the key string or reads the clock.
+func (t *Txn) lockAndCheck(table string, key value.Tuple, enc []byte, mode lock.Mode) error {
 	var start time.Time
 	timed := t.db.histBound > 0
-	if timed || t.db.timeline.Enabled() {
+	spans := t.db.timeline.Enabled()
+	if timed || spans {
 		start = time.Now()
 	}
-	stall := func(wait time.Duration) {
-		if wait >= slowLockWaitFloor {
+	err := t.db.locks.AcquireEnc(t.id, table, enc, mode)
+	if !start.IsZero() {
+		wait := time.Since(start)
+		if timed && (err != nil || wait >= slowLockWaitFloor) {
+			ev := TxnEvent{
+				Kind: "lock-wait", Table: table, Key: string(enc),
+				Mode: mode.String(), Duration: wait,
+			}
+			if err != nil {
+				ev.Err = err.Error()
+			}
+			t.record(ev)
+		}
+		if spans && wait >= slowLockWaitFloor {
 			t.db.timeline.Span("lock-stall "+table, obs.CatLock, obs.TidLocks,
 				start, wait, int64(t.id))
 		}
 	}
-	if err := t.db.locks.Acquire(t.id, table, key.Encode(), mode); err != nil {
-		if !start.IsZero() {
-			wait := time.Since(start)
-			if timed {
-				t.record(TxnEvent{
-					Kind: "lock-wait", Table: table, Key: key.Encode(),
-					Mode: mode.String(), Duration: wait, Err: err.Error(),
-				})
-			}
-			stall(wait)
-		}
+	if err != nil {
 		return err
-	}
-	if !start.IsZero() {
-		wait := time.Since(start)
-		if timed && wait >= slowLockWaitFloor {
-			t.record(TxnEvent{
-				Kind: "lock-wait", Table: table, Key: key.Encode(),
-				Mode: mode.String(), Duration: wait,
-			})
-		}
-		stall(wait)
 	}
 	if h := t.db.currentHooks(); h.CheckLock != nil {
 		if err := h.CheckLock(t.id, table, key, mode); err != nil {
@@ -214,27 +219,38 @@ func (t *Txn) Insert(table string, row value.Tuple) error {
 	latch.AcquireShared()
 	defer latch.ReleaseShared()
 
+	// KeyOf projects into a fresh tuple, so the WAL record may carry it
+	// without a defensive clone; the encoding is derived once into the
+	// transaction scratch and threaded through lock, duplicate check,
+	// uniqueness check and the storage apply.
 	key := def.KeyOf(row)
-	if err := t.lockAndCheck(table, key, lock.Exclusive); err != nil {
+	t.keyBuf = key.AppendEncode(t.keyBuf[:0])
+	enc := t.keyBuf
+	if err := t.lockAndCheck(table, key, enc, lock.Exclusive); err != nil {
 		return err
 	}
-	if _, _, err := tbl.Get(key); err == nil {
+	if tbl.HasEnc(enc) {
 		return fmt.Errorf("%w: %s in table %s", storage.ErrDuplicateKey, key, table)
 	}
-	if err := tbl.CheckUnique(row, key.Encode()); err != nil {
+	if err := tbl.CheckUniqueEnc(row, enc); err != nil {
 		return err
 	}
+	stored := row.Clone()
 	rec := &wal.Record{
 		Txn:   t.id,
 		Type:  wal.TypeInsert,
 		Table: table,
-		Key:   key.Clone(),
-		Row:   row.Clone(),
+		Key:   key,
+		Row:   stored,
 		Prev:  t.lastLSN,
 	}
 	t.touch(table)
 	lsn := t.db.log.Append(rec)
-	if err := tbl.InsertW(row, lsn, t.writeCtx()); err != nil {
+	// The one clone above is shared between the log record and storage:
+	// InsertEncW takes ownership of the tuple, and the copy-on-write
+	// discipline (writers replace rows, never mutate them) keeps the logged
+	// image stable.
+	if err := tbl.InsertEncW(stored, enc, lsn, t.writeCtx()); err != nil {
 		// The log record is already durable; compensate it immediately so
 		// the log never claims an insert that storage rejected.
 		t.noteConflict(err)
@@ -244,7 +260,9 @@ func (t *Txn) Insert(table string, row value.Tuple) error {
 	t.lastLSN = lsn
 	t.nOps++
 	t.ops.Add(1)
-	t.record(TxnEvent{Kind: "wal-append", Table: table, Key: key.Encode(), Op: rec.Type.String(), LSN: lsn})
+	if t.db.histBound > 0 {
+		t.record(TxnEvent{Kind: "wal-append", Table: table, Key: string(enc), Op: rec.Type.String(), LSN: lsn})
+	}
 	return nil
 }
 
@@ -269,13 +287,17 @@ func (t *Txn) Update(table string, key value.Tuple, cols []string, vals value.Tu
 	latch.AcquireShared()
 	defer latch.ReleaseShared()
 
-	if err := t.lockAndCheck(table, key, lock.Exclusive); err != nil {
+	t.keyBuf = key.AppendEncode(t.keyBuf[:0])
+	enc := t.keyBuf
+	if err := t.lockAndCheck(table, key, enc, lock.Exclusive); err != nil {
 		return err
 	}
-	before, _, err := tbl.Get(key)
+	before, _, err := tbl.GetEnc(key, enc)
 	if err != nil {
 		return err
 	}
+	// before may be the stored tuple itself (shared reads); the new image is
+	// always built on a fresh clone, never in place.
 	newRow := before.Clone()
 	for i, c := range colIdx {
 		newRow[c] = vals[i]
@@ -284,18 +306,23 @@ func (t *Txn) Update(table string, key value.Tuple, cols []string, vals value.Tu
 		return err
 	}
 	// If the primary key changes, the new key must be locked as well, and
-	// the collision must be detected before anything is logged.
-	newKey := def.KeyOf(newRow)
-	if !newKey.Equal(key) {
-		if err := t.lockAndCheck(table, newKey, lock.Exclusive); err != nil {
+	// the collision must be detected before anything is logged. Whether it
+	// changed is decided on the encodings (second scratch buffer: both must
+	// stay live at once).
+	t.keyBuf2 = tbl.AppendKeyOfRow(t.keyBuf2[:0], newRow)
+	newEnc := t.keyBuf2
+	rekey := string(newEnc) != string(enc)
+	if rekey {
+		newKey := def.KeyOf(newRow)
+		if err := t.lockAndCheck(table, newKey, newEnc, lock.Exclusive); err != nil {
 			return err
 		}
-		if _, _, err := tbl.Get(newKey); err == nil {
+		if tbl.HasEnc(newEnc) {
 			return fmt.Errorf("%w: update re-keys %s onto existing %s in table %s",
 				storage.ErrDuplicateKey, key, newKey, table)
 		}
 	}
-	if err := tbl.CheckUnique(newRow, key.Encode()); err != nil {
+	if err := tbl.CheckUniqueEnc(newRow, enc); err != nil {
 		return err
 	}
 	rec := &wal.Record{
@@ -308,16 +335,17 @@ func (t *Txn) Update(table string, key value.Tuple, cols []string, vals value.Tu
 		New:   vals.Clone(),
 		Prev:  t.lastLSN,
 	}
-	if !newKey.Equal(key) {
+	if rekey {
 		// A re-keying update moves the row across partitions, so a fuzzy
 		// checkpoint scanning those partitions at different moments can
 		// capture it zero times. Carry the full post-image so guarded redo
-		// can re-create the row when it is missing under both keys.
-		rec.Row = newRow.Clone()
+		// can re-create the row when it is missing under both keys. newRow
+		// is engine-local (built above), so it needs no further clone.
+		rec.Row = newRow
 	}
 	t.touch(table)
 	lsn := t.db.log.Append(rec)
-	if _, err := tbl.UpdateW(key, colIdx, vals, lsn, t.writeCtx()); err != nil {
+	if _, err := tbl.UpdateEncW(key, enc, colIdx, vals, lsn, t.writeCtx()); err != nil {
 		t.noteConflict(err)
 		t.compensate(rec, false)
 		return err
@@ -325,7 +353,9 @@ func (t *Txn) Update(table string, key value.Tuple, cols []string, vals value.Tu
 	t.lastLSN = lsn
 	t.nOps++
 	t.ops.Add(1)
-	t.record(TxnEvent{Kind: "wal-append", Table: table, Key: key.Encode(), Op: rec.Type.String(), LSN: lsn})
+	if t.db.histBound > 0 {
+		t.record(TxnEvent{Kind: "wal-append", Table: table, Key: string(enc), Op: rec.Type.String(), LSN: lsn})
+	}
 	return nil
 }
 
@@ -343,10 +373,12 @@ func (t *Txn) Delete(table string, key value.Tuple) error {
 	latch.AcquireShared()
 	defer latch.ReleaseShared()
 
-	if err := t.lockAndCheck(table, key, lock.Exclusive); err != nil {
+	t.keyBuf = key.AppendEncode(t.keyBuf[:0])
+	enc := t.keyBuf
+	if err := t.lockAndCheck(table, key, enc, lock.Exclusive); err != nil {
 		return err
 	}
-	before, _, err := tbl.Get(key)
+	before, _, err := tbl.GetEnc(key, enc)
 	if err != nil {
 		return err
 	}
@@ -355,12 +387,15 @@ func (t *Txn) Delete(table string, key value.Tuple) error {
 		Type:  wal.TypeDelete,
 		Table: table,
 		Key:   key.Clone(),
-		Row:   before, // before-image for undo
-		Prev:  t.lastLSN,
+		// Before-image for undo. Under shared reads this is the stored tuple
+		// itself; the delete unlinks it without mutating it, so the logged
+		// image stays stable.
+		Row:  before,
+		Prev: t.lastLSN,
 	}
 	t.touch(table)
 	lsn := t.db.log.Append(rec)
-	if _, err := tbl.DeleteW(key, t.writeCtx()); err != nil {
+	if _, err := tbl.DeleteEncW(key, enc, t.writeCtx()); err != nil {
 		t.noteConflict(err)
 		t.compensate(rec, false)
 		return err
@@ -368,7 +403,9 @@ func (t *Txn) Delete(table string, key value.Tuple) error {
 	t.lastLSN = lsn
 	t.nOps++
 	t.ops.Add(1)
-	t.record(TxnEvent{Kind: "wal-append", Table: table, Key: key.Encode(), Op: rec.Type.String(), LSN: lsn})
+	if t.db.histBound > 0 {
+		t.record(TxnEvent{Kind: "wal-append", Table: table, Key: string(enc), Op: rec.Type.String(), LSN: lsn})
+	}
 	return nil
 }
 
@@ -387,10 +424,13 @@ func (t *Txn) Get(table string, key value.Tuple) (value.Tuple, error) {
 	latch.AcquireShared()
 	defer latch.ReleaseShared()
 
-	if err := t.lockAndCheck(table, key, lock.Shared); err != nil {
+	t.keyBuf = key.AppendEncode(t.keyBuf[:0])
+	if err := t.lockAndCheck(table, key, t.keyBuf, lock.Shared); err != nil {
 		return nil, err
 	}
-	row, _, err := tbl.Get(key)
+	// The returned tuple is shared read-only storage (unless the DB runs
+	// with SharedReadsOff): callers must not mutate it in place.
+	row, _, err := tbl.GetEnc(key, t.keyBuf)
 	if err != nil {
 		return nil, err
 	}
@@ -523,10 +563,13 @@ func (t *Txn) compensate(rec *wal.Record, applied bool) {
 			// re-creates it from this post-image.
 			if _, tbl, _, err := t.db.resolve(rec.Table); err == nil {
 				if cur, _, err := tbl.Get(clr.Key); err == nil {
+					// cur may be the stored tuple itself (shared reads):
+					// build the restored image on a clone, never in place.
+					restored := cur.Clone()
 					for i, c := range rec.Cols {
-						cur[c] = rec.Old[i]
+						restored[c] = rec.Old[i]
 					}
-					clr.Row = cur
+					clr.Row = restored
 				}
 			}
 		}

@@ -9,11 +9,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"nbschema/internal/fault"
 	"nbschema/internal/obs"
@@ -197,13 +197,25 @@ func NewManagerStripes(timeout time.Duration, stripes int) *Manager {
 	return m
 }
 
-// stripeOf routes a lock key to its stripe by FNV-1a over table and key.
+// FNV-1a, inlined so routing never allocates a hash.Hash.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// stripeOf routes a lock key to its stripe by FNV-1a over table and key,
+// separated by a 0x00 byte (which XORs to a no-op, leaving one extra prime
+// multiply — the same digest the hash/fnv-based version produced).
 func (m *Manager) stripeOf(k lockKey) *stripe {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(k.table))
-	_, _ = h.Write([]byte{0})
-	_, _ = h.Write([]byte(k.key))
-	return m.stripes[h.Sum32()&m.mask]
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(k.table); i++ {
+		h = (h ^ uint32(k.table[i])) * fnvPrime32
+	}
+	h *= fnvPrime32 // the separator byte
+	for i := 0; i < len(k.key); i++ {
+		h = (h ^ uint32(k.key[i])) * fnvPrime32
+	}
+	return m.stripes[h&m.mask]
 }
 
 // Stripes returns the number of lock-table stripes.
@@ -264,6 +276,12 @@ func (m *Manager) SetObs(reg *obs.Registry) {
 	reg.Gauge("engine.lock.stripes").Set(int64(len(m.stripes)))
 }
 
+// unsafeString aliases b as a string without copying. The alias is only
+// valid for transient map lookups — it must never be stored or outlive b.
+func unsafeString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
 // Acquire obtains a lock on (table, key) for txn, blocking until granted or
 // until the timeout expires. If blocking would close a waits-for cycle, the
 // request fails immediately with ErrDeadlock instead of waiting (the
@@ -271,21 +289,39 @@ func (m *Manager) SetObs(reg *obs.Registry) {
 // S→X upgrade is granted immediately when txn is the sole holder and queued
 // otherwise.
 func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
+	return m.acquire(txn, lockKey{table, key}, nil, mode)
+}
+
+// AcquireEnc is Acquire with the record key as an encoded byte buffer. The
+// already-held fast path — a strict-2PL transaction re-touching a key it
+// holds — completes without materializing a key string; a durable copy of
+// enc is made only when lock state must be installed. enc is not retained.
+func (m *Manager) AcquireEnc(txn wal.TxnID, table string, enc []byte, mode Mode) error {
+	return m.acquire(txn, lockKey{table, unsafeString(enc)}, enc, mode)
+}
+
+// acquire implements Acquire. When enc is non-nil, k.key aliases enc and
+// must be re-materialized (durableKey) before any path that stores k — entry
+// creation, grant bookkeeping, waiter registration.
+func (m *Manager) acquire(txn wal.TxnID, k lockKey, enc []byte, mode Mode) error {
 	if m.faults.Armed() {
 		if err := m.faults.Hit("lock.acquire"); err != nil {
 			return err
 		}
-		if err := m.faults.Hit("lock.acquire." + table); err != nil {
+		if err := m.faults.Hit("lock.acquire." + k.table); err != nil {
 			return err
 		}
 	}
 	m.mAcquires.Add(1)
-	k := lockKey{table, key}
 	s := m.stripeOf(k)
 	s.acquires.Add(1)
 	s.mu.Lock()
 	e := s.entries[k]
 	if e == nil {
+		if enc != nil {
+			k.key = string(enc)
+			enc = nil // k is durable now
+		}
 		e = &entry{holders: make(map[wal.TxnID]Mode, 1)}
 		s.entries[k] = e
 	}
@@ -309,9 +345,15 @@ func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 			return nil
 		}
 	} else if grantable(e, txn, mode) {
+		if enc != nil {
+			k.key = string(enc)
+		}
 		grant(s, e, k, txn, mode)
 		s.mu.Unlock()
 		return nil
+	}
+	if enc != nil {
+		k.key = string(enc) // the waiter below stores k
 	}
 	s.contended.Add(1)
 	w := &waiter{txn: txn, mode: mode, ready: make(chan struct{}), key: k, since: time.Now()}
@@ -338,7 +380,7 @@ func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 			s.waiters.Add(-1)
 			s.mu.Unlock()
 			return fmt.Errorf("%w: txn %d requesting %s on %s/%s, cycle %v",
-				ErrDeadlock, txn, mode, table, key, cycle)
+				ErrDeadlock, txn, mode, k.table, k.key, cycle)
 		}
 	}
 	m.updateWaitGaugesLocked()
@@ -380,7 +422,7 @@ func (m *Manager) Acquire(txn wal.TxnID, table, key string, mode Mode) error {
 		m.syncEntryEdgesLocked(e)
 		m.updateWaitGaugesLocked()
 		m.wfMu.Unlock()
-		return fmt.Errorf("%w: txn %d, %s%s", ErrTimeout, txn, table, key)
+		return fmt.Errorf("%w: txn %d, %s%s", ErrTimeout, txn, k.table, k.key)
 	}
 }
 

@@ -21,6 +21,10 @@ type Index struct {
 	mu sync.Mutex
 	// entries maps encoded index key → set of encoded primary keys.
 	entries map[string]map[string]struct{}
+	// kbuf is the scratch buffer index keys are derived into, so lookups and
+	// maintenance never materialize a key string except to install a new
+	// entry. Only touched with mu held.
+	kbuf []byte
 }
 
 // CreateIndex adds an index over the given column positions to the table and
@@ -71,20 +75,16 @@ func (t *Table) Index(name string) *Index {
 	return t.indexes[name]
 }
 
-func (ix *Index) keyOf(row value.Tuple) string {
-	return row.Project(ix.cols).Encode()
-}
-
 // insertLocked adds (row's index key → pk) under the index mutex, enforcing
-// uniqueness atomically.
+// uniqueness atomically. pk must be a durable string (the partition map key).
 func (ix *Index) insertLocked(row value.Tuple, pk string) error {
-	k := ix.keyOf(row)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	set := ix.entries[k]
+	ix.kbuf = row.AppendEncodeProject(ix.kbuf[:0], ix.cols)
+	set := ix.entries[string(ix.kbuf)]
 	if set == nil {
 		set = make(map[string]struct{}, 1)
-		ix.entries[k] = set
+		ix.entries[string(ix.kbuf)] = set
 	}
 	if ix.unique && len(set) > 0 {
 		if _, self := set[pk]; !self {
@@ -96,13 +96,13 @@ func (ix *Index) insertLocked(row value.Tuple, pk string) error {
 }
 
 func (ix *Index) removeLocked(row value.Tuple, pk string) {
-	k := ix.keyOf(row)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	set := ix.entries[k]
+	ix.kbuf = row.AppendEncodeProject(ix.kbuf[:0], ix.cols)
+	set := ix.entries[string(ix.kbuf)]
 	delete(set, pk)
-	if len(set) == 0 {
-		delete(ix.entries, k)
+	if len(set) == 0 && set != nil {
+		delete(ix.entries, string(ix.kbuf))
 	}
 }
 
@@ -118,11 +118,12 @@ func (ix *Index) pksOf(key string) []string {
 	return out
 }
 
-// LookupIndex returns the rows whose index key equals key, as clones,
-// together with their primary keys. The index is read under its own mutex
-// and the rows under their partition latches; between the two, a concurrent
-// writer may move a row, so the result is fuzzy in exactly the way the
-// framework's fuzzy reads are (missing rows are skipped).
+// LookupIndex returns the rows whose index key equals key — shared read-only
+// tuples (copies in the clone-reads ablation) — together with their primary
+// keys. The index is read under its own mutex and the rows under their
+// partition latches; between the two, a concurrent writer may move a row, so
+// the result is fuzzy in exactly the way the framework's fuzzy reads are
+// (missing rows are skipped).
 func (t *Table) LookupIndex(name string, key value.Tuple) ([]value.Tuple, []string, error) {
 	t.ixMu.RLock()
 	ix := t.indexes[name]
@@ -138,7 +139,7 @@ func (t *Table) LookupIndex(name string, key value.Tuple) ([]value.Tuple, []stri
 		p := t.partOf(pk)
 		p.mu.RLock()
 		if rec, ok := p.rows[pk]; ok {
-			rows = append(rows, rec.Row.Clone())
+			rows = append(rows, t.outRow(rec.Row))
 			pks = append(pks, pk)
 		}
 		p.mu.RUnlock()
@@ -172,8 +173,32 @@ func (t *Table) CheckUnique(row value.Tuple, excludeKey string) error {
 			continue
 		}
 		ix.mu.Lock()
-		for pk := range ix.entries[ix.keyOf(row)] {
+		ix.kbuf = row.AppendEncodeProject(ix.kbuf[:0], ix.cols)
+		for pk := range ix.entries[string(ix.kbuf)] {
 			if pk != excludeKey {
+				ix.mu.Unlock()
+				return fmt.Errorf("storage: unique index %s violated by key %s", ix.name, row.Project(ix.cols))
+			}
+		}
+		ix.mu.Unlock()
+	}
+	return nil
+}
+
+// CheckUniqueEnc is CheckUnique with the excluded primary key as an encoded
+// byte buffer, so callers that already hold the encoded key need not build a
+// string for the comparison.
+func (t *Table) CheckUniqueEnc(row value.Tuple, exclude []byte) error {
+	t.ixMu.RLock()
+	defer t.ixMu.RUnlock()
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		ix.mu.Lock()
+		ix.kbuf = row.AppendEncodeProject(ix.kbuf[:0], ix.cols)
+		for pk := range ix.entries[string(ix.kbuf)] {
+			if pk != string(exclude) {
 				ix.mu.Unlock()
 				return fmt.Errorf("storage: unique index %s violated by key %s", ix.name, row.Project(ix.cols))
 			}

@@ -157,8 +157,14 @@ func TestIndexOnMultipleColumns(t *testing.T) {
 	}
 }
 
-func TestLookupReturnsClones(t *testing.T) {
+// TestLookupCloneReads pins the clone-reads ablation: with SetCloneReads a
+// lookup result is a deep copy, so even a caller that (wrongly) mutates it
+// in place cannot reach the stored row. The default shared-read mode hands
+// out the stored tuple itself; its replace-not-mutate discipline is covered
+// by TestSharedReadsCOW in table_test.go.
+func TestLookupCloneReads(t *testing.T) {
 	tbl := NewTable(testDef(t))
+	tbl.SetCloneReads(true)
 	if _, err := tbl.CreateIndex("by_dept", []int{1}, false); err != nil {
 		t.Fatal(err)
 	}
@@ -169,6 +175,6 @@ func TestLookupReturnsClones(t *testing.T) {
 	rows[0][2] = value.Int(999)
 	got, _, _ := tbl.Get(value.Tuple{value.Int(1)})
 	if got[2].AsInt() != 5 {
-		t.Error("LookupIndex must return clones")
+		t.Error("LookupIndex with clone-reads must return clones")
 	}
 }

@@ -302,36 +302,44 @@ func (t *Table) GC() int64 {
 
 // GetAt returns the newest version of key visible to a snapshot at ts, or
 // ErrNotFound when the key did not exist (or was deleted) as of ts. It takes
-// no transactional locks — only the partition latch.
+// no transactional locks — only the partition latch. The returned tuple is
+// shared and read-only: committed versions are never mutated, only linked.
 func (t *Table) GetAt(key value.Tuple, ts uint64) (value.Tuple, wal.LSN, error) {
+	return t.GetAtEnc(key, key.AppendEncode(nil), ts)
+}
+
+// GetAtEnc is GetAt with a caller-encoded key buffer: the lookup allocates
+// nothing. key is only used for the not-found error message.
+func (t *Table) GetAtEnc(key value.Tuple, enc []byte, ts uint64) (value.Tuple, wal.LSN, error) {
 	t.mSnapGets.Add(1)
-	enc := key.Encode()
-	p := t.partOf(enc)
+	p := t.parts[t.partIndexB(enc)]
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	var head *version
-	if rec, ok := p.rows[enc]; ok {
+	if rec, ok := p.rows[string(enc)]; ok {
 		if rec.vc == nil {
 			// MVCC off: degenerate to the current image (fuzzy read).
-			return rec.Row.Clone(), rec.LSN, nil
+			return t.outRow(rec.Row), rec.LSN, nil
 		}
 		head = rec.vc
 	} else {
-		head = p.dead[enc]
+		head = p.dead[string(enc)]
 	}
 	if v := visibleVersion(head, ts); v != nil && v.row != nil {
-		return v.row.Clone(), v.lsn, nil
+		return t.outRow(v.row), v.lsn, nil
 	}
 	return nil, 0, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
 }
 
 // SnapshotScanPartition scans one heap partition as of snapshot ts: every
 // key's newest version committed at or before ts, a transactionally
-// consistent view. Like the fuzzy scan it works in chunks, copying rows out
-// under the partition latch and delivering them to fn with no latch held;
-// unlike the fuzzy scan the result mixes no mid-scan updates. fn returning
-// false aborts the remaining chunks of the partition. Different partitions
-// can be scanned concurrently. chunk <= 0 selects a default.
+// consistent view. Like the fuzzy scan it works in chunks, collecting shared
+// read-only rows under the partition latch and delivering them to fn with no
+// latch held; unlike the fuzzy scan the result mixes no mid-scan updates. fn
+// returning false aborts the remaining chunks of the partition; fn may
+// retain the Record values but not the chunk slice itself (it is pooled).
+// Different partitions can be scanned concurrently. chunk <= 0 selects a
+// default.
 //
 // System writes (nil-cell versions, visible to every snapshot) have their
 // visibility bounded at listing time: one landing in this partition after
@@ -347,8 +355,9 @@ func (t *Table) SnapshotScanPartition(pi int, ts uint64, chunk int, fn func(rows
 	// still visible to the snapshot through its tombstoned chain. Keys
 	// inserted after the listing are committed after ts and thus invisible
 	// (system writes excepted — see above).
+	kp := scanKeysPool.Get().(*[]string)
+	keys := *kp
 	p.mu.RLock()
-	keys := make([]string, 0, len(p.rows)+len(p.dead))
 	for k := range p.rows {
 		keys = append(keys, k)
 	}
@@ -357,7 +366,8 @@ func (t *Table) SnapshotScanPartition(pi int, ts uint64, chunk int, fn func(rows
 	}
 	p.mu.RUnlock()
 
-	buf := make([]Record, 0, chunk)
+	rp := scanRecsPool.Get().(*[]Record)
+	buf := *rp
 	for start := 0; start < len(keys); start += chunk {
 		end := min(start+chunk, len(keys))
 		t.mSnapChunks.Add(1)
@@ -367,7 +377,7 @@ func (t *Table) SnapshotScanPartition(pi int, ts uint64, chunk int, fn func(rows
 			var head *version
 			if rec, ok := p.rows[k]; ok {
 				if rec.vc == nil {
-					buf = append(buf, Record{Row: rec.Row.Clone(), LSN: rec.LSN})
+					buf = append(buf, Record{Row: t.outRow(rec.Row), LSN: rec.LSN})
 					continue
 				}
 				head = rec.vc
@@ -375,14 +385,16 @@ func (t *Table) SnapshotScanPartition(pi int, ts uint64, chunk int, fn func(rows
 				head = p.dead[k]
 			}
 			if v := visibleVersion(head, ts); v != nil && v.row != nil {
-				buf = append(buf, Record{Row: v.row.Clone(), LSN: v.lsn})
+				buf = append(buf, Record{Row: t.outRow(v.row), LSN: v.lsn})
 			}
 		}
 		p.mu.RUnlock()
 		if !fn(buf) {
-			return
+			break
 		}
 	}
+	putScanRecs(rp, buf)
+	putScanKeys(kp, keys)
 }
 
 // VersionStats summarizes a table's MVCC bookkeeping for the debug surface.

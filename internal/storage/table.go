@@ -17,7 +17,6 @@ package storage
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -46,6 +45,12 @@ type Record struct {
 	// head describes the current contents (row aliases Row); prev links
 	// reach older versions for snapshot readers.
 	vc *version
+
+	// enc caches the record's encoded primary key — the durable string the
+	// partition map and indexes are keyed by — so re-keying and index
+	// maintenance never re-derive it. Maintained under the partition latch;
+	// empty in Record values handed out by scans.
+	enc string
 }
 
 // partition is one shard of a table's heap.
@@ -56,6 +61,9 @@ type partition struct {
 	// a tombstone, so snapshot readers can still reach the older versions.
 	// Lazily allocated; GC removes entries once no snapshot can see them.
 	dead map[string]*version
+	// scratch is the key-encoding buffer updates reuse to derive the new
+	// primary key without allocating. Only touched with mu held exclusively.
+	scratch []byte
 }
 
 // deadChain records head as the dead chain of key, allocating the map on
@@ -94,6 +102,11 @@ type Table struct {
 	nVersions atomic.Int64
 	detachMu  sync.Mutex
 	detached  bool
+
+	// cloneReads restores clone-on-read (the pre-COW behaviour) for the
+	// SharedReads ablation: reads hand out deep copies instead of sharing
+	// the stored tuples. Set before the table is shared.
+	cloneReads bool
 
 	parts []*partition
 	mask  uint32
@@ -154,11 +167,37 @@ func (t *Table) Def() *catalog.TableDef { return t.def }
 // Partitions returns the number of heap partitions.
 func (t *Table) Partitions() int { return len(t.parts) }
 
+// FNV-1a, inlined so key routing never round-trips through the hash.Hash
+// interface (which costs two allocations per key).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnvString(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime32
+	}
+	return h
+}
+
+func fnvBytes(b []byte) uint32 {
+	h := uint32(fnvOffset32)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * fnvPrime32
+	}
+	return h
+}
+
 // partIndex routes an encoded primary key to its partition index.
 func (t *Table) partIndex(enc string) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(enc))
-	return int(h.Sum32() & t.mask)
+	return int(fnvString(enc) & t.mask)
+}
+
+// partIndexB is partIndex for a caller-encoded key buffer.
+func (t *Table) partIndexB(enc []byte) int {
+	return int(fnvBytes(enc) & t.mask)
 }
 
 // partOf routes an encoded primary key to its partition.
@@ -246,6 +285,28 @@ func (t *Table) EncodeKey(key value.Tuple) string { return key.Encode() }
 // KeyOfRow extracts and encodes the primary key of a full row.
 func (t *Table) KeyOfRow(row value.Tuple) string { return t.def.KeyOf(row).Encode() }
 
+// AppendKeyOfRow appends the encoded primary key of a full row to b —
+// KeyOfRow without materializing the projected tuple or the string.
+func (t *Table) AppendKeyOfRow(b []byte, row value.Tuple) []byte {
+	return row.AppendEncodeProject(b, t.def.PrimaryKey)
+}
+
+// SetCloneReads restores clone-on-read for this table: Get, GetAt, index
+// lookups and the chunked scans return deep copies instead of sharing stored
+// tuples. This is the ablation arm of the copy-on-write read path; the
+// default (off) shares tuples, which is safe because writers replace whole
+// tuples and never mutate one in place. Call before the table is shared.
+func (t *Table) SetCloneReads(on bool) { t.cloneReads = on }
+
+// outRow prepares a stored row for handing to a reader: shared in COW mode,
+// deep-copied in the clone-reads ablation.
+func (t *Table) outRow(row value.Tuple) value.Tuple {
+	if t.cloneReads {
+		return row.Clone()
+	}
+	return row
+}
+
 // Insert stores a new row version with the given LSN. The row is cloned.
 // In MVCC mode the write is a system write, visible to every snapshot.
 func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
@@ -257,27 +318,39 @@ func (t *Table) Insert(row value.Tuple, lsn wal.LSN) error {
 // first-committer-wins against any tombstoned prior life of the key. A nil w
 // marks a system write.
 func (t *Table) InsertW(row value.Tuple, lsn wal.LSN, w *WriteCtx) error {
+	return t.insertOwned(row.Clone(), t.AppendKeyOfRow(nil, row), lsn, w)
+}
+
+// InsertEncW is InsertW with a caller-encoded primary key and transfer of row
+// ownership: the table stores row without cloning, so the caller must treat
+// it as immutable afterwards (replace, never mutate — the engine passes the
+// same freshly built tuple it logs to the WAL).
+func (t *Table) InsertEncW(row value.Tuple, enc []byte, lsn wal.LSN, w *WriteCtx) error {
+	return t.insertOwned(row, enc, lsn, w)
+}
+
+func (t *Table) insertOwned(row value.Tuple, enc []byte, lsn wal.LSN, w *WriteCtx) error {
 	if err := t.faultHit("insert"); err != nil {
 		return err
 	}
 	t.mInserts.Add(1)
-	key := t.KeyOfRow(row)
 	t.ixMu.RLock()
 	defer t.ixMu.RUnlock()
-	p := t.partOf(key)
+	p := t.parts[t.partIndexB(enc)]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, exists := p.rows[key]; exists {
+	if _, exists := p.rows[string(enc)]; exists {
 		return fmt.Errorf("%w: %s in table %s", ErrDuplicateKey, t.def.KeyOf(row), t.def.Name)
 	}
 	if t.mvcc {
 		// A committed delete of this key after w began is a write-write
 		// conflict, exactly like a committed update would be.
-		if err := fcwCheck(p.dead[key], w); err != nil {
+		if err := fcwCheck(p.dead[string(enc)], w); err != nil {
 			return err
 		}
 	}
-	rec := &Record{Row: row.Clone(), LSN: lsn}
+	key := string(enc) // the one durable copy the map and indexes share
+	rec := &Record{Row: row, LSN: lsn, enc: key}
 	p.rows[key] = rec
 	for _, ix := range t.indexes {
 		if err := ix.insertLocked(rec.Row, key); err != nil {
@@ -302,17 +375,44 @@ func (t *Table) InsertW(row value.Tuple, lsn wal.LSN, w *WriteCtx) error {
 	return nil
 }
 
-// Get returns a copy of the record stored under key, or ErrNotFound.
+// Get returns the record stored under key, or ErrNotFound. The returned
+// tuple is shared and read-only (a copy in the clone-reads ablation).
 func (t *Table) Get(key value.Tuple) (value.Tuple, wal.LSN, error) {
 	t.mGets.Add(1)
-	p := t.partOf(key.Encode())
+	enc := key.Encode()
+	p := t.partOf(enc)
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	rec, ok := p.rows[key.Encode()]
+	rec, ok := p.rows[enc]
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
 	}
-	return rec.Row.Clone(), rec.LSN, nil
+	return t.outRow(rec.Row), rec.LSN, nil
+}
+
+// GetEnc is Get with a caller-encoded key buffer: the lookup allocates
+// nothing. key is only used for the not-found error message.
+func (t *Table) GetEnc(key value.Tuple, enc []byte) (value.Tuple, wal.LSN, error) {
+	t.mGets.Add(1)
+	p := t.parts[t.partIndexB(enc)]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	rec, ok := p.rows[string(enc)]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
+	}
+	return t.outRow(rec.Row), rec.LSN, nil
+}
+
+// HasEnc reports whether a record exists under the caller-encoded key,
+// allocating nothing — the existence probe for duplicate-key checks, which
+// must not pay Get's not-found error construction.
+func (t *Table) HasEnc(enc []byte) bool {
+	p := t.parts[t.partIndexB(enc)]
+	p.mu.RLock()
+	_, ok := p.rows[string(enc)]
+	p.mu.RUnlock()
+	return ok
 }
 
 // Update overwrites the values of the given column positions and sets the
@@ -331,6 +431,16 @@ func (t *Table) Update(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LS
 // pre-move image there) and starts the new key's chain, linked to any
 // tombstoned prior life of that key. A nil w marks a system write.
 func (t *Table) UpdateW(key value.Tuple, cols []int, vals value.Tuple, lsn wal.LSN, w *WriteCtx) (value.Tuple, error) {
+	return t.updateEnc(key, key.AppendEncode(nil), cols, vals, lsn, w)
+}
+
+// UpdateEncW is UpdateW with a caller-encoded primary key buffer; enc is not
+// retained. The returned tuple is shared and read-only.
+func (t *Table) UpdateEncW(key value.Tuple, enc []byte, cols []int, vals value.Tuple, lsn wal.LSN, w *WriteCtx) (value.Tuple, error) {
+	return t.updateEnc(key, enc, cols, vals, lsn, w)
+}
+
+func (t *Table) updateEnc(key value.Tuple, enc []byte, cols []int, vals value.Tuple, lsn wal.LSN, w *WriteCtx) (value.Tuple, error) {
 	if err := t.faultHit("update"); err != nil {
 		return nil, err
 	}
@@ -338,14 +448,13 @@ func (t *Table) UpdateW(key value.Tuple, cols []int, vals value.Tuple, lsn wal.L
 	if len(cols) != len(vals) {
 		return nil, fmt.Errorf("storage: update arity mismatch: %d cols, %d vals", len(cols), len(vals))
 	}
-	enc := key.Encode()
 	t.ixMu.RLock()
 	defer t.ixMu.RUnlock()
-	pi := t.partIndex(enc)
+	pi := t.partIndexB(enc)
 	p := t.parts[pi]
 	p.mu.Lock()
 	for {
-		rec, ok := p.rows[enc]
+		rec, ok := p.rows[string(enc)]
 		if !ok {
 			p.mu.Unlock()
 			return nil, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
@@ -358,8 +467,12 @@ func (t *Table) UpdateW(key value.Tuple, cols []int, vals value.Tuple, lsn wal.L
 			}
 			newRow[c] = vals[i]
 		}
-		newEnc := t.KeyOfRow(newRow)
-		qi := t.partIndex(newEnc)
+		// The new key is derived into the partition's scratch buffer (safe:
+		// p.mu is held exclusively); a durable string is only materialized
+		// when the key actually changes.
+		p.scratch = t.AppendKeyOfRow(p.scratch[:0], newRow)
+		newEnc := p.scratch
+		qi := t.partIndexB(newEnc)
 		q := t.parts[qi]
 		if qi != pi {
 			// Latch the target partition respecting ascending order. When it
@@ -373,7 +486,7 @@ func (t *Table) UpdateW(key value.Tuple, cols []int, vals value.Tuple, lsn wal.L
 				p.mu.Unlock()
 				q.mu.Lock()
 				p.mu.Lock()
-				cur, ok := p.rows[enc]
+				cur, ok := p.rows[string(enc)]
 				if !ok || cur != rec {
 					q.mu.Unlock()
 					continue // restart against the fresh record
@@ -384,21 +497,23 @@ func (t *Table) UpdateW(key value.Tuple, cols []int, vals value.Tuple, lsn wal.L
 				for i, c := range cols {
 					newRow[c] = vals[i]
 				}
-				newEnc = t.KeyOfRow(newRow)
-				if t.partIndex(newEnc) != qi {
+				p.scratch = t.AppendKeyOfRow(p.scratch[:0], newRow)
+				newEnc = p.scratch
+				if t.partIndexB(newEnc) != qi {
 					q.mu.Unlock()
 					continue
 				}
 			}
-			if _, exists := q.rows[newEnc]; exists {
+			if _, exists := q.rows[string(newEnc)]; exists {
 				q.mu.Unlock()
 				p.mu.Unlock()
 				return nil, fmt.Errorf("%w: update re-keys %s onto existing %s", ErrDuplicateKey, key, t.def.KeyOf(newRow))
 			}
+			newKey := string(newEnc) // durable: keys the target partition map
 			if t.mvcc {
 				err := fcwCheck(rec.vc, w)
 				if err == nil {
-					err = fcwCheck(q.dead[newEnc], w)
+					err = fcwCheck(q.dead[newKey], w)
 				}
 				if err != nil {
 					q.mu.Unlock()
@@ -406,26 +521,28 @@ func (t *Table) UpdateW(key value.Tuple, cols []int, vals value.Tuple, lsn wal.L
 					return nil, err
 				}
 			}
+			oldKey := rec.enc
 			for _, ix := range t.indexes {
-				ix.removeLocked(rec.Row, enc)
+				ix.removeLocked(rec.Row, oldKey)
 			}
 			if t.mvcc {
 				// Tombstone the old key so snapshots keep finding the
 				// pre-move image, then start the new key's chain.
 				dead := t.pushVersion(nil, lsn, w, rec.vc)
-				p.deadChain(enc, dead)
+				p.deadChain(oldKey, dead)
 				t.trimLocked(dead)
-				rec.vc = t.pushVersion(newRow, lsn, w, q.dead[newEnc])
-				delete(q.dead, newEnc)
+				rec.vc = t.pushVersion(newRow, lsn, w, q.dead[newKey])
+				delete(q.dead, newKey)
 				t.trimLocked(rec.vc)
 			}
 			rec.Row = newRow
 			rec.LSN = lsn
-			delete(p.rows, enc)
-			q.rows[newEnc] = rec
+			delete(p.rows, oldKey)
+			rec.enc = newKey
+			q.rows[newKey] = rec
 			var ixErr error
 			for _, ix := range t.indexes {
-				if err := ix.insertLocked(rec.Row, newEnc); err != nil {
+				if err := ix.insertLocked(rec.Row, newKey); err != nil {
 					ixErr = err
 					break
 				}
@@ -435,35 +552,39 @@ func (t *Table) UpdateW(key value.Tuple, cols []int, vals value.Tuple, lsn wal.L
 			if ixErr != nil {
 				return nil, ixErr
 			}
-			return newRow.Clone(), nil
+			return t.outRow(newRow), nil
 		}
 		// Same-partition path (covers the common no-re-key case).
-		if newEnc != enc {
-			if _, exists := p.rows[newEnc]; exists {
+		sameKey := string(newEnc) == rec.enc
+		var newKey string
+		if !sameKey {
+			if _, exists := p.rows[string(newEnc)]; exists {
 				p.mu.Unlock()
 				return nil, fmt.Errorf("%w: update re-keys %s onto existing %s", ErrDuplicateKey, key, t.def.KeyOf(newRow))
 			}
+			newKey = string(newEnc)
 		}
 		if t.mvcc {
 			err := fcwCheck(rec.vc, w)
-			if err == nil && newEnc != enc {
-				err = fcwCheck(p.dead[newEnc], w)
+			if err == nil && !sameKey {
+				err = fcwCheck(p.dead[newKey], w)
 			}
 			if err != nil {
 				p.mu.Unlock()
 				return nil, err
 			}
 		}
+		oldKey := rec.enc
 		for _, ix := range t.indexes {
-			ix.removeLocked(rec.Row, enc)
+			ix.removeLocked(rec.Row, oldKey)
 		}
 		if t.mvcc {
-			if newEnc != enc {
+			if !sameKey {
 				dead := t.pushVersion(nil, lsn, w, rec.vc)
-				p.deadChain(enc, dead)
+				p.deadChain(oldKey, dead)
 				t.trimLocked(dead)
-				rec.vc = t.pushVersion(newRow, lsn, w, p.dead[newEnc])
-				delete(p.dead, newEnc)
+				rec.vc = t.pushVersion(newRow, lsn, w, p.dead[newKey])
+				delete(p.dead, newKey)
 				t.trimLocked(rec.vc)
 			} else {
 				rec.vc = t.pushVersion(newRow, lsn, w, rec.vc)
@@ -472,14 +593,14 @@ func (t *Table) UpdateW(key value.Tuple, cols []int, vals value.Tuple, lsn wal.L
 		}
 		rec.Row = newRow
 		rec.LSN = lsn
-		if newEnc != enc {
-			delete(p.rows, enc)
-			p.rows[newEnc] = rec
-			enc = newEnc
+		if !sameKey {
+			delete(p.rows, oldKey)
+			rec.enc = newKey
+			p.rows[newKey] = rec
 		}
 		var ixErr error
 		for _, ix := range t.indexes {
-			if err := ix.insertLocked(rec.Row, enc); err != nil {
+			if err := ix.insertLocked(rec.Row, rec.enc); err != nil {
 				ixErr = err
 				break
 			}
@@ -488,7 +609,7 @@ func (t *Table) UpdateW(key value.Tuple, cols []int, vals value.Tuple, lsn wal.L
 		if ixErr != nil {
 			return nil, ixErr
 		}
-		return newRow.Clone(), nil
+		return t.outRow(newRow), nil
 	}
 }
 
@@ -526,17 +647,26 @@ func (t *Table) Delete(key value.Tuple) (value.Tuple, error) {
 // first-committer-wins against the chain's newest committed version. A nil w
 // marks a system write.
 func (t *Table) DeleteW(key value.Tuple, w *WriteCtx) (value.Tuple, error) {
+	return t.deleteEnc(key, key.AppendEncode(nil), w)
+}
+
+// DeleteEncW is DeleteW with a caller-encoded primary key buffer; enc is not
+// retained.
+func (t *Table) DeleteEncW(key value.Tuple, enc []byte, w *WriteCtx) (value.Tuple, error) {
+	return t.deleteEnc(key, enc, w)
+}
+
+func (t *Table) deleteEnc(key value.Tuple, enc []byte, w *WriteCtx) (value.Tuple, error) {
 	if err := t.faultHit("delete"); err != nil {
 		return nil, err
 	}
 	t.mDeletes.Add(1)
-	enc := key.Encode()
 	t.ixMu.RLock()
 	defer t.ixMu.RUnlock()
-	p := t.partOf(enc)
+	p := t.parts[t.partIndexB(enc)]
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	rec, ok := p.rows[enc]
+	rec, ok := p.rows[string(enc)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s in table %s", ErrNotFound, key, t.def.Name)
 	}
@@ -546,12 +676,12 @@ func (t *Table) DeleteW(key value.Tuple, w *WriteCtx) (value.Tuple, error) {
 		}
 	}
 	for _, ix := range t.indexes {
-		ix.removeLocked(rec.Row, enc)
+		ix.removeLocked(rec.Row, rec.enc)
 	}
-	delete(p.rows, enc)
+	delete(p.rows, rec.enc)
 	if t.mvcc {
 		dead := t.pushVersion(nil, 0, w, rec.vc)
-		p.deadChain(enc, dead)
+		p.deadChain(rec.enc, dead)
 		t.trimLocked(dead)
 	}
 	return rec.Row, nil
@@ -596,9 +726,34 @@ func (t *Table) FuzzyScanChunks(chunk int, fn func(rows []Record)) {
 	}
 }
 
+// Scan-buffer pools. The chunked scans list a partition's keys and copy
+// record headers out in chunks; both buffers are reused across scans rather
+// than allocated per partition. Pooled as pointers so Put does not box the
+// slice header, and cleared before Put so pooled arrays pin neither key
+// strings nor row tuples.
+var (
+	scanKeysPool = sync.Pool{New: func() any { s := make([]string, 0, 512); return &s }}
+	scanRecsPool = sync.Pool{New: func() any { s := make([]Record, 0, 256); return &s }}
+)
+
+func putScanKeys(kp *[]string, keys []string) {
+	clear(keys[:cap(keys)])
+	*kp = keys[:0]
+	scanKeysPool.Put(kp)
+}
+
+func putScanRecs(rp *[]Record, buf []Record) {
+	clear(buf[:cap(buf)])
+	*rp = buf[:0]
+	scanRecsPool.Put(rp)
+}
+
 // FuzzyScanPartition fuzzy-scans a single heap partition in chunks.
 // Different partitions can be scanned concurrently from different
 // goroutines — that is how parallel initial population divides its work.
+// The chunk slice is reused across chunks and returned to a pool when the
+// scan ends: fn may retain the Record values (rows are shared, read-only
+// tuples) but must not retain the slice itself.
 func (t *Table) FuzzyScanPartition(pi int, chunk int, fn func(rows []Record)) {
 	if chunk <= 0 {
 		chunk = 256
@@ -607,14 +762,16 @@ func (t *Table) FuzzyScanPartition(pi int, chunk int, fn func(rows []Record)) {
 	// Snapshot the key set first; records inserted after this point are
 	// missed (repaired by log propagation), records deleted after this
 	// point are skipped.
+	kp := scanKeysPool.Get().(*[]string)
+	keys := *kp
 	p.mu.RLock()
-	keys := make([]string, 0, len(p.rows))
 	for k := range p.rows {
 		keys = append(keys, k)
 	}
 	p.mu.RUnlock()
 
-	buf := make([]Record, 0, chunk)
+	rp := scanRecsPool.Get().(*[]Record)
+	buf := *rp
 	for start := 0; start < len(keys); start += chunk {
 		end := min(start+chunk, len(keys))
 		t.mFuzzyChunks.Add(1)
@@ -622,12 +779,14 @@ func (t *Table) FuzzyScanPartition(pi int, chunk int, fn func(rows []Record)) {
 		p.mu.RLock()
 		for _, k := range keys[start:end] {
 			if rec, ok := p.rows[k]; ok {
-				buf = append(buf, Record{Row: rec.Row.Clone(), LSN: rec.LSN})
+				buf = append(buf, Record{Row: t.outRow(rec.Row), LSN: rec.LSN})
 			}
 		}
 		p.mu.RUnlock()
 		fn(buf)
 	}
+	putScanRecs(rp, buf)
+	putScanKeys(kp, keys)
 }
 
 // Rows returns a deep copy of all rows keyed by encoded primary key

@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"nbschema/internal/catalog"
@@ -284,4 +285,156 @@ func TestConcurrentAccess(t *testing.T) {
 	if tbl.Len() != 800 {
 		t.Errorf("Len = %d", tbl.Len())
 	}
+}
+
+// TestSharedReadsCOW is the copy-on-write property test for the default
+// shared-read mode: concurrent writers keep replacing rows through the table
+// API while readers — point gets, index lookups, fuzzy partition scans —
+// check an invariant on every tuple they are handed and retain tuples past
+// the call. Writers must publish fresh tuples, never mutate a published one
+// in place, so every observed tuple (including retained ones, re-checked
+// after all writes finished) is internally consistent, and the race detector
+// sees no read/write overlap on row memory. Run it with -race.
+func TestSharedReadsCOW(t *testing.T) {
+	tbl := NewTable(testDef(t))
+	const rows = 64
+	for i := int64(0); i < rows; i++ {
+		// Invariant: dept carries the parity of salary ("even"/"odd"); a
+		// torn or in-place-mutated row breaks it.
+		if err := tbl.Insert(row(i, "even", 0), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.CreateIndex("by_dept", []int{1}, false); err != nil {
+		t.Fatal(err)
+	}
+	consistent := func(r value.Tuple) bool {
+		want := "even"
+		if r[2].AsInt()%2 == 1 {
+			want = "odd"
+		}
+		return r[1].AsString() == want
+	}
+
+	const writersN, readersN, writesEach = 4, 4, 2000
+	var writersLive atomic.Int32
+	writersLive.Store(writersN)
+	var wg sync.WaitGroup
+	// Each writer owns a disjoint stripe of 16 ids so delete gaps and
+	// re-keyed rows (moved to id+rows and back) never collide across
+	// writers; readers tolerate not-found on point gets.
+	stripe := rows / writersN
+	for w := 0; w < writersN; w++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			defer writersLive.Add(-1)
+			base := int64(wi * stripe)
+			var flipped [64]bool
+			state := uint64(wi+1)*2654435761 + 1
+			for c := int64(1); c <= writesEach; c++ {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				idx := int(state % uint64(stripe))
+				id := base + int64(idx)
+				if flipped[idx] {
+					id += rows
+				}
+				dept := "even"
+				if c%2 == 1 {
+					dept = "odd"
+				}
+				key := value.Tuple{value.Int(id)}
+				var err error
+				switch c % 8 {
+				case 0:
+					// Re-keying update: move the row between id and id+rows.
+					to := base + int64(idx)
+					if !flipped[idx] {
+						to += rows
+					}
+					_, err = tbl.Update(key, []int{0},
+						value.Tuple{value.Int(to)}, wal.LSN(c))
+					flipped[idx] = !flipped[idx]
+				case 1:
+					// Delete then reinsert a consistent row under the same key.
+					if _, err = tbl.Delete(key); err == nil {
+						err = tbl.Insert(row(id, dept, c), wal.LSN(c))
+					}
+				default:
+					_, err = tbl.Update(key, []int{1, 2},
+						value.Tuple{value.Str(dept), value.Int(c)}, wal.LSN(c))
+				}
+				if err != nil {
+					t.Errorf("writer %d op %d: %v", wi, c, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readersN; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			state := uint64(seed)*40503 + 7
+			var retained []value.Tuple
+			for writersLive.Load() > 0 {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				switch state % 3 {
+				case 0:
+					got, _, err := tbl.Get(value.Tuple{value.Int(int64(state % rows))})
+					if err == nil {
+						if !consistent(got) {
+							t.Errorf("Get saw torn row %v", got)
+							return
+						}
+						retained = append(retained, got)
+					}
+				case 1:
+					dept := "even"
+					if state%2 == 1 {
+						dept = "odd"
+					}
+					found, _, err := tbl.LookupIndex("by_dept", value.Tuple{value.Str(dept)})
+					if err != nil {
+						t.Errorf("LookupIndex: %v", err)
+						return
+					}
+					for _, got := range found {
+						if !consistent(got) {
+							t.Errorf("LookupIndex saw torn row %v", got)
+							return
+						}
+					}
+				default:
+					pi := int(state % uint64(tbl.Partitions()))
+					tbl.FuzzyScanPartition(pi, 16, func(recs []Record) {
+						for _, rec := range recs {
+							if !consistent(rec.Row) {
+								t.Errorf("scan saw torn row %v", rec.Row)
+							}
+							// Retaining Record values past the callback is
+							// allowed; retaining the chunk slice is not.
+							retained = append(retained, rec.Row)
+						}
+					})
+				}
+				if len(retained) > 4096 {
+					retained = retained[:0]
+				}
+			}
+			// Retained tuples are frozen old versions: still consistent
+			// after every writer finished.
+			for _, got := range retained {
+				if !consistent(got) {
+					t.Errorf("retained tuple mutated in place: %v", got)
+					return
+				}
+			}
+		}(int64(r + 1))
+	}
+	wg.Wait()
 }

@@ -78,6 +78,26 @@ func (t Tuple) Encode() string {
 	return b.String()
 }
 
+// AppendEncode appends the tuple's injective encoding (identical bytes to
+// Encode) to b and returns the extended slice. Hot paths pass a reusable
+// scratch buffer (b[:0]) to encode keys without allocating.
+func (t Tuple) AppendEncode(b []byte) []byte {
+	for _, v := range t {
+		b = v.appendEncode(b)
+	}
+	return b
+}
+
+// AppendEncodeProject appends the encoding of t.Project(cols) to b without
+// materializing the projected tuple. Equivalent to
+// t.Project(cols).AppendEncode(b).
+func (t Tuple) AppendEncodeProject(b []byte, cols []int) []byte {
+	for _, c := range cols {
+		b = t[c].appendEncode(b)
+	}
+	return b
+}
+
 // String renders the tuple for humans, e.g. (1, "x", NULL).
 func (t Tuple) String() string {
 	var b strings.Builder

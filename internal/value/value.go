@@ -225,3 +225,36 @@ func (v Value) encodeTo(b *strings.Builder) {
 	}
 	b.WriteByte(';')
 }
+
+// appendEncode appends the same injective encoding as encodeTo to b and
+// returns the extended slice. It exists so hot paths can reuse a caller-owned
+// scratch buffer instead of building a fresh string per key.
+func (v Value) appendEncode(b []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		b = append(b, 'n')
+	case KindBool:
+		if v.i != 0 {
+			b = append(b, 'b', '1')
+		} else {
+			b = append(b, 'b', '0')
+		}
+	case KindInt:
+		b = append(b, 'i')
+		b = strconv.AppendInt(b, v.i, 36)
+	case KindFloat:
+		b = append(b, 'f')
+		b = strconv.AppendUint(b, math.Float64bits(v.f), 36)
+	case KindString:
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(v.s)), 10)
+		b = append(b, ':')
+		b = append(b, v.s...)
+	case KindBytes:
+		b = append(b, 'x')
+		b = strconv.AppendInt(b, int64(len(v.s)), 10)
+		b = append(b, ':')
+		b = append(b, v.s...)
+	}
+	return append(b, ';')
+}

@@ -88,7 +88,20 @@ func (e *encoder) ints(xs []int) {
 
 // Marshal encodes a record into the binary log format.
 func Marshal(r *Record) []byte {
-	var e encoder
+	return AppendMarshal(nil, r)
+}
+
+// AppendMarshal appends r's binary log frame to buf and returns the extended
+// slice. Hot paths (checkpoint streaming, the group-commit leader) pass a
+// reusable scratch buffer (buf[:0]) so steady-state encoding allocates
+// nothing — the encode-side mirror of the streaming Tail reader's
+// ≤2-allocs/record decode budget.
+func AppendMarshal(buf []byte, r *Record) []byte {
+	start := len(buf)
+	// Frame header placeholder: magic and payload length are fixed up once
+	// the payload size is known.
+	buf = append(buf, 0, 0, 0, 0, 0, 0)
+	e := encoder{buf: buf}
 	e.uvarint(uint64(r.LSN))
 	e.uvarint(uint64(r.Prev))
 	e.uvarint(uint64(r.Txn))
@@ -116,15 +129,12 @@ func Marshal(r *Record) []byte {
 	e.buf = append(e.buf, r.Meta...)
 	e.uvarint(uint64(r.Time))
 
-	payload := e.buf
-	out := make([]byte, 0, len(payload)+10)
-	out = binary.BigEndian.AppendUint16(out, recordMagicV3)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
-	out = append(out, payload...)
+	buf = e.buf
+	binary.BigEndian.PutUint16(buf[start:], recordMagicV3)
+	binary.BigEndian.PutUint32(buf[start+2:], uint32(len(buf)-start-6))
 	// Versions 2+: the CRC covers the frame header too, so a corrupted length
 	// field is caught instead of desynchronizing the reader.
-	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
-	return out
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
 }
 
 // EncodeTuple appends t's binary encoding (the log codec's tuple format) to
@@ -473,11 +483,12 @@ func Unmarshal(b []byte) (*Record, error) {
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var total int64
+	var frame []byte // one encode buffer reused for every record
 	for _, rec := range l.Scan(1, 0) {
 		if err := l.faults.Hit("wal.write"); err != nil {
 			return total, err
 		}
-		frame := Marshal(rec)
+		frame = AppendMarshal(frame[:0], rec)
 		if err := l.faults.Hit("wal.corrupt"); err != nil {
 			frame[len(frame)-5] ^= 0x01
 		}

@@ -245,9 +245,13 @@ type Log struct {
 	approxBytes atomic.Int64
 
 	// Group-commit staging area. gcBatch is the batch cap; 1 selects the
-	// direct (serial) append path.
+	// direct (serial) append path. batchBuf is the leader-owned batch
+	// buffer, reused across batches — safe because gcActive admits exactly
+	// one leader at a time and leadership hands off only after the previous
+	// leader is done with it.
 	gcMu     sync.Mutex
 	staged   []*pendingAppend
+	batchBuf []*pendingAppend
 	gcActive bool
 	gcBatch  int
 }
@@ -400,8 +404,14 @@ func (l *Log) leadBatch() {
 	if n > l.gcBatch {
 		n = l.gcBatch
 	}
-	batch := l.staged[:n:n]
-	l.staged = append([]*pendingAppend(nil), l.staged[n:]...)
+	// Copy the batch into the leader-owned buffer and compact the staging
+	// area in place (nil-ing the freed tail so it pins nothing) — no
+	// per-batch allocations.
+	batch := append(l.batchBuf[:0], l.staged[:n]...)
+	l.batchBuf = batch
+	rest := copy(l.staged, l.staged[n:])
+	clear(l.staged[rest:])
+	l.staged = l.staged[:rest]
 	l.gcMu.Unlock()
 
 	l.mu.Lock()
@@ -419,6 +429,7 @@ func (l *Log) leadBatch() {
 	for _, p := range batch {
 		close(p.done)
 	}
+	clear(batch) // the reusable buffer must not pin flushed appends
 
 	l.gcMu.Lock()
 	if len(l.staged) > 0 {

@@ -205,7 +205,26 @@ type Options struct {
 	// arm). Off by default; when off the engine maintains no version chains
 	// and the read/write paths pay nothing.
 	SnapshotReads bool
+	// SharedReads selects the read-path row-sharing discipline. The default
+	// (SharedReadsOn, the zero value) returns the stored tuples themselves
+	// from reads and scans — zero-copy, allocation-free — relying on the
+	// engine-wide copy-on-write invariant: writers replace rows wholesale,
+	// nobody mutates a returned tuple in place. SharedReadsOff restores
+	// clone-on-read (every read deep-copies); it is the benchmark ablation
+	// arm and an escape hatch for callers that mutate returned rows.
+	SharedReads SharedReadsMode
 }
+
+// SharedReadsMode selects how reads return rows; see Options.SharedReads.
+type SharedReadsMode = engine.SharedReadsMode
+
+// SharedReads modes.
+const (
+	// SharedReadsOn (the default) returns shared read-only tuples.
+	SharedReadsOn = engine.SharedReadsOn
+	// SharedReadsOff clones every row a read or scan returns.
+	SharedReadsOff = engine.SharedReadsOff
+)
 
 func (o Options) engineOptions() engine.Options {
 	var tl *obs.Timeline
@@ -224,6 +243,7 @@ func (o Options) engineOptions() engine.Options {
 		StoragePartitions: o.StoragePartitions,
 		GroupCommit:       o.GroupCommit,
 		SnapshotReads:     o.SnapshotReads,
+		SharedReads:       o.SharedReads,
 
 		CheckpointEvery:      o.CheckpointEvery,
 		CheckpointEveryBytes: o.CheckpointEveryBytes,
